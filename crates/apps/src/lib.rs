@@ -1,0 +1,39 @@
+//! App profiles and workload generators for the Fleet evaluation.
+//!
+//! The paper evaluates on 18 commercial apps (Table 3) plus the synthetic
+//! apps from the Marvin artifact (§6 "Workloads"). We cannot run APKs in a
+//! simulator, so each app is modelled by a [`profile::AppProfile`] capturing
+//! the *memory shape* the experiments depend on:
+//!
+//! * object-size distribution (Figure 7),
+//! * total footprint and Java-heap share (Figures 5c and 13n),
+//! * launch costs (Figure 2) and launch re-access behaviour (Figure 6),
+//! * fore/background allocation behaviour (§4.1's lifetime asymmetry).
+//!
+//! [`behavior::AppBehavior`] turns a profile into a live object graph and an
+//! event stream: foreground use, background residence, and hot-launch access
+//! sets. [`interact::InteractionScript`] generates the scripted-swipe frame
+//! workload of §7.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet_apps::catalog;
+//!
+//! let apps = catalog();
+//! assert_eq!(apps.len(), 18);
+//! assert!(apps.iter().any(|a| a.name == "Twitter"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod interact;
+pub mod profile;
+
+pub use behavior::{AppBehavior, LaunchAccess};
+pub use interact::InteractionScript;
+pub use profile::{
+    catalog, profile_by_name, profiles_from_json, profiles_to_json, synthetic_app, AppCategory,
+    AppProfile, LaunchModel,
+};

@@ -1,0 +1,375 @@
+//! Static app profiles: Table 3's 18 commercial apps plus the Marvin
+//! synthetic apps.
+//!
+//! Every number here is anchored to a published figure: footprints and
+//! Java-heap shares follow Figures 5c/13n (Candy Crush's 4% heap share is
+//! called out explicitly in Appendix A), launch times follow Figure 2, and
+//! the size distributions follow Figure 7's "most objects are far smaller
+//! than a page" CDFs.
+
+use fleet_sim::SizeDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Table 3's app categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppCategory {
+    /// Twitter, Facebook, Instagram, Telegram, Line.
+    Communication,
+    /// Youtube, Tiktok, Spotify, Twitch, Rave, BigoLive.
+    Multimedia,
+    /// AmazonShop, GoogleMaps, Chrome, Firefox, LinkedIn.
+    Tools,
+    /// Angry Birds Classic, Candy Crush Saga.
+    Games,
+    /// Marvin-artifact synthetic apps (fixed object size).
+    Synthetic,
+}
+
+impl std::fmt::Display for AppCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AppCategory::Communication => "communication",
+            AppCategory::Multimedia => "multi-media",
+            AppCategory::Tools => "tools & utilities",
+            AppCategory::Games => "games",
+            AppCategory::Synthetic => "synthetic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Launch-behaviour constants: how likely each object class is to be
+/// re-accessed during the next hot-launch. Calibrated so that NRO cover
+/// ≈50% of re-accesses, FYO ≈40% and both ≈68% (Figure 6a), while NRO and
+/// FYO each occupy ≈10% of heap memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchModel {
+    /// Re-access probability for objects within NRO depth of the roots.
+    pub near_root_reaccess: f64,
+    /// Re-access probability for recently allocated foreground objects.
+    pub young_reaccess: f64,
+    /// Re-access probability for background working-set objects.
+    pub ws_reaccess: f64,
+    /// Re-access probability for everything else.
+    pub cold_reaccess: f64,
+    /// Fraction of the native *anonymous* footprint touched at launch
+    /// (slow path when swapped out).
+    pub native_touch_frac: f64,
+    /// Fraction of the *file-backed* footprint touched at launch (fast
+    /// readahead path when dropped).
+    pub file_touch_frac: f64,
+    /// Bytes allocated during the launch itself, as a fraction of the Java
+    /// heap (these fresh allocations are what trigger the §4.2 launch GC).
+    pub launch_alloc_frac: f64,
+}
+
+impl Default for LaunchModel {
+    fn default() -> Self {
+        LaunchModel {
+            near_root_reaccess: 0.85,
+            young_reaccess: 0.72,
+            ws_reaccess: 0.50,
+            // Cold re-accesses are rare *seeds*; each seed drags in its data
+            // chain (see `AppBehavior::launch_access`), so the absolute cold
+            // page-fault count stays small, as the paper's Fleet launch
+            // times imply.
+            cold_reaccess: 0.00005,
+            native_touch_frac: 0.02,
+            file_touch_frac: 0.10,
+            launch_alloc_frac: 0.06,
+        }
+    }
+}
+
+/// A modelled app: the memory shape and rates the experiments exercise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Display name (Table 3).
+    pub name: String,
+    /// Table 3 category.
+    pub category: AppCategory,
+    /// Total process footprint in MiB once warmed up (Java heap + native).
+    pub footprint_mib: u32,
+    /// Java-heap share of the footprint in percent (Figure 13n).
+    pub java_heap_percent: f64,
+    /// File-backed share of the footprint in percent (code, resources,
+    /// mmapped assets). The remainder after Java heap and file is native
+    /// *anonymous* memory (malloc, graphics buffers).
+    pub file_backed_percent: f64,
+    /// Object-size distribution (Figure 7).
+    pub size_dist: SizeDistribution,
+    /// Cold-launch CPU/init cost in ms on an unloaded device (Figure 2).
+    pub cold_launch_ms: f64,
+    /// Hot-launch render cost in ms when every needed page is resident
+    /// (Figure 2's no-pressure hot-launch time).
+    pub hot_launch_ms: f64,
+    /// Launch re-access behaviour.
+    pub launch: LaunchModel,
+    /// Foreground allocation rate, MiB/s of fresh objects.
+    pub fg_alloc_mib_per_sec: f64,
+    /// Fraction of foreground allocations that become garbage quickly.
+    pub fg_garbage_ratio: f64,
+    /// Background allocation rate, MiB/s (push handling etc.; tiny).
+    pub bg_alloc_mib_per_sec: f64,
+    /// Fraction of background allocations that die young (§4.1: "most BGO
+    /// are reclaimed within the first several GCs").
+    pub bg_garbage_ratio: f64,
+    /// Mean frame-render CPU cost in ms for the §7.3 swipe workload.
+    pub frame_cost_ms: f64,
+    /// Transient page demand while foreground (decoded media, page cache,
+    /// graphics buffers) in MiB/s at real scale. This is what forces the
+    /// kernel to evict idle apps' pages on a busy phone.
+    pub fg_page_churn_mib_per_sec: f64,
+}
+
+impl AppProfile {
+    /// Java-heap bytes at full warm-up, scaled by `scale` (the workspace
+    /// runs the device at 1/16 scale; see DESIGN.md "Fidelity notes").
+    pub fn java_heap_bytes_scaled(&self, scale: u32) -> u64 {
+        let total = self.footprint_mib as u64 * 1024 * 1024 / scale as u64;
+        (total as f64 * self.java_heap_percent / 100.0) as u64
+    }
+
+    /// Native (non-Java) bytes at full warm-up, scaled by `scale`.
+    pub fn native_bytes_scaled(&self, scale: u32) -> u64 {
+        let total = self.footprint_mib as u64 * 1024 * 1024 / scale as u64;
+        total - self.java_heap_bytes_scaled(scale)
+    }
+
+    /// File-backed bytes at full warm-up, scaled by `scale`.
+    pub fn file_bytes_scaled(&self, scale: u32) -> u64 {
+        let total = self.footprint_mib as u64 * 1024 * 1024 / scale as u64;
+        (total as f64 * self.file_backed_percent / 100.0) as u64
+    }
+
+    /// Native *anonymous* bytes (native minus file-backed), scaled.
+    pub fn native_anon_bytes_scaled(&self, scale: u32) -> u64 {
+        self.native_bytes_scaled(scale).saturating_sub(self.file_bytes_scaled(scale))
+    }
+}
+
+/// Figure 7 object-size CDF shapes. `variant` rotates the weights slightly
+/// so the eight plotted apps do not coincide, while all keep the paper's
+/// property that the vast majority of objects are ≪ 4 KiB.
+fn commercial_sizes(variant: u32) -> SizeDistribution {
+    // Base weights over sizes 16..8192; heavily concentrated at 16–128 B.
+    let mut buckets = vec![
+        (16u32, 24.0f64),
+        (24, 18.0),
+        (32, 16.0),
+        (48, 10.0),
+        (64, 9.0),
+        (96, 6.0),
+        (128, 5.0),
+        (256, 4.5),
+        (512, 3.0),
+        (1024, 2.0),
+        (2048, 1.5),
+        (4096, 0.7),
+        (8192, 0.3),
+    ];
+    // Deterministic per-app skew: rotate some weight between small/large.
+    let shift = (variant % 5) as f64;
+    buckets[0].1 += shift;
+    buckets[7].1 += 0.3 * shift;
+    buckets[10].1 = (buckets[10].1 - 0.2 * shift).max(0.2);
+    SizeDistribution::new(buckets).expect("static buckets are valid")
+}
+
+#[allow(clippy::too_many_arguments)] // a flat catalog row reads best as one call
+fn app(
+    name: &str,
+    category: AppCategory,
+    footprint_mib: u32,
+    java_heap_percent: f64,
+    cold_launch_ms: f64,
+    hot_launch_ms: f64,
+    frame_cost_ms: f64,
+    variant: u32,
+) -> AppProfile {
+    AppProfile {
+        name: name.to_string(),
+        category,
+        footprint_mib,
+        java_heap_percent,
+        file_backed_percent: 40.0,
+        size_dist: commercial_sizes(variant),
+        cold_launch_ms,
+        hot_launch_ms,
+        launch: LaunchModel::default(),
+        fg_alloc_mib_per_sec: 1.2,
+        fg_garbage_ratio: 0.55,
+        bg_alloc_mib_per_sec: 0.12,
+        bg_garbage_ratio: 0.92,
+        frame_cost_ms,
+        fg_page_churn_mib_per_sec: 56.0,
+    }
+}
+
+/// The 18 commercial apps of Table 3.
+///
+/// Footprints, heap shares and launch times are anchored to Figures 2, 5c
+/// and 13n (e.g. Twitter hot ≈ 273 ms vs cold ≈ 2390 ms; Candy Crush has
+/// only 4% Java heap).
+pub fn catalog() -> Vec<AppProfile> {
+    use AppCategory::*;
+    vec![
+        app("Twitter", Communication, 320, 30.0, 2390.0, 273.0, 6.0, 0),
+        app("Facebook", Communication, 350, 28.0, 1800.0, 209.0, 6.5, 1),
+        app("Instagram", Communication, 340, 26.0, 1900.0, 147.0, 6.5, 2),
+        app("Telegram", Communication, 220, 22.0, 1200.0, 130.0, 5.0, 3),
+        app("Line", Communication, 240, 20.0, 1400.0, 160.0, 5.5, 4),
+        app("Youtube", Multimedia, 300, 18.0, 2000.0, 250.0, 7.0, 0),
+        app("Tiktok", Multimedia, 380, 24.0, 2200.0, 260.0, 7.5, 1),
+        app("Spotify", Multimedia, 260, 16.0, 1500.0, 180.0, 5.0, 2),
+        app("Twitch", Multimedia, 330, 22.0, 2100.0, 240.0, 7.0, 3),
+        app("Rave", Multimedia, 310, 25.0, 2600.0, 300.0, 7.5, 4),
+        app("BigoLive", Multimedia, 350, 24.0, 2500.0, 280.0, 7.5, 0),
+        app("AmazonShop", Tools, 330, 27.0, 2300.0, 230.0, 6.0, 1),
+        app("GoogleMaps", Tools, 360, 21.0, 2000.0, 250.0, 7.0, 2),
+        app("Chrome", Tools, 400, 33.0, 1700.0, 200.0, 6.0, 3),
+        app("Firefox", Tools, 380, 31.0, 1800.0, 210.0, 6.0, 4),
+        app("LinkedIn", Tools, 280, 23.0, 1600.0, 190.0, 5.5, 0),
+        app("AngryBirds", Games, 420, 9.0, 2800.0, 320.0, 8.0, 1),
+        app("CandyCrush", Games, 450, 4.0, 3000.0, 350.0, 8.0, 2),
+    ]
+}
+
+/// Serialises a set of profiles to pretty JSON (for editing custom app
+/// mixes outside the built-in catalog).
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error (which for these plain data
+/// types would indicate a bug).
+pub fn profiles_to_json(profiles: &[AppProfile]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(profiles)
+}
+
+/// Parses profiles from JSON produced by [`profiles_to_json`] (or written
+/// by hand).
+///
+/// # Errors
+///
+/// Returns a `serde_json` error describing the first malformed field.
+pub fn profiles_from_json(json: &str) -> Result<Vec<AppProfile>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Looks an app up by name in [`catalog`].
+pub fn profile_by_name(name: &str) -> Option<AppProfile> {
+    catalog().into_iter().find(|a| a.name == name)
+}
+
+/// A Marvin-artifact synthetic app: allocates `object_size`-byte objects
+/// until it occupies `footprint_mib` (§6: 512 B or 2048 B objects, 180 MB).
+///
+/// # Panics
+///
+/// Panics if `object_size` is zero.
+pub fn synthetic_app(object_size: u32, footprint_mib: u32) -> AppProfile {
+    assert!(object_size > 0, "synthetic object size must be positive");
+    AppProfile {
+        name: format!("synthetic-{object_size}B"),
+        category: AppCategory::Synthetic,
+        footprint_mib,
+        // Synthetic apps are almost pure Java heap.
+        java_heap_percent: 90.0,
+        file_backed_percent: 5.0,
+        size_dist: SizeDistribution::constant(object_size),
+        cold_launch_ms: 600.0,
+        hot_launch_ms: 90.0,
+        launch: LaunchModel::default(),
+        fg_alloc_mib_per_sec: 2.0,
+        fg_garbage_ratio: 0.3,
+        bg_alloc_mib_per_sec: 0.06,
+        bg_garbage_ratio: 0.9,
+        frame_cost_ms: 4.0,
+        fg_page_churn_mib_per_sec: 16.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table3() {
+        let apps = catalog();
+        assert_eq!(apps.len(), 18);
+        let by_cat = |c: AppCategory| apps.iter().filter(|a| a.category == c).count();
+        assert_eq!(by_cat(AppCategory::Communication), 5);
+        assert_eq!(by_cat(AppCategory::Multimedia), 6);
+        assert_eq!(by_cat(AppCategory::Tools), 5);
+        assert_eq!(by_cat(AppCategory::Games), 2);
+    }
+
+    #[test]
+    fn hot_launch_is_much_faster_than_cold() {
+        // Figure 2's headline: e.g. Twitter 273 ms hot vs 2390 ms cold.
+        for app in catalog() {
+            let ratio = app.cold_launch_ms / app.hot_launch_ms;
+            assert!(ratio > 4.0, "{}: cold/hot ratio {ratio}", app.name);
+        }
+    }
+
+    #[test]
+    fn candy_crush_has_tiny_java_heap() {
+        let cc = profile_by_name("CandyCrush").unwrap();
+        assert_eq!(cc.java_heap_percent, 4.0);
+        let tw = profile_by_name("Twitter").unwrap();
+        assert!(tw.java_heap_percent > 25.0);
+    }
+
+    #[test]
+    fn sizes_are_mostly_sub_page() {
+        // Figure 7: the overwhelming majority of objects are below 4 KiB.
+        for app in catalog() {
+            assert!(app.size_dist.cdf_at(4096) > 0.95, "{}", app.name);
+            assert!(app.size_dist.cdf_at(128) > 0.75, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn scaled_heap_split_adds_up() {
+        let app = profile_by_name("Twitter").unwrap();
+        let scale = 16;
+        let total = app.footprint_mib as u64 * 1024 * 1024 / scale as u64;
+        assert_eq!(app.java_heap_bytes_scaled(scale) + app.native_bytes_scaled(scale), total);
+        // 30% of 20 MiB = 6 MiB.
+        assert_eq!(app.java_heap_bytes_scaled(scale), (total as f64 * 0.30) as u64);
+    }
+
+    #[test]
+    fn synthetic_apps_have_fixed_sizes() {
+        let small = synthetic_app(512, 180);
+        assert_eq!(small.size_dist.buckets(), &[(512, 1.0)]);
+        assert_eq!(small.name, "synthetic-512B");
+        let large = synthetic_app(2048, 180);
+        assert_eq!(large.size_dist.buckets(), &[(2048, 1.0)]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(profile_by_name("Twitch").is_some());
+        assert!(profile_by_name("NotAnApp").is_none());
+    }
+
+    #[test]
+    fn profiles_round_trip_through_json() {
+        let original = catalog();
+        let json = profiles_to_json(&original).unwrap();
+        let parsed = profiles_from_json(&json).unwrap();
+        assert_eq!(parsed, original);
+        // Hand-written JSON with a tweaked field parses too.
+        let tweaked = json.replace("\"footprint_mib\": 320", "\"footprint_mib\": 999");
+        let parsed = profiles_from_json(&tweaked).unwrap();
+        assert!(parsed.iter().any(|a| a.footprint_mib == 999));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn synthetic_zero_size_panics() {
+        synthetic_app(0, 180);
+    }
+}

@@ -1,0 +1,99 @@
+//! Collector micro-benchmarks: the GC engines behind Figures 12a and 13.
+//!
+//! Measures one collection over a standard warmed heap for each collector.
+//! The interesting comparison is BGC vs the full GC: BGC's work should be
+//! roughly an order of magnitude smaller on a backgrounded app, which is
+//! exactly the Figure 12a effect at the engine level.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fleet_apps::{profile_by_name, AppBehavior};
+use fleet_gc::{
+    BackgroundObjectGc, Collector, FullCopyingGc, GcCostModel, GroupingGc, MarvinGc, MinorGc,
+    NoTouch,
+};
+use fleet_heap::{AllocContext, Heap, HeapConfig};
+use fleet_sim::SimRng;
+use std::collections::HashSet;
+
+/// A Twitter-shaped heap, backgrounded with a little BGO churn on top.
+fn backgrounded_heap() -> Heap {
+    let profile = profile_by_name("Twitter").expect("catalog app");
+    let mut heap = Heap::new(HeapConfig::default());
+    let mut app = AppBehavior::new(profile, SimRng::seed_from(7));
+    app.build_initial_graph(&mut heap, 4 * 1024 * 1024);
+    heap.retire_alloc_targets();
+    heap.clear_newly_allocated_flags();
+    app.enter_background(&heap);
+    heap.set_context(AllocContext::Background);
+    app.background_step(&mut heap, 30.0);
+    heap
+}
+
+fn bench_collectors(c: &mut Criterion) {
+    let heap = backgrounded_heap();
+    let mut group = c.benchmark_group("collectors");
+    group.sample_size(20);
+
+    group.bench_function("full_copying_gc", |b| {
+        b.iter_batched_ref(
+            || heap.clone(),
+            |h| FullCopyingGc::new(GcCostModel::default()).collect(h, &mut NoTouch),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("minor_gc", |b| {
+        b.iter_batched_ref(
+            || heap.clone(),
+            |h| MinorGc::new(GcCostModel::default()).collect(h, &mut NoTouch),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("background_object_gc", |b| {
+        b.iter_batched_ref(
+            || heap.clone(),
+            |h| BackgroundObjectGc::new(GcCostModel::default()).collect(h, &mut NoTouch),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("marvin_bookmarking_gc", |b| {
+        b.iter_batched_ref(
+            || heap.clone(),
+            |h| MarvinGc::new(GcCostModel::default(), 1024).collect(h, &mut NoTouch),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("rgs_grouping_gc", |b| {
+        b.iter_batched_ref(
+            || heap.clone(),
+            |h| {
+                GroupingGc::new(GcCostModel::default(), 2, HashSet::new())
+                    .collect_grouping(h, &mut NoTouch)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_heap_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    group.bench_function("alloc_64b", |b| {
+        b.iter_batched_ref(
+            || Heap::new(HeapConfig::default()),
+            |h| {
+                for _ in 0..1000 {
+                    h.alloc(64);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("depth_map_4MiB_graph", |b| {
+        let heap = backgrounded_heap();
+        b.iter(|| fleet_heap::depth_map(&heap, Some(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectors, bench_heap_ops);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Per-figure benchmarks: each benchmark exercises the code path that
+//! regenerates one of the paper's tables or figures, at miniature scale.
+//! (The full regeneration with paper-vs-measured output is the `repro`
+//! binary; these benches track the cost of each experiment's machinery.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fleet::experiment::{object_sizes, reaccess, scenario::AppPool, tables};
+use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet_apps::{profile_by_name, synthetic_app};
+
+fn pool_apps() -> Vec<String> {
+    ["Twitter", "Facebook", "Youtube", "Spotify", "Chrome", "LinkedIn"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    // Tables 1–3: configuration rendering.
+    c.bench_function("table1_2_3_render", |b| {
+        b.iter(|| {
+            (tables::table1().to_string(), tables::table2().to_string(), tables::table3().to_string())
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    // Figure 2 path: one hot launch on an idle device.
+    let mut group = c.benchmark_group("fig2_hot_vs_cold");
+    group.sample_size(10);
+    group.bench_function("hot_launch_idle", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut device = Device::new(DeviceConfig::pixel3(SchemeKind::Android));
+                let (pid, _) = device.launch_cold(&profile_by_name("Twitter").unwrap());
+                device.launch_cold(&profile_by_name("Telegram").unwrap());
+                device.run(3);
+                (device, pid)
+            },
+            |(device, pid)| device.switch_to(*pid),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    // Figures 6 and 7: pure analyses.
+    let mut group = c.benchmark_group("fig6_fig7_analysis");
+    group.sample_size(10);
+    group.bench_function("fig6b_depth_sweep", |b| b.iter(|| reaccess::fig6b(1, 8)));
+    group.bench_function("fig7_size_cdfs", |b| b.iter(|| object_sizes::fig7(1, 10_000)));
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    // Figure 11 path: one capacity step (launch + settle) on a loaded device.
+    let mut group = c.benchmark_group("fig11_capacity");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Android, SchemeKind::Fleet] {
+        group.bench_function(format!("capacity_step_{scheme}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut device = Device::new(DeviceConfig::pixel3(scheme));
+                    let app = synthetic_app(2048, 180);
+                    for _ in 0..6 {
+                        device.launch_cold(&app);
+                        device.run(2);
+                    }
+                    device
+                },
+                |device| {
+                    device.launch_cold(&synthetic_app(2048, 180));
+                    device.run(2);
+                    device.cached_apps()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    // Figure 13 path: one pressured hot launch per scheme.
+    let mut group = c.benchmark_group("fig13_hot_launch_pressure");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
+        group.bench_function(format!("pressured_launch_{scheme}"), |b| {
+            b.iter_batched_ref(
+                || AppPool::under_pressure(scheme, &pool_apps(), 99),
+                |pool| {
+                    pool.launch("Spotify");
+                    pool.device_mut().run(5);
+                    pool.launch("Twitter")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    // Figure 12 path: one background GC, Android vs Fleet.
+    let mut group = c.benchmark_group("fig12_bg_gc");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Android, SchemeKind::Fleet] {
+        group.bench_function(format!("bg_gc_{scheme}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut device = Device::new(DeviceConfig::pixel3(scheme));
+                    let (pid, _) = device.launch_cold(&profile_by_name("Twitch").unwrap());
+                    device.launch_cold(&profile_by_name("Telegram").unwrap());
+                    device.run(15);
+                    (device, pid)
+                },
+                |(device, pid)| device.run_gc(*pid),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    // Figure 14 path: one second of frame rendering.
+    let mut group = c.benchmark_group("fig14_frames");
+    group.sample_size(10);
+    group.bench_function("one_second_of_frames", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &pool_apps(), 5);
+                let (pid, _) = pool.ensure("Twitter");
+                if pool.device().foreground() != Some(pid) {
+                    pool.device_mut().switch_to(pid);
+                }
+                (pool, pid)
+            },
+            |(pool, pid)| pool.device_mut().run_frames(*pid, 1),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig2,
+    bench_fig6_fig7,
+    bench_fig11,
+    bench_fig13,
+    bench_fig12,
+    bench_fig14
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Kernel-model micro-benchmarks: the swap machinery behind Figures 3/13.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fleet_kernel::{AccessKind, MemoryManager, MmConfig, Pid, SwapConfig, PAGE_SIZE};
+
+fn loaded_mm() -> MemoryManager {
+    let mut mm = MemoryManager::new(MmConfig {
+        dram_bytes: 32 * 1024 * 1024,
+        swap: SwapConfig { capacity_bytes: 32 * 1024 * 1024, ..SwapConfig::default() },
+        ..MmConfig::default()
+    });
+    for pid in 1..=8u32 {
+        mm.map_range(Pid(pid), 0, 6 * 1024 * 1024).expect("fits with eviction");
+    }
+    mm
+}
+
+fn bench_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.bench_function("access_resident_page", |b| {
+        let mut mm = loaded_mm();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            mm.access(Pid(8), i * PAGE_SIZE, 64, AccessKind::Mutator).expect("resident")
+        })
+    });
+    group.bench_function("fault_swapped_page", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut mm = loaded_mm();
+                mm.madvise_cold(Pid(1), 0, 2 * 1024 * 1024);
+                mm
+            },
+            |mm| mm.access(Pid(1), 0, 2 * 1024 * 1024, AccessKind::Launch).expect("faults in"),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("madvise_cold_2MiB", |b| {
+        b.iter_batched_ref(
+            loaded_mm,
+            |mm| mm.madvise_cold(Pid(2), 0, 2 * 1024 * 1024),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("madvise_hot_2MiB", |b| {
+        let mut mm = loaded_mm();
+        b.iter(|| mm.madvise_hot(Pid(3), 0, 2 * 1024 * 1024))
+    });
+    group.bench_function("kswapd_reclaim", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut mm = MemoryManager::new(MmConfig {
+                    dram_bytes: 8 * 1024 * 1024,
+                    swap: SwapConfig { capacity_bytes: 32 * 1024 * 1024, ..SwapConfig::default() },
+                    low_watermark_frames: 512,
+                    high_watermark_frames: 1024,
+                    ..MmConfig::default()
+                });
+                mm.map_range(Pid(1), 0, 8 * 1024 * 1024 - 64 * PAGE_SIZE).expect("fits");
+                mm
+            },
+            |mm| mm.kswapd(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mm);
+criterion_main!(benches);

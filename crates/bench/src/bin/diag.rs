@@ -1,0 +1,79 @@
+//! Calibration diagnostic: prints the key differentiating numbers per
+//! scheme so the simulator can be tuned against the paper's shapes.
+
+use fleet::experiment::scenario::AppPool;
+use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet_apps::synthetic_app;
+use fleet_metrics::Summary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args.get(1).map(|s| s.as_str()).unwrap_or("all");
+
+    if what == "capacity" || what == "all" {
+        println!("== synthetic capacity (large 2048B, 24 launches, 10s use) ==");
+        for scheme in SchemeKind::ALL {
+            let mut config = DeviceConfig::pixel3(scheme);
+            config.seed = 1;
+            let mut device = Device::new(config);
+            let app = synthetic_app(2048, 180);
+            let mut max = 0;
+            for _ in 0..24 {
+                device.launch_cold(&app);
+                device.run(10);
+                max = max.max(device.cached_apps());
+            }
+            println!(
+                "{scheme:>16}: max={max} final={} kills={} swap_used={}MiB free={}MiB oom_skips={}",
+                device.cached_apps(),
+                device.kills().len(),
+                device.mm().swap().used_pages() * 4096 / (1024 * 1024),
+                device.mm().free_frames() * 4096 / (1024 * 1024),
+                device.oom_touch_skips(),
+            );
+        }
+        println!("== synthetic capacity (small 512B) ==");
+        for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
+            let mut config = DeviceConfig::pixel3(scheme);
+            config.seed = 1;
+            let mut device = Device::new(config);
+            let app = synthetic_app(512, 180);
+            let mut max = 0;
+            for _ in 0..24 {
+                device.launch_cold(&app);
+                device.run(10);
+                max = max.max(device.cached_apps());
+            }
+            println!("{scheme:>16}: max={max} final={} kills={}", device.cached_apps(), device.kills().len());
+        }
+    }
+
+    if what == "hot" || what == "all" {
+        println!("== hot launch under pressure (10 apps, 6 launches of Twitter) ==");
+        let apps: Vec<String> = [
+            "Twitter", "Facebook", "Instagram", "Youtube", "Tiktok", "Spotify", "Chrome",
+            "GoogleMaps", "AmazonShop", "LinkedIn",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for scheme in SchemeKind::ALL {
+            let mut pool = AppPool::under_pressure(scheme, &apps, 42);
+            let reports = pool.measure_hot_launches("Twitter", 6);
+            let ms: Vec<f64> = reports.iter().map(|r| r.total.as_millis_f64()).collect();
+            let s = Summary::from_values(ms.clone());
+            let stalls: Vec<f64> = reports.iter().map(|r| r.fault_stall.as_millis_f64()).collect();
+            let faults: Vec<u64> = reports.iter().map(|r| r.faulted_pages).collect();
+            let stws: Vec<f64> = reports.iter().map(|r| r.gc_stw.as_millis_f64()).collect();
+            println!(
+                "{scheme:>16}: n={} median={:.0}ms p90={:.0}ms stalls={:?} pages={faults:?} stw={stws:?} cached={} kills={}",
+                s.len(),
+                s.median(),
+                s.p90(),
+                stalls.iter().map(|v| *v as u64).collect::<Vec<_>>(),
+                pool.device().cached_apps(),
+                pool.device().kills().len(),
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Launch-composition diagnostic for Fleet calibration.
+
+use fleet::experiment::scenario::AppPool;
+use fleet::SchemeKind;
+
+fn main() {
+    let apps: Vec<String> = [
+        "Twitter", "Facebook", "Instagram", "Youtube", "Tiktok", "Spotify", "Chrome",
+        "GoogleMaps", "AmazonShop", "LinkedIn",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &apps, 42);
+    for i in 0..5 {
+        let other = apps[(i + 1) % apps.len()].clone();
+        pool.launch(&other);
+        pool.device_mut().run(30);
+        let (pid, _) = pool.ensure("Twitter");
+        let breakdown = pool.device_mut().launch_breakdown(pid);
+        println!("cycle {i}: psi={:.2} {:?}", pool.device().psi(), breakdown);
+        let report = pool.device_mut().switch_to(pid);
+        println!(
+            "  launch total={} stall={} pages={}",
+            report.total, report.fault_stall, report.faulted_pages
+        );
+        let proc = pool.device().process(pid);
+        println!(
+            "  heap live={}KiB used={}KiB regions={} gcs={}",
+            proc.heap.live_bytes() / 1024,
+            proc.heap.used_bytes() / 1024,
+            proc.heap.stats().regions,
+            proc.gcs.len()
+        );
+    }
+}

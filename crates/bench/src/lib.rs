@@ -1,0 +1,7 @@
+//! Shared helpers for the `repro` binary and the Criterion benches.
+//!
+//! The real content of this crate is in `src/bin/repro.rs` (the per-figure
+//! reproduction harness) and `benches/` (Criterion groups); this library
+//! only re-exports the experiment API for them.
+
+pub use fleet::experiment;

@@ -1,0 +1,211 @@
+//! Device configuration: the simulated Pixel 3 and the simulation scale.
+
+use crate::params::{FleetParams, SchemeKind};
+use fleet_kernel::{MmConfig, SwapConfig, SwapMedium, PAGE_SIZE};
+use fleet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The simulated device and run parameters.
+///
+/// The experiment platform of §6: a Pixel 3 with 4 GB LPDDR4X and a 2 GB
+/// flash swap partition. The simulation runs at a configurable **scale**
+/// (default 1/16): all capacities and footprints are divided by `scale`
+/// while per-byte latencies are multiplied by it, so stall *times* stay at
+/// real magnitude while the object count stays laptop-sized. DESIGN.md §5
+/// discusses the fidelity consequences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Memory-management scheme under test.
+    pub scheme: SchemeKind,
+    /// Scale divisor (see above).
+    pub scale: u32,
+    /// Physical DRAM in MiB (Pixel 3: 4096).
+    pub dram_mib: u32,
+    /// DRAM reserved for the system (kernel, system_server, SurfaceFlinger,
+    /// zygote…), unavailable to cached apps. ~2.25 GiB held or churned by
+    /// the system on a loaded Android 10 device.
+    pub system_reserve_mib: u32,
+    /// Swap partition size in MiB (§6: 2048).
+    pub swap_mib: u32,
+    /// Swap read bandwidth at real scale, bytes/s (§3.2: 20.3 MB/s).
+    pub swap_read_bw: f64,
+    /// Swap write bandwidth at real scale, bytes/s.
+    pub swap_write_bw: f64,
+    /// Fleet parameters (Table 2).
+    pub fleet: FleetParams,
+    /// Marvin's large-object threshold in bytes (§6: 1024).
+    pub marvin_threshold: u32,
+    /// Heap-growth factor while an app is in the foreground.
+    pub heap_growth_foreground: f64,
+    /// Heap-growth factor while an app is in the background (§7.4 sweeps
+    /// 1.1 vs 2.0).
+    pub heap_growth_background: f64,
+    /// Interval of the background maintenance GC cycle (Android's
+    /// memory-trim GC; Fleet substitutes BGC, Marvin its bookmarking GC).
+    pub bg_gc_interval: SimDuration,
+    /// Ablation switch for Figure 12a: run Fleet *without* BGC (background
+    /// collections fall back to the full tracing GC).
+    pub fleet_disable_bgc: bool,
+    /// Ablation: run Fleet without the periodic `madvise(HOT_RUNTIME)`
+    /// refresh, leaving launch pages to ordinary LRU aging.
+    pub fleet_disable_hot_refresh: bool,
+    /// Ablation: run Fleet without the proactive `madvise(COLD_RUNTIME)`
+    /// swap-out (cold pages leave only under reclaim pressure).
+    pub fleet_disable_cold_madvise: bool,
+    /// Extension: ASAP-style adaptive prepaging (Son et al., ATC '21) —
+    /// prefetch the pages faulted by the previous hot-launch, overlapped
+    /// with the launch render work. The paper's related-work point: this
+    /// speeds launches but does nothing about the GC-swap conflict.
+    pub prefetch_on_launch: bool,
+    /// What backs the swap space: the paper's flash partition, or a
+    /// vendor-style compressed-RAM (zram) device.
+    pub swap_medium: SwapMedium,
+    /// Kernel reclaim balance (`vm.swappiness`-style, 0–200; default 50).
+    pub swappiness: u32,
+    /// Master seed for the run.
+    pub seed: u64,
+}
+
+impl DeviceConfig {
+    /// The §6 Pixel 3 platform running `scheme`, at 1/16 scale.
+    pub fn pixel3(scheme: SchemeKind) -> Self {
+        DeviceConfig {
+            scheme,
+            scale: 16,
+            dram_mib: 4096,
+            system_reserve_mib: 2304,
+            swap_mib: 2048,
+            swap_read_bw: 20.3e6,
+            swap_write_bw: 15.0e6,
+            fleet: FleetParams::default(),
+            marvin_threshold: 1024,
+            heap_growth_foreground: 2.0,
+            heap_growth_background: 1.1,
+            bg_gc_interval: SimDuration::from_secs(90),
+            fleet_disable_bgc: false,
+            fleet_disable_hot_refresh: false,
+            fleet_disable_cold_madvise: false,
+            prefetch_on_launch: false,
+            swap_medium: SwapMedium::Flash,
+            swappiness: 50,
+            seed: 0xF1EE7,
+        }
+    }
+
+    /// DRAM available to apps after the system reserve, scaled, in bytes.
+    pub fn app_dram_bytes(&self) -> u64 {
+        (self.dram_mib.saturating_sub(self.system_reserve_mib)) as u64 * 1024 * 1024
+            / self.scale as u64
+    }
+
+    /// Swap capacity, scaled, in bytes. Zero for the no-swap scheme.
+    pub fn swap_bytes(&self) -> u64 {
+        if self.scheme == SchemeKind::AndroidNoSwap {
+            0
+        } else {
+            self.swap_mib as u64 * 1024 * 1024 / self.scale as u64
+        }
+    }
+
+    /// The kernel memory-manager configuration implied by this device.
+    ///
+    /// Bandwidths are divided by `scale` so that a *scaled* page population
+    /// produces *real-scale* stall times.
+    pub fn mm_config(&self) -> MmConfig {
+        let frames = self.app_dram_bytes() / PAGE_SIZE;
+        let swap = match self.swap_medium {
+            SwapMedium::Flash => SwapConfig {
+                capacity_bytes: self.swap_bytes(),
+                read_bw: self.swap_read_bw / self.scale as f64,
+                write_bw: self.swap_write_bw / self.scale as f64,
+                op_latency: SimDuration::from_micros(80 * self.scale as u64),
+                medium: SwapMedium::Flash,
+            },
+            SwapMedium::Zram { compression_ratio } => {
+                let base = SwapConfig::zram(self.swap_bytes(), compression_ratio);
+                SwapConfig {
+                    read_bw: base.read_bw / self.scale as f64,
+                    write_bw: base.write_bw / self.scale as f64,
+                    op_latency: base.op_latency * self.scale as u64,
+                    ..base
+                }
+            }
+        };
+        MmConfig {
+            dram_bytes: self.app_dram_bytes(),
+            swap,
+            file_read_bw: 300.0e6 / self.scale as f64,
+            swappiness: self.swappiness,
+            low_watermark_frames: frames / 24,
+            high_watermark_frames: frames / 12,
+            dram_page_cost: SimDuration::from_nanos(450 * self.scale as u64),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scale == 0 {
+            return Err("scale must be at least 1".into());
+        }
+        if self.system_reserve_mib >= self.dram_mib {
+            return Err("system reserve exceeds DRAM".into());
+        }
+        if self.heap_growth_foreground < 1.0 || self.heap_growth_background < 1.0 {
+            return Err("heap growth factors must be >= 1.0".into());
+        }
+        if self.marvin_threshold == 0 {
+            return Err("marvin threshold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel3_defaults() {
+        let cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
+        assert!(cfg.validate().is_ok());
+        // (4096 − 2304) MiB / 16 = 112 MiB for apps.
+        assert_eq!(cfg.app_dram_bytes(), 112 * 1024 * 1024);
+        // 2048 MiB / 16 = 128 MiB swap.
+        assert_eq!(cfg.swap_bytes(), 128 * 1024 * 1024);
+    }
+
+    #[test]
+    fn no_swap_scheme_disables_swap() {
+        let cfg = DeviceConfig::pixel3(SchemeKind::AndroidNoSwap);
+        assert_eq!(cfg.swap_bytes(), 0);
+        assert_eq!(cfg.mm_config().swap.capacity_bytes, 0);
+    }
+
+    #[test]
+    fn scaled_bandwidth_preserves_stall_times() {
+        let cfg = DeviceConfig::pixel3(SchemeKind::Android);
+        let mm = cfg.mm_config();
+        // A scaled page set 1/16 the size read at 1/16 bandwidth costs the
+        // same wall-clock time as the full set at full bandwidth.
+        let real_time = (16.0 * 100.0 * PAGE_SIZE as f64) / 20.3e6;
+        let scaled_time = (100.0 * PAGE_SIZE as f64) / mm.swap.read_bw;
+        assert!((real_time - scaled_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
+        cfg.scale = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
+        cfg.system_reserve_mib = 5000;
+        assert!(cfg.validate().is_err());
+        let mut cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
+        cfg.heap_growth_background = 0.9;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! JSON export of experiment results.
+//!
+//! The paper's artifact feeds raw measurements into Jupyter notebooks; the
+//! analogue here is a JSON document per experiment that any notebook or
+//! plotting script can consume. Everything the drivers return is
+//! serde-serialisable; this module just assembles and pretty-prints it.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A named experiment result ready for export.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExportRecord<T: Serialize> {
+    /// Experiment id (e.g. "fig13").
+    pub id: String,
+    /// What the paper reports, for side-by-side reading.
+    pub paper_reference: String,
+    /// The measured data.
+    pub data: T,
+}
+
+impl<T: Serialize> ExportRecord<T> {
+    /// Wraps a result with its id and paper reference.
+    pub fn new(id: impl Into<String>, paper_reference: impl Into<String>, data: T) -> Self {
+        ExportRecord { id: id.into(), paper_reference: paper_reference.into(), data }
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure (which for
+    /// these plain data types would indicate a bug).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Writes the record as `<dir>/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory is missing or unwritable.
+    pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("{}.json", self.id));
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(json.as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Clone, Debug)]
+    struct Row {
+        app: String,
+        value: f64,
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let record = ExportRecord::new(
+            "fig_test",
+            "paper: 1.59x",
+            vec![Row { app: "Twitter".into(), value: 273.0 }],
+        );
+        let json = record.to_json().unwrap();
+        assert!(json.contains("\"id\": \"fig_test\""));
+        assert!(json.contains("Twitter"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["data"][0]["value"], 273.0);
+    }
+
+    #[test]
+    fn writes_a_file() {
+        let dir = std::env::temp_dir().join("fleet-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let record = ExportRecord::new("fig_demo", "ref", vec![1, 2, 3]);
+        let path = record.write_to_dir(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("fig_demo"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

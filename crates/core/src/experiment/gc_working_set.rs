@@ -1,0 +1,113 @@
+//! Figure 12a: the background GC working set (§7.1 "GC working set").
+//!
+//! "We measure the number of objects accessed by the GC thread during a
+//! single GC execution" for a backgrounded app: Android's full GC touches
+//! the whole live heap (~7×10⁵ objects on the Pixel 3), while Fleet's BGC
+//! touches only the background objects (~10⁵), a ≈7× reduction.
+
+use crate::config::DeviceConfig;
+use crate::device::Device;
+use crate::params::SchemeKind;
+use fleet_apps::profile_by_name;
+use serde::Serialize;
+
+/// One app's working-set comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12aRow {
+    /// App name.
+    pub app: String,
+    /// Objects traced by Android's background full GC (real-scale estimate).
+    pub android: u64,
+    /// Objects traced by Fleet with BGC disabled (full GC after grouping).
+    pub fleet_without_bgc: u64,
+    /// Objects traced by Fleet's BGC.
+    pub fleet_with_bgc: u64,
+}
+
+fn background_gc_working_set(scheme: SchemeKind, disable_bgc: bool, app: &str, seed: u64) -> u64 {
+    let mut config = DeviceConfig::pixel3(scheme);
+    config.seed = seed;
+    config.fleet_disable_bgc = disable_bgc;
+    // Only the explicit measurement GC should run in the background.
+    config.bg_gc_interval = fleet_sim::SimDuration::from_secs(100_000);
+    let mut device = Device::new(config);
+    let profile = profile_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let (pid, _) = device.launch_cold(&profile);
+    device.run(10);
+    device.launch_cold(&profile_by_name("Telegram").expect("catalog app"));
+    device.run(20); // Fleet groups at +10 s; the app settles into background
+    let stats = device.run_gc(pid);
+    stats.objects_traced * device.config().scale as u64
+}
+
+/// Runs Figure 12a over the plotted apps.
+pub fn fig12a(seed: u64) -> Vec<Fig12aRow> {
+    ["Twitter", "Youtube", "Twitch", "AmazonShop", "Chrome", "AngryBirds"]
+        .iter()
+        .map(|app| Fig12aRow {
+            app: app.to_string(),
+            android: background_gc_working_set(SchemeKind::Android, false, app, seed),
+            fleet_without_bgc: background_gc_working_set(SchemeKind::Fleet, true, app, seed),
+            fleet_with_bgc: background_gc_working_set(SchemeKind::Fleet, false, app, seed),
+        })
+        .collect()
+}
+
+/// Average reduction factor (Android / Fleet-with-BGC) across the rows.
+pub fn average_reduction(rows: &[Fig12aRow]) -> f64 {
+    let ratios: Vec<f64> =
+        rows.iter().map(|r| r.android as f64 / r.fleet_with_bgc.max(1) as f64).collect();
+    ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+}
+
+/// Sanity helper used by tests and the harness: the number of live objects
+/// in a freshly warmed app of this profile (the trace upper bound).
+pub fn live_objects_estimate(app: &str) -> u64 {
+    let profile = profile_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let heap_bytes = profile.java_heap_bytes_scaled(16);
+    heap_bytes / profile.size_dist.mean() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgc_shrinks_the_background_working_set() {
+        let rows: Vec<Fig12aRow> = ["Twitter", "Twitch"]
+            .iter()
+            .map(|app| Fig12aRow {
+                app: app.to_string(),
+                android: background_gc_working_set(SchemeKind::Android, false, app, 5),
+                fleet_without_bgc: background_gc_working_set(SchemeKind::Fleet, true, app, 5),
+                fleet_with_bgc: background_gc_working_set(SchemeKind::Fleet, false, app, 5),
+            })
+            .collect();
+        for row in &rows {
+            assert!(
+                row.android as f64 >= 3.0 * row.fleet_with_bgc as f64,
+                "{}: android {} vs bgc {}",
+                row.app,
+                row.android,
+                row.fleet_with_bgc
+            );
+            // Without BGC, Fleet's background GC is a full GC again.
+            assert!(
+                row.fleet_without_bgc as f64 > 0.5 * row.android as f64,
+                "{}: w/o bgc {} vs android {}",
+                row.app,
+                row.fleet_without_bgc,
+                row.android
+            );
+        }
+        let reduction = average_reduction(&rows);
+        assert!(reduction >= 3.0, "average reduction {reduction} (paper: ≈7×)");
+    }
+
+    #[test]
+    fn live_object_estimates_are_plausible() {
+        // Twitter: ~6 MiB scaled heap of ~100 B objects → tens of thousands.
+        let est = live_objects_estimate("Twitter");
+        assert!((20_000..200_000).contains(&est), "{est}");
+    }
+}

@@ -1,0 +1,22 @@
+//! One experiment driver per table and figure of the paper's evaluation.
+//!
+//! Each submodule returns plain serde-serialisable records; the
+//! `fleet-bench` crate's `repro` binary renders them as text tables next to
+//! the paper's reported values. DESIGN.md §4 is the index mapping each
+//! figure/table to its driver.
+
+pub mod ablation;
+pub mod access_trace;
+pub mod caching;
+pub mod export;
+pub mod frames;
+pub mod gc_working_set;
+pub mod hot_launch;
+pub mod launch_basics;
+pub mod lifetimes;
+pub mod object_sizes;
+pub mod reaccess;
+pub mod runtime;
+pub mod scenario;
+pub mod sensitivity;
+pub mod tables;

@@ -1,0 +1,189 @@
+//! Shared experiment scaffolding: app pools under memory pressure.
+//!
+//! §7.2 measures hot launches "under memory pressure with about 10
+//! background apps", launching targets repeatedly with 30 seconds of other
+//! app usage in between. [`AppPool`] packages that protocol.
+
+use crate::config::DeviceConfig;
+use crate::device::Device;
+use crate::params::SchemeKind;
+use crate::process::{LaunchKind, LaunchReport};
+use fleet_apps::{catalog, AppProfile};
+use fleet_kernel::Pid;
+use std::collections::BTreeMap;
+
+/// The 12 representative apps plotted in Figure 13 (a–l).
+pub fn fig13_apps() -> Vec<String> {
+    [
+        "Twitter", "Facebook", "Instagram", "Line", "Youtube", "Spotify", "Twitch",
+        "AmazonShop", "GoogleMaps", "Chrome", "Firefox", "AngryBirds",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// The remaining 6 apps plotted in Figure 16.
+pub fn fig16_apps() -> Vec<String> {
+    ["Telegram", "Tiktok", "Rave", "BigoLive", "LinkedIn", "CandyCrush"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// A device populated with a working set of commercial apps, addressable by
+/// name, with kill-and-relaunch handling.
+pub struct AppPool {
+    device: Device,
+    profiles: BTreeMap<String, AppProfile>,
+    pids: BTreeMap<String, Pid>,
+    rotation: Vec<String>,
+    next_rotation: usize,
+    usage_gap_secs: u64,
+}
+
+impl AppPool {
+    /// Builds a pool running `scheme` and cold-launches `apps` (named from
+    /// the Table 3 catalog), using each briefly, producing the paper's
+    /// "~10 background apps" pressure state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an app name is not in the catalog.
+    pub fn under_pressure(scheme: SchemeKind, apps: &[String], seed: u64) -> Self {
+        let mut config = DeviceConfig::pixel3(scheme);
+        config.seed = seed;
+        Self::with_config(config, apps)
+    }
+
+    /// Like [`AppPool::under_pressure`] with an explicit device config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an app name is not in the catalog.
+    pub fn with_config(config: DeviceConfig, apps: &[String]) -> Self {
+        let all: BTreeMap<String, AppProfile> =
+            catalog().into_iter().map(|a| (a.name.clone(), a)).collect();
+        let mut pool = AppPool {
+            device: Device::new(config),
+            profiles: BTreeMap::new(),
+            pids: BTreeMap::new(),
+            rotation: apps.to_vec(),
+            next_rotation: 0,
+            usage_gap_secs: 30,
+        };
+        for name in apps {
+            let profile = all.get(name).unwrap_or_else(|| panic!("unknown app {name}")).clone();
+            pool.profiles.insert(name.clone(), profile);
+        }
+        for name in apps {
+            pool.ensure(name);
+            pool.device.run(5);
+        }
+        pool
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// The pid of `name`, cold-launching (or re-launching after an LMK
+    /// kill) if needed. Returns the pid and whether a cold launch happened.
+    pub fn ensure(&mut self, name: &str) -> (Pid, bool) {
+        if let Some(&pid) = self.pids.get(name) {
+            if self.device.try_process(pid).is_some() {
+                return (pid, false);
+            }
+        }
+        let profile = self.profiles.get(name).unwrap_or_else(|| panic!("unknown app {name}")).clone();
+        let (pid, _) = self.device.launch_cold(&profile);
+        self.pids.insert(name.to_string(), pid);
+        (pid, true)
+    }
+
+    /// Brings `name` to the foreground. Returns the launch report; hot if
+    /// the app was cached, cold if it had to be recreated.
+    pub fn launch(&mut self, name: &str) -> LaunchReport {
+        let (pid, was_cold) = self.ensure(name);
+        if was_cold {
+            let proc = self.device.process(pid);
+            return *proc.launches.last().expect("cold launch recorded");
+        }
+        self.device.switch_to(pid)
+    }
+
+    /// Overrides the between-launches usage gap (default 30 s, the §7.2
+    /// protocol). Longer gaps age the target deeper into the cache.
+    pub fn set_usage_gap(&mut self, secs: u64) {
+        self.usage_gap_secs = secs;
+    }
+
+    /// Measures `n` *hot* launches of `name`, interleaving the usage gap
+    /// (default 30 s) of a rotating other app between launches (the §7.2
+    /// protocol). Cold relaunches after LMK kills re-warm the app but are
+    /// not counted. Gives up after `3 * n` attempts.
+    pub fn measure_hot_launches(&mut self, name: &str, n: usize) -> Vec<LaunchReport> {
+        let mut reports = Vec::new();
+        let mut attempts = 0;
+        while reports.len() < n && attempts < 3 * n {
+            attempts += 1;
+            let other = self.next_other(name);
+            self.launch(&other);
+            self.device.run(self.usage_gap_secs);
+            let report = self.launch(name);
+            if report.kind == LaunchKind::Hot {
+                reports.push(report);
+            } else {
+                // Killed meanwhile: it is warm again now; give it a moment.
+                self.device.run(5);
+            }
+        }
+        reports
+    }
+
+    fn next_other(&mut self, not: &str) -> String {
+        for _ in 0..self.rotation.len() {
+            let candidate = self.rotation[self.next_rotation % self.rotation.len()].clone();
+            self.next_rotation += 1;
+            if candidate != not {
+                return candidate;
+            }
+        }
+        not.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_lists_partition_the_catalog() {
+        let mut all: Vec<String> = fig13_apps();
+        all.extend(fig16_apps());
+        all.sort();
+        let mut names: Vec<String> = catalog().into_iter().map(|a| a.name).collect();
+        names.sort();
+        assert_eq!(all, names);
+    }
+
+    #[test]
+    fn pool_builds_pressure_and_measures_hot_launches() {
+        let apps: Vec<String> =
+            ["Twitter", "Telegram", "Spotify", "LinkedIn"].iter().map(|s| s.to_string()).collect();
+        let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &apps, 7);
+        assert!(pool.device().cached_apps() >= 3);
+        let reports = pool.measure_hot_launches("Twitter", 3);
+        assert_eq!(reports.len(), 3);
+        for r in reports {
+            assert_eq!(r.kind, LaunchKind::Hot);
+            assert!(r.total.as_millis_f64() > 100.0);
+        }
+    }
+}

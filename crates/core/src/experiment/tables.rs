@@ -1,0 +1,78 @@
+//! Tables 1–3 of the paper, regenerated from the code's own types.
+//!
+//! These are configuration tables rather than measurements; reproducing
+//! them from the implementation proves the implementation carries the same
+//! structure (schemes, parameters, workload set).
+
+use crate::params::{FleetParams, SchemeKind};
+use fleet_apps::{catalog, AppCategory};
+use fleet_metrics::Table;
+
+/// Table 1: comparison methods.
+pub fn table1() -> Table {
+    let mut t = Table::new(["Method", "GC approach", "Swap granularity", "Swap scheme"]);
+    for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
+        t.row([
+            scheme.to_string(),
+            scheme.gc_approach().to_string(),
+            scheme.swap_granularity().to_string(),
+            scheme.swap_scheme().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: Fleet's default parameters.
+pub fn table2() -> Table {
+    let p = FleetParams::default();
+    let mut t = Table::new(["Parameter", "Symbol", "Setting"]);
+    t.row(["Maximum depth to the roots for NRO", "D", &p.depth.to_string()]);
+    t.row(["Wait time to start Fleet in the background", "Ts", &format!("{} seconds", p.ts.as_millis() / 1000)]);
+    t.row(["Wait time to stop Fleet in the foreground", "Tf", &format!("{} seconds", p.tf.as_millis() / 1000)]);
+    t.row(["CARD_SHIFT for card address conversion", "-", &p.card_shift.to_string()]);
+    t.row(["Region size of the Java heap", "-", &format!("{} KB", p.region_size / 1024)]);
+    t
+}
+
+/// Table 3: the commercial apps under evaluation.
+pub fn table3() -> Table {
+    let mut t = Table::new(["App type", "Apps"]);
+    for cat in [AppCategory::Communication, AppCategory::Multimedia, AppCategory::Tools, AppCategory::Games] {
+        let names: Vec<String> =
+            catalog().into_iter().filter(|a| a.category == cat).map(|a| a.name).collect();
+        t.row([cat.to_string(), names.join(", ")]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_three_methods() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        let s = t.to_string();
+        assert!(s.contains("Marvin"));
+        assert!(s.contains("Background-object GC"));
+    }
+
+    #[test]
+    fn table2_lists_all_five_parameters() {
+        let t = table2();
+        assert_eq!(t.len(), 5);
+        let s = t.to_string();
+        assert!(s.contains("10 seconds"));
+        assert!(s.contains("256 KB"));
+    }
+
+    #[test]
+    fn table3_covers_four_categories() {
+        let t = table3();
+        assert_eq!(t.len(), 4);
+        let s = t.to_string();
+        assert!(s.contains("Twitter"));
+        assert!(s.contains("CandyCrush"));
+    }
+}

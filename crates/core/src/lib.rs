@@ -1,0 +1,45 @@
+//! # Fleet — fore/background-aware GC-swap co-design (ASPLOS '24), in simulation
+//!
+//! This crate is the top of the reproduction stack: it ties the Java-heap
+//! model (`fleet-heap`), the collectors (`fleet-gc`), the kernel memory
+//! model (`fleet-kernel`) and the app workloads (`fleet-apps`) into a
+//! simulated Pixel 3 ([`Device`]) running one of the paper's comparison
+//! schemes ([`SchemeKind`], Table 1):
+//!
+//! * **Android** — native full-heap GC + kernel LRU swap,
+//! * **Marvin** — bookmarking GC + object-granularity swap,
+//! * **Fleet** — background-object GC (§5.2) + runtime-guided swap (§5.3).
+//!
+//! The [`experiment`] module has one driver per table and figure of the
+//! paper's evaluation; the `fleet-bench` crate's `repro` binary prints each
+//! one next to the paper's numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet::{Device, DeviceConfig, SchemeKind};
+//! use fleet_apps::profile_by_name;
+//!
+//! let mut device = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
+//! let twitter = profile_by_name("Twitter").unwrap();
+//! let (pid, cold) = device.launch_cold(&twitter);
+//! device.launch_cold(&profile_by_name("Telegram").unwrap());
+//! device.run(15); // Fleet groups + swaps 10 s after backgrounding
+//! let hot = device.switch_to(pid);
+//! assert!(hot.total < cold.total);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod experiment;
+pub mod params;
+pub mod process;
+pub mod timeline;
+
+pub use config::DeviceConfig;
+pub use device::{Device, DeviceTrace, KillRecord, TraceSample, TraceSource};
+pub use params::{FleetParams, SchemeKind};
+pub use process::{AppState, FleetProcState, GcRecord, LaunchKind, LaunchReport, Process};
+pub use timeline::{Timeline, TimelineEvent};

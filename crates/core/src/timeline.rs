@@ -1,0 +1,196 @@
+//! A consolidated, serialisable timeline of everything a device run did.
+//!
+//! The paper's artifact collects `adb logcat` + system traces and
+//! post-processes them in notebooks; [`Timeline`] is the equivalent: one
+//! time-ordered record of launches, collections and kills across all
+//! processes, exportable as JSON via `experiment::export`.
+
+use crate::device::Device;
+use crate::process::LaunchKind;
+use fleet_gc::GcKind;
+use fleet_kernel::Pid;
+use serde::{Deserialize, Serialize};
+
+/// One timeline entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimelineEvent {
+    /// An app launch completed.
+    Launch {
+        /// Process id.
+        pid: u32,
+        /// App name.
+        app: String,
+        /// Hot or cold.
+        kind: String,
+        /// Time to first frame, milliseconds.
+        total_ms: f64,
+        /// Page-fault stall on the critical path, milliseconds.
+        stall_ms: f64,
+    },
+    /// A garbage collection finished.
+    Gc {
+        /// Process id.
+        pid: u32,
+        /// App name.
+        app: String,
+        /// Collector kind ("full", "minor", "bgc", "grouping", "marvin").
+        collector: String,
+        /// Objects the GC thread visited.
+        objects_traced: u64,
+        /// Bytes freed.
+        bytes_freed: u64,
+        /// Stop-the-world pause, milliseconds.
+        stw_ms: f64,
+    },
+    /// The low-memory killer terminated an app.
+    Kill {
+        /// Process id.
+        pid: u32,
+        /// App name.
+        app: String,
+    },
+}
+
+/// A time-ordered record of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// `(seconds, event)` pairs in increasing time order.
+    pub events: Vec<(f64, TimelineEvent)>,
+}
+
+impl Timeline {
+    /// Builds the timeline from a device's accumulated records (live
+    /// processes' launches and GCs, plus all LMK kills). Events of killed
+    /// processes' histories are gone with the process, exactly like logcat
+    /// buffers of dead apps.
+    pub fn capture(device: &Device) -> Timeline {
+        let mut events: Vec<(f64, TimelineEvent)> = Vec::new();
+        for proc in device.processes() {
+            for launch in &proc.launches {
+                events.push((
+                    launch.at.as_secs_f64(),
+                    TimelineEvent::Launch {
+                        pid: proc.pid.0,
+                        app: proc.name.clone(),
+                        kind: match launch.kind {
+                            LaunchKind::Hot => "hot".to_string(),
+                            LaunchKind::Cold => "cold".to_string(),
+                        },
+                        total_ms: launch.total.as_millis_f64(),
+                        stall_ms: launch.fault_stall.as_millis_f64(),
+                    },
+                ));
+            }
+            for gc in &proc.gcs {
+                events.push((
+                    gc.at.as_secs_f64(),
+                    TimelineEvent::Gc {
+                        pid: proc.pid.0,
+                        app: proc.name.clone(),
+                        collector: gc.stats.kind.to_string(),
+                        objects_traced: gc.stats.objects_traced,
+                        bytes_freed: gc.stats.bytes_freed,
+                        stw_ms: gc.stats.stw.as_millis_f64(),
+                    },
+                ));
+            }
+        }
+        for kill in device.kills() {
+            events.push((
+                kill.at.as_secs_f64(),
+                TimelineEvent::Kill { pid: kill.pid.0, app: kill.name.clone() },
+            ));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("virtual time has no NaN"));
+        Timeline { events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning one process.
+    pub fn for_pid(&self, pid: Pid) -> impl Iterator<Item = &(f64, TimelineEvent)> {
+        self.events.iter().filter(move |(_, e)| match e {
+            TimelineEvent::Launch { pid: p, .. }
+            | TimelineEvent::Gc { pid: p, .. }
+            | TimelineEvent::Kill { pid: p, .. } => *p == pid.0,
+        })
+    }
+
+    /// Counts events by coarse class: `(launches, gcs, kills)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut launches = 0;
+        let mut gcs = 0;
+        let mut kills = 0;
+        for (_, e) in &self.events {
+            match e {
+                TimelineEvent::Launch { .. } => launches += 1,
+                TimelineEvent::Gc { .. } => gcs += 1,
+                TimelineEvent::Kill { .. } => kills += 1,
+            }
+        }
+        (launches, gcs, kills)
+    }
+
+    /// GC events of a given collector kind.
+    pub fn gcs_of_kind(&self, kind: GcKind) -> usize {
+        let name = kind.to_string();
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, TimelineEvent::Gc { collector, .. } if *collector == name))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::params::SchemeKind;
+    use fleet_apps::{profile_by_name, synthetic_app};
+
+    #[test]
+    fn captures_launches_gcs_and_kills_in_order() {
+        let mut dev = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
+        let (pid, _) = dev.launch_cold(&profile_by_name("Twitter").unwrap());
+        dev.launch_cold(&profile_by_name("Telegram").unwrap());
+        dev.run(20); // grouping at +10 s
+        dev.switch_to(pid);
+        for _ in 0..12 {
+            dev.launch_cold(&synthetic_app(2048, 180));
+            dev.run(3);
+        }
+        let timeline = Timeline::capture(&dev);
+        assert!(!timeline.is_empty());
+        let (launches, gcs, kills) = timeline.counts();
+        assert!(launches >= 3, "launches {launches}");
+        assert!(gcs >= 1, "gcs {gcs}");
+        assert!(kills >= 1, "kills {kills}");
+        // Time-ordered.
+        for w in timeline.events.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // The grouping GC of the Fleet workflow appears by name.
+        assert!(timeline.gcs_of_kind(fleet_gc::GcKind::Grouping) >= 1);
+    }
+
+    #[test]
+    fn per_pid_filter_and_json_round_trip() {
+        let mut dev = Device::new(DeviceConfig::pixel3(SchemeKind::Android));
+        let (pid, _) = dev.launch_cold(&profile_by_name("Spotify").unwrap());
+        dev.run(3);
+        let timeline = Timeline::capture(&dev);
+        assert!(timeline.for_pid(pid).count() >= 1);
+        assert_eq!(timeline.for_pid(fleet_kernel::Pid(9999)).count(), 0);
+        let json = serde_json::to_string(&timeline).unwrap();
+        let parsed: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, timeline);
+    }
+}

@@ -1,0 +1,510 @@
+//! Fleet's RGS object-grouping GC (§5.3.1).
+//!
+//! This full GC runs once, Ts seconds after an app is backgrounded. Unlike
+//! ART's DFS collector it traverses the graph **breadth-first with a FIFO
+//! mark queue and a depth delimiter**, which yields every object's shortest
+//! distance from the roots. During the traversal objects are classified:
+//!
+//! * **NRO** — depth ≤ D (Table 2: D = 2),
+//! * **FYO** — allocated since the last GC (the region's newly-allocated
+//!   flag),
+//! * **WS** — marked by a mutator read barrier while the GC ran (supplied
+//!   here as the working-set hint),
+//! * **cold** — everything else.
+//!
+//! The copy phase then groups classes into dedicated region kinds — Launch
+//! (NRO ∪ FYO), WS and Cold — so that bump-pointer allocation compacts each
+//! class onto its own pages. The returned [`GroupingOutcome`] carries the
+//! address ranges of each group for the `madvise` calls of §5.3.2.
+
+use crate::collector::{GcCostModel, GcKind, GcStats, MemoryTouch};
+use fleet_heap::{AllocContext, Heap, ObjectClass, ObjectId, RegionId, RegionKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Byte ranges of the grouped pages plus per-class tallies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupingOutcome {
+    /// `[base, len)` ranges of launch regions (NRO ∪ FYO).
+    pub launch_ranges: Vec<(u64, u64)>,
+    /// `[base, len)` ranges of working-set regions.
+    pub ws_ranges: Vec<(u64, u64)>,
+    /// `[base, len)` ranges of cold regions.
+    pub cold_ranges: Vec<(u64, u64)>,
+    /// Objects classified NRO (before overlap with FYO).
+    pub nro_objects: u64,
+    /// Objects classified FYO (before overlap with NRO).
+    pub fyo_objects: u64,
+    /// Objects placed in launch regions (NRO ∪ FYO).
+    pub launch_objects: u64,
+    /// Bytes placed in launch regions.
+    pub launch_bytes: u64,
+    /// Objects placed in WS regions.
+    pub ws_objects: u64,
+    /// Bytes placed in WS regions.
+    pub ws_bytes: u64,
+    /// Objects placed in cold regions.
+    pub cold_objects: u64,
+    /// Bytes placed in cold regions.
+    pub cold_bytes: u64,
+}
+
+/// The grouping collector. `depth` is the paper's D parameter; `ws` is the
+/// set of objects the mutator read barriers marked while the GC ran.
+#[derive(Debug, Clone)]
+pub struct GroupingGc {
+    cost: GcCostModel,
+    depth: u32,
+    ws: HashSet<ObjectId>,
+    incremental: bool,
+}
+
+impl GroupingGc {
+    /// Creates a grouping collector with NRO depth `depth` and the given
+    /// working-set hint.
+    pub fn new(cost: GcCostModel, depth: u32, ws: HashSet<ObjectId>) -> Self {
+        GroupingGc { cost, depth, ws, incremental: false }
+    }
+
+    /// Enables *incremental* re-grouping: regions that are already
+    /// [`RegionKind::Cold`] keep their placement and are treated as a live
+    /// boundary — they are neither traced into nor copied, so a re-grouping
+    /// never faults the (swapped-out) cold bulk back in. References from
+    /// modified cold objects are found through the card table, exactly as
+    /// BGC finds modified FGO. Garbage inside cold regions is not collected
+    /// until the next full grouping.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether incremental mode is enabled.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// The configured NRO depth parameter D.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Runs the grouping collection.
+    ///
+    /// Returns both the GC statistics and the [`GroupingOutcome`] describing
+    /// where each class landed. (This richer return is why `GroupingGc` has
+    /// its own entry point; the plain [`crate::Collector`] impl discards the
+    /// outcome.)
+    pub fn collect_grouping(
+        &mut self,
+        heap: &mut Heap,
+        touch: &mut dyn MemoryTouch,
+    ) -> (GcStats, GroupingOutcome) {
+        let mut stats = GcStats::new(GcKind::Grouping);
+        let mut outcome = GroupingOutcome::default();
+        stats.stw += self.cost.stw_base;
+
+        // Incremental mode: existing cold regions stay in place untouched.
+        let kept_cold: HashSet<RegionId> = if self.incremental {
+            heap.regions().filter(|r| r.kind() == RegionKind::Cold).map(|r| r.id()).collect()
+        } else {
+            HashSet::new()
+        };
+        let from_regions: Vec<RegionId> =
+            heap.region_ids().into_iter().filter(|id| !kept_cold.contains(id)).collect();
+
+        // FYO: foreground objects in regions allocated since the last GC
+        // (§5.3.1 uses ART's per-region newly-allocated flag).
+        let fyo_regions: HashSet<RegionId> =
+            heap.regions().filter(|r| r.newly_allocated()).map(|r| r.id()).collect();
+
+        heap.retire_alloc_targets();
+
+        // Dirty cards over kept cold regions: modified cold objects may
+        // reference new objects; scan them (they are resident — recently
+        // written) without tracing the rest of the cold space.
+        let mut cold_sources: Vec<ObjectId> = Vec::new();
+        if self.incremental {
+            let dirty: Vec<usize> = heap.cards().dirty_cards().collect();
+            for card in dirty {
+                stats.cards_scanned += 1;
+                stats.cpu += self.cost.per_card_scan;
+                for obj in heap.objects_in_card(card) {
+                    if kept_cold.contains(&heap.object(obj).region()) {
+                        cold_sources.push(obj);
+                    }
+                }
+            }
+            cold_sources.sort_unstable();
+            cold_sources.dedup();
+        }
+
+        // BFS with a FIFO mark queue; depth comes for free from the
+        // traversal order (the paper's "depth delimiter" in the mark queue).
+        let mut depth_of: HashMap<ObjectId, u32> = HashMap::new();
+        let mut order: Vec<ObjectId> = Vec::new();
+        let mut queue: VecDeque<ObjectId> = VecDeque::new();
+        let mut cold_boundary: HashSet<ObjectId> = HashSet::new();
+        for &root in heap.roots() {
+            if let std::collections::hash_map::Entry::Vacant(e) = depth_of.entry(root) {
+                e.insert(0);
+                queue.push_back(root);
+            }
+        }
+        // Modified cold objects seed the queue's frontier as depth-boundary
+        // sources: their references are scanned but they stay in place.
+        for &src in &cold_sources {
+            stats.fault_stall += touch.touch(heap.address(src), heap.object(src).size());
+            stats.cpu += self.cost.per_object_trace;
+            stats.objects_traced += 1;
+            for &next in heap.object(src).refs() {
+                if !kept_cold.contains(&heap.object(next).region()) && !depth_of.contains_key(&next) {
+                    // Conservative depth: beyond the NRO horizon.
+                    depth_of.insert(next, self.depth + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        while let Some(obj) = queue.pop_front() {
+            let d = depth_of[&obj];
+            stats.fault_stall += touch.touch(heap.address(obj), heap.object(obj).size());
+            stats.cpu += self.cost.per_object_trace;
+            stats.objects_traced += 1;
+            order.push(obj);
+            for &next in heap.object(obj).refs() {
+                if kept_cold.contains(&heap.object(next).region()) {
+                    // Live boundary: kept in place, never accessed.
+                    cold_boundary.insert(next);
+                    continue;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = depth_of.entry(next) {
+                    e.insert(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        let _ = cold_boundary;
+
+        // Classify and copy. BGO stay in background regions; FGO are grouped.
+        for &obj in &order {
+            let size = heap.object(obj).size() as u64;
+            let context = heap.object(obj).context();
+            let (dest, class) = if context == AllocContext::Background {
+                (RegionKind::Bg, None)
+            } else {
+                let is_nro = depth_of[&obj] <= self.depth;
+                let is_fyo = fyo_regions.contains(&heap.object(obj).region());
+                if is_nro {
+                    outcome.nro_objects += 1;
+                }
+                if is_fyo {
+                    outcome.fyo_objects += 1;
+                }
+                if is_nro || is_fyo {
+                    let class = if is_nro { ObjectClass::Nro } else { ObjectClass::Fyo };
+                    outcome.launch_objects += 1;
+                    outcome.launch_bytes += size;
+                    (RegionKind::Launch, Some(class))
+                } else if self.ws.contains(&obj) {
+                    outcome.ws_objects += 1;
+                    outcome.ws_bytes += size;
+                    (RegionKind::Ws, Some(ObjectClass::Ws))
+                } else {
+                    outcome.cold_objects += 1;
+                    outcome.cold_bytes += size;
+                    (RegionKind::Cold, Some(ObjectClass::Cold))
+                }
+            };
+            heap.copy_object(obj, dest);
+            heap.set_class(obj, class);
+            stats.bytes_copied += size;
+            stats.cpu += self.cost.copy_cost(size);
+        }
+
+        // Sweep the from-space.
+        for &rid in &from_regions {
+            let dead: Vec<ObjectId> = heap.region(rid).objects().to_vec();
+            for obj in dead {
+                stats.bytes_freed += heap.object(obj).size() as u64;
+                stats.objects_freed += 1;
+                heap.free_object(obj);
+            }
+            heap.free_region(rid);
+            stats.regions_freed += 1;
+        }
+
+        // Record the grouped ranges for madvise (§5.3.2). Whole regions are
+        // reported: their pages are mapped and cohesive by construction.
+        for region in heap.regions() {
+            let range = (region.base(), region.size() as u64);
+            match region.kind() {
+                RegionKind::Launch => outcome.launch_ranges.push(range),
+                RegionKind::Ws => outcome.ws_ranges.push(range),
+                RegionKind::Cold => outcome.cold_ranges.push(range),
+                _ => {}
+            }
+        }
+
+        // Cards moved with the objects: clear, then rebuild the remembered
+        // sets the incremental collectors rely on:
+        //
+        //  * any FGO referencing a *background* object (a following BGC must
+        //    find the edge without tracing the foreground heap),
+        //  * any object placed in a **cold** region that references a
+        //    non-cold object (a following *incremental* re-grouping treats
+        //    cold regions as an untraced boundary, so such an edge may be
+        //    the only path keeping the target alive),
+        //  * the cold sources scanned this round (their edges stay relevant
+        //    until a full grouping re-examines the cold space).
+        let cold_source_spans: Vec<(u64, u64)> = cold_sources
+            .iter()
+            .map(|&o| (heap.address(o), heap.object(o).size() as u64))
+            .collect();
+        heap.cards_mut().clear();
+        for (addr, size) in cold_source_spans {
+            heap.cards_mut().dirty_range(addr, size);
+        }
+        let bg_regions: HashSet<RegionId> =
+            heap.regions().filter(|r| r.kind() == RegionKind::Bg).map(|r| r.id()).collect();
+        let needs_card: Vec<ObjectId> = order
+            .iter()
+            .copied()
+            .filter(|&o| {
+                let obj = heap.object(o);
+                let refs_bgo = obj.context() == AllocContext::Foreground
+                    && obj.refs().iter().any(|&r| bg_regions.contains(&heap.object(r).region()));
+                if refs_bgo {
+                    return true;
+                }
+                let in_cold = heap.region(obj.region()).kind() == RegionKind::Cold;
+                in_cold
+                    && obj.refs().iter().any(|&r| {
+                        heap.region(heap.object(r).region()).kind() != RegionKind::Cold
+                    })
+            })
+            .collect();
+        for obj in needs_card {
+            let addr = heap.address(obj);
+            let size = heap.object(obj).size() as u64;
+            heap.cards_mut().dirty_range(addr, size);
+        }
+
+        // Post-GC allocations must open fresh (flagged) regions, not
+        // continue into the to-regions that survivors were copied to.
+        heap.retire_alloc_targets();
+        heap.clear_newly_allocated_flags();
+        heap.bump_gc_epoch();
+        heap.update_limit_after_gc();
+        (stats, outcome)
+    }
+}
+
+impl crate::collector::Collector for GroupingGc {
+    fn collect(&mut self, heap: &mut Heap, touch: &mut dyn MemoryTouch) -> GcStats {
+        self.collect_grouping(heap, touch).0
+    }
+
+    fn kind(&self) -> GcKind {
+        GcKind::Grouping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{Collector, NoTouch};
+    use crate::full::FullCopyingGc;
+    use fleet_heap::HeapConfig;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig { region_size: 4096, initial_limit: 8192, ..HeapConfig::default() })
+    }
+
+    /// root → mid → deep chain, all FGO, aged by a full GC so nothing is FYO.
+    fn aged_chain(len: usize) -> (Heap, Vec<ObjectId>) {
+        let mut h = heap();
+        let ids: Vec<ObjectId> = (0..len).map(|_| h.alloc(64)).collect();
+        h.add_root(ids[0]);
+        for w in ids.windows(2) {
+            h.add_ref(w[0], w[1]);
+        }
+        FullCopyingGc::new(GcCostModel::default()).collect(&mut h, &mut NoTouch);
+        (h, ids)
+    }
+
+    fn run(h: &mut Heap, depth: u32, ws: HashSet<ObjectId>) -> (GcStats, GroupingOutcome) {
+        GroupingGc::new(GcCostModel::default(), depth, ws).collect_grouping(h, &mut NoTouch)
+    }
+
+    #[test]
+    fn nro_classification_follows_depth() {
+        let (mut h, ids) = aged_chain(10);
+        let (_, out) = run(&mut h, 2, HashSet::new());
+        assert_eq!(out.nro_objects, 3); // depths 0, 1, 2
+        for (i, &id) in ids.iter().enumerate() {
+            let expect = if i <= 2 { ObjectClass::Nro } else { ObjectClass::Cold };
+            assert_eq!(h.object(id).class(), Some(expect), "object {i}");
+        }
+    }
+
+    #[test]
+    fn fyo_classification_uses_newly_allocated_flag() {
+        let (mut h, ids) = aged_chain(6);
+        // Young allocations since the last GC: FYO.
+        let young = h.alloc(64);
+        h.add_ref(ids[5], young);
+        let (_, out) = run(&mut h, 1, HashSet::new());
+        assert_eq!(out.fyo_objects, 1);
+        assert_eq!(h.object(young).class(), Some(ObjectClass::Fyo));
+        // NRO wins the label when both apply, but either way it is a launch
+        // object.
+        assert_eq!(out.launch_objects, out.nro_objects + out.fyo_objects);
+    }
+
+    #[test]
+    fn ws_objects_group_into_ws_regions() {
+        let (mut h, ids) = aged_chain(8);
+        let ws: HashSet<ObjectId> = [ids[5], ids[6]].into_iter().collect();
+        let (_, out) = run(&mut h, 1, ws);
+        assert_eq!(out.ws_objects, 2);
+        assert_eq!(h.object(ids[5]).class(), Some(ObjectClass::Ws));
+        assert_eq!(h.region(h.object(ids[5]).region()).kind(), RegionKind::Ws);
+        assert!(!out.ws_ranges.is_empty());
+    }
+
+    #[test]
+    fn classes_land_in_disjoint_regions() {
+        let (mut h, ids) = aged_chain(20);
+        let ws: HashSet<ObjectId> = [ids[10]].into_iter().collect();
+        let (_, out) = run(&mut h, 2, ws);
+        // Every live object sits in a region whose kind matches its class.
+        for &id in &ids {
+            let kind = h.region(h.object(id).region()).kind();
+            match h.object(id).class() {
+                Some(ObjectClass::Nro) | Some(ObjectClass::Fyo) => assert_eq!(kind, RegionKind::Launch),
+                Some(ObjectClass::Ws) => assert_eq!(kind, RegionKind::Ws),
+                Some(ObjectClass::Cold) => assert_eq!(kind, RegionKind::Cold),
+                None => panic!("FGO must be classified"),
+            }
+        }
+        // Ranges of the three groups never overlap.
+        let mut all = Vec::new();
+        all.extend(&out.launch_ranges);
+        all.extend(&out.ws_ranges);
+        all.extend(&out.cold_ranges);
+        for (i, &(b1, l1)) in all.iter().enumerate() {
+            for &(b2, l2) in &all[i + 1..] {
+                assert!(b1 + l1 <= b2 || b2 + l2 <= b1, "ranges overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_is_collected_during_grouping() {
+        let (mut h, _) = aged_chain(4);
+        h.alloc(128); // unreachable
+        let (stats, _) = run(&mut h, 2, HashSet::new());
+        assert_eq!(stats.objects_freed, 1);
+        assert_eq!(stats.bytes_freed, 128);
+    }
+
+    #[test]
+    fn bfs_depth_equals_graph_shortest_path() {
+        let mut h = heap();
+        let root = h.alloc(16);
+        h.add_root(root);
+        let a = h.alloc(16);
+        let b = h.alloc(16);
+        h.add_ref(root, a);
+        h.add_ref(a, b);
+        h.add_ref(root, b); // shortcut: b is depth 1
+        FullCopyingGc::new(GcCostModel::default()).collect(&mut h, &mut NoTouch);
+        let (_, out) = run(&mut h, 1, HashSet::new());
+        assert_eq!(out.nro_objects, 3, "root, a and b are all within depth 1");
+        assert_eq!(h.object(b).class(), Some(ObjectClass::Nro));
+    }
+
+    #[test]
+    fn bgo_stay_out_of_fgo_groups() {
+        let (mut h, ids) = aged_chain(4);
+        h.set_context(AllocContext::Background);
+        let bgo = h.alloc(32);
+        h.add_ref(ids[3], bgo);
+        let (_, out) = run(&mut h, 1, HashSet::new());
+        assert_eq!(h.object(bgo).class(), None);
+        assert_eq!(h.region(h.object(bgo).region()).kind(), RegionKind::Bg);
+        assert_eq!(out.launch_objects + out.ws_objects + out.cold_objects, 4);
+        // The FGO→BGO edge survives as a dirty card for the next BGC.
+        assert!(h.cards().is_dirty(h.address(ids[3])));
+    }
+
+    #[test]
+    fn incremental_regrouping_preserves_reachability() {
+        // Regression: an object that goes cold while referencing a non-cold
+        // object must keep that edge visible (via its card) or a later
+        // incremental re-grouping frees the target and leaves a dangling
+        // reference that crashes the next full GC.
+        let (mut h, ids) = aged_chain(40);
+        let gc = |h: &mut Heap, incremental: bool| {
+            GroupingGc::new(GcCostModel::default(), 2, HashSet::new())
+                .with_incremental(incremental)
+                .collect_grouping(h, &mut NoTouch)
+        };
+        gc(&mut h, false); // full grouping: deep chain objects go cold
+        // A cold object gains a reference to a brand-new object.
+        let deep = ids[30];
+        assert_eq!(h.region(h.object(deep).region()).kind(), RegionKind::Cold);
+        let newcomer = h.alloc(64);
+        h.add_ref(deep, newcomer);
+        // Several incremental re-groupings; the newcomer must survive.
+        for _ in 0..3 {
+            gc(&mut h, true);
+            assert!(h.contains(newcomer), "cold→new edge must keep the target alive");
+        }
+        // A full GC over the result must not find dangling references.
+        FullCopyingGc::new(GcCostModel::default()).collect(&mut h, &mut NoTouch);
+        assert!(h.contains(newcomer));
+        for &id in &ids {
+            assert!(h.contains(id));
+        }
+    }
+
+    #[test]
+    fn incremental_regrouping_skips_cold_touches() {
+        use fleet_sim::SimDuration;
+        struct Recorder(Vec<u64>);
+        impl MemoryTouch for Recorder {
+            fn touch(&mut self, addr: u64, _size: u32) -> SimDuration {
+                self.0.push(addr);
+                SimDuration::ZERO
+            }
+        }
+        let (mut h, _) = aged_chain(60);
+        GroupingGc::new(GcCostModel::default(), 2, HashSet::new())
+            .collect_grouping(&mut h, &mut NoTouch);
+        let cold_addrs: Vec<u64> = h
+            .object_ids()
+            .filter(|&o| h.region(h.object(o).region()).kind() == RegionKind::Cold)
+            .map(|o| h.address(o))
+            .collect();
+        assert!(!cold_addrs.is_empty());
+        let mut rec = Recorder(Vec::new());
+        GroupingGc::new(GcCostModel::default(), 2, HashSet::new())
+            .with_incremental(true)
+            .collect_grouping(&mut h, &mut rec);
+        for addr in &rec.0 {
+            assert!(
+                !cold_addrs.contains(addr),
+                "incremental re-grouping must not touch kept-cold objects"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_depth_grows_launch_set() {
+        let (mut h1, _) = aged_chain(30);
+        let (_, shallow) = run(&mut h1, 1, HashSet::new());
+        let (mut h2, _) = aged_chain(30);
+        let (_, deep) = run(&mut h2, 8, HashSet::new());
+        assert!(deep.launch_objects > shallow.launch_objects);
+        assert!(deep.launch_bytes > shallow.launch_bytes);
+    }
+}

@@ -1,0 +1,48 @@
+//! Garbage collectors for the Fleet reproduction.
+//!
+//! Four collectors, matching Table 1 of the paper plus ART's minor GC:
+//!
+//! | Collector | Paper role |
+//! |---|---|
+//! | [`FullCopyingGc`] | ART's concurrent-copying *major* GC — full DFS trace, copies survivors; the default-Android baseline whose tracing touches swapped pages (§3.2) |
+//! | [`MinorGc`] | ART's minor GC over newly-allocated regions, driven by the card table |
+//! | [`MarvinGc`] | Marvin's bookmarking GC — traces through resident *stubs* instead of swapped-out large objects, at the price of long stop-the-world reconciliation (§3.1, §6) |
+//! | [`BackgroundObjectGc`] | Fleet's BGC (§5.2) — traces background objects only; modified foreground objects enter the root set via the card table |
+//! | [`GroupingGc`] | Fleet's RGS object-grouping full GC (§5.3.1) — BFS with a depth delimiter, classifies NRO/FYO/WS/cold and copies each class into its own region kind |
+//!
+//! Collectors operate on a [`fleet_heap::Heap`] and report every object they
+//! touch through a [`MemoryTouch`] observer; the embedding layer forwards
+//! those touches to the kernel model, where they hit the page LRU and may
+//! fault — which is exactly the GC/swap conflict the paper is about.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet_gc::{Collector, FullCopyingGc, GcCostModel, NoTouch};
+//! use fleet_heap::{Heap, HeapConfig};
+//!
+//! let mut heap = Heap::new(HeapConfig::default());
+//! let root = heap.alloc(64);
+//! heap.add_root(root);
+//! let garbage = heap.alloc(64);
+//! let _ = garbage;
+//! let stats = FullCopyingGc::new(GcCostModel::default()).collect(&mut heap, &mut NoTouch);
+//! assert_eq!(stats.objects_freed, 1);
+//! assert!(heap.contains(root));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bgc;
+pub mod collector;
+pub mod full;
+pub mod grouping;
+pub mod marvin;
+pub mod minor;
+
+pub use bgc::BackgroundObjectGc;
+pub use collector::{Collector, GcCostModel, GcKind, GcStats, MemoryTouch, NoTouch};
+pub use full::FullCopyingGc;
+pub use grouping::{GroupingGc, GroupingOutcome};
+pub use marvin::{swappable_pages, MarvinGc, MarvinState};
+pub use minor::MinorGc;

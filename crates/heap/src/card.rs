@@ -1,0 +1,188 @@
+//! The card table used by Fleet's Background-object GC (§5.2).
+//!
+//! A card table is "an array where each byte represents some objects
+//! corresponding to a range of continuous addresses" (§2.2). Fleet adds a
+//! dedicated card table that the write barrier dirties whenever a
+//! *foreground* object is written; scanning the dirty cards at GC start
+//! yields every FGO that might have gained a reference to a BGO, without
+//! touching the rest of the (possibly swapped-out) foreground heap.
+
+use serde::{Deserialize, Serialize};
+
+/// A byte-per-card dirty table over the heap address space.
+///
+/// `CARD_SHIFT` is the paper's card-address conversion constant (Table 2:
+/// 10, i.e. one card byte covers 1 KiB of heap). The table grows lazily as
+/// the address space grows.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_heap::CardTable;
+///
+/// let mut cards = CardTable::new(10);
+/// cards.dirty(2048); // card 2
+/// assert!(cards.is_dirty(2048));
+/// assert!(!cards.is_dirty(1024));
+/// assert_eq!(cards.dirty_cards().collect::<Vec<_>>(), vec![2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CardTable {
+    shift: u32,
+    cards: Vec<u8>,
+    dirty_count: usize,
+}
+
+const CLEAN: u8 = 0;
+const DIRTY: u8 = 1;
+
+impl CardTable {
+    /// Creates an empty card table with the given `CARD_SHIFT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift` is 0 or ≥ 32.
+    pub fn new(shift: u32) -> Self {
+        assert!(shift > 0 && shift < 32, "CARD_SHIFT must be in 1..32");
+        CardTable { shift, cards: Vec::new(), dirty_count: 0 }
+    }
+
+    /// The configured `CARD_SHIFT`.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Bytes of heap covered by one card.
+    pub fn card_size(&self) -> u64 {
+        1 << self.shift
+    }
+
+    /// The card index covering `addr` — the paper's "shift instruction".
+    pub fn card_of(&self, addr: u64) -> usize {
+        (addr >> self.shift) as usize
+    }
+
+    /// First heap address covered by card `card`.
+    pub fn card_base(&self, card: usize) -> u64 {
+        (card as u64) << self.shift
+    }
+
+    /// The address range covered by card `card`.
+    pub fn card_range(&self, card: usize) -> std::ops::Range<u64> {
+        let base = self.card_base(card);
+        base..base + self.card_size()
+    }
+
+    /// Marks the card covering `addr` dirty (the write-barrier slow path).
+    pub fn dirty(&mut self, addr: u64) {
+        let card = self.card_of(addr);
+        if card >= self.cards.len() {
+            self.cards.resize(card + 1, CLEAN);
+        }
+        if self.cards[card] == CLEAN {
+            self.cards[card] = DIRTY;
+            self.dirty_count += 1;
+        }
+    }
+
+    /// Marks every card overlapping `[addr, addr + len)` dirty (for objects
+    /// spanning card boundaries).
+    pub fn dirty_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = self.card_of(addr);
+        let last = self.card_of(addr + len - 1);
+        for card in first..=last {
+            self.dirty(self.card_base(card));
+        }
+    }
+
+    /// Whether the card covering `addr` is dirty.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.cards.get(self.card_of(addr)).copied().unwrap_or(CLEAN) == DIRTY
+    }
+
+    /// Number of dirty cards.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Iterates over the indices of dirty cards in address order.
+    pub fn dirty_cards(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cards.iter().enumerate().filter(|&(_, &c)| c == DIRTY).map(|(i, _)| i)
+    }
+
+    /// Clears every card (done after a BGC has consumed the dirty set).
+    pub fn clear(&mut self) {
+        self.cards.fill(CLEAN);
+        self.dirty_count = 0;
+    }
+
+    /// Memory occupied by the table itself in bytes. §7.3 reports this
+    /// overhead: 4 MiB of card table for a 4 GiB heap at `CARD_SHIFT = 10`.
+    pub fn footprint_bytes(&self) -> usize {
+        self.cards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_address_round_trip() {
+        let t = CardTable::new(10);
+        assert_eq!(t.card_size(), 1024);
+        for addr in [0u64, 1, 1023, 1024, 1025, 10_000_000] {
+            let card = t.card_of(addr);
+            assert!(t.card_range(card).contains(&addr));
+        }
+    }
+
+    #[test]
+    fn dirty_and_clear() {
+        let mut t = CardTable::new(10);
+        t.dirty(0);
+        t.dirty(100); // same card
+        t.dirty(5000);
+        assert_eq!(t.dirty_len(), 2);
+        assert!(t.is_dirty(512));
+        assert!(t.is_dirty(5000));
+        assert!(!t.is_dirty(2048));
+        t.clear();
+        assert_eq!(t.dirty_len(), 0);
+        assert!(!t.is_dirty(0));
+    }
+
+    #[test]
+    fn dirty_range_spans_cards() {
+        let mut t = CardTable::new(10);
+        t.dirty_range(1000, 2000); // covers cards 0, 1, 2
+        assert_eq!(t.dirty_cards().collect::<Vec<_>>(), vec![0, 1, 2]);
+        t.clear();
+        t.dirty_range(0, 0);
+        assert_eq!(t.dirty_len(), 0);
+    }
+
+    #[test]
+    fn footprint_matches_paper_ratio() {
+        // 4 GiB heap at CARD_SHIFT=10 → 4 MiB card table (§7.3).
+        let mut t = CardTable::new(10);
+        t.dirty(4 * 1024 * 1024 * 1024 - 1);
+        assert_eq!(t.footprint_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn unmapped_addresses_are_clean() {
+        let t = CardTable::new(12);
+        assert!(!t.is_dirty(1 << 40));
+        assert_eq!(t.dirty_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CARD_SHIFT")]
+    fn zero_shift_panics() {
+        CardTable::new(0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Reference-graph utilities: reachability and BFS depth from the roots.
+//!
+//! The paper defines *near-roots objects* (NRO) as objects whose shortest
+//! path from the roots is at most a depth parameter D (§4.2). [`depth_map`]
+//! computes exactly that shortest-path depth with a breadth-first search —
+//! the same traversal order the RGS grouping GC uses (§5.3.1).
+
+use crate::heap::Heap;
+use crate::object::ObjectId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// BFS shortest-path depth from the root set for every reachable object.
+///
+/// Roots have depth 0. Traversal stops expanding past `max_depth` if given,
+/// so callers that only need "depth ≤ D" pay O(|NRO|) not O(|heap|).
+///
+/// # Examples
+///
+/// ```
+/// use fleet_heap::{depth_map, Heap, HeapConfig};
+///
+/// let mut heap = Heap::new(HeapConfig::default());
+/// let root = heap.alloc(16);
+/// let child = heap.alloc(16);
+/// let grandchild = heap.alloc(16);
+/// heap.add_root(root);
+/// heap.add_ref(root, child);
+/// heap.add_ref(child, grandchild);
+/// let depths = depth_map(&heap, None);
+/// assert_eq!(depths[&root], 0);
+/// assert_eq!(depths[&grandchild], 2);
+/// ```
+pub fn depth_map(heap: &Heap, max_depth: Option<u32>) -> HashMap<ObjectId, u32> {
+    let mut depths: HashMap<ObjectId, u32> = HashMap::new();
+    let mut queue: VecDeque<ObjectId> = VecDeque::new();
+    for &root in heap.roots() {
+        if heap.contains(root) && !depths.contains_key(&root) {
+            depths.insert(root, 0);
+            queue.push_back(root);
+        }
+    }
+    while let Some(obj) = queue.pop_front() {
+        let d = depths[&obj];
+        if max_depth.is_some_and(|m| d >= m) {
+            continue;
+        }
+        for &next in heap.object(obj).refs() {
+            if heap.contains(next) && !depths.contains_key(&next) {
+                depths.insert(next, d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    depths
+}
+
+/// The set of objects reachable from the roots.
+pub fn reachable_set(heap: &Heap) -> HashSet<ObjectId> {
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    let mut stack: Vec<ObjectId> = heap.roots().iter().copied().filter(|&r| heap.contains(r)).collect();
+    seen.extend(stack.iter().copied());
+    while let Some(obj) = stack.pop() {
+        for &next in heap.object(obj).refs() {
+            if heap.contains(next) && seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeapConfig;
+
+    fn chain(n: usize) -> (Heap, Vec<ObjectId>) {
+        let mut h = Heap::new(HeapConfig::default());
+        let ids: Vec<ObjectId> = (0..n).map(|_| h.alloc(16)).collect();
+        h.add_root(ids[0]);
+        for w in ids.windows(2) {
+            h.add_ref(w[0], w[1]);
+        }
+        (h, ids)
+    }
+
+    #[test]
+    fn depths_along_a_chain() {
+        let (h, ids) = chain(5);
+        let depths = depth_map(&h, None);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(depths[id], i as u32);
+        }
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let (h, ids) = chain(10);
+        let depths = depth_map(&h, Some(3));
+        assert_eq!(depths.len(), 4); // depths 0..=3
+        assert!(!depths.contains_key(&ids[4]));
+    }
+
+    #[test]
+    fn shortest_path_wins_on_diamonds() {
+        let mut h = Heap::new(HeapConfig::default());
+        let root = h.alloc(16);
+        let a = h.alloc(16);
+        let b = h.alloc(16);
+        h.add_root(root);
+        h.add_ref(root, a);
+        h.add_ref(a, b);
+        h.add_ref(root, b); // direct shortcut
+        let depths = depth_map(&h, None);
+        assert_eq!(depths[&b], 1);
+    }
+
+    #[test]
+    fn unreachable_objects_are_absent() {
+        let mut h = Heap::new(HeapConfig::default());
+        let root = h.alloc(16);
+        let garbage = h.alloc(16);
+        h.add_root(root);
+        let depths = depth_map(&h, None);
+        assert!(!depths.contains_key(&garbage));
+        let reach = reachable_set(&h);
+        assert!(reach.contains(&root));
+        assert!(!reach.contains(&garbage));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut h = Heap::new(HeapConfig::default());
+        let a = h.alloc(16);
+        let b = h.alloc(16);
+        h.add_root(a);
+        h.add_ref(a, b);
+        h.add_ref(b, a);
+        let depths = depth_map(&h, None);
+        assert_eq!(depths.len(), 2);
+        assert_eq!(reachable_set(&h).len(), 2);
+    }
+
+    #[test]
+    fn empty_roots_reach_nothing() {
+        let mut h = Heap::new(HeapConfig::default());
+        h.alloc(16);
+        assert!(depth_map(&h, None).is_empty());
+        assert!(reachable_set(&h).is_empty());
+    }
+}

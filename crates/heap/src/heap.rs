@@ -1,0 +1,836 @@
+//! The heap: arena + regions + roots + allocation contexts + card table.
+//!
+//! This is the mutable state every collector in `fleet-gc` operates on. The
+//! design keeps the paper's mechanics observable:
+//!
+//! * every object knows the app state it was allocated under (FGO vs BGO),
+//! * regions carry the *kind* and *newly-allocated* metadata Fleet keys on,
+//! * mutating a foreground object dirties the BGC card table via the write
+//!   barrier (§5.2),
+//! * the heap limit grows by a configurable factor after each GC, with
+//!   separate foreground/background factors (§4.2, §7.4).
+//!
+//! Address-space changes (regions mapped/freed) are queued as [`HeapEvent`]s
+//! for the embedding layer to forward to the kernel model.
+
+use crate::card::CardTable;
+use crate::config::{HeapConfig, PAGE_SIZE};
+use crate::object::{AllocContext, Object, ObjectClass, ObjectId};
+use crate::region::{Region, RegionId, RegionKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An address-space change the kernel model must hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeapEvent {
+    /// A region was mapped at `[base, base + len)`.
+    RegionMapped {
+        /// First byte address of the region.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+    },
+    /// The region at `[base, base + len)` was released.
+    RegionFreed {
+        /// First byte address of the region.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+    },
+}
+
+/// A point-in-time snapshot of heap occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Bytes bump-allocated in live regions (includes garbage).
+    pub used_bytes: u64,
+    /// Bytes of live objects.
+    pub live_bytes: u64,
+    /// Live object count.
+    pub live_objects: u64,
+    /// Mapped region count.
+    pub regions: u64,
+    /// Live bytes in foreground objects.
+    pub fgo_bytes: u64,
+    /// Live bytes in background objects.
+    pub bgo_bytes: u64,
+    /// Live foreground object count.
+    pub fgo_objects: u64,
+    /// Live background object count.
+    pub bgo_objects: u64,
+    /// The current dynamic heap limit.
+    pub limit: u64,
+}
+
+/// The region-based Java heap.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_heap::{AllocContext, Heap, HeapConfig};
+///
+/// let mut heap = Heap::new(HeapConfig::default());
+/// let a = heap.alloc(128);
+/// heap.add_root(a);
+/// heap.set_context(AllocContext::Background);
+/// let b = heap.alloc(64); // a BGO
+/// heap.add_ref(a, b);     // write barrier dirties a's card
+/// assert!(heap.cards().dirty_len() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    config: HeapConfig,
+    regions: Vec<Option<Region>>,
+    arena: Vec<Option<Object>>,
+    roots: Vec<ObjectId>,
+    alloc_targets: HashMap<RegionKind, RegionId>,
+    context: AllocContext,
+    gc_epoch: u32,
+    limit: u64,
+    used_bytes: u64,
+    live_bytes: u64,
+    live_objects: u64,
+    events: Vec<HeapEvent>,
+    cards: CardTable,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`HeapConfig::validate`].
+    pub fn new(config: HeapConfig) -> Self {
+        config.validate().expect("invalid heap configuration");
+        let cards = CardTable::new(config.card_shift);
+        Heap {
+            config,
+            regions: Vec::new(),
+            arena: Vec::new(),
+            roots: Vec::new(),
+            alloc_targets: HashMap::new(),
+            context: AllocContext::Foreground,
+            gc_epoch: 0,
+            limit: config.initial_limit,
+            used_bytes: 0,
+            live_bytes: 0,
+            live_objects: 0,
+            events: Vec::new(),
+            cards,
+        }
+    }
+
+    /// The heap configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Current allocation context (the owner app's fore/background state).
+    pub fn context(&self) -> AllocContext {
+        self.context
+    }
+
+    /// Switches the allocation context. New allocations after a switch to
+    /// [`AllocContext::Background`] become BGO and go to separate regions.
+    pub fn set_context(&mut self, context: AllocContext) {
+        if self.context != context {
+            self.context = context;
+            // New state, new allocation regions: keeps FGO and BGO apart.
+            self.alloc_targets.remove(&RegionKind::Eden);
+            self.alloc_targets.remove(&RegionKind::Bg);
+        }
+    }
+
+    // ---------------------------------------------------------------- regions
+
+    fn create_region(&mut self, kind: RegionKind) -> RegionId {
+        let idx = self.regions.len() as u32;
+        let id = RegionId(idx);
+        let base = idx as u64 * self.config.region_size as u64;
+        let region = Region::new(id, kind, base, self.config.region_size, true);
+        self.events.push(HeapEvent::RegionMapped { base, len: self.config.region_size as u64 });
+        self.regions.push(Some(region));
+        id
+    }
+
+    /// The region with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region was freed or never existed.
+    pub fn region(&self, id: RegionId) -> &Region {
+        self.try_region(id).expect("region freed or out of range")
+    }
+
+    /// The region with identifier `id`, or `None` if freed/unknown.
+    pub fn try_region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.get(id.0 as usize).and_then(|r| r.as_ref())
+    }
+
+    pub(crate) fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        self.regions
+            .get_mut(id.0 as usize)
+            .and_then(|r| r.as_mut())
+            .expect("region freed or out of range")
+    }
+
+    /// Iterates over all mapped regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter().filter_map(|r| r.as_ref())
+    }
+
+    /// Identifiers of all mapped regions in address order.
+    pub fn region_ids(&self) -> Vec<RegionId> {
+        self.regions().map(|r| r.id()).collect()
+    }
+
+    /// The region containing address `addr`, if mapped.
+    pub fn region_of_addr(&self, addr: u64) -> Option<RegionId> {
+        let idx = (addr / self.config.region_size as u64) as usize;
+        self.regions.get(idx).and_then(|r| r.as_ref()).map(|r| r.id())
+    }
+
+    /// Releases an *empty* region back to the OS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region still contains objects — collectors must copy or
+    /// free every object first — or if it is a current allocation target.
+    pub fn free_region(&mut self, id: RegionId) {
+        let region = self.regions.get_mut(id.0 as usize).and_then(|r| r.take()).expect("region freed or out of range");
+        assert!(region.objects().is_empty(), "freeing a region that still holds {} objects", region.objects().len());
+        assert!(
+            !self.alloc_targets.values().any(|&t| t == id),
+            "freeing a region that is an active allocation target"
+        );
+        self.used_bytes -= region.used() as u64;
+        self.events.push(HeapEvent::RegionFreed { base: region.base(), len: region.size() as u64 });
+    }
+
+    /// Stops bump-allocating into the current target regions, so subsequent
+    /// allocations open fresh regions. Collectors call this at GC start: it
+    /// separates "regions allocated after this GC" (newly-allocated flag)
+    /// from everything older.
+    pub fn retire_alloc_targets(&mut self) {
+        self.alloc_targets.clear();
+    }
+
+    /// Clears the newly-allocated flag on every region (done at GC end).
+    pub fn clear_newly_allocated_flags(&mut self) {
+        for region in self.regions.iter_mut().filter_map(|r| r.as_mut()) {
+            region.clear_newly_allocated();
+        }
+    }
+
+    // ---------------------------------------------------------------- objects
+
+    /// Allocates an object of `size` bytes in the current context.
+    ///
+    /// Foreground allocations go to [`RegionKind::Eden`] regions, background
+    /// allocations to [`RegionKind::Bg`] regions — FGO and BGO never share a
+    /// region (§5.2 "FGO & BGO separation").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds the region size.
+    pub fn alloc(&mut self, size: u32) -> ObjectId {
+        let kind = match self.context {
+            AllocContext::Foreground => RegionKind::Eden,
+            AllocContext::Background => RegionKind::Bg,
+        };
+        self.alloc_in(size, kind, self.context)
+    }
+
+    /// Allocates into a region of a specific kind (used by collectors to copy
+    /// survivors into to-regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds the region size.
+    pub fn alloc_in(&mut self, size: u32, kind: RegionKind, context: AllocContext) -> ObjectId {
+        assert!(size > 0, "cannot allocate a zero-sized object");
+        assert!(size <= self.config.region_size, "object of {size} bytes exceeds the region size");
+        let id = self.reserve_slot();
+        let (region_id, offset) = self.bump_into(kind, size, id);
+        let object = Object::new(size, context, self.gc_epoch, region_id, offset);
+        self.arena[id.0 as usize] = Some(object);
+        self.used_bytes += size as u64;
+        self.live_bytes += size as u64;
+        self.live_objects += 1;
+        id
+    }
+
+    // Object ids are never recycled: a freed slot stays dead forever, so a
+    // stale id held by a workload model can never silently alias a newer
+    // object. The cost is 16 bytes per dead slot, negligible at simulation
+    // scale.
+    fn reserve_slot(&mut self) -> ObjectId {
+        let slot = self.arena.len() as u32;
+        self.arena.push(None);
+        ObjectId(slot)
+    }
+
+    fn bump_into(&mut self, kind: RegionKind, size: u32, id: ObjectId) -> (RegionId, u32) {
+        if let Some(&target) = self.alloc_targets.get(&kind) {
+            if let Some(offset) = self.region_mut(target).bump(size, id) {
+                return (target, offset);
+            }
+        }
+        let fresh = self.create_region(kind);
+        self.alloc_targets.insert(kind, fresh);
+        let offset = self.region_mut(fresh).bump(size, id).expect("fresh region can hold any valid object");
+        (fresh, offset)
+    }
+
+    /// The object with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object has been freed.
+    pub fn object(&self, id: ObjectId) -> &Object {
+        self.try_object(id).expect("object freed or out of range")
+    }
+
+    /// The object with identifier `id`, or `None` if freed/unknown.
+    pub fn try_object(&self, id: ObjectId) -> Option<&Object> {
+        self.arena.get(id.0 as usize).and_then(|o| o.as_ref())
+    }
+
+    /// True if `id` refers to a live object.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.try_object(id).is_some()
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> &mut Object {
+        self.arena
+            .get_mut(id.0 as usize)
+            .and_then(|o| o.as_mut())
+            .expect("object freed or out of range")
+    }
+
+    /// Iterates over the identifiers of all live objects.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| ObjectId(i as u32))
+    }
+
+    /// The absolute heap address of an object.
+    pub fn address(&self, id: ObjectId) -> u64 {
+        let obj = self.object(id);
+        self.region(obj.region()).base() + obj.offset() as u64
+    }
+
+    /// The page indices `[first, last]` an object spans.
+    pub fn pages_of(&self, id: ObjectId) -> std::ops::RangeInclusive<u64> {
+        let addr = self.address(id);
+        let size = self.object(id).size().max(1) as u64;
+        (addr / PAGE_SIZE)..=((addr + size - 1) / PAGE_SIZE)
+    }
+
+    // ----------------------------------------------------- reference mutation
+
+    /// Adds a reference edge `from → to`, running the write barrier on
+    /// `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either object has been freed.
+    pub fn add_ref(&mut self, from: ObjectId, to: ObjectId) {
+        assert!(self.contains(to), "dangling reference target {to}");
+        self.write_barrier(from);
+        self.object_mut(from).refs_mut().push(to);
+    }
+
+    /// Removes one `from → to` edge if present, running the write barrier.
+    pub fn remove_ref(&mut self, from: ObjectId, to: ObjectId) {
+        self.write_barrier(from);
+        let refs = self.object_mut(from).refs_mut();
+        if let Some(pos) = refs.iter().position(|&r| r == to) {
+            refs.swap_remove(pos);
+        }
+    }
+
+    /// Replaces all outgoing edges of `from`, running the write barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target has been freed.
+    pub fn set_refs(&mut self, from: ObjectId, refs: Vec<ObjectId>) {
+        for &to in &refs {
+            assert!(self.contains(to), "dangling reference target {to}");
+        }
+        self.write_barrier(from);
+        *self.object_mut(from).refs_mut() = refs;
+    }
+
+    /// Drops all outgoing edges of `from`, running the write barrier.
+    pub fn clear_refs(&mut self, from: ObjectId) {
+        self.write_barrier(from);
+        self.object_mut(from).refs_mut().clear();
+    }
+
+    /// The write barrier: every object write dirties the card covering the
+    /// written object, as in ART. Fleet's BGC consumes the cards that fall in
+    /// *foreground* regions to find FGO→BGO references without scanning the
+    /// whole (possibly swapped) foreground heap (§5.2); the minor GC consumes
+    /// the cards in old regions to find old→young references.
+    fn write_barrier(&mut self, obj: ObjectId) {
+        let addr = self.address(obj);
+        let size = self.object(obj).size() as u64;
+        self.cards.dirty_range(addr, size);
+    }
+
+    // ------------------------------------------------------------------ roots
+
+    /// Registers a GC root.
+    pub fn add_root(&mut self, id: ObjectId) {
+        if !self.roots.contains(&id) {
+            self.roots.push(id);
+        }
+    }
+
+    /// Unregisters a GC root (no-op if absent).
+    pub fn remove_root(&mut self, id: ObjectId) {
+        self.roots.retain(|&r| r != id);
+    }
+
+    /// The current root set.
+    pub fn roots(&self) -> &[ObjectId] {
+        &self.roots
+    }
+
+    // ----------------------------------------------------------- GC machinery
+
+    /// Copies a live object into the current to-region of kind `dest`,
+    /// removing it from its old region. The object keeps its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object has been freed.
+    pub fn copy_object(&mut self, id: ObjectId, dest: RegionKind) {
+        let (size, old_region) = {
+            let o = self.object(id);
+            (o.size(), o.region())
+        };
+        self.region_mut(old_region).remove_object(id);
+        let (new_region, offset) = self.bump_into(dest, size, id);
+        self.used_bytes += size as u64; // the from-region copy is reclaimed at free_region
+        self.object_mut(id).relocate(new_region, offset);
+    }
+
+    /// Frees a dead object, removing it from its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object was already freed or is still a root.
+    pub fn free_object(&mut self, id: ObjectId) {
+        assert!(!self.roots.contains(&id), "freeing a root object {id}");
+        let obj = self.arena.get_mut(id.0 as usize).and_then(|o| o.take()).expect("object freed or out of range");
+        self.region_mut(obj.region()).remove_object(id);
+        self.live_bytes -= obj.size() as u64;
+        self.live_objects -= 1;
+    }
+
+    /// Sets (or clears) the RGS classification of an object.
+    pub fn set_class(&mut self, id: ObjectId, class: Option<ObjectClass>) {
+        self.object_mut(id).set_class(class);
+    }
+
+    /// Rewrites the FGO/BGO context of an object. Used when the paper's
+    /// rule "at the moment an app switches to the background, all existing
+    /// objects are considered FGO" is applied (§4.1).
+    pub fn set_object_context(&mut self, id: ObjectId, context: AllocContext) {
+        self.object_mut(id).set_context(context);
+    }
+
+    /// Changes a region's kind (e.g. marking compacted regions as
+    /// [`RegionKind::Fg`] after the full GC that separates FGO).
+    pub fn set_region_kind(&mut self, id: RegionId, kind: RegionKind) {
+        self.region_mut(id).set_kind(kind);
+    }
+
+    /// The GC epoch — number of collections completed.
+    pub fn gc_epoch(&self) -> u32 {
+        self.gc_epoch
+    }
+
+    /// Increments the GC epoch (collectors call this once per collection).
+    pub fn bump_gc_epoch(&mut self) {
+        self.gc_epoch += 1;
+    }
+
+    /// True when allocation pressure has reached the dynamic heap limit and
+    /// a GC should run (§4.2's threshold trigger).
+    pub fn should_trigger_gc(&self) -> bool {
+        self.used_bytes >= self.limit
+    }
+
+    /// The current dynamic heap limit in bytes.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Recomputes the heap limit after a GC: `live_bytes × factor`, floored
+    /// at the initial limit. The factor is the fore- or background growth
+    /// factor depending on the current context (§4.2, §7.4).
+    pub fn update_limit_after_gc(&mut self) {
+        let factor = match self.context {
+            AllocContext::Foreground => self.config.growth_factor_foreground,
+            AllocContext::Background => self.config.growth_factor_background,
+        };
+        self.limit = ((self.live_bytes as f64 * factor) as u64).max(self.config.initial_limit);
+    }
+
+    /// Overrides the heap limit directly. Non-moving collectors (Marvin's
+    /// bookmarking GC) size the limit from *used* rather than live bytes
+    /// because they cannot compact fragmentation away.
+    pub fn set_limit(&mut self, limit: u64) {
+        self.limit = limit.max(self.config.initial_limit);
+    }
+
+    /// The growth factor for the current context (fore- or background).
+    pub fn growth_factor(&self) -> f64 {
+        match self.context {
+            AllocContext::Foreground => self.config.growth_factor_foreground,
+            AllocContext::Background => self.config.growth_factor_background,
+        }
+    }
+
+    /// Objects whose addresses fall inside card `card` of the card table.
+    pub fn objects_in_card(&self, card: usize) -> Vec<ObjectId> {
+        let range = self.cards.card_range(card);
+        let Some(region_id) = self.region_of_addr(range.start) else {
+            return Vec::new();
+        };
+        let region = self.region(region_id);
+        let base = region.base();
+        region
+            .objects()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let o = self.object(id);
+                let addr = base + o.offset() as u64;
+                let end = addr + o.size() as u64;
+                // Any overlap with the card range counts.
+                addr < range.end && end > range.start
+            })
+            .collect()
+    }
+
+    /// The BGC card table.
+    pub fn cards(&self) -> &CardTable {
+        &self.cards
+    }
+
+    /// Mutable access to the BGC card table (collectors clear it).
+    pub fn cards_mut(&mut self) -> &mut CardTable {
+        &mut self.cards
+    }
+
+    // ------------------------------------------------------------------ stats
+
+    /// Point-in-time occupancy statistics.
+    pub fn stats(&self) -> HeapStats {
+        let mut fgo_bytes = 0;
+        let mut bgo_bytes = 0;
+        let mut fgo_objects = 0;
+        let mut bgo_objects = 0;
+        for obj in self.arena.iter().filter_map(|o| o.as_ref()) {
+            match obj.context() {
+                AllocContext::Foreground => {
+                    fgo_bytes += obj.size() as u64;
+                    fgo_objects += 1;
+                }
+                AllocContext::Background => {
+                    bgo_bytes += obj.size() as u64;
+                    bgo_objects += 1;
+                }
+            }
+        }
+        HeapStats {
+            used_bytes: self.used_bytes,
+            live_bytes: self.live_bytes,
+            live_objects: self.live_objects,
+            regions: self.regions().count() as u64,
+            fgo_bytes,
+            bgo_bytes,
+            fgo_objects,
+            bgo_objects,
+            limit: self.limit,
+        }
+    }
+
+    /// Bytes bump-allocated in mapped regions (live + garbage).
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes of live objects.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Live object count.
+    pub fn live_objects(&self) -> u64 {
+        self.live_objects
+    }
+
+    /// Fragmentation ratio: used bytes per live byte (1.0 = perfectly
+    /// compact). Non-moving collectors (Marvin) let this grow; copying
+    /// collectors reset it to ~1 at every collection.
+    pub fn fragmentation(&self) -> f64 {
+        if self.live_bytes == 0 {
+            1.0
+        } else {
+            self.used_bytes as f64 / self.live_bytes as f64
+        }
+    }
+
+    /// Drains queued address-space events for the kernel model.
+    pub fn drain_events(&mut self) -> Vec<HeapEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Verifies that no live object references a freed object and that
+    /// every root is live. O(heap); used by debug assertions and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_refs(&self) -> Result<(), String> {
+        for &root in &self.roots {
+            if !self.contains(root) {
+                return Err(format!("dead root {root}"));
+            }
+        }
+        for (i, slot) in self.arena.iter().enumerate() {
+            let Some(obj) = slot.as_ref() else { continue };
+            for &r in obj.refs() {
+                if !self.contains(r) {
+                    return Err(format!("obj#{i} holds a dangling reference to {r}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap() -> Heap {
+        Heap::new(HeapConfig { region_size: 4096, initial_limit: 8192, ..HeapConfig::default() })
+    }
+
+    #[test]
+    fn alloc_assigns_addresses_and_context() {
+        let mut h = small_heap();
+        let a = h.alloc(100);
+        let b = h.alloc(50);
+        assert_eq!(h.address(a), 0);
+        assert_eq!(h.address(b), 100);
+        assert_eq!(h.object(a).context(), AllocContext::Foreground);
+        h.set_context(AllocContext::Background);
+        let c = h.alloc(10);
+        assert_eq!(h.object(c).context(), AllocContext::Background);
+        // BGO live in a different region than FGO.
+        assert_ne!(h.object(a).region(), h.object(c).region());
+        assert_eq!(h.region(h.object(c).region()).kind(), RegionKind::Bg);
+    }
+
+    #[test]
+    fn regions_roll_over_when_full() {
+        let mut h = small_heap();
+        let a = h.alloc(3000);
+        let b = h.alloc(3000);
+        assert_ne!(h.object(a).region(), h.object(b).region());
+        assert_eq!(h.stats().regions, 2);
+    }
+
+    #[test]
+    fn events_report_mapping_and_freeing() {
+        let mut h = small_heap();
+        let a = h.alloc(100);
+        let events = h.drain_events();
+        assert_eq!(events, vec![HeapEvent::RegionMapped { base: 0, len: 4096 }]);
+        let region = h.object(a).region();
+        h.retire_alloc_targets();
+        h.free_object(a);
+        h.free_region(region);
+        let events = h.drain_events();
+        assert_eq!(events, vec![HeapEvent::RegionFreed { base: 0, len: 4096 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still holds")]
+    fn freeing_nonempty_region_panics() {
+        let mut h = small_heap();
+        let a = h.alloc(10);
+        let region = h.object(a).region();
+        h.retire_alloc_targets();
+        h.free_region(region);
+    }
+
+    #[test]
+    fn write_barrier_dirties_written_objects_card() {
+        let mut h = small_heap();
+        let fgo = h.alloc(64);
+        h.set_context(AllocContext::Background);
+        let bgo = h.alloc(64);
+        let bgo2 = h.alloc(64);
+        assert_eq!(h.cards().dirty_len(), 0);
+        h.add_ref(fgo, bgo); // FGO write: dirty card at the FGO's address
+        assert!(h.cards().is_dirty(h.address(fgo)));
+        assert!(!h.cards().is_dirty(h.address(bgo)));
+        h.add_ref(bgo, bgo2); // BGO write dirties its own (Bg-region) card
+        assert!(h.cards().is_dirty(h.address(bgo)));
+    }
+
+    #[test]
+    fn copy_preserves_identity_and_size() {
+        let mut h = small_heap();
+        let a = h.alloc(100);
+        let b = h.alloc(40);
+        h.add_ref(a, b);
+        let old_addr = h.address(a);
+        h.retire_alloc_targets();
+        h.copy_object(a, RegionKind::Fg);
+        assert_ne!(h.address(a), old_addr);
+        assert_eq!(h.object(a).size(), 100);
+        assert_eq!(h.object(a).refs(), &[b]);
+        assert_eq!(h.region(h.object(a).region()).kind(), RegionKind::Fg);
+    }
+
+    #[test]
+    fn object_ids_are_never_recycled() {
+        let mut h = small_heap();
+        let a = h.alloc(10);
+        h.free_object(a);
+        assert!(!h.contains(a));
+        let b = h.alloc(10);
+        assert_ne!(a, b, "a stale id must never alias a new object");
+        assert_eq!(h.live_objects(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "root")]
+    fn freeing_root_panics() {
+        let mut h = small_heap();
+        let a = h.alloc(10);
+        h.add_root(a);
+        h.free_object(a);
+    }
+
+    #[test]
+    fn gc_trigger_follows_limit() {
+        let mut h = small_heap();
+        assert!(!h.should_trigger_gc());
+        h.alloc(4000);
+        h.alloc(4000);
+        h.alloc(200);
+        assert!(h.should_trigger_gc());
+        // After "GC", limit grows from live bytes.
+        h.update_limit_after_gc();
+        assert_eq!(h.limit(), ((8200f64 * 2.0) as u64).max(8192));
+        assert!(!h.should_trigger_gc());
+    }
+
+    #[test]
+    fn background_growth_factor_is_tighter() {
+        let mut h = Heap::new(HeapConfig {
+            region_size: 4096,
+            initial_limit: 4096,
+            ..HeapConfig::default()
+        });
+        for _ in 0..100 {
+            h.alloc(512);
+        }
+        h.set_context(AllocContext::Background);
+        h.update_limit_after_gc();
+        let bg_limit = h.limit();
+        h.set_context(AllocContext::Foreground);
+        h.update_limit_after_gc();
+        let fg_limit = h.limit();
+        assert!(bg_limit < fg_limit);
+        assert_eq!(bg_limit, (51200f64 * 1.1) as u64);
+    }
+
+    #[test]
+    fn objects_in_card_finds_overlaps() {
+        let mut h = small_heap();
+        let a = h.alloc(1000);
+        let b = h.alloc(100);
+        let c = h.alloc(3000 - 1100 + 100); // stays in region 0
+        let card0 = h.cards().card_of(h.address(a));
+        let in_card = h.objects_in_card(card0);
+        assert!(in_card.contains(&a));
+        assert!(in_card.contains(&b)); // b at offset 1000 overlaps card 0? card is 1024 bytes: b spans 1000..1100 — overlap yes
+        let card1 = h.cards().card_of(1500);
+        assert!(h.objects_in_card(card1).contains(&c));
+    }
+
+    #[test]
+    fn pages_of_spans_boundaries() {
+        let mut h = small_heap();
+        let a = h.alloc(100);
+        assert_eq!(h.pages_of(a), 0..=0);
+        let big = h.alloc(4000 - 104); // fills most of the rest of page 0
+        let _ = big;
+        let b = h.alloc(200); // new region at base 4096
+        assert_eq!(h.pages_of(b), 1..=1);
+    }
+
+    #[test]
+    fn set_refs_validates_targets() {
+        let mut h = small_heap();
+        let a = h.alloc(10);
+        let b = h.alloc(10);
+        h.set_refs(a, vec![b, b]);
+        assert_eq!(h.object(a).refs().len(), 2);
+        h.remove_ref(a, b);
+        assert_eq!(h.object(a).refs(), &[b]);
+        h.clear_refs(a);
+        assert!(h.object(a).refs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn add_ref_rejects_dead_target() {
+        let mut h = small_heap();
+        let a = h.alloc(10);
+        let b = h.alloc(10);
+        h.free_object(b);
+        h.add_ref(a, b);
+    }
+
+    #[test]
+    fn stats_split_fgo_bgo() {
+        let mut h = small_heap();
+        h.alloc(100);
+        h.alloc(100);
+        h.set_context(AllocContext::Background);
+        h.alloc(50);
+        let s = h.stats();
+        assert_eq!(s.fgo_bytes, 200);
+        assert_eq!(s.bgo_bytes, 50);
+        assert_eq!(s.fgo_objects, 2);
+        assert_eq!(s.bgo_objects, 1);
+        assert_eq!(s.live_objects, 3);
+    }
+
+    #[test]
+    fn roots_are_deduplicated() {
+        let mut h = small_heap();
+        let a = h.alloc(10);
+        h.add_root(a);
+        h.add_root(a);
+        assert_eq!(h.roots().len(), 1);
+        h.remove_root(a);
+        assert!(h.roots().is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests on the heap's core data structures.
+
+use fleet_heap::{AllocContext, CardTable, Heap, HeapConfig, ObjectId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bump allocation never overlaps: every object's `[addr, addr+size)`
+    /// is disjoint from every other live object's span.
+    #[test]
+    fn allocations_never_overlap(sizes in proptest::collection::vec(1u32..8192, 1..200)) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let ids: Vec<ObjectId> = sizes.iter().map(|&s| heap.alloc(s)).collect();
+        let mut spans: Vec<(u64, u64)> = ids
+            .iter()
+            .map(|&id| {
+                let addr = heap.address(id);
+                (addr, addr + heap.object(id).size() as u64)
+            })
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    /// The card covering any address inside an object is dirtied by a write
+    /// to that object.
+    #[test]
+    fn write_barrier_covers_the_whole_object(
+        sizes in proptest::collection::vec(16u32..4096, 2..50),
+        victim in 0usize..49,
+    ) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let ids: Vec<ObjectId> = sizes.iter().map(|&s| heap.alloc(s)).collect();
+        let victim = ids[victim % ids.len()];
+        let target = ids[0];
+        heap.cards_mut().clear();
+        heap.add_ref(victim, target);
+        let addr = heap.address(victim);
+        let size = heap.object(victim).size() as u64;
+        for offset in [0, size / 2, size - 1] {
+            prop_assert!(heap.cards().is_dirty(addr + offset));
+        }
+    }
+
+    /// Card↔address translation round-trips for arbitrary shifts and
+    /// addresses.
+    #[test]
+    fn card_round_trip(shift in 1u32..20, addrs in proptest::collection::vec(0u64..(1 << 34), 1..50)) {
+        let table = CardTable::new(shift);
+        for addr in addrs {
+            let card = table.card_of(addr);
+            prop_assert!(table.card_range(card).contains(&addr));
+            prop_assert_eq!(table.card_of(table.card_base(card)), card);
+        }
+    }
+
+    /// Live-byte accounting matches the sum of live object sizes through
+    /// arbitrary alloc/free interleavings.
+    #[test]
+    fn live_bytes_accounting(script in proptest::collection::vec((any::<bool>(), 1u32..2048), 1..300)) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let mut live: HashMap<ObjectId, u32> = HashMap::new();
+        for (free, size) in script {
+            if free && !live.is_empty() {
+                let &id = live.keys().next().expect("non-empty");
+                live.remove(&id);
+                heap.free_object(id);
+            } else {
+                let id = heap.alloc(size);
+                live.insert(id, size);
+            }
+            let expect: u64 = live.values().map(|&s| s as u64).sum();
+            prop_assert_eq!(heap.live_bytes(), expect);
+            prop_assert_eq!(heap.live_objects(), live.len() as u64);
+            prop_assert!(heap.used_bytes() >= heap.live_bytes());
+        }
+    }
+
+    /// FGO/BGO separation: objects allocated in different contexts never
+    /// share a region.
+    #[test]
+    fn contexts_never_share_regions(script in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let mut by_region: HashMap<fleet_heap::RegionId, AllocContext> = HashMap::new();
+        for bg in script {
+            let ctx = if bg { AllocContext::Background } else { AllocContext::Foreground };
+            heap.set_context(ctx);
+            let id = heap.alloc(64);
+            let region = heap.object(id).region();
+            if let Some(&prev) = by_region.get(&region) {
+                prop_assert_eq!(prev, ctx, "region {} mixes contexts", region);
+            } else {
+                by_region.insert(region, ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Linux memory-subsystem model for the Fleet reproduction.
+//!
+//! The paper's kernel side consists of: the page-granularity LRU swap
+//! mechanism ("the swap mechanism offloads the least-recently-used pages to
+//! the swap partition", §2.2), a flash swap partition ~452× slower than DRAM
+//! (§3.2), watermark-driven reclaim, the `madvise` system call extended with
+//! Fleet's `COLD_RUNTIME`/`HOT_RUNTIME` options (§5.3.2), and the low-memory
+//! killer that terminates cached apps under pressure (§3.2 "may induce
+//! terminations of cached apps").
+//!
+//! This crate models all of that at page granularity:
+//!
+//! * [`page`] — process ids, page keys and access kinds,
+//! * [`lru`] — a second-chance LRU over all mapped pages,
+//! * [`swap`] — the swap device with the paper's measured bandwidths,
+//! * [`mm`] — the memory manager tying frames, LRU, swap, reclaim and
+//!   the madvise extensions together,
+//! * [`lmk`] — the low-memory-killer victim policy.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet_kernel::{AccessKind, MemoryManager, MmConfig, Pid};
+//!
+//! let mut mm = MemoryManager::new(MmConfig::small_test());
+//! let pid = Pid(1);
+//! mm.map_range(pid, 0, 64 * 4096).unwrap();
+//! let outcome = mm.access(pid, 0, 128, AccessKind::Mutator).unwrap();
+//! assert_eq!(outcome.faulted_pages, 0); // freshly mapped pages are resident
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lmk;
+pub mod lru;
+pub mod mm;
+pub mod page;
+pub mod swap;
+
+pub use lmk::{choose_victim, LmkCandidate};
+pub use lru::LruQueue;
+pub use mm::{AccessKind, AccessOutcome, KernelStats, MemoryManager, MmConfig, MmError};
+pub use page::{PageKey, PageKind, PageState, Pid, PAGE_SIZE};
+pub use swap::{SwapConfig, SwapDevice, SwapMedium};

@@ -1,0 +1,262 @@
+//! A second-chance LRU over mapped pages.
+//!
+//! Linux keeps pages on active/inactive lists; reclaim scans the inactive
+//! tail and gives referenced pages a second chance by rotating them back.
+//! We model the same behaviour with a recency stamp plus an *active* bit:
+//!
+//! * an access restamps the page to the MRU end and sets the bit,
+//! * eviction pops the LRU end; pages with the bit set are demoted
+//!   (bit cleared, restamped) instead of evicted — the second chance,
+//! * `madvise(HOT_RUNTIME)` maps to [`LruQueue::promote`], which is exactly
+//!   how Fleet keeps launch pages resident (§5.3.2 "move these pages to a
+//!   highly used position in the LRU queue").
+
+use crate::page::PageKey;
+use std::collections::{BTreeMap, HashMap};
+
+/// A deterministic second-chance LRU queue of pages.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_kernel::{LruQueue, PageKey, Pid};
+///
+/// let mut lru = LruQueue::new();
+/// let a = PageKey { pid: Pid(1), index: 0 };
+/// let b = PageKey { pid: Pid(1), index: 1 };
+/// lru.insert(a);
+/// lru.insert(b);
+/// lru.touch(a); // a becomes the most recently used
+/// assert_eq!(lru.pop_coldest(), Some(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruQueue {
+    by_stamp: BTreeMap<u64, PageKey>,
+    stamps: HashMap<PageKey, u64>,
+    active: HashMap<PageKey, bool>,
+    next_stamp: u64,
+    cold_stamp: u64,
+}
+
+impl Default for LruQueue {
+    fn default() -> Self {
+        LruQueue::new()
+    }
+}
+
+impl LruQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LruQueue {
+            by_stamp: BTreeMap::new(),
+            stamps: HashMap::new(),
+            active: HashMap::new(),
+            // Ordinary stamps count up from the middle of the space;
+            // `reinsert_cold` hands out stamps counting down, so re-inserted
+            // pages sort colder than everything else.
+            next_stamp: 1 << 33,
+            cold_stamp: (1 << 33) - 1,
+        }
+    }
+
+    /// Re-inserts a page at the *cold* end (colder than every tracked
+    /// page), used when reclaim skipped it and must put it back without
+    /// rejuvenating it.
+    pub fn reinsert_cold(&mut self, key: PageKey) {
+        if let Some(old) = self.stamps.remove(&key) {
+            self.by_stamp.remove(&old);
+        }
+        let stamp = self.cold_stamp;
+        self.cold_stamp -= 1;
+        self.stamps.insert(key, stamp);
+        self.by_stamp.insert(stamp, key);
+        self.active.insert(key, false);
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True when no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// True if the page is tracked.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.stamps.contains_key(&key)
+    }
+
+    fn restamp(&mut self, key: PageKey) {
+        if let Some(old) = self.stamps.remove(&key) {
+            self.by_stamp.remove(&old);
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.stamps.insert(key, stamp);
+        self.by_stamp.insert(stamp, key);
+    }
+
+    /// Starts tracking a page at the MRU end (fresh pages are hot).
+    pub fn insert(&mut self, key: PageKey) {
+        self.restamp(key);
+        self.active.insert(key, false);
+    }
+
+    /// Records an access: restamp to MRU and set the referenced bit.
+    ///
+    /// No-op if the page is not tracked (e.g. currently swapped out).
+    pub fn touch(&mut self, key: PageKey) {
+        if self.stamps.contains_key(&key) {
+            self.restamp(key);
+            self.active.insert(key, true);
+        }
+    }
+
+    /// `madvise(HOT_RUNTIME)`: force the page to the MRU end with the
+    /// referenced bit set, making it survive the next reclaim scans.
+    pub fn promote(&mut self, key: PageKey) {
+        self.touch(key);
+    }
+
+    /// Stops tracking a page (evicted, unmapped or being swapped out).
+    pub fn remove(&mut self, key: PageKey) {
+        if let Some(stamp) = self.stamps.remove(&key) {
+            self.by_stamp.remove(&stamp);
+            self.active.remove(&key);
+        }
+    }
+
+    /// Pops the eviction victim: the coldest page without the referenced
+    /// bit. Referenced pages encountered on the way get their second chance
+    /// (bit cleared, rotated to the MRU end). Returns `None` when empty.
+    pub fn pop_coldest(&mut self) -> Option<PageKey> {
+        // Each page can be rotated at most once per call sequence because
+        // rotation clears its bit; bound the scan to avoid infinite loops.
+        let mut budget = self.stamps.len() * 2 + 1;
+        while budget > 0 {
+            budget -= 1;
+            let (&stamp, &key) = self.by_stamp.iter().next()?;
+            if self.active.get(&key).copied().unwrap_or(false) {
+                // Second chance: demote to MRU with the bit cleared.
+                self.by_stamp.remove(&stamp);
+                self.stamps.remove(&key);
+                let new_stamp = self.next_stamp;
+                self.next_stamp += 1;
+                self.stamps.insert(key, new_stamp);
+                self.by_stamp.insert(new_stamp, key);
+                self.active.insert(key, false);
+            } else {
+                self.remove(key);
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// Removes every page belonging to `pid`, returning how many were
+    /// dropped (process exit).
+    pub fn remove_process(&mut self, pid: crate::page::Pid) -> usize {
+        let victims: Vec<PageKey> = self.stamps.keys().filter(|k| k.pid == pid).copied().collect();
+        let n = victims.len();
+        for key in victims {
+            self.remove(key);
+        }
+        n
+    }
+
+    /// The coldest page without popping it (for inspection/tests).
+    pub fn peek_coldest(&self) -> Option<PageKey> {
+        self.by_stamp.values().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::Pid;
+
+    fn key(i: u64) -> PageKey {
+        PageKey { pid: Pid(0), index: i }
+    }
+
+    #[test]
+    fn eviction_follows_recency() {
+        let mut lru = LruQueue::new();
+        for i in 0..5 {
+            lru.insert(key(i));
+        }
+        assert_eq!(lru.pop_coldest(), Some(key(0)));
+        assert_eq!(lru.pop_coldest(), Some(key(1)));
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn touch_gives_second_chance() {
+        let mut lru = LruQueue::new();
+        lru.insert(key(0));
+        lru.insert(key(1));
+        lru.touch(key(0)); // referenced: survives one reclaim scan
+        // key(0) was restamped past key(1), so key(1) is the plain victim.
+        assert_eq!(lru.pop_coldest(), Some(key(1)));
+        // Now key(0) has its bit set: first pop rotates it, then evicts it.
+        assert_eq!(lru.pop_coldest(), Some(key(0)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn second_chance_rotation_order() {
+        let mut lru = LruQueue::new();
+        lru.insert(key(0));
+        lru.insert(key(1));
+        lru.insert(key(2));
+        lru.touch(key(0)); // 0 hot, order now: 1, 2, 0*
+        assert_eq!(lru.pop_coldest(), Some(key(1)));
+        assert_eq!(lru.pop_coldest(), Some(key(2)));
+        assert_eq!(lru.pop_coldest(), Some(key(0)));
+        assert_eq!(lru.pop_coldest(), None);
+    }
+
+    #[test]
+    fn promote_keeps_launch_pages_resident() {
+        let mut lru = LruQueue::new();
+        lru.insert(key(0)); // launch page
+        for i in 1..10 {
+            lru.insert(key(i));
+        }
+        lru.promote(key(0));
+        // Nine evictions should all pick other pages.
+        for _ in 0..9 {
+            assert_ne!(lru.pop_coldest(), Some(key(0)));
+        }
+        assert_eq!(lru.pop_coldest(), Some(key(0)));
+    }
+
+    #[test]
+    fn remove_process_drops_only_that_pid() {
+        let mut lru = LruQueue::new();
+        lru.insert(PageKey { pid: Pid(1), index: 0 });
+        lru.insert(PageKey { pid: Pid(2), index: 0 });
+        lru.insert(PageKey { pid: Pid(1), index: 1 });
+        assert_eq!(lru.remove_process(Pid(1)), 2);
+        assert_eq!(lru.len(), 1);
+        assert!(lru.contains(PageKey { pid: Pid(2), index: 0 }));
+    }
+
+    #[test]
+    fn touch_ignores_untracked_pages() {
+        let mut lru = LruQueue::new();
+        lru.touch(key(9));
+        assert!(lru.is_empty());
+        assert_eq!(lru.pop_coldest(), None);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut lru = LruQueue::new();
+        lru.insert(key(5));
+        assert_eq!(lru.peek_coldest(), Some(key(5)));
+        assert_eq!(lru.len(), 1);
+    }
+}

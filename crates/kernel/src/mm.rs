@@ -1,0 +1,912 @@
+//! The memory manager: frames, residency, faults, reclaim and madvise.
+//!
+//! This is the kernel half of the paper's "two-layer memory management"
+//! (§2.2). It owns the DRAM frame budget, the global page LRU, and the swap
+//! device, and implements:
+//!
+//! * demand paging — [`MemoryManager::access`] faults swapped pages back in
+//!   at flash latency (the §3.2 hot-launch stall mechanism),
+//! * watermark reclaim — [`MemoryManager::kswapd`] pushes cold pages out
+//!   when free memory is low,
+//! * Fleet's madvise extensions — [`MemoryManager::madvise_cold`]
+//!   (`COLD_RUNTIME`: actively swap a range out) and
+//!   [`MemoryManager::madvise_hot`] (`HOT_RUNTIME`: pin launch pages to the
+//!   hot end of the LRU), §5.3.2,
+//! * out-of-memory signalling — operations return [`MmError::OutOfMemory`]
+//!   when neither frames nor swap slots are available, at which point the
+//!   device layer invokes the low-memory killer.
+
+use crate::lru::LruQueue;
+use crate::page::{pages_in_range, PageKey, PageKind, PageState, Pid, PAGE_SIZE};
+use crate::swap::{SwapConfig, SwapDevice};
+use fleet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Who is touching memory; GC-kind accesses are the ones that "offset the
+/// effects of swapping" in Figure 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Application threads.
+    Mutator,
+    /// The garbage-collector thread.
+    Gc,
+    /// Accesses on the hot-launch critical path.
+    Launch,
+}
+
+/// Result of an [`MemoryManager::access`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// Stall time experienced by the accessing thread.
+    pub latency: SimDuration,
+    /// Pages that had to be faulted in from swap.
+    pub faulted_pages: u64,
+    /// Total pages touched (resident + faulted).
+    pub touched_pages: u64,
+}
+
+impl AccessOutcome {
+    /// Combines two outcomes (e.g. across several ranges of one operation).
+    pub fn merge(&mut self, other: AccessOutcome) {
+        self.latency += other.latency;
+        self.faulted_pages += other.faulted_pages;
+        self.touched_pages += other.touched_pages;
+    }
+}
+
+/// Errors from memory-manager operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmError {
+    /// No DRAM frame and no swap slot could be found; the caller should
+    /// kill a cached process and retry (the low-memory-killer path).
+    OutOfMemory,
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::OutOfMemory => write!(f, "out of memory: no free frame and swap is full"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// Memory-manager parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmConfig {
+    /// DRAM available for app pages, in bytes (Pixel 3: 4 GB minus the
+    /// system reserve; the device layer decides the exact figure).
+    pub dram_bytes: u64,
+    /// Swap device parameters.
+    pub swap: SwapConfig,
+    /// kswapd wakes below this many free frames…
+    pub low_watermark_frames: u64,
+    /// …and reclaims until this many frames are free.
+    pub high_watermark_frames: u64,
+    /// DRAM access cost per touched page (4 KiB / 9182.7 MB/s ≈ 0.45 µs).
+    pub dram_page_cost: SimDuration,
+    /// Sequential read bandwidth for re-reading dropped *file-backed* pages
+    /// (readahead from flash, bytes/s). Far faster than the swap path.
+    pub file_read_bw: f64,
+    /// Reclaim balance, after Linux's `vm.swappiness` (0–200 here): the
+    /// share of evictions that target anonymous memory while the file cache
+    /// is above its floor. 50 ⇒ one eviction in four goes to anon.
+    pub swappiness: u32,
+}
+
+impl Default for MmConfig {
+    fn default() -> Self {
+        let dram_bytes: u64 = 4 * 1024 * 1024 * 1024;
+        let frames = dram_bytes / PAGE_SIZE;
+        MmConfig {
+            dram_bytes,
+            swap: SwapConfig::default(),
+            low_watermark_frames: frames / 32,
+            high_watermark_frames: frames / 16,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+        }
+    }
+}
+
+impl MmConfig {
+    /// A tiny configuration for unit tests and doc examples: 1 MiB of DRAM
+    /// (256 frames) and 1 MiB of swap.
+    pub fn small_test() -> Self {
+        MmConfig {
+            dram_bytes: 1024 * 1024,
+            swap: SwapConfig { capacity_bytes: 1024 * 1024, ..SwapConfig::default() },
+            low_watermark_frames: 8,
+            high_watermark_frames: 16,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+        }
+    }
+}
+
+/// Aggregate kernel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Page faults served from swap, total.
+    pub faults: u64,
+    /// Faults caused by mutator accesses.
+    pub faults_mutator: u64,
+    /// Faults caused by the GC thread — the §3.2 conflict.
+    pub faults_gc: u64,
+    /// Faults on the hot-launch critical path.
+    pub faults_launch: u64,
+    /// Pages pushed to swap (reclaim + madvise).
+    pub pages_swapped_out: u64,
+    /// File-backed pages dropped by reclaim (no swap slot needed).
+    pub pages_dropped_file: u64,
+    /// Faults served by re-reading a file-backed page.
+    pub faults_file: u64,
+    /// Total stall time of faulting threads.
+    pub fault_stall_nanos: u64,
+    /// CPU time spent in kswapd/reclaim.
+    pub kswapd_cpu_nanos: u64,
+}
+
+/// Per-process residency snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProcessMem {
+    /// Pages in DRAM.
+    pub resident: u64,
+    /// Pages in swap.
+    pub swapped: u64,
+}
+
+/// The kernel memory manager.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_kernel::{AccessKind, MemoryManager, MmConfig, Pid};
+///
+/// let mut mm = MemoryManager::new(MmConfig::small_test());
+/// mm.map_range(Pid(1), 0, 16 * 4096).unwrap();
+/// let out = mm.access(Pid(1), 0, 4096, AccessKind::Mutator).unwrap();
+/// assert_eq!(out.touched_pages, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    config: MmConfig,
+    frames_capacity: u64,
+    states: HashMap<PageKey, PageState>,
+    kinds: HashMap<PageKey, PageKind>,
+    pid_pages: HashMap<Pid, HashSet<u64>>,
+    /// Pages excluded from LRU eviction (Marvin manages its Java heap
+    /// itself; the kernel must keep its hands off). Pinned pages can still
+    /// be swapped *explicitly* via `madvise_cold`.
+    pinned: HashSet<PageKey>,
+    resident_count: u64,
+    /// Per-process LRUs of resident anonymous pages. Android places every
+    /// app in its own memory cgroup; reclaim scans cgroups proportionally
+    /// to their size rather than by perfect global recency.
+    anon_lrus: BTreeMap<Pid, LruQueue>,
+    /// LRU of resident file-backed pages (the global file list).
+    file_lru: LruQueue,
+    /// Monotonic eviction counter driving the anon/file balance and the
+    /// proportional cgroup pick.
+    eviction_seq: u64,
+    swap: SwapDevice,
+    stats: KernelStats,
+}
+
+impl MemoryManager {
+    /// Creates a memory manager with no pages mapped.
+    pub fn new(config: MmConfig) -> Self {
+        let frames_capacity = config.dram_bytes / PAGE_SIZE;
+        MemoryManager {
+            config,
+            frames_capacity,
+            states: HashMap::new(),
+            kinds: HashMap::new(),
+            pid_pages: HashMap::new(),
+            pinned: HashSet::new(),
+            resident_count: 0,
+            anon_lrus: BTreeMap::new(),
+            file_lru: LruQueue::new(),
+            eviction_seq: 0,
+            swap: SwapDevice::new(config.swap),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MmConfig {
+        &self.config
+    }
+
+    /// Total DRAM frames.
+    pub fn frames_capacity(&self) -> u64 {
+        self.frames_capacity
+    }
+
+    /// Frames currently free. Zram-backed swap consumes DRAM for its
+    /// compressed store, so its footprint is subtracted too.
+    pub fn free_frames(&self) -> u64 {
+        self.frames_capacity
+            .saturating_sub(self.resident_count)
+            .saturating_sub(self.swap.frames_consumed())
+    }
+
+    /// Frames currently holding pages.
+    pub fn used_frames(&self) -> u64 {
+        self.resident_count
+    }
+
+    /// The swap device.
+    pub fn swap(&self) -> &SwapDevice {
+        &self.swap
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Per-process residency counts.
+    pub fn process_mem(&self, pid: Pid) -> ProcessMem {
+        let mut mem = ProcessMem::default();
+        if let Some(pages) = self.pid_pages.get(&pid) {
+            for &index in pages {
+                match self.states[&PageKey { pid, index }] {
+                    PageState::Resident => mem.resident += 1,
+                    PageState::Swapped => mem.swapped += 1,
+                }
+            }
+        }
+        mem
+    }
+
+    /// The state of one page, if mapped.
+    pub fn page_state(&self, key: PageKey) -> Option<PageState> {
+        self.states.get(&key).copied()
+    }
+
+    /// True if the page covering `addr` is mapped and resident.
+    pub fn is_resident(&self, pid: Pid, addr: u64) -> bool {
+        self.page_state(PageKey::of_addr(pid, addr)) == Some(PageState::Resident)
+    }
+
+    // ------------------------------------------------------------- map/unmap
+
+    /// Maps `[base, base + len)` for `pid`. New pages start resident (they
+    /// are written as they are allocated).
+    ///
+    /// Already-mapped pages in the range are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MmError::OutOfMemory`] when a frame cannot be found even
+    /// after evicting; pages mapped before the failure stay mapped.
+    pub fn map_range(&mut self, pid: Pid, base: u64, len: u64) -> Result<(), MmError> {
+        self.map_range_kind(pid, base, len, PageKind::Anon)
+    }
+
+    /// Maps `[base, base + len)` with an explicit page kind (anonymous or
+    /// file-backed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MmError::OutOfMemory`] when a frame cannot be found even
+    /// after evicting; pages mapped before the failure stay mapped.
+    pub fn map_range_kind(&mut self, pid: Pid, base: u64, len: u64, kind: PageKind) -> Result<(), MmError> {
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            if self.states.contains_key(&key) {
+                continue;
+            }
+            self.take_frame()?;
+            self.states.insert(key, PageState::Resident);
+            self.kinds.insert(key, kind);
+            self.resident_count += 1;
+            self.queue_insert(key);
+            self.pid_pages.entry(pid).or_default().insert(index);
+        }
+        Ok(())
+    }
+
+    fn kind_of(&self, key: PageKey) -> PageKind {
+        self.kinds.get(&key).copied().unwrap_or(PageKind::Anon)
+    }
+
+    fn queue_mut(&mut self, key: PageKey) -> &mut LruQueue {
+        match self.kind_of(key) {
+            PageKind::Anon => self.anon_lrus.entry(key.pid).or_default(),
+            PageKind::File => &mut self.file_lru,
+        }
+    }
+
+    fn queue_insert(&mut self, key: PageKey) {
+        self.queue_mut(key).insert(key);
+    }
+
+    fn queue_touch(&mut self, key: PageKey) {
+        self.queue_mut(key).touch(key);
+    }
+
+    fn queue_remove(&mut self, key: PageKey) {
+        self.queue_mut(key).remove(key);
+    }
+
+    fn anon_resident_total(&self) -> u64 {
+        self.anon_lrus.values().map(|q| q.len() as u64).sum()
+    }
+
+    /// Latency of re-reading `n` dropped file-backed pages (readahead).
+    fn file_read_cost(&mut self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.stats.faults_file += n;
+        let transfer = (n * PAGE_SIZE) as f64 / self.config.file_read_bw;
+        SimDuration::from_micros(100) + SimDuration::from_secs_f64(transfer)
+    }
+
+    /// Unmaps `[base, base + len)` for `pid`, releasing frames and swap
+    /// slots. Unmapped pages in the range are ignored.
+    pub fn unmap_range(&mut self, pid: Pid, base: u64, len: u64) {
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            self.unmap_page(key);
+        }
+    }
+
+    fn unmap_page(&mut self, key: PageKey) {
+        let Some(state) = self.states.remove(&key) else {
+            return;
+        };
+        self.pinned.remove(&key);
+        let kind = self.kinds.remove(&key).unwrap_or(PageKind::Anon);
+        match state {
+            PageState::Resident => {
+                self.resident_count -= 1;
+                match kind {
+                    PageKind::Anon => {
+                        if let Some(q) = self.anon_lrus.get_mut(&key.pid) {
+                            q.remove(key);
+                        }
+                    }
+                    PageKind::File => self.file_lru.remove(key),
+                }
+            }
+            // Only anonymous pages hold swap slots; file pages were dropped.
+            PageState::Swapped => {
+                if kind == PageKind::Anon {
+                    self.swap.release_page();
+                }
+            }
+        }
+        if let Some(pages) = self.pid_pages.get_mut(&key.pid) {
+            pages.remove(&key.index);
+        }
+    }
+
+    /// Unmaps every page of `pid` (process killed). Returns freed frames.
+    pub fn unmap_process(&mut self, pid: Pid) -> u64 {
+        let indexes: Vec<u64> = self.pid_pages.remove(&pid).map(|s| s.into_iter().collect()).unwrap_or_default();
+        let before = self.free_frames();
+        for index in indexes {
+            self.unmap_page(PageKey { pid, index });
+        }
+        self.anon_lrus.remove(&pid);
+        self.free_frames() - before
+    }
+
+    // ---------------------------------------------------------------- access
+
+    /// Touches `[addr, addr + len)` of `pid`: resident pages cost DRAM time
+    /// and refresh their LRU position; swapped pages fault in at flash
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MmError::OutOfMemory`] when faulting needs a frame and none
+    /// can be made free. The caller should free memory (kill a process) and
+    /// retry.
+    pub fn access(&mut self, pid: Pid, addr: u64, len: u64, kind: AccessKind) -> Result<AccessOutcome, MmError> {
+        let mut outcome = AccessOutcome::default();
+        let mut anon_faults = 0u64;
+        let mut file_faults = 0u64;
+        for index in pages_in_range(addr, len.max(1)) {
+            let key = PageKey { pid, index };
+            match self.states.get(&key) {
+                None => continue, // unmapped (e.g. native memory not modelled here)
+                Some(PageState::Resident) => {
+                    self.queue_touch(key);
+                    outcome.touched_pages += 1;
+                    outcome.latency += self.config.dram_page_cost;
+                }
+                Some(PageState::Swapped) => {
+                    self.take_frame()?;
+                    match self.kind_of(key) {
+                        PageKind::Anon => {
+                            self.swap.release_page();
+                            anon_faults += 1;
+                        }
+                        PageKind::File => file_faults += 1,
+                    }
+                    self.states.insert(key, PageState::Resident);
+                    self.resident_count += 1;
+                    if !self.pinned.contains(&key) {
+                        self.queue_insert(key);
+                        self.queue_touch(key);
+                    }
+                    outcome.touched_pages += 1;
+                }
+            }
+        }
+        if anon_faults + file_faults > 0 {
+            let stall = self.swap.read_pages(anon_faults) + self.file_read_cost(file_faults);
+            outcome.latency += stall;
+            outcome.faulted_pages = anon_faults + file_faults;
+            self.stats.faults += anon_faults + file_faults;
+            self.stats.fault_stall_nanos += stall.as_nanos();
+            match kind {
+                AccessKind::Mutator => self.stats.faults_mutator += anon_faults + file_faults,
+                AccessKind::Gc => self.stats.faults_gc += anon_faults + file_faults,
+                AccessKind::Launch => self.stats.faults_launch += anon_faults + file_faults,
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Finds a free frame, evicting the coldest page if necessary.
+    fn take_frame(&mut self) -> Result<(), MmError> {
+        if self.free_frames() > 0 {
+            return Ok(());
+        }
+        self.evict_one().map(|_| ())
+    }
+
+    /// Evicts one page. Policy mirrors Linux reclaim balance (swappiness):
+    /// mostly drop file-backed pages (they are free to reclaim), but under
+    /// sustained pressure every fourth eviction swaps an anonymous page —
+    /// a continuously-streaming foreground therefore steadily pushes idle
+    /// apps' heaps out to swap. Anonymous victims are chosen per-cgroup,
+    /// proportionally to each process's resident anon size (Android's
+    /// memcg reclaim), then coldest-first within that process. When the
+    /// file cache is below its floor (an eighth of DRAM) anon goes first;
+    /// when swap is full or absent, only file pages can go.
+    fn evict_one(&mut self) -> Result<PageKey, MmError> {
+        self.eviction_seq += 1;
+        let file_floor = self.frames_capacity / 8;
+        let file_resident = self.file_lru.len() as u64;
+        let anon_possible = !self.swap.is_full() && self.anon_resident_total() > 0;
+        // swappiness / 200 of evictions go to anon (default 50 ⇒ 1 in 4),
+        // spread evenly over the eviction sequence.
+        let sw = self.config.swappiness.clamp(0, 200) as u64;
+        let anon_turn =
+            sw > 0 && (self.eviction_seq * sw) / 200 != ((self.eviction_seq - 1) * sw) / 200;
+        let prefer_file = !self.file_lru.is_empty()
+            && (!anon_possible || (file_resident > file_floor && !anon_turn));
+        let order: [PageKind; 2] = if prefer_file {
+            [PageKind::File, PageKind::Anon]
+        } else {
+            [PageKind::Anon, PageKind::File]
+        };
+        for kind in order {
+            match kind {
+                PageKind::File => {
+                    if let Some(victim) = self.file_lru.pop_coldest() {
+                        self.states.insert(victim, PageState::Swapped);
+                        self.resident_count -= 1;
+                        self.stats.pages_dropped_file += 1;
+                        return Ok(victim);
+                    }
+                }
+                PageKind::Anon => {
+                    if self.swap.is_full() {
+                        continue;
+                    }
+                    if let Some(victim) = self.pop_anon_proportional() {
+                        let reserved = self.swap.reserve_page();
+                        debug_assert!(reserved, "swap fullness checked above");
+                        self.states.insert(victim, PageState::Swapped);
+                        self.resident_count -= 1;
+                        self.stats.pages_swapped_out += 1;
+                        self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
+                        return Ok(victim);
+                    }
+                }
+            }
+        }
+        Err(MmError::OutOfMemory)
+    }
+
+    /// Picks an anon victim: a process chosen proportionally to its
+    /// resident anon size (deterministic: driven by the eviction counter),
+    /// then that process's coldest page.
+    fn pop_anon_proportional(&mut self) -> Option<PageKey> {
+        let total = self.anon_resident_total();
+        if total == 0 {
+            return None;
+        }
+        // A multiplicative hash spreads consecutive eviction sequence
+        // numbers across the [0, total) range deterministically.
+        let target = self.eviction_seq.wrapping_mul(0x9e3779b97f4a7c15) % total;
+        let mut acc = 0u64;
+        let mut chosen: Option<Pid> = None;
+        for (&pid, q) in &self.anon_lrus {
+            acc += q.len() as u64;
+            if target < acc {
+                chosen = Some(pid);
+                break;
+            }
+        }
+        let start = chosen?;
+        // Pop from the chosen process; fall back to later (then earlier)
+        // processes if its queue yields nothing.
+        let pids: Vec<Pid> = self.anon_lrus.keys().copied().collect();
+        let start_idx = pids.iter().position(|&p| p == start).unwrap_or(0);
+        for offset in 0..pids.len() {
+            let pid = pids[(start_idx + offset) % pids.len()];
+            if let Some(q) = self.anon_lrus.get_mut(&pid) {
+                if let Some(victim) = q.pop_coldest() {
+                    return Some(victim);
+                }
+            }
+        }
+        None
+    }
+
+    // --------------------------------------------------------------- reclaim
+
+    /// Background reclaim: if free frames are below the low watermark,
+    /// evict cold pages until the high watermark is met, swap space runs
+    /// out, or nothing is evictable. Returns the number of pages reclaimed.
+    pub fn kswapd(&mut self) -> u64 {
+        if self.free_frames() >= self.config.low_watermark_frames {
+            return 0;
+        }
+        let mut reclaimed = 0;
+        while self.free_frames() < self.config.high_watermark_frames {
+            match self.evict_one() {
+                Ok(_) => reclaimed += 1,
+                Err(_) => break,
+            }
+        }
+        reclaimed
+    }
+
+    /// True when free memory is below the low watermark even though kswapd
+    /// has run — the signal the device layer uses to consider an LMK kill.
+    pub fn under_pressure(&self) -> bool {
+        self.free_frames() < self.config.low_watermark_frames
+    }
+
+    // ------------------------------------------------------------- pinning
+
+    /// Excludes the mapped pages of `[base, base + len)` from LRU eviction
+    /// (Marvin's runtime-managed Java heap). Pinned pages can still be
+    /// swapped explicitly with [`MemoryManager::madvise_cold`]. Returns the
+    /// number of pages pinned.
+    pub fn pin_range(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+        let mut pinned = 0;
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            if self.states.contains_key(&key) && self.pinned.insert(key) {
+                self.queue_remove(key);
+                pinned += 1;
+            }
+        }
+        pinned
+    }
+
+    /// Returns pinned pages of a range to kernel LRU control. Returns the
+    /// number of pages unpinned.
+    pub fn unpin_range(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+        let mut unpinned = 0;
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            if self.pinned.remove(&key) {
+                if self.states.get(&key) == Some(&PageState::Resident) {
+                    self.queue_insert(key);
+                }
+                unpinned += 1;
+            }
+        }
+        unpinned
+    }
+
+    /// True if the page covering `addr` is pinned.
+    pub fn is_pinned(&self, pid: Pid, addr: u64) -> bool {
+        self.pinned.contains(&PageKey::of_addr(pid, addr))
+    }
+
+    // --------------------------------------------------------------- madvise
+
+    /// `madvise(COLD_RUNTIME)` (§5.3.2): actively swaps the resident pages
+    /// of `[base, base + len)` out, ahead of memory pressure. Stops early if
+    /// swap fills up. Returns the number of pages swapped out.
+    pub fn madvise_cold(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+        let mut moved = 0;
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            if self.states.get(&key) == Some(&PageState::Resident) {
+                match self.kind_of(key) {
+                    PageKind::Anon => {
+                        if self.swap.is_full() || !self.swap.reserve_page() {
+                            break;
+                        }
+                        self.stats.pages_swapped_out += 1;
+                        self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
+                    }
+                    PageKind::File => self.stats.pages_dropped_file += 1,
+                }
+                self.queue_remove(key);
+                self.states.insert(key, PageState::Swapped);
+                self.resident_count -= 1;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// `madvise(HOT_RUNTIME)` (§5.3.2): rotates the resident pages of
+    /// `[base, base + len)` to the hot end of the LRU so reclaim will not
+    /// pick them. Swapped pages are left where they are. Returns the number
+    /// of pages promoted.
+    pub fn madvise_hot(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+        let mut promoted = 0;
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            if self.states.get(&key) == Some(&PageState::Resident) {
+                self.queue_mut(key).promote(key);
+                promoted += 1;
+            }
+        }
+        promoted
+    }
+
+    /// Prefetches swapped pages of several ranges back into DRAM in one
+    /// batched operation (ASAP-style prepaging: the whole set is issued as
+    /// one queued I/O, paying the setup latency once). Returns
+    /// `(pages, latency)`; stops early (without error) when memory runs out.
+    pub fn prefetch_many(&mut self, pid: Pid, ranges: &[(u64, u64)]) -> (u64, SimDuration) {
+        let mut anon = 0u64;
+        let mut file = 0u64;
+        'outer: for &(base, len) in ranges {
+            for index in pages_in_range(base, len) {
+                let key = PageKey { pid, index };
+                if self.states.get(&key) == Some(&PageState::Swapped) {
+                    if self.take_frame().is_err() {
+                        break 'outer;
+                    }
+                    match self.kind_of(key) {
+                        PageKind::Anon => {
+                            self.swap.release_page();
+                            anon += 1;
+                        }
+                        PageKind::File => file += 1,
+                    }
+                    self.states.insert(key, PageState::Resident);
+                    self.resident_count += 1;
+                    if !self.pinned.contains(&key) {
+                        self.queue_insert(key);
+                    }
+                }
+            }
+        }
+        let latency = self.swap.read_pages(anon) + self.file_read_cost(file);
+        (anon + file, latency)
+    }
+
+    /// Prefetches swapped pages of a range back into DRAM (used by the
+    /// ASAP-style prefetch extension). Returns `(pages, latency)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MmError::OutOfMemory`] when frames run out mid-prefetch.
+    pub fn prefetch(&mut self, pid: Pid, base: u64, len: u64) -> Result<(u64, SimDuration), MmError> {
+        let mut batch = 0;
+        for index in pages_in_range(base, len) {
+            let key = PageKey { pid, index };
+            if self.states.get(&key) == Some(&PageState::Swapped) {
+                self.take_frame()?;
+                if self.kind_of(key) == PageKind::Anon {
+                    self.swap.release_page();
+                }
+                self.states.insert(key, PageState::Resident);
+                self.resident_count += 1;
+                if !self.pinned.contains(&key) {
+                    self.queue_insert(key);
+                }
+                batch += 1;
+            }
+        }
+        let latency = self.swap.read_pages(batch);
+        Ok((batch, latency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm_with_frames(frames: u64, swap_pages: u64) -> MemoryManager {
+        MemoryManager::new(MmConfig {
+            dram_bytes: frames * PAGE_SIZE,
+            swap: SwapConfig { capacity_bytes: swap_pages * PAGE_SIZE, ..SwapConfig::default() },
+            low_watermark_frames: 0,
+            high_watermark_frames: 0,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+        })
+    }
+
+    #[test]
+    fn map_and_access_resident() {
+        let mut mm = mm_with_frames(8, 8);
+        mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.used_frames(), 3);
+        let out = mm.access(Pid(1), 0, 2 * PAGE_SIZE, AccessKind::Mutator).unwrap();
+        assert_eq!(out.touched_pages, 2);
+        assert_eq!(out.faulted_pages, 0);
+        assert_eq!(mm.stats().faults, 0);
+    }
+
+    #[test]
+    fn mapping_past_dram_evicts_lru() {
+        let mut mm = mm_with_frames(2, 4);
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        // Third page forces the eviction of page 0 (the coldest).
+        mm.map_range(Pid(1), 2 * PAGE_SIZE, PAGE_SIZE).unwrap();
+        assert_eq!(mm.used_frames(), 2);
+        assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Swapped));
+        assert_eq!(mm.stats().pages_swapped_out, 1);
+    }
+
+    #[test]
+    fn fault_brings_page_back_at_flash_latency() {
+        let mut mm = mm_with_frames(2, 4);
+        mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap(); // page 0 swapped
+        let out = mm.access(Pid(1), 0, 1, AccessKind::Launch).unwrap();
+        assert_eq!(out.faulted_pages, 1);
+        assert!(out.latency > SimDuration::from_micros(200), "flash fault should be slow: {}", out.latency);
+        assert_eq!(mm.stats().faults_launch, 1);
+        assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Resident));
+    }
+
+    #[test]
+    fn oom_when_swap_full_and_no_frames() {
+        let mut mm = mm_with_frames(2, 1);
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        mm.map_range(Pid(1), 2 * PAGE_SIZE, PAGE_SIZE).unwrap(); // swap now holds 1 page (full)
+        let err = mm.map_range(Pid(1), 3 * PAGE_SIZE, PAGE_SIZE);
+        assert_eq!(err, Err(MmError::OutOfMemory));
+        // Killing the process frees everything and mapping succeeds again.
+        let freed = mm.unmap_process(Pid(1));
+        assert_eq!(freed, 2);
+        assert_eq!(mm.swap().used_pages(), 0);
+        mm.map_range(Pid(2), 0, 2 * PAGE_SIZE).unwrap();
+    }
+
+    #[test]
+    fn unmap_releases_swap_slots() {
+        let mut mm = mm_with_frames(1, 4);
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap(); // page 0 swapped out
+        assert_eq!(mm.swap().used_pages(), 1);
+        mm.unmap_range(Pid(1), 0, 2 * PAGE_SIZE);
+        assert_eq!(mm.swap().used_pages(), 0);
+        assert_eq!(mm.used_frames(), 0);
+    }
+
+    #[test]
+    fn gc_faults_are_attributed() {
+        let mut mm = mm_with_frames(1, 4);
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 1, AccessKind::Gc).unwrap();
+        assert_eq!(mm.stats().faults_gc, 1);
+        assert_eq!(mm.stats().faults_mutator, 0);
+    }
+
+    #[test]
+    fn madvise_cold_swaps_out_range() {
+        let mut mm = mm_with_frames(8, 8);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        let moved = mm.madvise_cold(Pid(1), 0, 4 * PAGE_SIZE);
+        assert_eq!(moved, 4);
+        assert_eq!(mm.used_frames(), 0);
+        assert_eq!(mm.process_mem(Pid(1)).swapped, 4);
+    }
+
+    #[test]
+    fn madvise_cold_stops_when_swap_full() {
+        let mut mm = mm_with_frames(8, 2);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        let moved = mm.madvise_cold(Pid(1), 0, 4 * PAGE_SIZE);
+        assert_eq!(moved, 2);
+        assert_eq!(mm.process_mem(Pid(1)).resident, 2);
+    }
+
+    #[test]
+    fn madvise_hot_protects_pages_from_eviction() {
+        let mut mm = mm_with_frames(4, 8);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        // Promote page 0, then map two more pages forcing evictions.
+        assert_eq!(mm.madvise_hot(Pid(1), 0, PAGE_SIZE), 1);
+        mm.map_range(Pid(1), 4 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Resident));
+        // Pages 1 and 2 (cold, unreferenced) went instead.
+        assert_eq!(mm.process_mem(Pid(1)).swapped, 2);
+    }
+
+    #[test]
+    fn kswapd_restores_watermark() {
+        let mut mm = MemoryManager::new(MmConfig {
+            dram_bytes: 10 * PAGE_SIZE,
+            swap: SwapConfig { capacity_bytes: 20 * PAGE_SIZE, ..SwapConfig::default() },
+            low_watermark_frames: 2,
+            high_watermark_frames: 4,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+        });
+        mm.map_range(Pid(1), 0, 9 * PAGE_SIZE).unwrap(); // 1 free < low
+        assert!(mm.under_pressure());
+        let reclaimed = mm.kswapd();
+        assert_eq!(reclaimed, 3); // free goes 1 → 4
+        assert!(!mm.under_pressure());
+        assert_eq!(mm.kswapd(), 0); // already satisfied
+    }
+
+    #[test]
+    fn prefetch_restores_range() {
+        let mut mm = mm_with_frames(4, 8);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.madvise_cold(Pid(1), 0, 2 * PAGE_SIZE);
+        let (pages, latency) = mm.prefetch(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(pages, 2);
+        assert!(latency > SimDuration::ZERO);
+        assert_eq!(mm.process_mem(Pid(1)).swapped, 0);
+    }
+
+    #[test]
+    fn double_map_is_idempotent() {
+        let mut mm = mm_with_frames(4, 4);
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.used_frames(), 2);
+    }
+
+    #[test]
+    fn swappiness_steers_the_anon_file_balance() {
+        let run = |swappiness: u32| {
+            let mut mm = MemoryManager::new(MmConfig {
+                dram_bytes: 64 * PAGE_SIZE,
+                swap: SwapConfig { capacity_bytes: 256 * PAGE_SIZE, ..SwapConfig::default() },
+                low_watermark_frames: 0,
+                high_watermark_frames: 0,
+                swappiness,
+                ..MmConfig::default()
+            });
+            // Half anon, half file, then heavy extra file demand.
+            mm.map_range_kind(Pid(1), 0, 32 * PAGE_SIZE, PageKind::Anon).unwrap();
+            mm.map_range_kind(Pid(2), 0, 32 * PAGE_SIZE, PageKind::File).unwrap();
+            mm.map_range_kind(Pid(3), 0, 64 * PAGE_SIZE, PageKind::File).unwrap();
+            mm.stats().pages_swapped_out
+        };
+        let low = run(0);
+        let mid = run(50);
+        let high = run(200);
+        assert_eq!(low, 0, "swappiness 0 must never swap anon while file is droppable");
+        assert!(high > mid, "higher swappiness swaps more anon: {high} vs {mid}");
+        assert!(mid > 0, "default swappiness swaps some anon under sustained demand");
+    }
+
+    #[test]
+    fn access_to_unmapped_range_is_free() {
+        let mut mm = mm_with_frames(4, 4);
+        let out = mm.access(Pid(1), 0, PAGE_SIZE, AccessKind::Mutator).unwrap();
+        assert_eq!(out.touched_pages, 0);
+        assert_eq!(out.latency, SimDuration::ZERO);
+    }
+}

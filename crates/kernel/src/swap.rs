@@ -1,0 +1,277 @@
+//! The flash-based swap device.
+//!
+//! §3.2 of the paper measures the Pixel 3's storage with tinymembench and
+//! FIO: DRAM reads at 9182.7 MB/s versus 20.3 MB/s from the flash swap
+//! partition — a ~452× gap. Those two constants are the defaults here and
+//! drive every page-fault latency in the simulation.
+
+use crate::page::PAGE_SIZE;
+use fleet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What backs the swap space.
+///
+/// The paper evaluates a flash partition (§6), but mainstream vendors also
+/// ship compressed-RAM swap ("RAM plus", "memory expansion" — the zram
+/// devices of §2.2's citations). Zram trades DRAM for capacity: swapped
+/// pages still occupy `1/compression_ratio` of a frame, but come back at
+/// memcpy-plus-decompress speed instead of flash speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SwapMedium {
+    /// A flash block device (the paper's 2 GB partition).
+    Flash,
+    /// Compressed RAM with the given compression ratio (typically ~2.8x
+    /// with LZ4 on app heaps).
+    Zram {
+        /// Bytes of logical swap stored per byte of DRAM consumed.
+        compression_ratio: f64,
+    },
+}
+
+/// Swap device parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwapConfig {
+    /// Device capacity in bytes (the paper uses a 2 GB partition, §6).
+    pub capacity_bytes: u64,
+    /// Sequential read bandwidth in bytes/second (paper: 20.3 MB/s).
+    pub read_bw: f64,
+    /// Write bandwidth in bytes/second (flash writes are slower; 15 MB/s).
+    pub write_bw: f64,
+    /// Fixed per-operation latency (request setup + flash access).
+    pub op_latency: SimDuration,
+    /// What backs the space.
+    pub medium: SwapMedium,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            capacity_bytes: 2 * 1024 * 1024 * 1024,
+            read_bw: 20.3e6,
+            write_bw: 15.0e6,
+            op_latency: SimDuration::from_micros(80),
+            medium: SwapMedium::Flash,
+        }
+    }
+}
+
+impl SwapConfig {
+    /// A zram device: `capacity_bytes` of logical space at LZ4-class speed,
+    /// consuming DRAM at `1/compression_ratio` per stored page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compression_ratio` is not greater than 1.
+    pub fn zram(capacity_bytes: u64, compression_ratio: f64) -> Self {
+        assert!(compression_ratio > 1.0, "zram below 1:1 compression is pointless");
+        SwapConfig {
+            capacity_bytes,
+            read_bw: 1.2e9,
+            write_bw: 0.8e9,
+            op_latency: SimDuration::from_micros(4),
+            medium: SwapMedium::Zram { compression_ratio },
+        }
+    }
+}
+
+/// The swap partition: a capacity-limited store with asymmetric read/write
+/// cost.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_kernel::{SwapConfig, SwapDevice};
+///
+/// let mut swap = SwapDevice::new(SwapConfig::default());
+/// assert!(swap.reserve_page());
+/// let fault = swap.read_pages(1);
+/// assert!(fault.as_micros() > 100); // ~280 µs for 4 KiB at 20.3 MB/s
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapDevice {
+    config: SwapConfig,
+    used_pages: u64,
+    total_pages_written: u64,
+    total_pages_read: u64,
+}
+
+impl SwapDevice {
+    /// Creates an empty swap device.
+    pub fn new(config: SwapConfig) -> Self {
+        SwapDevice { config, used_pages: 0, total_pages_written: 0, total_pages_read: 0 }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SwapConfig {
+        &self.config
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.config.capacity_bytes / PAGE_SIZE
+    }
+
+    /// Pages currently stored.
+    pub fn used_pages(&self) -> u64 {
+        self.used_pages
+    }
+
+    /// Free page slots.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity_pages() - self.used_pages
+    }
+
+    /// True when no slot is free.
+    pub fn is_full(&self) -> bool {
+        self.used_pages >= self.capacity_pages()
+    }
+
+    /// Reserves a slot for one page being swapped out. Returns false when
+    /// the device is full (the page then cannot be evicted).
+    pub fn reserve_page(&mut self) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.used_pages += 1;
+        self.total_pages_written += 1;
+        true
+    }
+
+    /// Releases a slot (page faulted back in or unmapped while swapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is empty.
+    pub fn release_page(&mut self) {
+        assert!(self.used_pages > 0, "releasing a page from an empty swap device");
+        self.used_pages -= 1;
+    }
+
+    /// Latency of reading `n` pages back from the device (one operation:
+    /// a single setup cost plus bandwidth-limited transfer). This is the
+    /// cost a faulting thread stalls for.
+    pub fn read_pages(&mut self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.total_pages_read += n;
+        let transfer = (n * PAGE_SIZE) as f64 / self.config.read_bw;
+        self.config.op_latency + SimDuration::from_secs_f64(transfer)
+    }
+
+    /// Latency of writing `n` pages out (charged to kswapd, not mutators).
+    pub fn write_cost(&self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        let transfer = (n * PAGE_SIZE) as f64 / self.config.write_bw;
+        self.config.op_latency + SimDuration::from_secs_f64(transfer)
+    }
+
+    /// Total pages ever written to the device.
+    pub fn total_pages_written(&self) -> u64 {
+        self.total_pages_written
+    }
+
+    /// Total pages ever read from the device.
+    pub fn total_pages_read(&self) -> u64 {
+        self.total_pages_read
+    }
+
+    /// Total bytes moved in either direction (for the power model).
+    pub fn total_bytes_moved(&self) -> u64 {
+        (self.total_pages_written + self.total_pages_read) * PAGE_SIZE
+    }
+
+    /// DRAM frames consumed by the stored pages: zero for flash, the
+    /// compressed size for zram.
+    pub fn frames_consumed(&self) -> u64 {
+        match self.config.medium {
+            SwapMedium::Flash => 0,
+            SwapMedium::Zram { compression_ratio } => {
+                (self.used_pages as f64 / compression_ratio).ceil() as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_accounting() {
+        let mut swap = SwapDevice::new(SwapConfig { capacity_bytes: 3 * PAGE_SIZE, ..SwapConfig::default() });
+        assert_eq!(swap.capacity_pages(), 3);
+        assert!(swap.reserve_page());
+        assert!(swap.reserve_page());
+        assert!(swap.reserve_page());
+        assert!(swap.is_full());
+        assert!(!swap.reserve_page());
+        swap.release_page();
+        assert_eq!(swap.free_pages(), 1);
+        assert!(swap.reserve_page());
+    }
+
+    #[test]
+    fn read_latency_matches_bandwidth() {
+        let mut swap = SwapDevice::new(SwapConfig::default());
+        let one = swap.read_pages(1);
+        // 4096 B / 20.3 MB/s ≈ 201 µs + 80 µs op latency.
+        let expect_us = 4096.0 / 20.3e6 * 1e6 + 80.0;
+        assert!((one.as_micros() as f64 - expect_us).abs() < 2.0, "{one}");
+        // Batched read amortises the op latency.
+        let ten = swap.read_pages(10);
+        assert!(ten < one * 10);
+        assert_eq!(swap.total_pages_read(), 11);
+    }
+
+    #[test]
+    fn zero_page_ops_are_free() {
+        let mut swap = SwapDevice::new(SwapConfig::default());
+        assert_eq!(swap.read_pages(0), SimDuration::ZERO);
+        assert_eq!(swap.write_cost(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dram_to_swap_gap_is_about_452x() {
+        // Sanity-check the paper's constants: 9182.7 / 20.3 ≈ 452.
+        let gap: f64 = 9182.7 / 20.3;
+        assert!((gap - 452.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty swap")]
+    fn release_from_empty_panics() {
+        SwapDevice::new(SwapConfig::default()).release_page();
+    }
+
+    #[test]
+    fn zram_reads_are_orders_of_magnitude_faster() {
+        let mut flash = SwapDevice::new(SwapConfig::default());
+        let mut zram = SwapDevice::new(SwapConfig::zram(1024 * 1024 * 1024, 2.8));
+        let f = flash.read_pages(100);
+        let z = zram.read_pages(100);
+        assert!(f.as_nanos() > 50 * z.as_nanos(), "flash {f} vs zram {z}");
+    }
+
+    #[test]
+    fn zram_consumes_dram_flash_does_not() {
+        let mut flash = SwapDevice::new(SwapConfig::default());
+        let mut zram = SwapDevice::new(SwapConfig::zram(1024 * 1024 * 1024, 2.0));
+        for _ in 0..100 {
+            assert!(flash.reserve_page());
+            assert!(zram.reserve_page());
+        }
+        assert_eq!(flash.frames_consumed(), 0);
+        assert_eq!(zram.frames_consumed(), 50);
+        zram.release_page();
+        assert_eq!(zram.frames_consumed(), 50); // ceil(99/2)
+    }
+
+    #[test]
+    #[should_panic(expected = "pointless")]
+    fn zram_ratio_must_exceed_one() {
+        SwapConfig::zram(1024, 0.9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests on the kernel model's invariants.
+
+use fleet_kernel::{
+    AccessKind, MemoryManager, MmConfig, PageKind, Pid, SwapConfig, SwapMedium, PAGE_SIZE,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_mm(frames: u64, swap_pages: u64, medium: SwapMedium) -> MemoryManager {
+    let swap = match medium {
+        SwapMedium::Flash => {
+            SwapConfig { capacity_bytes: swap_pages * PAGE_SIZE, ..SwapConfig::default() }
+        }
+        SwapMedium::Zram { compression_ratio } => {
+            SwapConfig::zram(swap_pages * PAGE_SIZE, compression_ratio)
+        }
+    };
+    MemoryManager::new(MmConfig {
+        dram_bytes: frames * PAGE_SIZE,
+        swap,
+        low_watermark_frames: 2,
+        high_watermark_frames: 4,
+        ..MmConfig::default()
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MmOp {
+    Map { pid: u8, page: u16, file: bool },
+    Unmap { pid: u8, page: u16 },
+    Access { pid: u8, page: u16, gc: bool },
+    Cold { pid: u8, page: u16 },
+    Hot { pid: u8, page: u16 },
+    Pin { pid: u8, page: u16 },
+    Unpin { pid: u8, page: u16 },
+    Kswapd,
+    KillProcess { pid: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = MmOp> {
+    prop_oneof![
+        (0u8..4, 0u16..96, any::<bool>()).prop_map(|(pid, page, file)| MmOp::Map { pid, page, file }),
+        (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Unmap { pid, page }),
+        (0u8..4, 0u16..96, any::<bool>()).prop_map(|(pid, page, gc)| MmOp::Access { pid, page, gc }),
+        (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Cold { pid, page }),
+        (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Hot { pid, page }),
+        (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Pin { pid, page }),
+        (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Unpin { pid, page }),
+        Just(MmOp::Kswapd),
+        (0u8..4).prop_map(|pid| MmOp::KillProcess { pid }),
+    ]
+}
+
+fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError> {
+    let mut mapped: HashMap<(u8, u16), ()> = HashMap::new();
+    for op in ops {
+        match op {
+            MmOp::Map { pid, page, file } => {
+                let kind = if file { PageKind::File } else { PageKind::Anon };
+                if mm.map_range_kind(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE, kind).is_ok() {
+                    mapped.insert((pid, page), ());
+                }
+            }
+            MmOp::Unmap { pid, page } => {
+                mm.unmap_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+                mapped.remove(&(pid, page));
+            }
+            MmOp::Access { pid, page, gc } => {
+                let kind = if gc { AccessKind::Gc } else { AccessKind::Mutator };
+                let _ = mm.access(Pid(pid as u32), page as u64 * PAGE_SIZE, 64, kind);
+            }
+            MmOp::Cold { pid, page } => {
+                mm.madvise_cold(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Hot { pid, page } => {
+                mm.madvise_hot(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Pin { pid, page } => {
+                mm.pin_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Unpin { pid, page } => {
+                mm.unpin_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Kswapd => {
+                mm.kswapd();
+            }
+            MmOp::KillProcess { pid } => {
+                mm.unmap_process(Pid(pid as u32));
+                mapped.retain(|&(p, _), _| p != pid);
+            }
+        }
+        // Invariants after every operation.
+        let mut resident = 0;
+        let mut swapped = 0;
+        for pid in 0u8..4 {
+            let mem = mm.process_mem(Pid(pid as u32));
+            resident += mem.resident;
+            swapped += mem.swapped;
+        }
+        prop_assert_eq!(resident + swapped, mapped.len() as u64, "mapped pages must be accounted");
+        prop_assert!(mm.used_frames() <= mm.frames_capacity());
+        prop_assert!(mm.swap().used_pages() <= mm.swap().capacity_pages());
+        prop_assert!(resident <= mm.used_frames(), "process pages cannot exceed used frames");
+        prop_assert!(mm.free_frames() <= mm.frames_capacity());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn flash_scripts_conserve_pages(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        run_script(small_mm(48, 64, SwapMedium::Flash), ops)?;
+    }
+
+    #[test]
+    fn zram_scripts_conserve_pages(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        run_script(small_mm(48, 64, SwapMedium::Zram { compression_ratio: 2.5 }), ops)?;
+    }
+
+    #[test]
+    fn no_swap_scripts_conserve_pages(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        run_script(small_mm(48, 0, SwapMedium::Flash), ops)?;
+    }
+
+    #[test]
+    fn pinned_pages_survive_reclaim(pages in 1u64..24, pressure in 24u64..40) {
+        let mut mm = small_mm(32, 64, SwapMedium::Flash);
+        // Pin a few pages of pid 1.
+        mm.map_range(Pid(1), 0, pages * PAGE_SIZE).unwrap();
+        mm.pin_range(Pid(1), 0, pages * PAGE_SIZE);
+        // Create pressure from pid 2.
+        let _ = mm.map_range(Pid(2), 0, pressure * PAGE_SIZE);
+        mm.kswapd();
+        // Every pinned page is still resident.
+        for page in 0..pages {
+            prop_assert!(mm.is_resident(Pid(1), page * PAGE_SIZE), "pinned page {page} evicted");
+        }
+    }
+
+    #[test]
+    fn faults_always_restore_residency(pages in 2u64..24) {
+        let mut mm = small_mm(64, 64, SwapMedium::Flash);
+        mm.map_range(Pid(1), 0, pages * PAGE_SIZE).unwrap();
+        mm.madvise_cold(Pid(1), 0, pages * PAGE_SIZE);
+        prop_assert_eq!(mm.process_mem(Pid(1)).swapped, pages);
+        let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch).unwrap();
+        prop_assert_eq!(out.faulted_pages, pages);
+        prop_assert_eq!(mm.process_mem(Pid(1)).swapped, 0);
+        prop_assert!(out.latency > fleet_sim::SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,147 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 13 and 16 of the paper plot hot-launch CDFs per app and scheme;
+//! [`Cdf`] renders those curves as `(value, fraction)` pairs suitable for
+//! printing or plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a sample of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::Cdf;
+///
+/// let cdf = Cdf::from_values([100.0, 200.0, 300.0, 400.0]);
+/// assert_eq!(cdf.fraction_at_or_below(250.0), 0.5);
+/// assert_eq!(cdf.value_at_fraction(1.0), 400.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from any iterator of values. NaN values are dropped.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`. Returns 0 for an empty CDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample value `v` with `fraction_at_or_below(v) >= q`.
+    ///
+    /// Returns 0 for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn value_at_fraction(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "fraction {q} out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Renders the CDF as `points` evenly spaced `(value, fraction)` pairs.
+    ///
+    /// The first point is the sample minimum, the last the maximum.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// The sorted samples.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Cdf::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let c = Cdf::from_values(std::iter::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_or_below(10.0), 0.0);
+        assert_eq!(c.value_at_fraction(0.9), 0.0);
+        assert!(c.curve(10).is_empty());
+    }
+
+    #[test]
+    fn fractions_step_at_samples() {
+        let c = Cdf::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(c.fraction_at_or_below(2.9), 0.5);
+        assert_eq!(c.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(c.fraction_at_or_below(9.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_fraction() {
+        let c = Cdf::from_values([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(c.value_at_fraction(0.2), 10.0);
+        assert_eq!(c.value_at_fraction(0.5), 30.0);
+        assert_eq!(c.value_at_fraction(0.9), 50.0);
+        assert_eq!(c.value_at_fraction(0.0), 10.0);
+    }
+
+    #[test]
+    fn curve_spans_sample_range() {
+        let c = Cdf::from_values([0.0, 100.0]);
+        let curve = c.curve(5);
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], (0.0, 0.5));
+        assert_eq!(curve[4], (100.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_curve_collapses() {
+        let c = Cdf::from_values([7.0, 7.0, 7.0]);
+        assert_eq!(c.curve(10), vec![(7.0, 1.0)]);
+    }
+}

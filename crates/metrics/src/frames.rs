@@ -1,0 +1,145 @@
+//! Frame-rendering quality: jank ratio and frames per second.
+//!
+//! §7.3 of the paper counts a *jank* whenever the gap between two rendered
+//! frames exceeds 16.7 ms (the 60 Hz deadline) and reports the jank ratio
+//! (janks / frames) and FPS (frames / duration) per app and scheme
+//! (Figure 14). [`FrameRecorder`] consumes simulated frame timestamps and
+//! produces the same two statistics.
+
+use fleet_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The 60 Hz frame deadline used for jank detection (16.7 ms).
+pub const JANK_DEADLINE: SimDuration = SimDuration::from_micros(16_700);
+
+/// Accumulates frame-completion timestamps for one run.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::FrameRecorder;
+/// use fleet_sim::SimTime;
+///
+/// let mut rec = FrameRecorder::new();
+/// rec.frame(SimTime::from_millis(16));
+/// rec.frame(SimTime::from_millis(32));  // on time
+/// rec.frame(SimTime::from_millis(100)); // janky gap
+/// let report = rec.report();
+/// assert_eq!(report.frames, 3);
+/// assert_eq!(report.janks, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameRecorder {
+    frames: u64,
+    janks: u64,
+    last_frame: Option<SimTime>,
+    first_frame: Option<SimTime>,
+}
+
+/// Jank/FPS statistics for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameReport {
+    /// Total rendered frames.
+    pub frames: u64,
+    /// Frames whose gap from the previous frame exceeded [`JANK_DEADLINE`].
+    pub janks: u64,
+    /// Jank ratio in percent (janks / frames × 100).
+    pub jank_ratio_percent: f64,
+    /// Average frames per second over the recording window.
+    pub fps: f64,
+}
+
+impl FrameRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        FrameRecorder::default()
+    }
+
+    /// Records a frame completed at time `at`.
+    ///
+    /// Frames must be recorded in non-decreasing time order; out-of-order
+    /// frames are counted but never janky.
+    pub fn frame(&mut self, at: SimTime) {
+        if self.first_frame.is_none() {
+            self.first_frame = Some(at);
+        }
+        if let Some(prev) = self.last_frame {
+            if at.since(prev) > JANK_DEADLINE {
+                self.janks += 1;
+            }
+        }
+        self.last_frame = Some(at);
+        self.frames += 1;
+    }
+
+    /// Number of frames recorded so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Produces the jank/FPS report.
+    ///
+    /// FPS is frames divided by the span between the first and last frame;
+    /// a single-frame (or empty) recording reports 0 FPS.
+    pub fn report(&self) -> FrameReport {
+        let jank_ratio_percent = if self.frames == 0 {
+            0.0
+        } else {
+            100.0 * self.janks as f64 / self.frames as f64
+        };
+        let fps = match (self.first_frame, self.last_frame) {
+            (Some(first), Some(last)) if last > first => {
+                self.frames as f64 / (last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        FrameReport { frames: self.frames, janks: self.janks, jank_ratio_percent, fps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let r = FrameRecorder::new().report();
+        assert_eq!(r.frames, 0);
+        assert_eq!(r.janks, 0);
+        assert_eq!(r.jank_ratio_percent, 0.0);
+        assert_eq!(r.fps, 0.0);
+    }
+
+    #[test]
+    fn smooth_60hz_has_no_janks() {
+        let mut rec = FrameRecorder::new();
+        for i in 0..60 {
+            rec.frame(SimTime::from_nanos(i * 16_600_000));
+        }
+        let r = rec.report();
+        assert_eq!(r.janks, 0);
+        assert!((r.fps - 61.0).abs() < 1.5, "fps {}", r.fps);
+    }
+
+    #[test]
+    fn long_gaps_count_as_janks() {
+        let mut rec = FrameRecorder::new();
+        rec.frame(SimTime::from_millis(0));
+        rec.frame(SimTime::from_millis(16)); // fine
+        rec.frame(SimTime::from_millis(66)); // jank (50 ms gap)
+        rec.frame(SimTime::from_millis(82)); // fine
+        rec.frame(SimTime::from_millis(200)); // jank
+        let r = rec.report();
+        assert_eq!(r.frames, 5);
+        assert_eq!(r.janks, 2);
+        assert!((r.jank_ratio_percent - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exactly_at_deadline_is_not_jank() {
+        let mut rec = FrameRecorder::new();
+        rec.frame(SimTime::from_nanos(0));
+        rec.frame(SimTime::from_nanos(JANK_DEADLINE.as_nanos()));
+        assert_eq!(rec.report().janks, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Bucketed histograms for lifetime distributions.
+//!
+//! Figure 5 of the paper bins object lifetimes by the number of GC cycles
+//! survived, with a final "still alive after 15 GCs" bucket. [`Histogram`]
+//! reproduces that layout: `n` ordinary buckets plus an overflow bucket.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u32` keys with an explicit overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::Histogram;
+///
+/// let mut h = Histogram::new(15);
+/// h.record(0);
+/// h.record(3);
+/// h.record(99); // lands in the overflow bucket
+/// assert_eq!(h.count(3), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets for keys `0..limit`; keys `>= limit`
+    /// land in the overflow bucket.
+    pub fn new(limit: u32) -> Self {
+        Histogram { buckets: vec![0; limit as usize], overflow: 0 }
+    }
+
+    /// Records one observation of `key`.
+    pub fn record(&mut self, key: u32) {
+        match self.buckets.get_mut(key as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Records `n` observations of `key`.
+    pub fn record_n(&mut self, key: u32, n: u64) {
+        match self.buckets.get_mut(key as usize) {
+            Some(b) => *b += n,
+            None => self.overflow += n,
+        }
+    }
+
+    /// Count in bucket `key`; keys past the limit report the overflow count.
+    pub fn count(&self, key: u32) -> u64 {
+        self.buckets.get(key as usize).copied().unwrap_or(self.overflow)
+    }
+
+    /// The overflow ("survived past the last bucket") count.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Number of ordinary buckets.
+    pub fn limit(&self) -> u32 {
+        self.buckets.len() as u32
+    }
+
+    /// Per-bucket percentages (ordinary buckets then overflow), matching the
+    /// bar layout of Figure 5a/5b. Empty histograms yield all zeros.
+    pub fn percentages(&self) -> Vec<f64> {
+        let total = self.total();
+        let denom = if total == 0 { 1.0 } else { total as f64 };
+        self.buckets
+            .iter()
+            .chain(std::iter::once(&self.overflow))
+            .map(|&c| 100.0 * c as f64 / denom)
+            .collect()
+    }
+
+    /// Percentage of observations in the overflow bucket (e.g. "% of objects
+    /// alive after 15 GC cycles").
+    pub fn overflow_percent(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.overflow as f64 / total as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket limits differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.limit(), other.limit(), "histogram limits must match");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(0);
+        h.record(3);
+        h.record(4);
+        h.record(1000);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut h = Histogram::new(3);
+        for k in [0, 0, 1, 2, 5, 5] {
+            h.record(k);
+        }
+        let pcts = h.percentages();
+        assert_eq!(pcts.len(), 4);
+        assert!((pcts.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((h.overflow_percent() - 100.0 * 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_percentages() {
+        let h = Histogram::new(2);
+        assert_eq!(h.percentages(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(h.overflow_percent(), 0.0);
+    }
+
+    #[test]
+    fn record_n_bulk() {
+        let mut h = Histogram::new(2);
+        h.record_n(1, 10);
+        h.record_n(9, 5);
+        assert_eq!(h.count(1), 10);
+        assert_eq!(h.overflow(), 5);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(2);
+        a.record(0);
+        let mut b = Histogram::new(2);
+        b.record(0);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "limits must match")]
+    fn merge_rejects_mismatched_limits() {
+        Histogram::new(2).merge(&Histogram::new(3));
+    }
+}

@@ -1,0 +1,147 @@
+//! Timestamped series for access-trace figures.
+//!
+//! Figures 4 and 12b plot "objects accessed" against wall-clock time with
+//! phase markers (foreground→background, GC, hot-launch). [`TimeSeries`]
+//! stores `(seconds, value)` points plus named markers and can re-bucket
+//! itself for compact printing.
+
+use serde::{Deserialize, Serialize};
+
+/// A named time series of `(seconds, value)` samples with phase markers.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new("accessed objects");
+/// ts.push(1.0, 120.0);
+/// ts.push(2.0, 80.0);
+/// ts.mark(1.5, "switch to background");
+/// assert_eq!(ts.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+    markers: Vec<(f64, String)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new(), markers: Vec::new() }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample at time `secs`.
+    pub fn push(&mut self, secs: f64, value: f64) {
+        self.points.push((secs, value));
+    }
+
+    /// Adds a named phase marker (e.g. "GC", "hot-launch") at time `secs`.
+    pub fn mark(&mut self, secs: f64, label: impl Into<String>) {
+        self.markers.push((secs, label.into()));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw `(seconds, value)` samples in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The phase markers in insertion order.
+    pub fn markers(&self) -> &[(f64, String)] {
+        &self.markers
+    }
+
+    /// Largest sample value, or 0 when empty.
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Sums samples into fixed-width time buckets of `width` seconds,
+    /// returning `(bucket_start_secs, sum)` pairs for non-empty buckets in
+    /// time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a positive finite number.
+    pub fn bucket_sum(&self, width: f64) -> Vec<(f64, f64)> {
+        assert!(width.is_finite() && width > 0.0, "bucket width must be positive");
+        let mut buckets: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for &(t, v) in &self.points {
+            let idx = (t / width).floor() as u64;
+            *buckets.entry(idx).or_insert(0.0) += v;
+        }
+        buckets.into_iter().map(|(idx, sum)| (idx as f64 * width, sum)).collect()
+    }
+
+    /// Total of all sample values in the window `[from_secs, to_secs)`.
+    pub fn window_sum(&self, from_secs: f64, to_secs: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= from_secs && t < to_secs)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut ts = TimeSeries::new("gc");
+        assert!(ts.is_empty());
+        ts.push(0.5, 10.0);
+        ts.push(1.5, 20.0);
+        ts.mark(1.0, "bg");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.name(), "gc");
+        assert_eq!(ts.markers(), &[(1.0, "bg".to_string())]);
+        assert_eq!(ts.max_value(), 20.0);
+    }
+
+    #[test]
+    fn bucket_sum_groups_points() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(0.1, 1.0);
+        ts.push(0.9, 2.0);
+        ts.push(1.1, 4.0);
+        ts.push(5.0, 8.0);
+        let buckets = ts.bucket_sum(1.0);
+        assert_eq!(buckets, vec![(0.0, 3.0), (1.0, 4.0), (5.0, 8.0)]);
+    }
+
+    #[test]
+    fn window_sum_half_open() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(1.0, 1.0);
+        ts.push(2.0, 2.0);
+        ts.push(3.0, 4.0);
+        assert_eq!(ts.window_sum(1.0, 3.0), 3.0);
+        assert_eq!(ts.window_sum(0.0, 10.0), 7.0);
+        assert_eq!(ts.window_sum(4.0, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bucket_sum_rejects_zero_width() {
+        TimeSeries::new("x").bucket_sum(0.0);
+    }
+}

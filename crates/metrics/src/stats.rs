@@ -1,0 +1,89 @@
+//! Small statistical helpers shared by the reproduction harness.
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 for degenerate inputs (fewer than two points, or zero
+/// variance on either axis), which is the honest answer for "no linear
+/// relationship measurable".
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::correlation;
+///
+/// let heap_share = [4.0, 9.0, 20.0, 30.0];
+/// let speedup = [1.0, 1.2, 1.5, 1.9];
+/// assert!(correlation(&heap_share, &speedup) > 0.9);
+/// ```
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len()) as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let xs = &xs[..n as usize];
+    let ys = &ys[..n as usize];
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Geometric mean of strictly positive values; 1.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::geometric_mean;
+///
+/// assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((correlation(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((correlation(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        assert_eq!(correlation(&[], &[]), 0.0);
+        assert_eq!(correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(correlation(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let ys = [2.0, 3.0, 9.0, 1.0, 4.0];
+        let r = correlation(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&r));
+        assert!((r - correlation(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,372 @@
+//! Virtual time: [`SimTime`], [`SimDuration`] and the simulation [`Clock`].
+//!
+//! All latencies in the simulator (swap faults, GC pauses, frame deadlines,
+//! launch times) are expressed in these units. The representation is a `u64`
+//! nanosecond count, which covers ~584 years of simulated time — far beyond
+//! any experiment in the paper (the longest run is a 600-second trace).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation timeline, measured from the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(53);
+/// assert_eq!(t.as_secs_f64(), 53.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_sim::SimDuration;
+///
+/// let fault = SimDuration::from_micros(192);
+/// assert_eq!(fault * 10, SimDuration::from_micros(1920));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation timeline.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds since the start of the run.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from milliseconds since the start of the run.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds since the start of the run.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the start of the run (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the start of the run as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be a finite non-negative number");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Creates a duration from fractional milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns true for the zero-length duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; clamps at zero rather than wrapping.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the duration by a non-negative float (rounding to nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and non-negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.as_micros())
+        }
+    }
+}
+
+/// The simulation clock. Time only moves when a component calls
+/// [`Clock::advance`] or [`Clock::advance_to`].
+///
+/// # Examples
+///
+/// ```
+/// use fleet_sim::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(SimDuration::from_secs(10));
+/// clock.advance_to(SimTime::from_secs(8)); // never goes backwards
+/// assert_eq!(clock.now(), SimTime::from_secs(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock forward by `dt`.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.now += dt;
+    }
+
+    /// Moves the clock forward to `t`; does nothing if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_millis(1500);
+        assert_eq!(t.as_millis(), 1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        let t2 = t + SimDuration::from_millis(500);
+        assert_eq!(t2, SimTime::from_secs(2));
+        assert_eq!(t2 - t, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_millis(2);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(5)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_secs(3));
+        c.advance_to(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(3));
+        c.advance_to(SimTime::from_secs(4));
+        assert_eq!(c.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn scaling_rounds_to_nanoseconds() {
+        let d = SimDuration::from_nanos(10);
+        assert_eq!(d.mul_f64(0.26), SimDuration::from_nanos(3));
+        assert_eq!(d * 3, SimDuration::from_nanos(30));
+        assert_eq!(d / 2, SimDuration::from_nanos(5));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration =
+            (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,46 @@
+//! How many apps can each scheme keep cached? (Figure 11 in miniature.)
+//!
+//! Launches Marvin-style synthetic apps (§6: fixed object size, 180 MB
+//! footprint) one after another under all four schemes and prints the
+//! number of live apps after each launch.
+//!
+//! Run with: `cargo run --release --example caching_capacity [small|large]`
+
+use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet_apps::synthetic_app;
+
+fn main() {
+    let object_size = match std::env::args().nth(1).as_deref() {
+        Some("small") => 512,
+        _ => 2048,
+    };
+    println!("synthetic apps: {object_size} B objects, 180 MB footprint\n");
+    println!("{:<18} {:>10} {:>12}  curve", "scheme", "max cached", "first kill");
+
+    for scheme in SchemeKind::ALL {
+        let mut device = Device::new(DeviceConfig::pixel3(scheme));
+        let app = synthetic_app(object_size, 180);
+        let mut curve = Vec::new();
+        let mut first_kill = None;
+        for i in 0..24 {
+            device.launch_cold(&app);
+            device.run(10);
+            curve.push(device.cached_apps());
+            if first_kill.is_none() && !device.kills().is_empty() {
+                first_kill = Some(i + 1);
+            }
+        }
+        let max = curve.iter().copied().max().unwrap_or(0);
+        let curve_str: Vec<String> = curve.iter().map(|n| n.to_string()).collect();
+        println!(
+            "{:<18} {:>10} {:>12}  {}",
+            scheme.to_string(),
+            max,
+            first_kill.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            curve_str.join(",")
+        );
+    }
+    println!("\npaper (Figure 11): Android kills from 11 cached apps (max 14); Marvin and Fleet");
+    println!("reach ~18 for large objects, but Marvin collapses to ~9 for small objects while");
+    println!("Fleet is insensitive to object size — its grouping packs small objects into pages.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: a simulated Pixel 3 running Fleet.
+//!
+//! Cold-launches Twitter, caches it behind another app, lets Fleet's
+//! grouping + runtime-guided swap do their thing, then hot-launches it and
+//! prints where the time went.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet_apps::profile_by_name;
+
+fn main() {
+    // A Pixel 3 (4 GB DRAM, 2 GB swap) running the Fleet scheme.
+    let mut device = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
+
+    let twitter = profile_by_name("Twitter").expect("catalog app");
+    let telegram = profile_by_name("Telegram").expect("catalog app");
+
+    // Cold-launch Twitter and use it in the foreground for a while.
+    let (twitter_pid, cold) = device.launch_cold(&twitter);
+    device.run(10);
+    println!("cold launch: {cold:?}");
+
+    // Switch to Telegram; Twitter is now cached in the background. After
+    // Ts = 10 s Fleet runs its grouping GC, classifies NRO/FYO/WS/cold,
+    // swaps the cold pages out (COLD_RUNTIME) and pins the launch pages
+    // (HOT_RUNTIME).
+    device.launch_cold(&telegram);
+    device.run(20);
+
+    let proc = device.process(twitter_pid);
+    if let Some(grouped) = &proc.fleet.grouped {
+        println!(
+            "grouping: {} launch objects ({} KiB), {} ws objects, {} cold objects ({} KiB)",
+            grouped.launch_objects,
+            grouped.launch_bytes / 1024,
+            grouped.ws_objects,
+            grouped.cold_objects,
+            grouped.cold_bytes / 1024,
+        );
+    }
+    let mem = device.mm().process_mem(twitter_pid);
+    println!("twitter residency: {} pages resident, {} pages swapped", mem.resident, mem.swapped);
+
+    // Hot-launch Twitter: the launch working set was kept resident, so the
+    // launch sits near the render floor despite the swapped-out cold bulk.
+    let hot = device.switch_to(twitter_pid);
+    println!(
+        "hot launch: {} total ({} faulted pages, {} stall, {} gc pause)",
+        hot.total, hot.faulted_pages, hot.fault_stall, hot.gc_stw
+    );
+    assert!(hot.total < cold.total, "hot must beat cold");
+    println!("speedup over cold launch: {:.1}x", cold.total.as_millis_f64() / hot.total.as_millis_f64());
+}

