@@ -302,8 +302,7 @@ impl AppBehavior {
     /// young-allocation window (the ground truth behind FYO) and picks the
     /// background working set.
     pub fn enter_background(&mut self, heap: &Heap) {
-        self.young_at_switch =
-            self.recent.iter().copied().filter(|&o| heap.contains(o)).collect();
+        self.young_at_switch = self.recent.iter().copied().filter(|&o| heap.contains(o)).collect();
         // Working set: a small slice of framework plus the most recent data.
         self.ws.clear();
         let live_attach: Vec<ObjectId> =
@@ -486,7 +485,8 @@ mod tests {
         let access = app.launch_access(&heap);
         assert!(!access.objects.is_empty());
         let depths = depth_map(&heap, None);
-        let near: Vec<ObjectId> = depths.iter().filter(|&(_, &d)| d <= 2).map(|(&o, _)| o).collect();
+        let near: Vec<ObjectId> =
+            depths.iter().filter(|&(_, &d)| d <= 2).map(|(&o, _)| o).collect();
         let near_set: HashSet<ObjectId> = near.iter().copied().collect();
         let accessed_near = access.objects.iter().filter(|o| near_set.contains(o)).count();
         let near_rate = accessed_near as f64 / near.len() as f64;

@@ -19,7 +19,11 @@ fn bench_tables(c: &mut Criterion) {
     // Tables 1–3: configuration rendering.
     c.bench_function("table1_2_3_render", |b| {
         b.iter(|| {
-            (tables::table1().to_string(), tables::table2().to_string(), tables::table3().to_string())
+            (
+                tables::table1().to_string(),
+                tables::table2().to_string(),
+                tables::table3().to_string(),
+            )
         })
     });
 }

@@ -44,15 +44,27 @@ fn main() {
                 device.run(10);
                 max = max.max(device.cached_apps());
             }
-            println!("{scheme:>16}: max={max} final={} kills={}", device.cached_apps(), device.kills().len());
+            println!(
+                "{scheme:>16}: max={max} final={} kills={}",
+                device.cached_apps(),
+                device.kills().len()
+            );
         }
     }
 
     if what == "hot" || what == "all" {
         println!("== hot launch under pressure (10 apps, 6 launches of Twitter) ==");
         let apps: Vec<String> = [
-            "Twitter", "Facebook", "Instagram", "Youtube", "Tiktok", "Spotify", "Chrome",
-            "GoogleMaps", "AmazonShop", "LinkedIn",
+            "Twitter",
+            "Facebook",
+            "Instagram",
+            "Youtube",
+            "Tiktok",
+            "Spotify",
+            "Chrome",
+            "GoogleMaps",
+            "AmazonShop",
+            "LinkedIn",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -5,8 +5,16 @@ use fleet::SchemeKind;
 
 fn main() {
     let apps: Vec<String> = [
-        "Twitter", "Facebook", "Instagram", "Youtube", "Tiktok", "Spotify", "Chrome",
-        "GoogleMaps", "AmazonShop", "LinkedIn",
+        "Twitter",
+        "Facebook",
+        "Instagram",
+        "Youtube",
+        "Tiktok",
+        "Spotify",
+        "Chrome",
+        "GoogleMaps",
+        "AmazonShop",
+        "LinkedIn",
     ]
     .iter()
     .map(|s| s.to_string())

@@ -3,15 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--export DIR]
-//!       [all|fig2|fig3|fig4|fig5|fig6|fig7|table1|table2|table3|
-//!        fig11|fig12|fig13|fig14|fig15|fig16|cpu|power|overhead|
-//!        sensitivity|ablation]
+//! repro [--quick] [--seed N] [--export DIR] [--threads N] [--list]
+//!       [SELECTOR ...]
 //! ```
 //!
-//! With `--export DIR`, the raw records behind the major figures are also
-//! written as JSON (one file per experiment) for external plotting — the
-//! analogue of the paper artifact's notebook inputs.
+//! A `SELECTOR` is an experiment id (`fig13`), an alias (`fig15`, `cdf`),
+//! a driver module (`hot_launch`), or a glob over those (`fig1*`);
+//! comma-separated lists work too (`repro hot_launch,fig11*`). With no
+//! selector, `all` runs the full registry. `--list` prints the id table.
+//!
+//! Experiments run in parallel (`--threads`, default: the machine's
+//! parallelism). Each experiment's RNG seed is derived from `--seed` and
+//! its id, so output — including `--export DIR` JSON, one file per
+//! artifact — is bit-identical whatever the thread count.
 //!
 //! Each section prints the simulator's measurement next to the paper's
 //! reported value. Absolute numbers are not expected to match (the
@@ -20,48 +24,65 @@
 //! EXPERIMENTS.md records a snapshot of this output with commentary.
 
 use fleet::experiment::export::ExportRecord;
-use fleet::experiment::{
-    ablation, access_trace, caching, frames, gc_working_set, hot_launch, launch_basics,
-    lifetimes, object_sizes, reaccess, runtime, sensitivity, tables,
-};
-use serde::Serialize;
-use fleet_metrics::{correlation, Summary, Table};
+use fleet::experiment::harness;
+use fleet_metrics::Table;
 
 struct Opts {
     quick: bool,
     seed: u64,
     what: Vec<String>,
     export: Option<std::path::PathBuf>,
+    threads: usize,
+    list: bool,
 }
 
-impl Opts {
-    fn export<T: Serialize>(&self, id: &str, paper: &str, data: &T) {
-        let Some(dir) = &self.export else { return };
-        std::fs::create_dir_all(dir).expect("create export dir");
-        match ExportRecord::new(id, paper, data).write_to_dir(dir) {
-            Ok(path) => println!("[exported {}]", path.display()),
-            Err(e) => eprintln!("export of {id} failed: {e}"),
-        }
-    }
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--export DIR] [--threads N] [--list] [SELECTOR ...]"
+    );
+    std::process::exit(2);
 }
 
 fn parse_args() -> Opts {
-    let mut opts = Opts { quick: false, seed: 0xF1EE7, what: Vec::new(), export: None };
+    let mut opts = Opts {
+        quick: false,
+        seed: 0xF1EE7,
+        what: Vec::new(),
+        export: None,
+        threads: default_threads(),
+        list: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--list" => opts.list = true,
             "--seed" => {
                 opts.seed = args
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--seed needs a number"));
+                    .unwrap_or_else(|| usage_error("--seed needs a number"));
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage_error("--threads needs a positive number"));
             }
             "--export" => {
-                let dir = args.next().unwrap_or_else(|| panic!("--export needs a directory"));
+                let dir = args.next().unwrap_or_else(|| usage_error("--export needs a directory"));
                 opts.export = Some(std::path::PathBuf::from(dir));
             }
-            other => opts.what.push(other.to_string()),
+            other if other.starts_with('-') => usage_error(&format!("unknown flag `{other}`")),
+            other => {
+                opts.what.extend(other.split(',').filter(|s| !s.is_empty()).map(|s| s.to_string()))
+            }
         }
     }
     if opts.what.is_empty() {
@@ -70,440 +91,72 @@ fn parse_args() -> Opts {
     opts
 }
 
-fn wants(opts: &Opts, key: &str) -> bool {
-    opts.what.iter().any(|w| w == key || w == "all")
-}
-
-fn header(title: &str) {
-    println!();
-    println!("================================================================");
-    println!("{title}");
-    println!("================================================================");
+fn print_registry() {
+    let mut t = Table::new(["Id", "Aliases", "Module", "Title"]);
+    for exp in harness::REGISTRY {
+        t.row([
+            exp.id().to_string(),
+            exp.aliases().join(", "),
+            exp.module().to_string(),
+            exp.title().to_string(),
+        ]);
+    }
+    print!("{t}");
 }
 
 fn main() {
     let opts = parse_args();
-    let seed = opts.seed;
-    let launches = if opts.quick { 6 } else { 20 };
-
-    if wants(&opts, "table1") {
-        header("Table 1 — comparison methods");
-        print!("{}", tables::table1());
-    }
-    if wants(&opts, "table2") {
-        header("Table 2 — Fleet's default parameters");
-        print!("{}", tables::table2());
-    }
-    if wants(&opts, "table3") {
-        header("Table 3 — commercial apps for evaluation");
-        print!("{}", tables::table3());
+    if opts.list {
+        print_registry();
+        return;
     }
 
-    if wants(&opts, "fig2") {
-        header("Figure 2 — hot vs cold launch times (idle device)");
-        let rows = launch_basics::fig2(seed, launches.min(10));
-        opts.export("fig2", "hot ≪ cold; Twitter 273 vs 2390 ms", &rows);
-        let mut t = Table::new(["App", "Hot (ms)", "Cold (ms)", "Cold/Hot", "Paper (hot/cold, Twitter: 273/2390)"]);
-        for r in &rows {
-            t.row([
-                r.app.clone(),
-                format!("{:.0} ± {:.0}", r.hot_mean_ms, r.hot_std_ms),
-                format!("{:.0} ± {:.0}", r.cold_mean_ms, r.cold_std_ms),
-                format!("{:.1}x", r.cold_mean_ms / r.hot_mean_ms),
-                "hot ≪ cold for every app".to_string(),
-            ]);
+    let selected = match harness::select(&opts.what) {
+        Ok(selected) => selected,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("run `repro --list` for the experiment table");
+            std::process::exit(2);
         }
-        print!("{t}");
+    };
+
+    if let Some(dir) = &opts.export {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            usage_error(&format!("cannot create export dir {}: {e}", dir.display()));
+        }
     }
 
-    if wants(&opts, "fig4") {
-        header("Figure 4 — accessed objects over time (Amazon shop, Android)");
-        let result = access_trace::fig4(seed);
-        println!("markers: {:?}", result.markers);
-        let mut t = Table::new(["Window (s)", "Mutator samples", "GC samples", "Launch samples"]);
-        let count = |from: f64, to: f64, src: fleet::TraceSource| {
-            result.samples.iter().filter(|s| s.secs >= from && s.secs < to && s.source == src).count()
-        };
-        for w in [(0.0, 20.0), (20.0, 35.0), (35.0, 40.0), (40.0, 52.0), (52.0, 62.0)] {
-            t.row([
-                format!("{:.0}–{:.0}", w.0, w.1),
-                count(w.0, w.1, fleet::TraceSource::Mutator).to_string(),
-                count(w.0, w.1, fleet::TraceSource::Gc).to_string(),
-                count(w.0, w.1, fleet::TraceSource::Launch).to_string(),
-            ]);
-        }
-        print!("{t}");
-        println!("paper shape: quiet background, GC access spike ≈37 s, launch re-accesses ≈53 s");
-    }
+    let reports = harness::run_experiments(&selected, opts.seed, opts.quick, opts.threads, true);
 
-    if wants(&opts, "fig5") {
-        header("Figure 5 — FGO/BGO lifetimes and footprints");
-        let result = lifetimes::fig5(seed, 15);
-        println!(
-            "5a FGO alive after 15 GCs: {:.0}%   (paper: > 40%)",
-            result.fgo_lifetime.overflow_percent()
-        );
-        println!(
-            "5b BGO alive after 15 GCs: {:.0}%   (paper: most BGO die within the first few GCs)",
-            result.bgo_lifetime.overflow_percent()
-        );
-        let bgo_early: u64 = (0..3).map(|c| result.bgo_lifetime.count(c)).sum();
-        println!(
-            "5b BGO dying within 3 GCs: {:.0}%",
-            100.0 * bgo_early as f64 / result.bgo_lifetime.total().max(1) as f64
-        );
-        let mut t = Table::new(["App", "FGO (MB)", "BGO (MB)", "Paper: FGO occupy the majority"]);
-        for row in &result.footprints {
-            t.row([
-                row.app.clone(),
-                format!("{:.1}", row.fgo_mb),
-                format!("{:.2}", row.bgo_mb),
-                String::new(),
-            ]);
-        }
-        print!("{t}");
-    }
-
-    if wants(&opts, "fig6") {
-        header("Figure 6a — NRO/FYO re-access shares and footprints");
-        let rows = reaccess::fig6a(seed);
-        let mut t = Table::new(["App", "NRO %", "FYO %", "Both %", "NRO mem %", "FYO mem %", "Both mem %"]);
-        for r in &rows {
-            t.row([
-                r.app.clone(),
-                format!("{:.0}", r.nro_share_pct),
-                format!("{:.0}", r.fyo_share_pct),
-                format!("{:.0}", r.both_share_pct),
-                format!("{:.1}", r.nro_mem_pct),
-                format!("{:.1}", r.fyo_mem_pct),
-                format!("{:.1}", r.both_mem_pct),
-            ]);
-        }
-        print!("{t}");
-        println!("paper averages: NRO ≈50%, FYO ≈40%, both ≈68% of re-accesses for ≈15.5% of memory");
-        header("Figure 6b — NRO depth sweep (Twitter)");
-        let points = reaccess::fig6b(seed, 14);
-        let mut t = Table::new(["Depth D", "Re-access coverage %", "Memory footprint %"]);
-        for p in &points {
-            t.row([p.depth.to_string(), format!("{:.0}", p.reaccess_coverage_pct), format!("{:.1}", p.mem_footprint_pct)]);
-        }
-        print!("{t}");
-        println!("paper shape: coverage rises much faster than footprint at small D");
-    }
-
-    if wants(&opts, "fig7") {
-        header("Figure 7 — object-size distribution (CDF %)");
-        let rows = object_sizes::fig7(seed, 50_000);
-        let mut head = vec!["Size (B)".to_string()];
-        head.extend(rows.iter().map(|r| r.app.clone()));
-        let mut t = Table::new(head);
-        for (i, &(size, _)) in rows[0].cdf.iter().enumerate() {
-            let mut cells = vec![size.to_string()];
-            cells.extend(rows.iter().map(|r| format!("{:.0}", r.cdf[i].1)));
-            t.row(cells);
-        }
-        print!("{t}");
-        println!("paper shape: the vast majority of objects are far below the 4096 B page size");
-    }
-
-    if wants(&opts, "fig11") {
-        header("Figure 11a — caching capacity, large-object (2048 B) synthetic apps");
-        let (max_apps, use_secs) = if opts.quick { (20, 6) } else { (28, 30) };
-        let curves = caching::fig11a(seed, max_apps, use_secs);
-        opts.export("fig11a", "Android ≈14, Marvin ≈18, Fleet ≈18", &curves);
-        print_capacity(&curves, "paper: Android max ≈14 (kills from 11), Marvin ≈18, Fleet ≈18");
-        header("Figure 11b — caching capacity, small-object (512 B) synthetic apps");
-        let curves = caching::fig11b(seed, max_apps, use_secs);
-        opts.export("fig11b", "Marvin ≈9, Fleet ≈18 (2x)", &curves);
-        print_capacity(&curves, "paper: Marvin collapses to ≈9; Fleet stays ≈18 (2x)");
-        header("Figure 11c — caching capacity, commercial apps (round-robin)");
-        let results = caching::fig11c(seed, if opts.quick { 1 } else { 2 }, if opts.quick { 8 } else { 30 });
-        let mut t = Table::new(["Scheme", "Max cached", "Paper"]);
-        for r in &results {
-            t.row([r.scheme.clone(), r.max_cached.to_string(), "Fleet 17 ≈ 1.21x Android-with-swap".to_string()]);
-        }
-        print!("{t}");
-    }
-
-    if wants(&opts, "fig12") {
-        header("Figure 12a — background GC working set (objects, real-scale)");
-        let rows = gc_working_set::fig12a(seed);
-        opts.export("fig12a", "≈7x working-set reduction", &rows);
-        let mut t = Table::new(["App", "Android", "Fleet w/o BGC", "Fleet w/ BGC", "Reduction"]);
-        for r in &rows {
-            t.row([
-                r.app.clone(),
-                r.android.to_string(),
-                r.fleet_without_bgc.to_string(),
-                r.fleet_with_bgc.to_string(),
-                format!("{:.1}x", r.android as f64 / r.fleet_with_bgc.max(1) as f64),
-            ]);
-        }
-        print!("{t}");
-        println!(
-            "average reduction {:.1}x   (paper: ≈7x, from ~7e5 to ~1e5 objects)",
-            gc_working_set::average_reduction(&rows)
-        );
-        header("Figure 12b — accessed objects over 600 s (Twitch), Android vs Fleet");
-        for result in access_trace::fig12b(seed) {
-            let bg_gc = access_trace::gc_samples_in_window(&result, 190.0, 480.0);
-            println!("{:>8}: GC-touched samples in the background window = {bg_gc}", result.scheme);
-        }
-        println!("paper shape: Fleet's background GC activity is an order of magnitude lower");
-    }
-
-    let mut fig13_data = None;
-    if wants(&opts, "fig13") || wants(&opts, "fig15") || wants(&opts, "fig16") || wants(&opts, "cdf") {
-        header("Figure 13 — hot-launch under memory pressure (Android / Marvin / Fleet)");
-        let data = hot_launch::fig13(seed, launches);
-        opts.export("fig13", "Fleet 1.59x vs Android, 2.62x vs Marvin (medians)", &data);
-        let median_rows = hot_launch::speedups_at(&data, 50.0);
-        let mut t = Table::new(["App", "Android p50", "Marvin p50", "Fleet p50", "vs Android", "vs Marvin", "Java heap %"]);
-        for r in &median_rows {
-            t.row([
-                r.app.clone(),
-                format!("{:.0} ms", r.android_ms),
-                format!("{:.0} ms", r.marvin_ms),
-                format!("{:.0} ms", r.fleet_ms),
-                format!("{:.2}x", r.speedup_vs_android),
-                format!("{:.2}x", r.speedup_vs_marvin),
-                format!("{:.0}", r.java_heap_pct),
-            ]);
-        }
-        print!("{t}");
-        println!(
-            "13m geomean median speedup: {:.2}x vs Android (paper 1.59x), {:.2}x vs Marvin (paper 2.62x)",
-            hot_launch::geomean_speedup(&median_rows, false),
-            hot_launch::geomean_speedup(&median_rows, true)
-        );
-        // 13n: speedup vs java-heap share correlation.
-        let corr = correlation(
-            &median_rows.iter().map(|r| r.java_heap_pct).collect::<Vec<_>>(),
-            &median_rows.iter().map(|r| r.speedup_vs_android).collect::<Vec<_>>(),
-        );
-        println!("13n correlation(speedup, java-heap %): {corr:.2}   (paper: positive correlation)");
-        fig13_data = Some(data);
-    }
-
-    if wants(&opts, "fig15") {
-        header("Figure 15 — speedup at the 90th/10th percentile and the mean");
-        let data = fig13_data.as_ref().expect("fig13 ran above");
-        for (label, p, paper) in [("90th", 90.0, "2.56x vs Android, 4.45x vs Marvin"), ("10th", 10.0, "modest"), ] {
-            let rows = hot_launch::speedups_at(data, p);
-            println!(
-                "{label} percentile: {:.2}x vs Android, {:.2}x vs Marvin   (paper: {paper})",
-                hot_launch::geomean_speedup(&rows, false),
-                hot_launch::geomean_speedup(&rows, true)
-            );
-        }
-        let rows = hot_launch::mean_speedups(data);
-        println!(
-            "mean: {:.2}x vs Android, {:.2}x vs Marvin",
-            hot_launch::geomean_speedup(&rows, false),
-            hot_launch::geomean_speedup(&rows, true)
-        );
-    }
-
-    if wants(&opts, "cdf") {
-        header("Figure 13a–l — hot-launch CDF curves (10-point summaries)");
-        let data = match &fig13_data {
-            Some(d) => d,
-            None => {
-                println!("(run together with fig13, e.g. `repro fig13 cdf`)");
-                &Vec::new()
+    let mut failed = false;
+    for report in &reports {
+        match &report.result {
+            Ok(output) => {
+                print!("{}", output.render());
+                if let Some(dir) = &opts.export {
+                    for artifact in &output.exports {
+                        let record =
+                            ExportRecord::new(&artifact.id, &artifact.paper, &artifact.data);
+                        match record.write_to_dir(dir) {
+                            Ok(path) => println!("[exported {}]", path.display()),
+                            Err(e) => {
+                                eprintln!("export of {} failed: {e}", artifact.id);
+                                failed = true;
+                            }
+                        }
+                    }
+                }
             }
-        };
-        for scheme in data {
-            for (app, samples) in &scheme.per_app_ms {
-                let cdf = fleet_metrics::Cdf::from_values(samples.iter().copied());
-                let curve: Vec<String> = cdf
-                    .curve(10)
-                    .into_iter()
-                    .map(|(ms, frac)| format!("{:.0}ms:{:.0}%", ms, 100.0 * frac))
-                    .collect();
-                println!("{:>8} {:<12} {}", scheme.scheme, app, curve.join(" "));
+            Err(e) => {
+                eprintln!("{} failed: {e}", report.id);
+                failed = true;
             }
         }
-    }
-
-    if wants(&opts, "fig16") {
-        header("Figure 16 — remaining six apps (CDF summary)");
-        let data = fig13_data.as_ref().expect("fig13 ran above");
-        let mut t = Table::new(["App", "Scheme", "p10", "p50", "p90 (ms)"]);
-        for app in fleet::experiment::scenario::fig16_apps() {
-            for d in data {
-                let s = d.summary(&app);
-                t.row([
-                    app.clone(),
-                    d.scheme.clone(),
-                    format!("{:.0}", s.p10()),
-                    format!("{:.0}", s.median()),
-                    format!("{:.0}", s.p90()),
-                ]);
-            }
-        }
-        print!("{t}");
-        println!("paper note: Candy Crush (4% Java heap) sees little benefit — Fleet targets the Java heap");
-    }
-
-    if wants(&opts, "fig3") {
-        header("Figure 3 — 90th-percentile tail hot-launch (motivation)");
-        let data = hot_launch::fig3(seed, launches.min(10));
-        let mut t = Table::new(["App", "w/o swap p90", "w/ swap p90", "Marvin p90 (ms)"]);
-        let apps: Vec<String> = data[0].per_app_ms.keys().cloned().collect();
-        for app in &apps {
-            t.row([
-                app.clone(),
-                format!("{:.0}", data[0].summary(app).p90()),
-                format!("{:.0}", data[1].summary(app).p90()),
-                format!("{:.0}", data[2].summary(app).p90()),
-            ]);
-        }
-        print!("{t}");
-        let agg = |d: &hot_launch::HotLaunchData| {
-            Summary::from_values(d.per_app_ms.values().flatten().copied()).p90()
-        };
-        println!(
-            "aggregate p90: no-swap {:.0} ms, swap {:.0} ms, Marvin {:.0} ms   (paper: both swap and Marvin deteriorate tails, e.g. Instagram 147→1027 ms)",
-            agg(&data[0]),
-            agg(&data[1]),
-            agg(&data[2])
-        );
-    }
-
-    if wants(&opts, "fig14") {
-        header("Figure 14 — frame rendering: jank ratio and FPS");
-        let secs = if opts.quick { 20 } else { 60 };
-        let apps = if opts.quick {
-            Some(vec!["Twitter".to_string(), "Tiktok".to_string(), "Chrome".to_string(), "CandyCrush".to_string()])
-        } else {
-            None
-        };
-        let rows = frames::fig14(seed, secs, apps);
-        let mut t = Table::new(["Scheme", "Mean jank %", "Mean FPS", "Paper"]);
-        for (scheme, jank, fps) in frames::scheme_means(&rows) {
-            let paper = match scheme.as_str() {
-                "Fleet" => "≈ Android; 19.9%/20.3% better than Marvin",
-                "Marvin" => "worst jank and FPS",
-                _ => "baseline",
-            };
-            t.row([scheme, format!("{jank:.1}"), format!("{fps:.1}"), paper.to_string()]);
-        }
-        print!("{t}");
-    }
-
-    if wants(&opts, "cpu") {
-        header("§7.3 — CPU usage");
-        let rows = runtime::cpu_usage(seed, if opts.quick { 2 } else { 4 });
-        let mut t = Table::new(["Scheme", "Total CPU (s)", "GC share %", "Kernel share %"]);
-        for r in &rows {
-            t.row([
-                r.scheme.clone(),
-                format!("{:.2}", r.total_cpu_s),
-                format!("{:.2}", r.gc_share_pct),
-                format!("{:.2}", r.kernel_share_pct),
-            ]);
-        }
-        print!("{t}");
-        let get = |name: &str| rows.iter().find(|r| r.scheme == name).map(|r| r.total_cpu_s).unwrap_or(0.0);
-        println!(
-            "Fleet vs Android: {:+.2}%   (paper: +0.18%);  Fleet vs Marvin: {:+.2}%   (paper: −3.21%)",
-            100.0 * (get("Fleet") - get("Android")) / get("Android"),
-            100.0 * (get("Fleet") - get("Marvin")) / get("Marvin"),
-        );
-    }
-
-    if wants(&opts, "power") {
-        header("§7.3 — power consumption");
-        let rows = runtime::power(seed, if opts.quick { 1 } else { 2 });
-        let mut t = Table::new(["Scheme", "Average (mW)", "CPU (mW)", "Swap (mW)", "Paper"]);
-        for r in &rows {
-            let paper = if r.scheme == "Fleet" { "1851 ± 143 mW" } else { "1817 ± 197 mW" };
-            t.row([
-                r.scheme.clone(),
-                format!("{:.0}", r.average_mw),
-                format!("{:.0}", r.cpu_mw),
-                format!("{:.0}", r.swap_mw),
-                paper.to_string(),
-            ]);
-        }
-        print!("{t}");
-        println!("paper: equal within the standard error");
-    }
-
-    if wants(&opts, "overhead") {
-        header("§7.3 — memory overhead (card table)");
-        let report = runtime::memory_overhead();
-        println!(
-            "card table for a 4 GiB heap: {} MiB   (paper: 4 MB, fixed, ∝ heap size)",
-            report.card_table_bytes_per_4gib / (1024 * 1024)
-        );
-        println!("bytes of card table per heap byte: {:.6}", report.bytes_per_heap_byte);
-    }
-
-    if wants(&opts, "sensitivity") {
-        header("§7.4 — sensitivity to the background heap-size factor");
-        let rows = sensitivity::sensitivity(seed, if opts.quick { 14 } else { 24 }, if opts.quick { 4 } else { 8 });
-        let mut t = Table::new(["Scheme", "Factor", "Max cached", "Median hot (ms)"]);
-        for r in &rows {
-            t.row([
-                r.scheme.clone(),
-                format!("{:.1}", r.factor),
-                r.max_cached.to_string(),
-                format!("{:.0}", r.median_hot_ms),
-            ]);
-        }
-        print!("{t}");
-        println!("paper: Fleet's caching gain needs 1.1x; Fleet's launch time is robust across factors, Android's varies ≈31%");
-    }
-
-    if wants(&opts, "ablation") {
-        header("Extensions — Fleet mechanism ablations");
-        let (l, cap) = if opts.quick { (4, 14) } else { (8, 22) };
-        let variants = ablation::fleet_variants(seed, l, cap);
-        opts.export("ablation_fleet", "mechanism knock-outs", &variants);
-        print_ablation(&variants);
-        println!("BGC carries the caching capacity; COLD_RUNTIME buys headroom; HOT_RUNTIME is");
-        println!("precautionary at this pressure; the depth parameter D trades launch coverage");
-        println!("for launch-region footprint (see Figure 6b).");
-        header("Extensions — ASAP-style prefetching vs Fleet (§8 related work)");
-        print_ablation(&ablation::asap_comparison(seed, l, cap));
-        println!("paper's point: prefetching speeds launches but does not fix the GC-swap");
-        println!("conflict, so it cannot recover Fleet's caching capacity.");
-        header("Extensions — flash vs zram (compressed-RAM) swap");
-        print_ablation(&ablation::zram_comparison(seed, l, cap));
-        println!("zram removes the 20.3 MB/s flash penalty but eats DRAM for its store.");
     }
 
     println!();
     println!("done.");
-}
-
-fn print_ablation(rows: &[ablation::AblationRow]) {
-    let mut t = Table::new(["Variant", "Hot p50 (ms)", "Hot p90 (ms)", "Max cached"]);
-    for r in rows {
-        t.row([
-            r.variant.clone(),
-            format!("{:.0}", r.median_hot_ms),
-            format!("{:.0}", r.p90_hot_ms),
-            r.max_cached.to_string(),
-        ]);
+    if failed {
+        std::process::exit(1);
     }
-    print!("{t}");
 }
-
-fn print_capacity(curves: &[caching::CapacityCurve], paper: &str) {
-    let mut t = Table::new(["Scheme", "Max cached", "First kill at launch #", "Curve (cached after each launch)"]);
-    for c in curves {
-        let curve: Vec<String> = c.cached_after_launch.iter().map(|n| n.to_string()).collect();
-        t.row([
-            c.scheme.clone(),
-            c.max_cached.to_string(),
-            c.first_kill_at.map(|n| n.to_string()).unwrap_or_else(|| "-".to_string()),
-            curve.join(","),
-        ]);
-    }
-    print!("{t}");
-    println!("{paper}");
-}
-

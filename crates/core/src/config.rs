@@ -1,5 +1,6 @@
 //! Device configuration: the simulated Pixel 3 and the simulation scale.
 
+use crate::error::FleetError;
 use crate::params::{FleetParams, SchemeKind};
 use fleet_kernel::{MmConfig, SwapConfig, SwapMedium, PAGE_SIZE};
 use fleet_sim::SimDuration;
@@ -67,6 +68,27 @@ pub struct DeviceConfig {
 }
 
 impl DeviceConfig {
+    /// Starts a [`DeviceConfigBuilder`] from the §6 Pixel 3 defaults.
+    ///
+    /// The builder is the preferred way to derive experiment variants:
+    /// it keeps the Pixel 3 baseline in one place and validates the result
+    /// in [`DeviceConfigBuilder::build`], so a sweep cannot silently run
+    /// with an impossible configuration.
+    ///
+    /// ```
+    /// use fleet::{DeviceConfig, SchemeKind};
+    ///
+    /// let cfg = DeviceConfig::builder(SchemeKind::Fleet)
+    ///     .dram_mib(6144)
+    ///     .swap_read_bw(40.0e6)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.dram_mib, 6144);
+    /// ```
+    pub fn builder(scheme: SchemeKind) -> DeviceConfigBuilder {
+        DeviceConfigBuilder { config: DeviceConfig::pixel3(scheme) }
+    }
+
     /// The §6 Pixel 3 platform running `scheme`, at 1/16 scale.
     pub fn pixel3(scheme: SchemeKind) -> Self {
         DeviceConfig {
@@ -164,6 +186,96 @@ impl DeviceConfig {
     }
 }
 
+/// Builder for [`DeviceConfig`], seeded from the Pixel 3 defaults.
+///
+/// Created by [`DeviceConfig::builder`]. Every setter overrides one field of
+/// the §6 platform; [`DeviceConfigBuilder::build`] validates the combination
+/// and returns [`FleetError::InvalidConfig`] on contradiction, which is the
+/// difference from mutating a `DeviceConfig` struct literal by hand.
+#[derive(Debug, Clone)]
+pub struct DeviceConfigBuilder {
+    config: DeviceConfig,
+}
+
+impl DeviceConfigBuilder {
+    /// Memory-management scheme under test.
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.config.scheme = scheme;
+        self
+    }
+
+    /// Scale divisor (capacities shrink, per-byte latencies grow).
+    pub fn scale(mut self, scale: u32) -> Self {
+        self.config.scale = scale;
+        self
+    }
+
+    /// Physical DRAM in MiB.
+    pub fn dram_mib(mut self, mib: u32) -> Self {
+        self.config.dram_mib = mib;
+        self
+    }
+
+    /// Swap partition size in MiB.
+    pub fn swap_mib(mut self, mib: u32) -> Self {
+        self.config.swap_mib = mib;
+        self
+    }
+
+    /// Swap read bandwidth at real scale, bytes/s.
+    pub fn swap_read_bw(mut self, bw: f64) -> Self {
+        self.config.swap_read_bw = bw;
+        self
+    }
+
+    /// Swap write bandwidth at real scale, bytes/s.
+    pub fn swap_write_bw(mut self, bw: f64) -> Self {
+        self.config.swap_write_bw = bw;
+        self
+    }
+
+    /// Backs the swap space with a zram device at the given compression
+    /// ratio instead of the paper's flash partition.
+    pub fn zram(mut self, compression_ratio: f64) -> Self {
+        self.config.swap_medium = SwapMedium::Zram { compression_ratio };
+        self
+    }
+
+    /// Any [`SwapMedium`], for cases the [`Self::zram`] shorthand can't say.
+    pub fn swap_medium(mut self, medium: SwapMedium) -> Self {
+        self.config.swap_medium = medium;
+        self
+    }
+
+    /// Heap-growth factor while an app is in the background (§7.4).
+    pub fn heap_growth_background(mut self, factor: f64) -> Self {
+        self.config.heap_growth_background = factor;
+        self
+    }
+
+    /// Kernel reclaim balance (`vm.swappiness`-style, 0–200).
+    pub fn swappiness(mut self, swappiness: u32) -> Self {
+        self.config.swappiness = swappiness;
+        self
+    }
+
+    /// Master seed for the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidConfig`] naming the first violated constraint.
+    pub fn build(self) -> Result<DeviceConfig, FleetError> {
+        self.config.validate().map_err(FleetError::InvalidConfig)?;
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +306,31 @@ mod tests {
         let real_time = (16.0 * 100.0 * PAGE_SIZE as f64) / 20.3e6;
         let scaled_time = (100.0 * PAGE_SIZE as f64) / mm.swap.read_bw;
         assert!((real_time - scaled_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_matches_pixel3_when_untouched() {
+        let built = DeviceConfig::builder(SchemeKind::Marvin).build().unwrap();
+        assert_eq!(built, DeviceConfig::pixel3(SchemeKind::Marvin));
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = DeviceConfig::builder(SchemeKind::Fleet)
+            .dram_mib(8192)
+            .swap_read_bw(40.0e6)
+            .swap_write_bw(30.0e6)
+            .zram(2.5)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.dram_mib, 8192);
+        assert_eq!(cfg.swap_read_bw, 40.0e6);
+        assert_eq!(cfg.swap_medium, SwapMedium::Zram { compression_ratio: 2.5 });
+        assert_eq!(cfg.seed, 42);
+
+        let err = DeviceConfig::builder(SchemeKind::Fleet).scale(0).build();
+        assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! + the pause/stall of a launch-triggered GC.
 
 use crate::config::DeviceConfig;
+use crate::error::FleetError;
 use crate::params::SchemeKind;
 use crate::process::{AppState, FleetProcState, GcRecord, LaunchKind, LaunchReport, Process};
 use fleet_apps::{AppBehavior, AppProfile};
@@ -27,7 +28,9 @@ use fleet_gc::{
     GroupingGc, MarvinGc, MemoryTouch, MinorGc,
 };
 use fleet_heap::{AllocContext, Heap, HeapConfig, HeapEvent, ObjectId, RegionKind, PAGE_SIZE};
-use fleet_kernel::{choose_victim, AccessKind, AccessOutcome, LmkCandidate, MemoryManager, PageKind, Pid};
+use fleet_kernel::{
+    choose_victim, AccessKind, AccessOutcome, LmkCandidate, MemoryManager, PageKind, Pid,
+};
 use fleet_metrics::ThreadClass;
 use fleet_sim::{Clock, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -164,9 +167,20 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails [`DeviceConfig::validate`].
+    /// Panics if `config` fails [`DeviceConfig::validate`]; see
+    /// [`Device::try_new`] for the fallible form.
     pub fn new(config: DeviceConfig) -> Self {
-        config.validate().expect("invalid device configuration");
+        Self::try_new(config).expect("invalid device configuration")
+    }
+
+    /// Creates a device, or reports why the configuration is invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidConfig`] if `config` fails
+    /// [`DeviceConfig::validate`].
+    pub fn try_new(config: DeviceConfig) -> Result<Self, FleetError> {
+        config.validate().map_err(FleetError::InvalidConfig)?;
         let scale = config.scale as u64;
         let gc_cost = GcCostModel {
             per_object_trace: SimDuration::from_nanos(150 * scale),
@@ -175,7 +189,7 @@ impl Device {
             stw_base: SimDuration::from_micros(800),
             marvin_per_stub_stw: SimDuration::from_nanos(6000 * scale),
         };
-        Device {
+        Ok(Device {
             mm: MemoryManager::new(config.mm_config()),
             clock: Clock::new(),
             procs: BTreeMap::new(),
@@ -192,7 +206,7 @@ impl Device {
             scratch_tail: 0,
             launch_history: BTreeMap::new(),
             config,
-        }
+        })
     }
 
     /// The device configuration.
@@ -214,14 +228,20 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if `pid` is not alive.
+    /// Panics if `pid` is not alive; see [`Device::try_process`] for the
+    /// fallible form.
     pub fn process(&self, pid: Pid) -> &Process {
-        self.procs.get(&pid).expect("process not alive")
+        self.try_process(pid).expect("process not alive")
     }
 
-    /// A live process, if any.
-    pub fn try_process(&self, pid: Pid) -> Option<&Process> {
-        self.procs.get(&pid)
+    /// A live process, or [`FleetError::ProcessNotAlive`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::ProcessNotAlive`] if `pid` has been killed or
+    /// never existed.
+    pub fn try_process(&self, pid: Pid) -> Result<&Process, FleetError> {
+        self.procs.get(&pid).ok_or(FleetError::ProcessNotAlive(pid))
     }
 
     /// Pids of all live processes in creation order.
@@ -256,7 +276,8 @@ impl Device {
 
     /// Enables 1-in-`every` object-access tracing for `pid`.
     pub fn enable_trace(&mut self, pid: Pid, every: u64) {
-        self.trace = Some(DeviceTrace { target: pid, every: every.max(1), counter: 0, samples: Vec::new() });
+        self.trace =
+            Some(DeviceTrace { target: pid, every: every.max(1), counter: 0, samples: Vec::new() });
     }
 
     /// Stops tracing and returns the trace.
@@ -354,19 +375,32 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if `pid` is not a live cached process.
+    /// Panics if `pid` is not a live cached process; see
+    /// [`Device::try_switch_to`] for the fallible form.
     pub fn switch_to(&mut self, pid: Pid) -> LaunchReport {
-        assert!(self.procs.contains_key(&pid), "switch_to a dead process");
+        self.try_switch_to(pid).expect("switch_to a dead process")
+    }
+
+    /// Hot-launches a cached app, or reports that it is not alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::ProcessNotAlive`] if `pid` has been killed or
+    /// never existed.
+    pub fn try_switch_to(&mut self, pid: Pid) -> Result<LaunchReport, FleetError> {
+        if !self.procs.contains_key(&pid) {
+            return Err(FleetError::ProcessNotAlive(pid));
+        }
         if self.foreground == Some(pid) {
             // Already foreground: instantaneous.
-            return LaunchReport {
+            return Ok(LaunchReport {
                 kind: LaunchKind::Hot,
                 at: self.now(),
                 total: SimDuration::ZERO,
                 fault_stall: SimDuration::ZERO,
                 faulted_pages: 0,
                 gc_stw: SimDuration::ZERO,
-            };
+            });
         }
         self.background_current();
 
@@ -400,7 +434,12 @@ impl Device {
             prefetch_overlap = latency;
         }
         for run in page_runs(&pages) {
-            let o = self.access_with_retry(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE, AccessKind::Launch);
+            let o = self.access_with_retry(
+                pid,
+                run.0 * PAGE_SIZE,
+                run.1 * PAGE_SIZE,
+                AccessKind::Launch,
+            );
             outcome.merge(o);
         }
         // Native working set: a slice of the anonymous mapping (slow when
@@ -453,8 +492,7 @@ impl Device {
         if let Some(marvin) = proc.marvin.as_mut() {
             // §3.1 drawback (i): resuming mutators over bookmarked objects
             // needs a stop-the-world reconciliation of the stub table.
-            marvin_resume =
-                self.gc_cost.marvin_per_stub_stw * marvin.state().stub_count() as u64;
+            marvin_resume = self.gc_cost.marvin_per_stub_stw * marvin.state().stub_count() as u64;
             // Touched objects are resident again; their stubs retire.
             for &obj in &access.objects {
                 marvin.state_mut().mark_resident(obj);
@@ -490,7 +528,7 @@ impl Device {
         proc.launches.push(report);
         self.launch_history.insert(name, history);
         self.clock.advance(total);
-        report
+        Ok(report)
     }
 
     /// Moves the current foreground app (if any) to the background and arms
@@ -624,7 +662,11 @@ impl Device {
         // Slide the window: drop cache pages beyond the retention budget.
         if self.scratch_head - self.scratch_tail > PAGECACHE_WINDOW {
             let drop_to = self.scratch_head - PAGECACHE_WINDOW;
-            self.mm.unmap_range(PAGECACHE_PID, SCRATCH_BASE + self.scratch_tail, drop_to - self.scratch_tail);
+            self.mm.unmap_range(
+                PAGECACHE_PID,
+                SCRATCH_BASE + self.scratch_tail,
+                drop_to - self.scratch_tail,
+            );
             self.scratch_tail = drop_to;
         }
     }
@@ -668,9 +710,25 @@ impl Device {
     // ------------------------------------------------------------------- GC
 
     /// Runs the scheme-appropriate collector for `pid` now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not alive; see [`Device::try_run_gc`] for the
+    /// fallible form.
     pub fn run_gc(&mut self, pid: Pid) -> GcStats {
+        self.try_run_gc(pid).expect("run_gc on a dead process")
+    }
+
+    /// Runs the scheme-appropriate collector for `pid` now, or reports that
+    /// the process is not alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::ProcessNotAlive`] if `pid` has been killed or
+    /// never existed.
+    pub fn try_run_gc(&mut self, pid: Pid) -> Result<GcStats, FleetError> {
         let scheme = self.config.scheme;
-        let state = self.procs.get(&pid).expect("alive").state;
+        let state = self.try_process(pid)?.state;
         let stats = {
             let proc = self.procs.get_mut(&pid).expect("alive");
             let mut touch = KernelTouch::new(&mut self.mm, pid, &mut self.oom_touch_skips);
@@ -681,7 +739,9 @@ impl Device {
                     proc.marvin = Some(gc);
                     stats
                 }
-                SchemeKind::Fleet if state == AppState::Background && !self.config.fleet_disable_bgc => {
+                SchemeKind::Fleet
+                    if state == AppState::Background && !self.config.fleet_disable_bgc =>
+                {
                     BackgroundObjectGc::new(self.gc_cost).collect(&mut proc.heap, &mut touch)
                 }
                 // Foreground apps get ART's tiered policy: a minor GC over
@@ -690,7 +750,8 @@ impl Device {
                 _ if state == AppState::Foreground => {
                     let minor = MinorGc::new(self.gc_cost).collect(&mut proc.heap, &mut touch);
                     if proc.heap.should_trigger_gc() {
-                        let full = FullCopyingGc::new(self.gc_cost).collect(&mut proc.heap, &mut touch);
+                        let full =
+                            FullCopyingGc::new(self.gc_cost).collect(&mut proc.heap, &mut touch);
                         let _ = minor; // the escalation's stats supersede it
                         full
                     } else {
@@ -701,7 +762,7 @@ impl Device {
             }
         };
         self.finish_gc(pid, stats);
-        stats
+        Ok(stats)
     }
 
     /// Fleet's RGS grouping GC (§5.3.1) plus the §5.3.2 madvise calls.
@@ -714,7 +775,8 @@ impl Device {
             // are already cold keep their placement and are NOT re-traced,
             // so a re-grouping does not fault the swapped bulk back in.
             // Every 8th grouping is full, bounding cold-garbage buildup.
-            let incremental = proc.fleet.groupings_done > 0 && !proc.fleet.groupings_done.is_multiple_of(8);
+            let incremental =
+                proc.fleet.groupings_done > 0 && !proc.fleet.groupings_done.is_multiple_of(8);
             proc.fleet.groupings_done += 1;
             let mut touch = KernelTouch::new(&mut self.mm, pid, &mut self.oom_touch_skips);
             GroupingGc::new(self.gc_cost, depth, ws)
@@ -751,11 +813,7 @@ impl Device {
         let ranges: Vec<(u64, u64)> = {
             let proc = self.procs.get_mut(&pid).expect("alive");
             proc.fleet.hot_refresh_due = Some(self.clock.now() + self.config.fleet.hot_refresh);
-            proc.fleet
-                .grouped
-                .as_ref()
-                .map(|g| g.launch_ranges.clone())
-                .unwrap_or_default()
+            proc.fleet.grouped.as_ref().map(|g| g.launch_ranges.clone()).unwrap_or_default()
         };
         for (base, len) in ranges {
             self.mm.madvise_hot(pid, base, len);
@@ -855,7 +913,13 @@ impl Device {
         }
     }
 
-    fn access_with_retry(&mut self, pid: Pid, base: u64, len: u64, kind: AccessKind) -> AccessOutcome {
+    fn access_with_retry(
+        &mut self,
+        pid: Pid,
+        base: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         loop {
             match self.mm.access(pid, base, len, kind) {
                 Ok(outcome) => return outcome,
@@ -884,7 +948,8 @@ impl Device {
         };
         let mut stall = SimDuration::ZERO;
         for run in page_runs(&pages) {
-            stall += self.access_with_retry(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE, kind).latency;
+            stall +=
+                self.access_with_retry(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE, kind).latency;
         }
         let proc = self.procs.get_mut(&pid).expect("alive");
         proc.cpu.charge(ThreadClass::Kernel, stall);
@@ -931,11 +996,10 @@ impl Device {
         }
         // PSI path: sustained swap thrash (as produced by background GCs
         // re-faulting swapped heaps, §3.2) kills the coldest cached app.
-        if self.psi_ewma > 0.75
-            && self.lmk_kill(None) {
-                // Hysteresis: give the survivors a chance to settle.
-                self.psi_ewma = 0.35;
-            }
+        if self.psi_ewma > 0.75 && self.lmk_kill(None) {
+            // Hysteresis: give the survivors a chance to settle.
+            self.psi_ewma = 0.35;
+        }
     }
 
     /// Terminates a process, releasing all its memory.
@@ -1021,7 +1085,8 @@ impl Device {
             {
                 let pages: Vec<u64> = {
                     let proc = self.procs.get(&pid).expect("alive");
-                    let mut set: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+                    let mut set: std::collections::BTreeSet<u64> =
+                        std::collections::BTreeSet::new();
                     for &obj in out.accessed.iter().take(work.touches as usize) {
                         if proc.heap.contains(obj) {
                             for page in proc.heap.pages_of(obj) {
@@ -1033,7 +1098,12 @@ impl Device {
                 };
                 for run in page_runs(&pages) {
                     stall += self
-                        .access_with_retry(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE, AccessKind::Mutator)
+                        .access_with_retry(
+                            pid,
+                            run.0 * PAGE_SIZE,
+                            run.1 * PAGE_SIZE,
+                            AccessKind::Mutator,
+                        )
                         .latency;
                 }
             }
@@ -1084,7 +1154,11 @@ impl Device {
                 for &obj in objects {
                     trace.counter += 1;
                     if trace.counter % trace.every == 0 {
-                        trace.samples.push(TraceSample { secs: now_secs, object: obj.0 as u64, source });
+                        trace.samples.push(TraceSample {
+                            secs: now_secs,
+                            object: obj.0 as u64,
+                            source,
+                        });
                     }
                 }
             }
@@ -1110,7 +1184,11 @@ impl Device {
                     continue;
                 }
             }
-            trace.samples.push(TraceSample { secs: now_secs, object: obj.0 as u64, source: TraceSource::Gc });
+            trace.samples.push(TraceSample {
+                secs: now_secs,
+                object: obj.0 as u64,
+                source: TraceSource::Gc,
+            });
         }
     }
 }
@@ -1215,7 +1293,10 @@ mod tests {
         dev.launch_cold(&profile_by_name("Telegram").unwrap());
         dev.run(80); // past the first maintenance GC
         let proc = dev.process(pid);
-        assert!(proc.gcs.iter().any(|g| g.stats.kind == GcKind::Bgc), "BGC should run while cached");
+        assert!(
+            proc.gcs.iter().any(|g| g.stats.kind == GcKind::Bgc),
+            "BGC should run while cached"
+        );
     }
 
     #[test]
@@ -1357,8 +1438,7 @@ mod tests {
         let breakdown = dev.launch_breakdown(pid);
         let kinds: Vec<&str> = breakdown.iter().map(|(k, _, _)| k.as_str()).collect();
         assert!(kinds.contains(&"launch"), "launch-region pages in the set: {kinds:?}");
-        let (_, resident, swapped) =
-            breakdown.iter().find(|(k, _, _)| k == "launch").unwrap();
+        let (_, resident, swapped) = breakdown.iter().find(|(k, _, _)| k == "launch").unwrap();
         assert!(resident > swapped, "launch pages must be kept resident");
     }
 

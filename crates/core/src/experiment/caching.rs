@@ -11,8 +11,11 @@
 
 use crate::config::DeviceConfig;
 use crate::device::Device;
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
 use fleet_apps::{catalog, synthetic_app};
+use fleet_metrics::Table;
 use serde::Serialize;
 
 /// One scheme's capacity curve: cached apps after each launch.
@@ -28,9 +31,14 @@ pub struct CapacityCurve {
     pub first_kill_at: Option<usize>,
 }
 
-fn synthetic_capacity(scheme: SchemeKind, object_size: u32, max_apps: usize, use_secs: u64, seed: u64) -> CapacityCurve {
-    let mut config = DeviceConfig::pixel3(scheme);
-    config.seed = seed;
+fn synthetic_capacity(
+    scheme: SchemeKind,
+    object_size: u32,
+    max_apps: usize,
+    use_secs: u64,
+    seed: u64,
+) -> CapacityCurve {
+    let config = DeviceConfig::builder(scheme).seed(seed).build().expect("pixel3 variant is valid");
     let mut device = Device::new(config);
     let app = synthetic_app(object_size, 180);
     let mut cached = Vec::new();
@@ -84,8 +92,8 @@ pub fn fig11c(seed: u64, cycles: usize, use_secs: u64) -> Vec<CommercialCapacity
     [SchemeKind::AndroidNoSwap, SchemeKind::Android, SchemeKind::Fleet]
         .into_iter()
         .map(|scheme| {
-            let mut config = DeviceConfig::pixel3(scheme);
-            config.seed = seed;
+            let config =
+                DeviceConfig::builder(scheme).seed(seed).build().expect("pixel3 variant is valid");
             let mut device = Device::new(config);
             let apps = catalog();
             let mut pids = std::collections::BTreeMap::new();
@@ -93,7 +101,7 @@ pub fn fig11c(seed: u64, cycles: usize, use_secs: u64) -> Vec<CommercialCapacity
             for _ in 0..cycles {
                 for app in &apps {
                     let alive =
-                        pids.get(&app.name).copied().filter(|p| device.try_process(*p).is_some());
+                        pids.get(&app.name).copied().filter(|p| device.try_process(*p).is_ok());
                     match alive {
                         Some(pid) => {
                             device.switch_to(pid);
@@ -114,6 +122,74 @@ pub fn fig11c(seed: u64, cycles: usize, use_secs: u64) -> Vec<CommercialCapacity
             }
         })
         .collect()
+}
+
+/// Renders capacity curves as the text table Figure 11 prints.
+pub fn capacity_table(curves: &[CapacityCurve]) -> Table {
+    let mut t = Table::new([
+        "Scheme",
+        "Max cached",
+        "First kill at launch #",
+        "Curve (cached after each launch)",
+    ]);
+    for c in curves {
+        let curve: Vec<String> = c.cached_after_launch.iter().map(|n| n.to_string()).collect();
+        t.row([
+            c.scheme.clone(),
+            c.max_cached.to_string(),
+            c.first_kill_at.map(|n| n.to_string()).unwrap_or_else(|| "-".to_string()),
+            curve.join(","),
+        ]);
+    }
+    t
+}
+
+/// Experiment `fig11`: the three capacity protocols (11a/11b/11c).
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 11 — app-caching capacity"
+    }
+    fn module(&self) -> &'static str {
+        "caching"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["fig11a", "fig11b", "fig11c"]
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let (max_apps, use_secs) = if ctx.quick { (20, 6) } else { (28, 30) };
+        let mut out = ExperimentOutput::new();
+
+        out.section("Figure 11a — caching capacity, large-object (2048 B) synthetic apps");
+        let curves = fig11a(ctx.seed, max_apps, use_secs);
+        out.export("fig11a", "Android ≈14, Marvin ≈18, Fleet ≈18", &curves);
+        out.table(capacity_table(&curves));
+        out.text("paper: Android max ≈14 (kills from 11), Marvin ≈18, Fleet ≈18");
+
+        out.section("Figure 11b — caching capacity, small-object (512 B) synthetic apps");
+        let curves = fig11b(ctx.seed, max_apps, use_secs);
+        out.export("fig11b", "Marvin ≈9, Fleet ≈18 (2x)", &curves);
+        out.table(capacity_table(&curves));
+        out.text("paper: Marvin collapses to ≈9; Fleet stays ≈18 (2x)");
+
+        out.section("Figure 11c — caching capacity, commercial apps (round-robin)");
+        let results =
+            fig11c(ctx.seed, if ctx.quick { 1 } else { 2 }, if ctx.quick { 8 } else { 30 });
+        let mut t = Table::new(["Scheme", "Max cached", "Paper"]);
+        for r in &results {
+            t.row([
+                r.scheme.clone(),
+                r.max_cached.to_string(),
+                "Fleet 17 ≈ 1.21x Android-with-swap".to_string(),
+            ]);
+        }
+        out.table(t);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,12 @@
 //! Marvin ≈ 20% worse on both jank ratio and FPS (its stop-the-world stub
 //! reconciliation lands in the middle of frames).
 
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::experiment::scenario::AppPool;
 use crate::params::SchemeKind;
 use fleet_apps::catalog;
+use fleet_metrics::Table;
 use serde::Serialize;
 
 /// One app × scheme cell of Figure 14.
@@ -25,8 +28,7 @@ pub struct Fig14Row {
 
 /// Runs the frame-rendering experiment for `secs` seconds per app.
 pub fn fig14(seed: u64, secs: u64, apps: Option<Vec<String>>) -> Vec<Fig14Row> {
-    let apps: Vec<String> =
-        apps.unwrap_or_else(|| catalog().into_iter().map(|a| a.name).collect());
+    let apps: Vec<String> = apps.unwrap_or_else(|| catalog().into_iter().map(|a| a.name).collect());
     let mut rows = Vec::new();
     for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
         // A modest cached population creates realistic (not crushing)
@@ -73,6 +75,48 @@ pub fn scheme_means(rows: &[Fig14Row]) -> Vec<(String, f64, f64)> {
     out
 }
 
+/// Experiment `fig14`.
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 14 — frame rendering: jank ratio and FPS"
+    }
+    fn module(&self) -> &'static str {
+        "frames"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let secs = if ctx.quick { 20 } else { 60 };
+        let apps = if ctx.quick {
+            Some(vec![
+                "Twitter".to_string(),
+                "Tiktok".to_string(),
+                "Chrome".to_string(),
+                "CandyCrush".to_string(),
+            ])
+        } else {
+            None
+        };
+        let rows = fig14(ctx.seed, secs, apps);
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut t = Table::new(["Scheme", "Mean jank %", "Mean FPS", "Paper"]);
+        for (scheme, jank, fps) in scheme_means(&rows) {
+            let paper = match scheme.as_str() {
+                "Fleet" => "≈ Android; 19.9%/20.3% better than Marvin",
+                "Marvin" => "worst jank and FPS",
+                _ => "baseline",
+            };
+            t.row([scheme, format!("{jank:.1}"), format!("{fps:.1}"), paper.to_string()]);
+        }
+        out.table(t);
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,11 +132,11 @@ mod tests {
         let (_, marvin_jank, marvin_fps) = get("Marvin");
         let (_, fleet_jank, fleet_fps) = get("Fleet");
         // Fleet ≈ Android.
-        assert!((fleet_fps - android_fps).abs() / android_fps < 0.15, "fps {fleet_fps} vs {android_fps}");
         assert!(
-            (fleet_jank - android_jank).abs() < 6.0,
-            "jank {fleet_jank} vs {android_jank}"
+            (fleet_fps - android_fps).abs() / android_fps < 0.15,
+            "fps {fleet_fps} vs {android_fps}"
         );
+        assert!((fleet_jank - android_jank).abs() < 6.0, "jank {fleet_jank} vs {android_jank}");
         // Marvin is worse on at least one axis (paper: ~20% on both).
         assert!(
             marvin_jank > fleet_jank || marvin_fps < 0.95 * fleet_fps,
@@ -100,7 +144,13 @@ mod tests {
         );
         // Everyone renders at a plausible rate.
         for row in &rows {
-            assert!(row.fps > 20.0 && row.fps < 62.0, "{}/{}: fps {}", row.scheme, row.app, row.fps);
+            assert!(
+                row.fps > 20.0 && row.fps < 62.0,
+                "{}/{}: fps {}",
+                row.scheme,
+                row.app,
+                row.fps
+            );
         }
     }
 }

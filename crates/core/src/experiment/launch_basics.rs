@@ -6,9 +6,11 @@
 
 use crate::config::DeviceConfig;
 use crate::device::Device;
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
 use fleet_apps::catalog;
-use fleet_metrics::Summary;
+use fleet_metrics::{Summary, Table};
 use serde::Serialize;
 
 /// One app's row of Figure 2.
@@ -85,6 +87,45 @@ pub fn fig2(seed: u64, launches: usize) -> Vec<Fig2Row> {
         });
     }
     rows
+}
+
+/// Experiment `fig2`.
+pub struct Fig2;
+
+impl Experiment for Fig2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 2 — hot vs cold launch times (idle device)"
+    }
+    fn module(&self) -> &'static str {
+        "launch_basics"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let rows = fig2(ctx.seed, ctx.launches().min(10));
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        out.export("fig2", "hot ≪ cold; Twitter 273 vs 2390 ms", &rows);
+        let mut t = Table::new([
+            "App",
+            "Hot (ms)",
+            "Cold (ms)",
+            "Cold/Hot",
+            "Paper (hot/cold, Twitter: 273/2390)",
+        ]);
+        for r in &rows {
+            t.row([
+                r.app.clone(),
+                format!("{:.0} ± {:.0}", r.hot_mean_ms, r.hot_std_ms),
+                format!("{:.0} ± {:.0}", r.cold_mean_ms, r.cold_std_ms),
+                format!("{:.1}x", r.cold_mean_ms / r.hot_mean_ms),
+                "hot ≪ cold for every app".to_string(),
+            ]);
+        }
+        out.table(t);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -7,10 +7,12 @@
 
 use crate::config::DeviceConfig;
 use crate::device::Device;
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
 use fleet_apps::catalog;
 use fleet_heap::{AllocContext, ObjectId};
-use fleet_metrics::Histogram;
+use fleet_metrics::{Histogram, Table};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -60,10 +62,7 @@ pub fn fig5(seed: u64, cycles: u32) -> Fig5Result {
     let mut bgo_lifetime = Histogram::new(cycles.saturating_sub(1));
     let snapshot = |device: &Device| -> HashMap<ObjectId, AllocContext> {
         let proc = device.process(pid);
-        proc.heap
-            .object_ids()
-            .map(|o| (o, proc.heap.object(o).context()))
-            .collect()
+        proc.heap.object_ids().map(|o| (o, proc.heap.object(o).context())).collect()
     };
     for (obj, ctx) in snapshot(&device) {
         birth.insert(obj, (ctx, 0));
@@ -121,6 +120,50 @@ pub fn fig5(seed: u64, cycles: u32) -> Fig5Result {
     }
 
     Fig5Result { fgo_lifetime, bgo_lifetime, footprints }
+}
+
+/// Experiment `fig5`.
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 5 — FGO/BGO lifetimes and footprints"
+    }
+    fn module(&self) -> &'static str {
+        "lifetimes"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let result = fig5(ctx.seed, 15);
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        out.text(format!(
+            "5a FGO alive after 15 GCs: {:.0}%   (paper: > 40%)",
+            result.fgo_lifetime.overflow_percent()
+        ));
+        out.text(format!(
+            "5b BGO alive after 15 GCs: {:.0}%   (paper: most BGO die within the first few GCs)",
+            result.bgo_lifetime.overflow_percent()
+        ));
+        let bgo_early: u64 = (0..3).map(|c| result.bgo_lifetime.count(c)).sum();
+        out.text(format!(
+            "5b BGO dying within 3 GCs: {:.0}%",
+            100.0 * bgo_early as f64 / result.bgo_lifetime.total().max(1) as f64
+        ));
+        let mut t = Table::new(["App", "FGO (MB)", "BGO (MB)", "Paper: FGO occupy the majority"]);
+        for row in &result.footprints {
+            t.row([
+                row.app.clone(),
+                format!("{:.1}", row.fgo_mb),
+                format!("{:.2}", row.bgo_mb),
+                String::new(),
+            ]);
+        }
+        out.table(t);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
 //! One experiment driver per table and figure of the paper's evaluation.
 //!
-//! Each submodule returns plain serde-serialisable records; the
-//! `fleet-bench` crate's `repro` binary renders them as text tables next to
-//! the paper's reported values. DESIGN.md §4 is the index mapping each
-//! figure/table to its driver.
+//! Each submodule returns plain serde-serialisable records and registers
+//! an [`harness::Experiment`] that renders them next to the paper's
+//! reported values; the `fleet-bench` crate's `repro` binary is a thin CLI
+//! over [`harness::REGISTRY`]. DESIGN.md §4 is the index mapping each
+//! figure/table to its experiment id.
 
 pub mod ablation;
 pub mod access_trace;
@@ -11,6 +12,7 @@ pub mod caching;
 pub mod export;
 pub mod frames;
 pub mod gc_working_set;
+pub mod harness;
 pub mod hot_launch;
 pub mod launch_basics;
 pub mod lifetimes;
@@ -20,3 +22,5 @@ pub mod runtime;
 pub mod scenario;
 pub mod sensitivity;
 pub mod tables;
+
+pub use harness::{Experiment, ExperimentCtx, ExperimentOutput, RenderBlock, REGISTRY};

@@ -4,13 +4,15 @@
 //! this is the size mismatch that makes naive GC-swap co-design hard and
 //! motivates Fleet's page grouping.
 
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use fleet_apps::profile_by_name;
+use fleet_metrics::Table;
 use fleet_sim::SimRng;
 use serde::Serialize;
 
 /// The size buckets plotted on Figure 7's x-axis.
-pub const SIZE_BUCKETS: [u32; 13] =
-    [16, 24, 32, 48, 64, 96, 128, 256, 512, 1024, 2048, 4096, 8192];
+pub const SIZE_BUCKETS: [u32; 13] = [16, 24, 32, 48, 64, 96, 128, 256, 512, 1024, 2048, 4096, 8192];
 
 /// One app's empirical size CDF.
 #[derive(Debug, Clone, Serialize)]
@@ -23,13 +25,31 @@ pub struct Fig7Row {
 
 /// The eight apps plotted in Figure 7.
 pub fn fig7_apps() -> Vec<&'static str> {
-    vec!["Twitter", "Facebook", "Youtube", "Tiktok", "Amazon", "GoogleMaps", "CandyCrush", "Firefox"]
+    vec![
+        "Twitter",
+        "Facebook",
+        "Youtube",
+        "Tiktok",
+        "Amazon",
+        "GoogleMaps",
+        "CandyCrush",
+        "Firefox",
+    ]
 }
 
 /// Runs Figure 7: samples `n` object sizes per app and reports the CDF.
 pub fn fig7(seed: u64, n: usize) -> Vec<Fig7Row> {
     // "Amazon" in the figure is the AmazonShop catalog entry.
-    let names = ["Twitter", "Facebook", "Youtube", "Tiktok", "AmazonShop", "GoogleMaps", "CandyCrush", "Firefox"];
+    let names = [
+        "Twitter",
+        "Facebook",
+        "Youtube",
+        "Tiktok",
+        "AmazonShop",
+        "GoogleMaps",
+        "CandyCrush",
+        "Firefox",
+    ];
     names
         .iter()
         .map(|name| {
@@ -49,6 +69,37 @@ pub fn fig7(seed: u64, n: usize) -> Vec<Fig7Row> {
         .collect()
 }
 
+/// Experiment `fig7`.
+pub struct Fig7;
+
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 7 — object-size distribution (CDF %)"
+    }
+    fn module(&self) -> &'static str {
+        "object_sizes"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let rows = fig7(ctx.seed, if ctx.quick { 20_000 } else { 50_000 });
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut head = vec!["Size (B)".to_string()];
+        head.extend(rows.iter().map(|r| r.app.clone()));
+        let mut t = Table::new(head);
+        for (i, &(size, _)) in rows[0].cdf.iter().enumerate() {
+            let mut cells = vec![size.to_string()];
+            cells.extend(rows.iter().map(|r| format!("{:.0}", r.cdf[i].1)));
+            t.row(cells);
+        }
+        out.table(t);
+        out.text("paper shape: the vast majority of objects are far below the 4096 B page size");
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,9 +109,8 @@ mod tests {
         let rows = fig7(1, 20_000);
         assert_eq!(rows.len(), 8);
         for row in &rows {
-            let at = |size: u32| {
-                row.cdf.iter().find(|&&(s, _)| s == size).map(|&(_, p)| p).unwrap()
-            };
+            let at =
+                |size: u32| row.cdf.iter().find(|&&(s, _)| s == size).map(|&(_, p)| p).unwrap();
             assert!(at(128) > 75.0, "{}: cdf(128)={}", row.app, at(128));
             assert!(at(4096) > 95.0, "{}: cdf(4096)={}", row.app, at(4096));
             // CDF is monotone.

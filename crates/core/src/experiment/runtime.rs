@@ -5,10 +5,12 @@
 //! 4 MiB per 4 GiB of heap; power draw is statistically indistinguishable
 //! from Android (1851 ± 143 mW vs 1817 ± 197 mW).
 
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::experiment::scenario::AppPool;
 use crate::params::SchemeKind;
 use fleet_heap::CardTable;
-use fleet_metrics::{CpuAccounting, PowerModel, ThreadClass};
+use fleet_metrics::{CpuAccounting, PowerModel, Table, ThreadClass};
 use fleet_sim::SimDuration;
 use serde::Serialize;
 
@@ -25,9 +27,15 @@ pub struct CpuRow {
     pub kernel_share_pct: f64,
 }
 
-fn cycling_workload(scheme: SchemeKind, seed: u64, cycles: usize) -> (CpuAccounting, u64, u64, SimDuration) {
-    let apps: Vec<String> =
-        ["Twitter", "Youtube", "AmazonShop", "Chrome", "Spotify"].iter().map(|s| s.to_string()).collect();
+fn cycling_workload(
+    scheme: SchemeKind,
+    seed: u64,
+    cycles: usize,
+) -> (CpuAccounting, u64, u64, SimDuration) {
+    let apps: Vec<String> = ["Twitter", "Youtube", "AmazonShop", "Chrome", "Spotify"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut pool = AppPool::under_pressure(scheme, &apps, seed);
     let start = pool.device().now();
     let swap_before = pool.device().mm().swap().total_bytes_moved();
@@ -93,12 +101,8 @@ pub fn power(seed: u64, cycles: usize) -> Vec<PowerRow> {
             // Scale activity back to real magnitude: the simulation runs at
             // 1/16 of the device's memory traffic.
             let scale = 16;
-            let report = PowerModel::default().report(
-                window,
-                &cpu,
-                swap_bytes * scale,
-                resident * scale,
-            );
+            let report =
+                PowerModel::default().report(window, &cpu, swap_bytes * scale, resident * scale);
             PowerRow {
                 scheme: scheme.to_string(),
                 average_mw: report.average_mw,
@@ -126,6 +130,105 @@ pub fn memory_overhead() -> OverheadReport {
     OverheadReport {
         card_table_bytes_per_4gib: cards.footprint_bytes() as u64,
         bytes_per_heap_byte: 1.0 / cards.card_size() as f64,
+    }
+}
+
+/// Experiment `cpu`.
+pub struct CpuUsage;
+
+impl Experiment for CpuUsage {
+    fn id(&self) -> &'static str {
+        "cpu"
+    }
+    fn title(&self) -> &'static str {
+        "§7.3 — CPU usage"
+    }
+    fn module(&self) -> &'static str {
+        "runtime"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let rows = cpu_usage(ctx.seed, if ctx.quick { 2 } else { 4 });
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut t = Table::new(["Scheme", "Total CPU (s)", "GC share %", "Kernel share %"]);
+        for r in &rows {
+            t.row([
+                r.scheme.clone(),
+                format!("{:.2}", r.total_cpu_s),
+                format!("{:.2}", r.gc_share_pct),
+                format!("{:.2}", r.kernel_share_pct),
+            ]);
+        }
+        out.table(t);
+        let get = |name: &str| {
+            rows.iter().find(|r| r.scheme == name).map(|r| r.total_cpu_s).unwrap_or(0.0)
+        };
+        out.text(format!(
+            "Fleet vs Android: {:+.2}%   (paper: +0.18%);  Fleet vs Marvin: {:+.2}%   (paper: −3.21%)",
+            100.0 * (get("Fleet") - get("Android")) / get("Android"),
+            100.0 * (get("Fleet") - get("Marvin")) / get("Marvin"),
+        ));
+        Ok(out)
+    }
+}
+
+/// Experiment `power`.
+pub struct Power;
+
+impl Experiment for Power {
+    fn id(&self) -> &'static str {
+        "power"
+    }
+    fn title(&self) -> &'static str {
+        "§7.3 — power consumption"
+    }
+    fn module(&self) -> &'static str {
+        "runtime"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let rows = power(ctx.seed, if ctx.quick { 1 } else { 2 });
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut t = Table::new(["Scheme", "Average (mW)", "CPU (mW)", "Swap (mW)", "Paper"]);
+        for r in &rows {
+            let paper = if r.scheme == "Fleet" { "1851 ± 143 mW" } else { "1817 ± 197 mW" };
+            t.row([
+                r.scheme.clone(),
+                format!("{:.0}", r.average_mw),
+                format!("{:.0}", r.cpu_mw),
+                format!("{:.0}", r.swap_mw),
+                paper.to_string(),
+            ]);
+        }
+        out.table(t);
+        out.text("paper: equal within the standard error");
+        Ok(out)
+    }
+}
+
+/// Experiment `overhead`.
+pub struct MemoryOverhead;
+
+impl Experiment for MemoryOverhead {
+    fn id(&self) -> &'static str {
+        "overhead"
+    }
+    fn title(&self) -> &'static str {
+        "§7.3 — memory overhead (card table)"
+    }
+    fn module(&self) -> &'static str {
+        "runtime"
+    }
+    fn run(&self, _ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let report = memory_overhead();
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        out.text(format!(
+            "card table for a 4 GiB heap: {} MiB   (paper: 4 MB, fixed, ∝ heap size)",
+            report.card_table_bytes_per_4gib / (1024 * 1024)
+        ));
+        out.text(format!("bytes of card table per heap byte: {:.6}", report.bytes_per_heap_byte));
+        Ok(out)
     }
 }
 
@@ -165,7 +268,12 @@ mod tests {
         let delta = (fleet.average_mw - android.average_mw).abs() / android.average_mw;
         assert!(delta < 0.25, "power delta {delta}");
         for row in &rows {
-            assert!((1500.0..4500.0).contains(&row.average_mw), "{}: {} mW", row.scheme, row.average_mw);
+            assert!(
+                (1500.0..4500.0).contains(&row.average_mw),
+                "{}: {} mW",
+                row.scheme,
+                row.average_mw
+            );
         }
     }
 

@@ -6,17 +6,30 @@
 
 use crate::config::DeviceConfig;
 use crate::device::Device;
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
 use crate::process::{LaunchKind, LaunchReport};
 use fleet_apps::{catalog, AppProfile};
 use fleet_kernel::Pid;
+use fleet_metrics::{Summary, Table};
 use std::collections::BTreeMap;
 
 /// The 12 representative apps plotted in Figure 13 (a–l).
 pub fn fig13_apps() -> Vec<String> {
     [
-        "Twitter", "Facebook", "Instagram", "Line", "Youtube", "Spotify", "Twitch",
-        "AmazonShop", "GoogleMaps", "Chrome", "Firefox", "AngryBirds",
+        "Twitter",
+        "Facebook",
+        "Instagram",
+        "Line",
+        "Youtube",
+        "Spotify",
+        "Twitch",
+        "AmazonShop",
+        "GoogleMaps",
+        "Chrome",
+        "Firefox",
+        "AngryBirds",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -97,11 +110,12 @@ impl AppPool {
     /// kill) if needed. Returns the pid and whether a cold launch happened.
     pub fn ensure(&mut self, name: &str) -> (Pid, bool) {
         if let Some(&pid) = self.pids.get(name) {
-            if self.device.try_process(pid).is_some() {
+            if self.device.try_process(pid).is_ok() {
                 return (pid, false);
             }
         }
-        let profile = self.profiles.get(name).unwrap_or_else(|| panic!("unknown app {name}")).clone();
+        let profile =
+            self.profiles.get(name).unwrap_or_else(|| panic!("unknown app {name}")).clone();
         let (pid, _) = self.device.launch_cold(&profile);
         self.pids.insert(name.to_string(), pid);
         (pid, true)
@@ -156,6 +170,46 @@ impl AppPool {
             }
         }
         not.to_string()
+    }
+}
+
+/// Experiment `scenario`: a compact health check of the §7.2 pressure
+/// protocol itself — per scheme, how much pressure the pool builds (cached
+/// apps, LMK kills) and what a probe app's hot launch costs under it.
+pub struct Scenario;
+
+impl Experiment for Scenario {
+    fn id(&self) -> &'static str {
+        "scenario"
+    }
+    fn title(&self) -> &'static str {
+        "§7.2 protocol — app pool under memory pressure"
+    }
+    fn module(&self) -> &'static str {
+        "scenario"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let launches = if ctx.quick { 3 } else { 6 };
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut t =
+            Table::new(["Scheme", "Cached apps", "LMK kills", "Twitter hot p50 (ms)", "Hot hits"]);
+        for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
+            let mut pool = AppPool::under_pressure(scheme, &fig13_apps(), ctx.seed);
+            let reports = pool.measure_hot_launches("Twitter", launches);
+            let median =
+                Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64())).median();
+            t.row([
+                scheme.to_string(),
+                pool.device().cached_apps().to_string(),
+                pool.device().kills().len().to_string(),
+                format!("{median:.0}"),
+                format!("{}/{launches}", reports.len()),
+            ]);
+        }
+        out.table(t);
+        out.text("paper protocol: ~10 background apps, 30 s of other-app usage between launches");
+        Ok(out)
     }
 }
 

@@ -8,10 +8,12 @@
 
 use crate::config::DeviceConfig;
 use crate::device::Device;
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::experiment::scenario::AppPool;
 use crate::params::SchemeKind;
 use fleet_apps::synthetic_app;
-use fleet_metrics::Summary;
+use fleet_metrics::{Summary, Table};
 use serde::Serialize;
 
 /// One scheme × heap-factor cell.
@@ -33,9 +35,11 @@ pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<Sensitivi
     for scheme in [SchemeKind::Android, SchemeKind::Fleet] {
         for factor in [1.1, 2.0] {
             // Caching capacity with synthetic apps.
-            let mut config = DeviceConfig::pixel3(scheme);
-            config.seed = seed;
-            config.heap_growth_background = factor;
+            let config = DeviceConfig::builder(scheme)
+                .seed(seed)
+                .heap_growth_background(factor)
+                .build()
+                .expect("pixel3 variant is valid");
             let mut device = Device::new(config);
             let app = synthetic_app(2048, 180);
             let mut max_cached = 0;
@@ -46,19 +50,19 @@ pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<Sensitivi
             }
 
             // Hot-launch medians with commercial apps.
-            let mut config = DeviceConfig::pixel3(scheme);
-            config.seed = seed ^ 0x74;
-            config.heap_growth_background = factor;
+            let config = DeviceConfig::builder(scheme)
+                .seed(seed ^ 0x74)
+                .heap_growth_background(factor)
+                .build()
+                .expect("pixel3 variant is valid");
             let apps: Vec<String> = ["Twitter", "Facebook", "Youtube", "Chrome", "Spotify"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
             let mut pool = AppPool::with_config(config, &apps);
             let reports = pool.measure_hot_launches("Twitter", launches);
-            let median = Summary::from_values(
-                reports.iter().map(|r| r.total.as_millis_f64()),
-            )
-            .median();
+            let median =
+                Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64())).median();
 
             rows.push(SensitivityRow {
                 scheme: scheme.to_string(),
@@ -69,6 +73,41 @@ pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<Sensitivi
         }
     }
     rows
+}
+
+/// Experiment `sensitivity`.
+pub struct Sensitivity;
+
+impl Experiment for Sensitivity {
+    fn id(&self) -> &'static str {
+        "sensitivity"
+    }
+    fn title(&self) -> &'static str {
+        "§7.4 — sensitivity to the background heap-size factor"
+    }
+    fn module(&self) -> &'static str {
+        "sensitivity"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let rows =
+            sensitivity(ctx.seed, if ctx.quick { 14 } else { 24 }, if ctx.quick { 4 } else { 8 });
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut t = Table::new(["Scheme", "Factor", "Max cached", "Median hot (ms)"]);
+        for r in &rows {
+            t.row([
+                r.scheme.clone(),
+                format!("{:.1}", r.factor),
+                r.max_cached.to_string(),
+                format!("{:.0}", r.median_hot_ms),
+            ]);
+        }
+        out.table(t);
+        out.text(
+            "paper: Fleet's caching gain needs 1.1x; Fleet's launch time is robust across factors, Android's varies ≈31%",
+        );
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

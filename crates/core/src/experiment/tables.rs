@@ -4,6 +4,8 @@
 //! them from the implementation proves the implementation carries the same
 //! structure (schemes, parameters, workload set).
 
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::{FleetParams, SchemeKind};
 use fleet_apps::{catalog, AppCategory};
 use fleet_metrics::Table;
@@ -27,8 +29,16 @@ pub fn table2() -> Table {
     let p = FleetParams::default();
     let mut t = Table::new(["Parameter", "Symbol", "Setting"]);
     t.row(["Maximum depth to the roots for NRO", "D", &p.depth.to_string()]);
-    t.row(["Wait time to start Fleet in the background", "Ts", &format!("{} seconds", p.ts.as_millis() / 1000)]);
-    t.row(["Wait time to stop Fleet in the foreground", "Tf", &format!("{} seconds", p.tf.as_millis() / 1000)]);
+    t.row([
+        "Wait time to start Fleet in the background",
+        "Ts",
+        &format!("{} seconds", p.ts.as_millis() / 1000),
+    ]);
+    t.row([
+        "Wait time to stop Fleet in the foreground",
+        "Tf",
+        &format!("{} seconds", p.tf.as_millis() / 1000),
+    ]);
     t.row(["CARD_SHIFT for card address conversion", "-", &p.card_shift.to_string()]);
     t.row(["Region size of the Java heap", "-", &format!("{} KB", p.region_size / 1024)]);
     t
@@ -37,12 +47,80 @@ pub fn table2() -> Table {
 /// Table 3: the commercial apps under evaluation.
 pub fn table3() -> Table {
     let mut t = Table::new(["App type", "Apps"]);
-    for cat in [AppCategory::Communication, AppCategory::Multimedia, AppCategory::Tools, AppCategory::Games] {
+    for cat in [
+        AppCategory::Communication,
+        AppCategory::Multimedia,
+        AppCategory::Tools,
+        AppCategory::Games,
+    ] {
         let names: Vec<String> =
             catalog().into_iter().filter(|a| a.category == cat).map(|a| a.name).collect();
         t.row([cat.to_string(), names.join(", ")]);
     }
     t
+}
+
+/// Experiment `table1`.
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Table 1 — comparison methods"
+    }
+    fn module(&self) -> &'static str {
+        "tables"
+    }
+    fn run(&self, _ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        out.table(table1());
+        Ok(out)
+    }
+}
+
+/// Experiment `table2`.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+    fn title(&self) -> &'static str {
+        "Table 2 — Fleet's default parameters"
+    }
+    fn module(&self) -> &'static str {
+        "tables"
+    }
+    fn run(&self, _ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        out.table(table2());
+        Ok(out)
+    }
+}
+
+/// Experiment `table3`.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+    fn title(&self) -> &'static str {
+        "Table 3 — commercial apps for evaluation"
+    }
+    fn module(&self) -> &'static str {
+        "tables"
+    }
+    fn run(&self, _ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        out.table(table3());
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -33,13 +33,15 @@
 
 pub mod config;
 pub mod device;
+pub mod error;
 pub mod experiment;
 pub mod params;
 pub mod process;
 pub mod timeline;
 
-pub use config::DeviceConfig;
+pub use config::{DeviceConfig, DeviceConfigBuilder};
 pub use device::{Device, DeviceTrace, KillRecord, TraceSample, TraceSource};
+pub use error::FleetError;
 pub use params::{FleetParams, SchemeKind};
 pub use process::{AppState, FleetProcState, GcRecord, LaunchKind, LaunchReport, Process};
 pub use timeline::{Timeline, TimelineEvent};

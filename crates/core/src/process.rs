@@ -130,11 +130,7 @@ pub struct Process {
 impl Process {
     /// Launch reports of the given kind, as milliseconds.
     pub fn launch_times_ms(&self, kind: LaunchKind) -> Vec<f64> {
-        self.launches
-            .iter()
-            .filter(|l| l.kind == kind)
-            .map(|l| l.total.as_millis_f64())
-            .collect()
+        self.launches.iter().filter(|l| l.kind == kind).map(|l| l.total.as_millis_f64()).collect()
     }
 
     /// Total GC CPU time so far.

@@ -156,7 +156,8 @@ impl GroupingGc {
             stats.cpu += self.cost.per_object_trace;
             stats.objects_traced += 1;
             for &next in heap.object(src).refs() {
-                if !kept_cold.contains(&heap.object(next).region()) && !depth_of.contains_key(&next) {
+                if !kept_cold.contains(&heap.object(next).region()) && !depth_of.contains_key(&next)
+                {
                     // Conservative depth: beyond the NRO horizon.
                     depth_of.insert(next, self.depth + 1);
                     queue.push_back(next);
@@ -254,10 +255,8 @@ impl GroupingGc {
         //    the only path keeping the target alive),
         //  * the cold sources scanned this round (their edges stay relevant
         //    until a full grouping re-examines the cold space).
-        let cold_source_spans: Vec<(u64, u64)> = cold_sources
-            .iter()
-            .map(|&o| (heap.address(o), heap.object(o).size() as u64))
-            .collect();
+        let cold_source_spans: Vec<(u64, u64)> =
+            cold_sources.iter().map(|&o| (heap.address(o), heap.object(o).size() as u64)).collect();
         heap.cards_mut().clear();
         for (addr, size) in cold_source_spans {
             heap.cards_mut().dirty_range(addr, size);
@@ -276,9 +275,10 @@ impl GroupingGc {
                 }
                 let in_cold = heap.region(obj.region()).kind() == RegionKind::Cold;
                 in_cold
-                    && obj.refs().iter().any(|&r| {
-                        heap.region(heap.object(r).region()).kind() != RegionKind::Cold
-                    })
+                    && obj
+                        .refs()
+                        .iter()
+                        .any(|&r| heap.region(heap.object(r).region()).kind() != RegionKind::Cold)
             })
             .collect();
         for obj in needs_card {
@@ -379,7 +379,9 @@ mod tests {
         for &id in &ids {
             let kind = h.region(h.object(id).region()).kind();
             match h.object(id).class() {
-                Some(ObjectClass::Nro) | Some(ObjectClass::Fyo) => assert_eq!(kind, RegionKind::Launch),
+                Some(ObjectClass::Nro) | Some(ObjectClass::Fyo) => {
+                    assert_eq!(kind, RegionKind::Launch)
+                }
                 Some(ObjectClass::Ws) => assert_eq!(kind, RegionKind::Ws),
                 Some(ObjectClass::Cold) => assert_eq!(kind, RegionKind::Cold),
                 None => panic!("FGO must be classified"),
@@ -449,7 +451,7 @@ mod tests {
                 .collect_grouping(h, &mut NoTouch)
         };
         gc(&mut h, false); // full grouping: deep chain objects go cold
-        // A cold object gains a reference to a brand-new object.
+                           // A cold object gains a reference to a brand-new object.
         let deep = ids[30];
         assert_eq!(h.region(h.object(deep).region()).kind(), RegionKind::Cold);
         let newcomer = h.alloc(64);

@@ -164,8 +164,8 @@ impl Collector for MarvinGc {
     fn collect(&mut self, heap: &mut Heap, touch: &mut dyn MemoryTouch) -> GcStats {
         let mut stats = GcStats::new(GcKind::Marvin);
         // Drawback (i): reconciling stubs with objects needs a long pause.
-        stats.stw += self.cost.stw_base
-            + self.cost.marvin_per_stub_stw * self.state.stub_count() as u64;
+        stats.stw +=
+            self.cost.stw_base + self.cost.marvin_per_stub_stw * self.state.stub_count() as u64;
 
         // Mark phase: bookmarked objects are traversed via their resident
         // stubs (reference metadata) without touching object memory.
@@ -199,7 +199,8 @@ impl Collector for MarvinGc {
             }
         }
         heap.retire_alloc_targets();
-        let empty: Vec<_> = heap.regions().filter(|r| r.objects().is_empty()).map(|r| r.id()).collect();
+        let empty: Vec<_> =
+            heap.regions().filter(|r| r.objects().is_empty()).map(|r| r.id()).collect();
         for rid in empty {
             heap.free_region(rid);
             stats.regions_freed += 1;
@@ -289,7 +290,10 @@ mod tests {
             gc.state_mut().mark_swapped(&h, big);
         }
         let loaded_stw = gc.collect(&mut h, &mut NoTouch).stw;
-        assert!(loaded_stw > base_stw + SimDuration::from_micros(200), "{loaded_stw} vs {base_stw}");
+        assert!(
+            loaded_stw > base_stw + SimDuration::from_micros(200),
+            "{loaded_stw} vs {base_stw}"
+        );
     }
 
     #[test]

@@ -68,11 +68,11 @@ impl Collector for MinorGc {
         let mut order: Vec<ObjectId> = Vec::new();
         let mut stack: Vec<ObjectId> = Vec::new();
         let seed = |heap: &Heap,
-                        obj: ObjectId,
-                        stats: &mut GcStats,
-                        touch: &mut dyn MemoryTouch,
-                        live: &mut HashSet<ObjectId>,
-                        stack: &mut Vec<ObjectId>| {
+                    obj: ObjectId,
+                    stats: &mut GcStats,
+                    touch: &mut dyn MemoryTouch,
+                    live: &mut HashSet<ObjectId>,
+                    stack: &mut Vec<ObjectId>| {
             stats.fault_stall += touch.touch(heap.address(obj), heap.object(obj).size());
             stats.cpu += self.cost.per_object_trace;
             stats.objects_traced += 1;
@@ -140,8 +140,11 @@ impl Collector for MinorGc {
                 continue;
             }
             let in_cold = heap.region(heap.object(obj).region()).kind() == RegionKind::Cold;
-            let refs_bgo =
-                heap.object(obj).refs().iter().any(|&r| bg_regions.contains(&heap.object(r).region()));
+            let refs_bgo = heap
+                .object(obj)
+                .refs()
+                .iter()
+                .any(|&r| bg_regions.contains(&heap.object(r).region()));
             if in_cold || refs_bgo {
                 let addr = heap.address(obj);
                 let size = heap.object(obj).size() as u64;

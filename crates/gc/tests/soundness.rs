@@ -33,8 +33,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (16u32..2048, any::<bool>(), any::<u8>())
-            .prop_map(|(size, attach, anchor)| Op::Alloc { size, attach, anchor }),
+        (16u32..2048, any::<bool>(), any::<u8>()).prop_map(|(size, attach, anchor)| Op::Alloc {
+            size,
+            attach,
+            anchor
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(from, to)| Op::Link { from, to }),
         any::<u8>().prop_map(|from| Op::Unlink { from }),
         Just(Op::FlipContext),

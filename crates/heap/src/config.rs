@@ -58,7 +58,10 @@ impl HeapConfig {
     /// at least 1.
     pub fn validate(&self) -> Result<(), String> {
         if self.region_size == 0 || !(self.region_size as u64).is_multiple_of(PAGE_SIZE) {
-            return Err(format!("region_size {} must be a positive multiple of {PAGE_SIZE}", self.region_size));
+            return Err(format!(
+                "region_size {} must be a positive multiple of {PAGE_SIZE}",
+                self.region_size
+            ));
         }
         if self.card_shift == 0 || (1u64 << self.card_shift) > self.region_size as u64 {
             return Err(format!("card_shift {} must address at most one region", self.card_shift));

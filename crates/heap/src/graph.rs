@@ -57,7 +57,8 @@ pub fn depth_map(heap: &Heap, max_depth: Option<u32>) -> HashMap<ObjectId, u32> 
 /// The set of objects reachable from the roots.
 pub fn reachable_set(heap: &Heap) -> HashSet<ObjectId> {
     let mut seen: HashSet<ObjectId> = HashSet::new();
-    let mut stack: Vec<ObjectId> = heap.roots().iter().copied().filter(|&r| heap.contains(r)).collect();
+    let mut stack: Vec<ObjectId> =
+        heap.roots().iter().copied().filter(|&r| heap.contains(r)).collect();
     seen.extend(stack.iter().copied());
     while let Some(obj) = stack.pop() {
         for &next in heap.object(obj).refs() {

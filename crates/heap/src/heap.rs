@@ -197,8 +197,16 @@ impl Heap {
     /// Panics if the region still contains objects — collectors must copy or
     /// free every object first — or if it is a current allocation target.
     pub fn free_region(&mut self, id: RegionId) {
-        let region = self.regions.get_mut(id.0 as usize).and_then(|r| r.take()).expect("region freed or out of range");
-        assert!(region.objects().is_empty(), "freeing a region that still holds {} objects", region.objects().len());
+        let region = self
+            .regions
+            .get_mut(id.0 as usize)
+            .and_then(|r| r.take())
+            .expect("region freed or out of range");
+        assert!(
+            region.objects().is_empty(),
+            "freeing a region that still holds {} objects",
+            region.objects().len()
+        );
         assert!(
             !self.alloc_targets.values().any(|&t| t == id),
             "freeing a region that is an active allocation target"
@@ -278,7 +286,8 @@ impl Heap {
         }
         let fresh = self.create_region(kind);
         self.alloc_targets.insert(kind, fresh);
-        let offset = self.region_mut(fresh).bump(size, id).expect("fresh region can hold any valid object");
+        let offset =
+            self.region_mut(fresh).bump(size, id).expect("fresh region can hold any valid object");
         (fresh, offset)
     }
 
@@ -310,11 +319,7 @@ impl Heap {
 
     /// Iterates over the identifiers of all live objects.
     pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.arena
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.is_some())
-            .map(|(i, _)| ObjectId(i as u32))
+        self.arena.iter().enumerate().filter(|(_, o)| o.is_some()).map(|(i, _)| ObjectId(i as u32))
     }
 
     /// The absolute heap address of an object.
@@ -428,7 +433,11 @@ impl Heap {
     /// Panics if the object was already freed or is still a root.
     pub fn free_object(&mut self, id: ObjectId) {
         assert!(!self.roots.contains(&id), "freeing a root object {id}");
-        let obj = self.arena.get_mut(id.0 as usize).and_then(|o| o.take()).expect("object freed or out of range");
+        let obj = self
+            .arena
+            .get_mut(id.0 as usize)
+            .and_then(|o| o.take())
+            .expect("object freed or out of range");
         self.region_mut(obj.region()).remove_object(id);
         self.live_bytes -= obj.size() as u64;
         self.live_objects -= 1;

@@ -43,7 +43,14 @@ impl RegionKind {
     /// True for regions that hold foreground objects — the regions whose
     /// writes must dirty the card table and which BGC must not trace into.
     pub fn holds_foreground(self) -> bool {
-        matches!(self, RegionKind::Eden | RegionKind::Fg | RegionKind::Launch | RegionKind::Ws | RegionKind::Cold)
+        matches!(
+            self,
+            RegionKind::Eden
+                | RegionKind::Fg
+                | RegionKind::Launch
+                | RegionKind::Ws
+                | RegionKind::Cold
+        )
     }
 }
 
@@ -76,7 +83,13 @@ pub struct Region {
 }
 
 impl Region {
-    pub(crate) fn new(id: RegionId, kind: RegionKind, base: u64, size: u32, newly_allocated: bool) -> Self {
+    pub(crate) fn new(
+        id: RegionId,
+        kind: RegionKind,
+        base: u64,
+        size: u32,
+        newly_allocated: bool,
+    ) -> Self {
         Region { id, kind, base, size, top: 0, newly_allocated, objects: Vec::new() }
     }
 

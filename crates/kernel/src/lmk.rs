@@ -54,7 +54,12 @@ mod tests {
     use super::*;
 
     fn cand(pid: u32, fg: bool, last: u64) -> LmkCandidate {
-        LmkCandidate { pid: Pid(pid), foreground: fg, last_foreground: SimTime::from_secs(last), pinned: false }
+        LmkCandidate {
+            pid: Pid(pid),
+            foreground: fg,
+            last_foreground: SimTime::from_secs(last),
+            pinned: false,
+        }
     }
 
     #[test]

@@ -198,7 +198,7 @@ mod tests {
         lru.insert(key(0));
         lru.insert(key(1));
         lru.touch(key(0)); // referenced: survives one reclaim scan
-        // key(0) was restamped past key(1), so key(1) is the plain victim.
+                           // key(0) was restamped past key(1), so key(1) is the plain victim.
         assert_eq!(lru.pop_coldest(), Some(key(1)));
         // Now key(0) has its bit set: first pop rotates it, then evicts it.
         assert_eq!(lru.pop_coldest(), Some(key(0)));

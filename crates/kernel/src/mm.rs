@@ -296,7 +296,13 @@ impl MemoryManager {
     ///
     /// Returns [`MmError::OutOfMemory`] when a frame cannot be found even
     /// after evicting; pages mapped before the failure stay mapped.
-    pub fn map_range_kind(&mut self, pid: Pid, base: u64, len: u64, kind: PageKind) -> Result<(), MmError> {
+    pub fn map_range_kind(
+        &mut self,
+        pid: Pid,
+        base: u64,
+        len: u64,
+        kind: PageKind,
+    ) -> Result<(), MmError> {
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
             if self.states.contains_key(&key) {
@@ -390,7 +396,8 @@ impl MemoryManager {
 
     /// Unmaps every page of `pid` (process killed). Returns freed frames.
     pub fn unmap_process(&mut self, pid: Pid) -> u64 {
-        let indexes: Vec<u64> = self.pid_pages.remove(&pid).map(|s| s.into_iter().collect()).unwrap_or_default();
+        let indexes: Vec<u64> =
+            self.pid_pages.remove(&pid).map(|s| s.into_iter().collect()).unwrap_or_default();
         let before = self.free_frames();
         for index in indexes {
             self.unmap_page(PageKey { pid, index });
@@ -410,7 +417,13 @@ impl MemoryManager {
     /// Returns [`MmError::OutOfMemory`] when faulting needs a frame and none
     /// can be made free. The caller should free memory (kill a process) and
     /// retry.
-    pub fn access(&mut self, pid: Pid, addr: u64, len: u64, kind: AccessKind) -> Result<AccessOutcome, MmError> {
+    pub fn access(
+        &mut self,
+        pid: Pid,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> Result<AccessOutcome, MmError> {
         let mut outcome = AccessOutcome::default();
         let mut anon_faults = 0u64;
         let mut file_faults = 0u64;
@@ -704,7 +717,12 @@ impl MemoryManager {
     /// # Errors
     ///
     /// Returns [`MmError::OutOfMemory`] when frames run out mid-prefetch.
-    pub fn prefetch(&mut self, pid: Pid, base: u64, len: u64) -> Result<(u64, SimDuration), MmError> {
+    pub fn prefetch(
+        &mut self,
+        pid: Pid,
+        base: u64,
+        len: u64,
+    ) -> Result<(u64, SimDuration), MmError> {
         let mut batch = 0;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
@@ -770,7 +788,11 @@ mod tests {
         mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap(); // page 0 swapped
         let out = mm.access(Pid(1), 0, 1, AccessKind::Launch).unwrap();
         assert_eq!(out.faulted_pages, 1);
-        assert!(out.latency > SimDuration::from_micros(200), "flash fault should be slow: {}", out.latency);
+        assert!(
+            out.latency > SimDuration::from_micros(200),
+            "flash fault should be slow: {}",
+            out.latency
+        );
         assert_eq!(mm.stats().faults_launch, 1);
         assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Resident));
     }

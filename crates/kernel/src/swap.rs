@@ -201,7 +201,8 @@ mod tests {
 
     #[test]
     fn capacity_accounting() {
-        let mut swap = SwapDevice::new(SwapConfig { capacity_bytes: 3 * PAGE_SIZE, ..SwapConfig::default() });
+        let mut swap =
+            SwapDevice::new(SwapConfig { capacity_bytes: 3 * PAGE_SIZE, ..SwapConfig::default() });
         assert_eq!(swap.capacity_pages(), 3);
         assert!(swap.reserve_page());
         assert!(swap.reserve_page());

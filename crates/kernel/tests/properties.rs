@@ -39,9 +39,17 @@ enum MmOp {
 
 fn op_strategy() -> impl Strategy<Value = MmOp> {
     prop_oneof![
-        (0u8..4, 0u16..96, any::<bool>()).prop_map(|(pid, page, file)| MmOp::Map { pid, page, file }),
+        (0u8..4, 0u16..96, any::<bool>()).prop_map(|(pid, page, file)| MmOp::Map {
+            pid,
+            page,
+            file
+        }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Unmap { pid, page }),
-        (0u8..4, 0u16..96, any::<bool>()).prop_map(|(pid, page, gc)| MmOp::Access { pid, page, gc }),
+        (0u8..4, 0u16..96, any::<bool>()).prop_map(|(pid, page, gc)| MmOp::Access {
+            pid,
+            page,
+            gc
+        }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Cold { pid, page }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Hot { pid, page }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Pin { pid, page }),
@@ -57,7 +65,10 @@ fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError
         match op {
             MmOp::Map { pid, page, file } => {
                 let kind = if file { PageKind::File } else { PageKind::Anon };
-                if mm.map_range_kind(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE, kind).is_ok() {
+                if mm
+                    .map_range_kind(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE, kind)
+                    .is_ok()
+                {
                     mapped.insert((pid, page), ());
                 }
             }

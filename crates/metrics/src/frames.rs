@@ -82,11 +82,8 @@ impl FrameRecorder {
     /// FPS is frames divided by the span between the first and last frame;
     /// a single-frame (or empty) recording reports 0 FPS.
     pub fn report(&self) -> FrameReport {
-        let jank_ratio_percent = if self.frames == 0 {
-            0.0
-        } else {
-            100.0 * self.janks as f64 / self.frames as f64
-        };
+        let jank_ratio_percent =
+            if self.frames == 0 { 0.0 } else { 100.0 * self.janks as f64 / self.frames as f64 };
         let fps = match (self.first_frame, self.last_frame) {
             (Some(first), Some(last)) if last > first => {
                 self.frames as f64 / (last - first).as_secs_f64()

@@ -31,7 +31,12 @@ impl Default for PowerModel {
         // First-order constants for a Pixel-3-class device: ~1.7 W screen-on
         // baseline, ~900 mW for a busy big core, ~60 nJ/byte UFS transfer,
         // ~12 mW/GiB LPDDR4X refresh.
-        PowerModel { idle_mw: 1700.0, cpu_active_mw: 900.0, swap_nj_per_byte: 60.0, dram_mw_per_gib: 12.0 }
+        PowerModel {
+            idle_mw: 1700.0,
+            cpu_active_mw: 900.0,
+            swap_nj_per_byte: 60.0,
+            dram_mw_per_gib: 12.0,
+        }
     }
 }
 
@@ -72,7 +77,12 @@ impl PowerModel {
         // nJ → mW: nJ / (s × 1e6)  (1 mW = 1e6 nJ/s).
         let swap_mw = self.swap_nj_per_byte * swap_bytes as f64 / (secs * 1e6);
         let dram_mw = self.dram_mw_per_gib * resident_bytes as f64 / (1u64 << 30) as f64;
-        PowerReport { average_mw: self.idle_mw + cpu_mw + swap_mw + dram_mw, cpu_mw, swap_mw, dram_mw }
+        PowerReport {
+            average_mw: self.idle_mw + cpu_mw + swap_mw + dram_mw,
+            cpu_mw,
+            swap_mw,
+            dram_mw,
+        }
     }
 }
 

@@ -92,11 +92,7 @@ impl TimeSeries {
 
     /// Total of all sample values in the window `[from_secs, to_secs)`.
     pub fn window_sum(&self, from_secs: f64, to_secs: f64) -> f64 {
-        self.points
-            .iter()
-            .filter(|&&(t, _)| t >= from_secs && t < to_secs)
-            .map(|&(_, v)| v)
-            .sum()
+        self.points.iter().filter(|&&(t, _)| t >= from_secs && t < to_secs).map(|&(_, v)| v).sum()
     }
 }
 

@@ -23,11 +23,26 @@ use serde::{Deserialize, Serialize};
 /// let s = dist.sample(&mut rng);
 /// assert!(s == 32 || s == 4096);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(into = "Vec<(u32, f64)>", try_from = "Vec<(u32, f64)>")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SizeDistribution {
     buckets: Vec<(u32, f64)>,
     total_weight: f64,
+}
+
+// Serialised as the bare bucket list (upstream: `#[serde(into/try_from =
+// "Vec<(u32, f64)>")]`); hand-written because the vendored serde_derive
+// does not support container attributes.
+impl Serialize for SizeDistribution {
+    fn to_value(&self) -> serde::Value {
+        self.buckets.to_value()
+    }
+}
+
+impl Deserialize for SizeDistribution {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let buckets = Vec::<(u32, f64)>::from_value(v)?;
+        SizeDistribution::try_from(buckets).map_err(serde::DeError::custom)
+    }
 }
 
 impl From<SizeDistribution> for Vec<(u32, f64)> {
@@ -58,7 +73,9 @@ impl std::fmt::Display for DistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DistError::Empty => write!(f, "distribution has no buckets"),
-            DistError::BadWeight => write!(f, "bucket weights must be non-negative and sum to a positive value"),
+            DistError::BadWeight => {
+                write!(f, "bucket weights must be non-negative and sum to a positive value")
+            }
             DistError::ZeroSize => write!(f, "bucket sizes must be positive"),
         }
     }
@@ -117,20 +134,12 @@ impl SizeDistribution {
 
     /// The expected (mean) size in bytes.
     pub fn mean(&self) -> f64 {
-        self.buckets
-            .iter()
-            .map(|&(s, w)| s as f64 * w)
-            .sum::<f64>()
-            / self.total_weight
+        self.buckets.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / self.total_weight
     }
 
     /// Fraction of sampled objects with size `<= limit` (the CDF at `limit`).
     pub fn cdf_at(&self, limit: u32) -> f64 {
-        self.buckets
-            .iter()
-            .filter(|&&(s, _)| s <= limit)
-            .map(|&(_, w)| w)
-            .sum::<f64>()
+        self.buckets.iter().filter(|&&(s, _)| s <= limit).map(|&(_, w)| w).sum::<f64>()
             / self.total_weight
     }
 

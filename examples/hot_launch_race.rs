@@ -12,11 +12,18 @@ use fleet_metrics::Summary;
 
 fn main() {
     let target = std::env::args().nth(1).unwrap_or_else(|| "Twitter".to_string());
-    let launches: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let launches: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
     let pool_apps: Vec<String> = [
-        "Twitter", "Facebook", "Instagram", "Youtube", "Tiktok", "Spotify", "Chrome",
-        "GoogleMaps", "AmazonShop", "LinkedIn",
+        "Twitter",
+        "Facebook",
+        "Instagram",
+        "Youtube",
+        "Tiktok",
+        "Spotify",
+        "Chrome",
+        "GoogleMaps",
+        "AmazonShop",
+        "LinkedIn",
     ]
     .iter()
     .map(|s| s.to_string())

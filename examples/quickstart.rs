@@ -50,5 +50,8 @@ fn main() {
         hot.total, hot.faulted_pages, hot.fault_stall, hot.gc_stw
     );
     assert!(hot.total < cold.total, "hot must beat cold");
-    println!("speedup over cold launch: {:.1}x", cold.total.as_millis_f64() / hot.total.as_millis_f64());
+    println!(
+        "speedup over cold launch: {:.1}x",
+        cold.total.as_millis_f64() / hot.total.as_millis_f64()
+    );
 }

@@ -66,6 +66,37 @@ fn capacity_run_is_deterministic() {
     assert_eq!(run(), run());
 }
 
+/// Runs a cheap slice of the registry and fingerprints everything a user
+/// can observe: the rendered text and the export JSON.
+fn harness_fingerprint(threads: usize) -> String {
+    use fleet::experiment::export::ExportRecord;
+    use fleet::experiment::harness::{run_experiments, select};
+
+    let selected =
+        select(&["table1".into(), "table2".into(), "table3".into(), "fig4".into()]).unwrap();
+    let reports = run_experiments(&selected, 0xF1EE7, true, threads, false);
+    let mut fp = String::new();
+    for report in reports {
+        let output = report.result.expect("experiment runs");
+        fp.push_str(report.id);
+        fp.push_str(&output.render());
+        for artifact in &output.exports {
+            let record = ExportRecord::new(&artifact.id, &artifact.paper, &artifact.data);
+            fp.push_str(&record.to_json().expect("export serialises"));
+        }
+    }
+    fp
+}
+
+#[test]
+fn parallel_and_sequential_harness_runs_are_bit_identical() {
+    // The harness derives every experiment's seed from (master seed, id),
+    // so rendered output and export JSON cannot depend on scheduling.
+    let sequential = harness_fingerprint(1);
+    let parallel = harness_fingerprint(4);
+    assert_eq!(sequential, parallel);
+}
+
 #[test]
 fn experiment_drivers_are_deterministic() {
     use fleet::experiment::{object_sizes, reaccess};

@@ -66,7 +66,7 @@ fn android_background_gc_faults_swapped_pages() {
         dev.launch_cold(&synthetic_app(2048, 180));
         dev.run(3);
     }
-    if dev.try_process(pid).is_none() {
+    if dev.try_process(pid).is_err() {
         return; // LMK got it first; pressure was real. Nothing more to check.
     }
     let swapped = dev.mm().process_mem(pid).swapped;
@@ -75,10 +75,7 @@ fn android_background_gc_faults_swapped_pages() {
     }
     dev.run_gc(pid);
     let faults_after = dev.mm().stats().faults_gc;
-    assert!(
-        faults_after > faults_before,
-        "a full GC over a swapped heap must fault pages back in"
-    );
+    assert!(faults_after > faults_before, "a full GC over a swapped heap must fault pages back in");
 }
 
 #[test]
@@ -123,7 +120,7 @@ fn all_catalog_apps_survive_a_basic_cycle() {
     }
     dev.run(15);
     for pid in pids {
-        if dev.try_process(pid).is_some() {
+        if dev.try_process(pid).is_ok() {
             let report = dev.switch_to(pid);
             assert!(report.total.as_millis_f64() > 0.0);
             dev.run(2);
@@ -142,7 +139,7 @@ fn schemes_disagree_only_in_policy_not_in_correctness() {
         let (b, _) = dev.launch_cold(&profile_by_name("LinkedIn").unwrap());
         dev.run(20);
         for pid in [a, b] {
-            if dev.try_process(pid).is_some() {
+            if dev.try_process(pid).is_ok() {
                 dev.switch_to(pid);
                 dev.run(5);
                 let proc = dev.process(pid);

@@ -16,11 +16,7 @@ fn check_invariants(dev: &Device) {
     // Per-process residency sums are consistent with the page tables.
     for proc in dev.processes() {
         let mem = mm.process_mem(proc.pid);
-        let heap_pages: u64 = proc
-            .heap
-            .regions()
-            .map(|r| r.size() as u64 / PAGE_SIZE)
-            .sum();
+        let heap_pages: u64 = proc.heap.regions().map(|r| r.size() as u64 / PAGE_SIZE).sum();
         let native_pages = proc.native_len.div_ceil(PAGE_SIZE);
         let file_pages = proc.file_len.div_ceil(PAGE_SIZE);
         assert!(
@@ -60,7 +56,7 @@ fn invariants_hold_through_a_stormy_run() {
         }
         // Hot-launch whatever survived.
         for pid in dev.alive() {
-            if dev.try_process(pid).is_some() && dev.foreground() != Some(pid) {
+            if dev.try_process(pid).is_ok() && dev.foreground() != Some(pid) {
                 dev.switch_to(pid);
                 dev.run(2);
                 check_invariants(&dev);

@@ -1,0 +1,581 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates `serde::Serialize` (`to_value`) and `serde::Deserialize`
+//! (`from_value`) impls against the vendored `serde` crate's owned `Value`
+//! data model. The token stream is parsed by hand (no `syn`/`quote` in an
+//! offline build), which covers the shapes this workspace uses: named /
+//! tuple / unit structs and enums with unit, tuple and struct variants,
+//! plus simple generics. `#[serde(...)]` attributes are rejected loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating a `to_value` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.impl_serialize().parse().expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize` by generating a `from_value` implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.impl_deserialize().parse().expect("derive(Deserialize): generated code failed to parse")
+}
+
+struct Item {
+    name: String,
+    /// `<T: Bound, 'a>` — verbatim declaration generics (defaults stripped).
+    impl_generics: String,
+    /// `<T, 'a>` — parameter names only, for the self type.
+    ty_generics: String,
+    /// Type-parameter names that need `serde` bounds in the where clause.
+    type_params: Vec<String>,
+    /// Bounds from an explicit `where` clause on the item, without `where`.
+    where_bounds: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn punct_char(t: &TokenTree) -> Option<char> {
+    match t {
+        TokenTree::Punct(p) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+fn is_joint(t: &TokenTree) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint)
+}
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attribute groups starting at `*i`, panicking on
+/// `#[serde(...)]`, which this stand-in cannot honour.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(t) if punct_char(t) == Some('#')) {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if inner.first().and_then(ident_text).as_deref() == Some("serde") {
+                    panic!(
+                        "#[serde(...)] attributes are not supported by the vendored \
+                         serde_derive; hand-write the impl instead (see vendor/README.md)"
+                    );
+                }
+            }
+        }
+        *i += 2;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(t) if ident_text(t).as_deref() == Some("pub")) {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let toks: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+
+        let keyword = ident_text(&toks[i]).expect("expected `struct` or `enum`");
+        assert!(
+            keyword == "struct" || keyword == "enum",
+            "derive supports only structs and enums, found `{keyword}`"
+        );
+        i += 1;
+
+        let name = ident_text(&toks[i]).expect("expected type name");
+        i += 1;
+
+        // Generics: collect the balanced `<...>` token run, if present.
+        let mut generic_toks: Vec<TokenTree> = Vec::new();
+        if punct_char(&toks[i]) == Some('<') {
+            let mut depth = 0i32;
+            loop {
+                let t = toks[i].clone();
+                i += 1;
+                match punct_char(&t) {
+                    Some('<') => depth += 1,
+                    Some('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            generic_toks.push(t);
+                            break;
+                        }
+                    }
+                    // `->` inside a bound (fn pointer type): swallow the `>`.
+                    Some('-') if is_joint(&t) && punct_char(&toks[i]) == Some('>') => {
+                        generic_toks.push(t);
+                        generic_toks.push(toks[i].clone());
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                generic_toks.push(t);
+            }
+        }
+        let (impl_generics, ty_generics, type_params) = split_generics(&generic_toks);
+
+        // Tokens between generics and the body: `where` clause and/or the
+        // tuple-struct field list.
+        let mut kind = None;
+        let mut where_toks: Vec<TokenTree> = Vec::new();
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    kind = Some(if keyword == "struct" {
+                        Kind::NamedStruct(parse_field_names(&body))
+                    } else {
+                        Kind::Enum(parse_variants(&body))
+                    });
+                    break;
+                }
+                TokenTree::Group(g)
+                    if g.delimiter() == Delimiter::Parenthesis && kind.is_none() =>
+                {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    kind = Some(Kind::TupleStruct(count_tuple_fields(&body)));
+                    i += 1;
+                }
+                t if punct_char(t) == Some(';') => {
+                    kind.get_or_insert(Kind::UnitStruct);
+                    break;
+                }
+                t => {
+                    if ident_text(t).as_deref() != Some("where") {
+                        where_toks.push(t.clone());
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let kind = kind.expect("could not find the struct/enum body");
+        let where_bounds = tokens_to_string(&where_toks);
+
+        Item { name, impl_generics, ty_generics, type_params, where_bounds, kind }
+    }
+
+    fn header(&self, trait_name: &str) -> String {
+        let mut bounds: Vec<String> = Vec::new();
+        if !self.where_bounds.trim().is_empty() {
+            bounds.push(self.where_bounds.clone());
+        }
+        for p in &self.type_params {
+            bounds.push(format!("{p}: ::serde::{trait_name}"));
+        }
+        let where_clause =
+            if bounds.is_empty() { String::new() } else { format!("where {}", bounds.join(", ")) };
+        format!(
+            "impl{} ::serde::{} for {}{} {}",
+            self.impl_generics, trait_name, self.name, self.ty_generics, where_clause
+        )
+    }
+
+    fn impl_serialize(&self) -> String {
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+            }
+            Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let name = &self.name;
+                        let var = &v.name;
+                        match &v.fields {
+                            VariantFields::Unit => format!(
+                                "{name}::{var} => ::serde::Value::String(String::from(\"{var}\"))"
+                            ),
+                            VariantFields::Tuple(1) => format!(
+                                "{name}::{var}(f0) => ::serde::Value::Object(vec![(String::from(\"{var}\"), ::serde::Serialize::to_value(f0))])"
+                            ),
+                            VariantFields::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|k| format!("f{k}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{var}({}) => ::serde::Value::Object(vec![(String::from(\"{var}\"), ::serde::Value::Array(vec![{}]))])",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            VariantFields::Named(fields) => {
+                                let binds = fields.join(", ");
+                                let pairs: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{var} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{var}\"), ::serde::Value::Object(vec![{}]))])",
+                                    pairs.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(", "))
+            }
+        };
+        format!(
+            "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+            self.header("Serialize")
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::__field(obj, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for `{name}`\"))?; \
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Kind::TupleStruct(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Kind::TupleStruct(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                    .collect();
+                format!(
+                    "let arr = v.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for `{name}`\"))?; \
+                     if arr.len() != {n} {{ return Err(::serde::DeError::custom(\"expected array of length {n} for `{name}`\")); }} \
+                     Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+            Kind::UnitStruct => format!("Ok({name})"),
+            Kind::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.fields, VariantFields::Unit))
+                    .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                    .collect();
+                let data_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let var = &v.name;
+                        match &v.fields {
+                            VariantFields::Unit => None,
+                            VariantFields::Tuple(1) => Some(format!(
+                                "\"{var}\" => Ok({name}::{var}(::serde::Deserialize::from_value(inner)?))"
+                            )),
+                            VariantFields::Tuple(n) => {
+                                let inits: Vec<String> = (0..*n)
+                                    .map(|k| {
+                                        format!("::serde::Deserialize::from_value(&arr[{k}])?")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{var}\" => {{ \
+                                       let arr = inner.as_array().ok_or_else(|| ::serde::DeError::custom(\"expected array for variant `{var}`\"))?; \
+                                       if arr.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong arity for variant `{var}`\")); }} \
+                                       Ok({name}::{var}({})) }}",
+                                    inits.join(", ")
+                                ))
+                            }
+                            VariantFields::Named(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{f}: ::serde::Deserialize::from_value(::serde::__field(vf, \"{f}\")?)?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{var}\" => {{ \
+                                       let vf = inner.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected object for variant `{var}`\"))?; \
+                                       Ok({name}::{var} {{ {} }}) }}",
+                                    inits.join(", ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "if let Some(s) = v.as_str() {{ \
+                       return match s {{ {unit} _ => Err(::serde::DeError::custom(format!(\"unknown variant `{{s}}` of `{name}`\"))) }}; \
+                     }} \
+                     let obj = v.as_object().ok_or_else(|| ::serde::DeError::custom(\"expected string or object for enum `{name}`\"))?; \
+                     if obj.len() != 1 {{ return Err(::serde::DeError::custom(\"expected single-key object for enum `{name}`\")); }} \
+                     let (tag, inner) = &obj[0]; \
+                     let _ = inner; \
+                     match tag.as_str() {{ {data} _ => Err(::serde::DeError::custom(format!(\"unknown variant `{{tag}}` of `{name}`\"))) }}",
+                    unit = if unit_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", unit_arms.join(", "))
+                    },
+                    data = if data_arms.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{},", data_arms.join(", "))
+                    },
+                )
+            }
+        };
+        format!(
+            "{} {{ fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }} }}",
+            self.header("Deserialize")
+        )
+    }
+}
+
+/// Splits a verbatim `<...>` run into (impl generics with bounds, type
+/// generics with names only, the list of type-parameter names).
+fn split_generics(toks: &[TokenTree]) -> (String, String, Vec<String>) {
+    if toks.is_empty() {
+        return (String::new(), String::new(), Vec::new());
+    }
+    let stripped = strip_defaults(toks);
+
+    let mut names: Vec<String> = Vec::new();
+    let mut type_params: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    let mut at_param_start = false;
+    let mut i = 0;
+    while i < stripped.len() {
+        let t = &stripped[i];
+        match punct_char(t) {
+            Some('<') => {
+                depth += 1;
+                if depth == 1 {
+                    at_param_start = true;
+                }
+            }
+            Some('>') => depth -= 1,
+            Some(',') if depth == 1 => at_param_start = true,
+            Some('\'') if depth == 1 && at_param_start => {
+                let lt = ident_text(&stripped[i + 1]).expect("lifetime name");
+                names.push(format!("'{lt}"));
+                i += 1;
+                at_param_start = false;
+            }
+            _ => {
+                if let Some(id) = ident_text(t) {
+                    if depth == 1 && at_param_start {
+                        assert!(
+                            id != "const",
+                            "const generic parameters are not supported by the vendored \
+                             serde_derive"
+                        );
+                        names.push(id.clone());
+                        type_params.push(id);
+                        at_param_start = false;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let impl_generics = tokens_to_string(&stripped);
+    let ty_generics = format!("<{}>", names.join(", "));
+    (impl_generics, ty_generics, type_params)
+}
+
+/// Removes ` = default` segments from a generics token run.
+fn strip_defaults(toks: &[TokenTree]) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        match punct_char(&toks[i]) {
+            Some('<') => {
+                depth += 1;
+                out.push(toks[i].clone());
+            }
+            Some('>') => {
+                depth -= 1;
+                out.push(toks[i].clone());
+            }
+            Some('=') if depth == 1 => {
+                let mut d = depth;
+                i += 1;
+                while i < toks.len() {
+                    match punct_char(&toks[i]) {
+                        Some('<') => d += 1,
+                        Some('>') => {
+                            d -= 1;
+                            if d == 0 {
+                                out.push(toks[i].clone());
+                                break;
+                            }
+                        }
+                        Some(',') if d == 1 => {
+                            out.push(toks[i].clone());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => out.push(toks[i].clone()),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn tokens_to_string(toks: &[TokenTree]) -> String {
+    let stream: TokenStream = toks.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_field_names(toks: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(toks, &mut i);
+        let name = ident_text(&toks[i]).expect("expected field name");
+        fields.push(name);
+        i += 1;
+        assert_eq!(punct_char(&toks[i]), Some(':'), "expected `:` after field name");
+        i += 1;
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match punct_char(&toks[i]) {
+                Some('<') => depth += 1,
+                Some('>') => depth -= 1,
+                Some('-') if is_joint(&toks[i]) && punct_char(&toks[i + 1]) == Some('>') => {
+                    i += 1;
+                }
+                Some(',') if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts top-level fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        match punct_char(&toks[i]) {
+            Some('<') => depth += 1,
+            Some('>') => depth -= 1,
+            Some('-') if is_joint(&toks[i]) && punct_char(&toks[i + 1]) == Some('>') => {
+                i += 1;
+            }
+            Some(',') if depth == 0 && i + 1 < toks.len() => {
+                // `i + 1 < len` ignores a trailing comma.
+                count += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    count
+}
+
+/// Parses an enum body into its variants.
+fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_text(&toks[i]).expect("expected variant name");
+        i += 1;
+        let mut fields = VariantFields::Unit;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            fields = match g.delimiter() {
+                Delimiter::Parenthesis => VariantFields::Tuple(count_tuple_fields(&body)),
+                Delimiter::Brace => VariantFields::Named(parse_field_names(&body)),
+                other => panic!("unexpected variant delimiter {other:?}"),
+            };
+            i += 1;
+        }
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() && punct_char(&toks[i]) != Some(',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Thin façade over the vendored `serde` crate's [`Value`] data model and
+//! its JSON text module: `to_string` / `to_string_pretty` serialise through
+//! `Serialize::to_value`, `from_str` parses to a [`Value`] and reconstructs
+//! via `Deserialize::from_value`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialisation / deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+/// Serialises `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors upstream's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_compact(&value.to_value()))
+}
+
+/// Serialises `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_pretty(&value.to_value()))
+}
+
+/// Converts any serialisable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in this stand-in; the `Result` mirrors upstream's signature.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into any deserialisable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Reconstructs a deserialisable type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on a shape mismatch.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        name: String,
+        ms: f64,
+        hits: u64,
+        flag: bool,
+        maybe: Option<i32>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(f64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(u32, f64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Generic<T> {
+        id: String,
+        data: Vec<T>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Event {
+        Idle,
+        Launch { pid: u64, ms: f64 },
+        Tag(String),
+        Span(f64, f64),
+    }
+
+    #[test]
+    fn struct_round_trip_preserves_field_order() {
+        let p = Plain { name: "Twitter".into(), ms: 273.5, hits: 12, flag: true, maybe: None };
+        let json = super::to_string(&p).unwrap();
+        assert_eq!(json, r#"{"name":"Twitter","ms":273.5,"hits":12,"flag":true,"maybe":null}"#);
+        assert_eq!(super::from_str::<Plain>(&json).unwrap(), p);
+    }
+
+    #[test]
+    fn tuple_and_newtype_structs() {
+        assert_eq!(super::to_string(&Newtype(1.5)).unwrap(), "1.5");
+        assert_eq!(super::from_str::<Newtype>("1.5").unwrap(), Newtype(1.5));
+        assert_eq!(super::to_string(&Pair(3, 0.25)).unwrap(), "[3,0.25]");
+        assert_eq!(super::from_str::<Pair>("[3,0.25]").unwrap(), Pair(3, 0.25));
+    }
+
+    #[test]
+    fn generic_struct_round_trip() {
+        let g = Generic { id: "fig2".into(), data: vec![1.0f64, 2.5] };
+        let json = super::to_string(&g).unwrap();
+        assert_eq!(json, r#"{"id":"fig2","data":[1.0,2.5]}"#);
+        assert_eq!(super::from_str::<Generic<f64>>(&json).unwrap(), g);
+    }
+
+    #[test]
+    fn enum_variants_follow_serde_json_conventions() {
+        let cases = [
+            (Event::Idle, r#""Idle""#),
+            (Event::Launch { pid: 9, ms: 12.5 }, r#"{"Launch":{"pid":9,"ms":12.5}}"#),
+            (Event::Tag("gc".into()), r#"{"Tag":"gc"}"#),
+            (Event::Span(0.5, 1.5), r#"{"Span":[0.5,1.5]}"#),
+        ];
+        for (event, expected) in cases {
+            assert_eq!(super::to_string(&event).unwrap(), expected);
+            assert_eq!(super::from_str::<Event>(expected).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        assert!(super::from_str::<Event>(r#""Nope""#).is_err());
+        assert!(super::from_str::<Event>(r#"{"Nope":1}"#).is_err());
+    }
+
+    #[test]
+    fn pretty_printing_matches_upstream_layout() {
+        let g = Generic { id: "t".into(), data: vec![1u64] };
+        assert_eq!(
+            super::to_string_pretty(&g).unwrap(),
+            "{\n  \"id\": \"t\",\n  \"data\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn value_access_matches_serde_json_idioms() {
+        let v: super::Value =
+            super::from_str(r#"{"data":[{"value":273.0}],"id":"fig_test"}"#).unwrap();
+        assert_eq!(v["id"], "fig_test");
+        assert_eq!(v["data"][0]["value"], 273.0);
+    }
+}
