@@ -1,0 +1,709 @@
+//! The online invariant auditor: shadow state rebuilt from events, checked
+//! at every step.
+//!
+//! Four invariant families (see DESIGN.md §"Flight recorder"):
+//!
+//! 1. **Page conservation** — the event-derived resident and swapped page
+//!    counts must equal what the kernel itself reports at every
+//!    [`AuditEvent::Counters`] checkpoint, and a killed process must leave
+//!    no page behind.
+//! 2. **Residency / LRU membership** — a page is mapped at most once, is
+//!    resident xor swapped, only faults when non-resident, only swaps out
+//!    when resident, and LRU reclaim never evicts a pinned page.
+//! 3. **GC soundness** — a collector never frees an object that was
+//!    reachable when the collection started; a *complete* collection
+//!    leaves exactly the reachable set alive with survivor bytes
+//!    conserved; reported copy/free byte counts match the event stream;
+//!    no dangling references remain at collection end; freed regions are
+//!    empty.
+//! 4. **Launch accounting** — a hot launch's reported fault count equals
+//!    the launch-kind faults observed inside its window.
+
+use crate::event::AuditEvent;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+#[derive(Debug, Clone, Copy)]
+struct PageShadow {
+    resident: bool,
+    file: bool,
+    pinned: bool,
+}
+
+#[derive(Debug, Default)]
+struct GcWindow {
+    kind: String,
+    complete: bool,
+    /// Objects reachable from the roots when the collection started.
+    reachable: HashSet<u64>,
+    reach_bytes: u64,
+    copied_bytes: u64,
+    freed_bytes: u64,
+    freed_objects: u64,
+}
+
+#[derive(Debug, Default)]
+struct HeapShadow {
+    /// object id -> (size, region)
+    objects: HashMap<u64, (u64, u32)>,
+    /// Outgoing edges, as a multiset per source object.
+    refs: HashMap<u64, Vec<u64>>,
+    roots: BTreeSet<u64>,
+    /// region id -> live objects it holds
+    regions: HashMap<u32, u64>,
+    gc: Option<GcWindow>,
+}
+
+impl HeapShadow {
+    fn reachable(&self) -> (HashSet<u64>, u64) {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut bytes = 0u64;
+        let mut stack: Vec<u64> = self.roots.iter().copied().collect();
+        while let Some(obj) = stack.pop() {
+            if !seen.insert(obj) {
+                continue;
+            }
+            bytes += self.objects.get(&obj).map(|&(size, _)| size).unwrap_or(0);
+            if let Some(targets) = self.refs.get(&obj) {
+                stack.extend(targets.iter().copied());
+            }
+        }
+        (seen, bytes)
+    }
+}
+
+#[derive(Debug, Default)]
+struct DeviceShadow {
+    frames: Option<u64>,
+    pages: HashMap<(u32, u64), PageShadow>,
+    /// Mapped pages per pid, to make the process-kill leak check O(1).
+    pid_pages: HashMap<u32, u64>,
+    resident: u64,
+    swapped_anon: u64,
+    heaps: HashMap<u32, HeapShadow>,
+    /// Open hot-launch windows: pid -> launch-kind faults seen so far.
+    launches: HashMap<u32, u64>,
+}
+
+/// Rebuilds kernel and heap state purely from the event stream and checks
+/// the four invariant families online. See the module docs for the list.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    devices: HashMap<u32, DeviceShadow>,
+    violations: u64,
+}
+
+impl Auditor {
+    /// Creates an auditor with no shadow state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of violations reported so far (normally 0 — the pipeline
+    /// panics on the first).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Consumes one event, updating shadow state and checking every
+    /// invariant the event participates in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn observe(&mut self, device: u32, event: &AuditEvent) -> Result<(), String> {
+        let result = self.observe_inner(device, event);
+        if result.is_err() {
+            self.violations += 1;
+        }
+        result
+    }
+
+    fn observe_inner(&mut self, device: u32, event: &AuditEvent) -> Result<(), String> {
+        use AuditEvent::*;
+        let dev = self.devices.entry(device).or_default();
+        match event {
+            // ------------------------------------------------------ kernel
+            PageMapped { pid, page, file } => {
+                if dev
+                    .pages
+                    .insert(
+                        (*pid, *page),
+                        PageShadow { resident: true, file: *file, pinned: false },
+                    )
+                    .is_some()
+                {
+                    return Err(format!("double map of pid {pid} page {page}"));
+                }
+                dev.resident += 1;
+                *dev.pid_pages.entry(*pid).or_default() += 1;
+                if let Some(frames) = dev.frames {
+                    if dev.resident > frames {
+                        return Err(format!(
+                            "resident pages {} exceed DRAM frames {frames}",
+                            dev.resident
+                        ));
+                    }
+                }
+            }
+            PageUnmapped { pid, page, resident, file } => {
+                let Some(shadow) = dev.pages.remove(&(*pid, *page)) else {
+                    return Err(format!("unmap of unmapped pid {pid} page {page}"));
+                };
+                if shadow.resident != *resident || shadow.file != *file {
+                    return Err(format!(
+                        "unmap of pid {pid} page {page} disagrees with shadow: \
+                         event resident={resident} file={file}, shadow resident={} file={}",
+                        shadow.resident, shadow.file
+                    ));
+                }
+                if shadow.resident {
+                    dev.resident -= 1;
+                } else if !shadow.file {
+                    dev.swapped_anon -= 1;
+                }
+                let count = dev.pid_pages.entry(*pid).or_default();
+                *count -= 1;
+            }
+            PageFault { pid, page, file, kind } => {
+                let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
+                    return Err(format!("fault on unmapped pid {pid} page {page}"));
+                };
+                if shadow.resident {
+                    return Err(format!("fault on already-resident pid {pid} page {page}"));
+                }
+                if shadow.file != *file {
+                    return Err(format!("fault kind mismatch on pid {pid} page {page}"));
+                }
+                shadow.resident = true;
+                dev.resident += 1;
+                if !*file {
+                    dev.swapped_anon -= 1;
+                }
+                if *kind == "launch" {
+                    if let Some(faults) = dev.launches.get_mut(pid) {
+                        *faults += 1;
+                    }
+                }
+            }
+            SwapOut { pid, page, file, advised } => {
+                let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
+                    return Err(format!("swap-out of unmapped pid {pid} page {page}"));
+                };
+                if !shadow.resident {
+                    return Err(format!("swap-out of non-resident pid {pid} page {page}"));
+                }
+                if shadow.file != *file {
+                    return Err(format!("swap-out kind mismatch on pid {pid} page {page}"));
+                }
+                if shadow.pinned && !*advised {
+                    return Err(format!("LRU reclaim evicted pinned pid {pid} page {page}"));
+                }
+                shadow.resident = false;
+                dev.resident -= 1;
+                if !*file {
+                    dev.swapped_anon += 1;
+                }
+            }
+            PagePrefetched { pid, page, file } => {
+                let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
+                    return Err(format!("prefetch of unmapped pid {pid} page {page}"));
+                };
+                if shadow.resident {
+                    return Err(format!("prefetch of resident pid {pid} page {page}"));
+                }
+                if shadow.file != *file {
+                    return Err(format!("prefetch kind mismatch on pid {pid} page {page}"));
+                }
+                shadow.resident = true;
+                dev.resident += 1;
+                if !*file {
+                    dev.swapped_anon -= 1;
+                }
+            }
+            LruPromote { pid, page } => {
+                let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
+                    return Err(format!("promote of unmapped pid {pid} page {page}"));
+                };
+                if !shadow.resident {
+                    return Err(format!("promote of non-resident pid {pid} page {page}"));
+                }
+            }
+            PagePinned { pid, page } => {
+                let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
+                    return Err(format!("pin of unmapped pid {pid} page {page}"));
+                };
+                if shadow.pinned {
+                    return Err(format!("double pin of pid {pid} page {page}"));
+                }
+                shadow.pinned = true;
+            }
+            PageUnpinned { pid, page } => {
+                let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
+                    return Err(format!("unpin of unmapped pid {pid} page {page}"));
+                };
+                if !shadow.pinned {
+                    return Err(format!("unpin of unpinned pid {pid} page {page}"));
+                }
+                shadow.pinned = false;
+            }
+            Counters { used_frames, swap_used } => {
+                if dev.resident != *used_frames {
+                    return Err(format!(
+                        "page conservation: kernel reports {used_frames} used frames, \
+                         events account for {}",
+                        dev.resident
+                    ));
+                }
+                if dev.swapped_anon != *swap_used {
+                    return Err(format!(
+                        "page conservation: kernel reports {swap_used} swap slots used, \
+                         events account for {}",
+                        dev.swapped_anon
+                    ));
+                }
+            }
+
+            // -------------------------------------------------------- heap
+            RegionMapped { pid, region, .. } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                if heap.regions.insert(*region, 0).is_some() {
+                    return Err(format!("pid {pid}: region {region} mapped twice"));
+                }
+            }
+            RegionFreed { pid, region, .. } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                match heap.regions.remove(region) {
+                    None => return Err(format!("pid {pid}: freeing unmapped region {region}")),
+                    Some(live) if live > 0 => {
+                        return Err(format!(
+                            "pid {pid}: freeing region {region} that still holds {live} objects"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            ObjectAlloc { pid, object, region, size } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                let Some(live) = heap.regions.get_mut(region) else {
+                    return Err(format!(
+                        "pid {pid}: object {object} allocated in unmapped region {region}"
+                    ));
+                };
+                *live += 1;
+                if heap.objects.insert(*object, (*size, *region)).is_some() {
+                    return Err(format!("pid {pid}: object id {object} allocated twice"));
+                }
+            }
+            ObjectCopied { pid, object, from_region, to_region, size } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                let Some(&(shadow_size, shadow_region)) = heap.objects.get(object) else {
+                    return Err(format!("pid {pid}: copy of unknown object {object}"));
+                };
+                if shadow_region != *from_region || shadow_size != *size {
+                    return Err(format!(
+                        "pid {pid}: copy of object {object} disagrees with shadow \
+                         (event from={from_region} size={size}, shadow region={shadow_region} size={shadow_size})"
+                    ));
+                }
+                if !heap.regions.contains_key(to_region) {
+                    return Err(format!(
+                        "pid {pid}: object {object} copied into unmapped region {to_region}"
+                    ));
+                }
+                heap.objects.insert(*object, (*size, *to_region));
+                *heap.regions.entry(*from_region).or_default() -= 1;
+                *heap.regions.entry(*to_region).or_default() += 1;
+                if let Some(gc) = heap.gc.as_mut() {
+                    gc.copied_bytes += size;
+                }
+            }
+            ObjectFreed { pid, object, region, size } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                let Some((shadow_size, shadow_region)) = heap.objects.remove(object) else {
+                    return Err(format!("pid {pid}: free of unknown object {object}"));
+                };
+                if shadow_region != *region || shadow_size != *size {
+                    return Err(format!(
+                        "pid {pid}: free of object {object} disagrees with shadow \
+                         (event region={region} size={size}, shadow region={shadow_region} size={shadow_size})"
+                    ));
+                }
+                if heap.roots.contains(object) {
+                    return Err(format!("pid {pid}: freed object {object} is still a root"));
+                }
+                heap.refs.remove(object);
+                *heap.regions.entry(*region).or_default() -= 1;
+                if let Some(gc) = heap.gc.as_mut() {
+                    gc.freed_bytes += size;
+                    gc.freed_objects += 1;
+                    if gc.reachable.contains(object) {
+                        return Err(format!(
+                            "GC soundness: pid {pid}: {} GC freed object {object}, which was \
+                             reachable from the roots when the collection started",
+                            gc.kind
+                        ));
+                    }
+                }
+            }
+            RefAdded { pid, from, to } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                if !heap.objects.contains_key(from) {
+                    return Err(format!("pid {pid}: ref from unknown object {from}"));
+                }
+                if !heap.objects.contains_key(to) {
+                    return Err(format!("pid {pid}: ref to unknown object {to}"));
+                }
+                heap.refs.entry(*from).or_default().push(*to);
+            }
+            RefRemoved { pid, from, to } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                let Some(targets) = heap.refs.get_mut(from) else {
+                    return Err(format!("pid {pid}: removing ref from edgeless object {from}"));
+                };
+                let Some(pos) = targets.iter().position(|t| t == to) else {
+                    return Err(format!("pid {pid}: removing nonexistent ref {from} -> {to}"));
+                };
+                targets.swap_remove(pos);
+            }
+            RefsCleared { pid, object } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                heap.refs.remove(object);
+            }
+            RootAdded { pid, object } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                if !heap.objects.contains_key(object) {
+                    return Err(format!("pid {pid}: unknown object {object} added as root"));
+                }
+                if !heap.roots.insert(*object) {
+                    return Err(format!("pid {pid}: object {object} added as root twice"));
+                }
+            }
+            RootRemoved { pid, object } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                if !heap.roots.remove(object) {
+                    return Err(format!("pid {pid}: removing non-root {object}"));
+                }
+            }
+            GcStart { pid, kind, complete } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                if let Some(open) = heap.gc.as_ref() {
+                    return Err(format!(
+                        "pid {pid}: {kind} GC started while {} GC still open",
+                        open.kind
+                    ));
+                }
+                let (reachable, reach_bytes) = heap.reachable();
+                heap.gc = Some(GcWindow {
+                    kind: kind.clone(),
+                    complete: *complete,
+                    reachable,
+                    reach_bytes,
+                    ..GcWindow::default()
+                });
+            }
+            GcEnd { pid, kind, bytes_copied, objects_freed, bytes_freed, .. } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                let Some(gc) = heap.gc.take() else {
+                    return Err(format!("pid {pid}: {kind} GC ended without a start"));
+                };
+                if gc.kind != *kind {
+                    return Err(format!(
+                        "pid {pid}: GC kind mismatch: started {} ended {kind}",
+                        gc.kind
+                    ));
+                }
+                if gc.copied_bytes != *bytes_copied {
+                    return Err(format!(
+                        "GC soundness: pid {pid}: {kind} GC reports {bytes_copied} copied bytes \
+                         but events account for {}",
+                        gc.copied_bytes
+                    ));
+                }
+                if gc.freed_objects != *objects_freed || gc.freed_bytes != *bytes_freed {
+                    return Err(format!(
+                        "GC soundness: pid {pid}: {kind} GC reports {objects_freed} freed objects \
+                         / {bytes_freed} bytes but events account for {} / {}",
+                        gc.freed_objects, gc.freed_bytes
+                    ));
+                }
+                // No dangling references may survive a collection.
+                for (from, targets) in &heap.refs {
+                    for to in targets {
+                        if !heap.objects.contains_key(to) {
+                            return Err(format!(
+                                "GC soundness: pid {pid}: after {kind} GC, object {from} holds a \
+                                 dangling reference to freed object {to}"
+                            ));
+                        }
+                    }
+                }
+                if gc.complete {
+                    // A complete collection leaves exactly the objects that
+                    // were reachable at its start, with bytes conserved.
+                    if heap.objects.len() as u64 != gc.reachable.len() as u64 {
+                        return Err(format!(
+                            "GC soundness: pid {pid}: complete {kind} GC left {} objects alive \
+                             but {} were reachable at start",
+                            heap.objects.len(),
+                            gc.reachable.len()
+                        ));
+                    }
+                    let live_bytes: u64 = heap.objects.values().map(|&(size, _)| size).sum();
+                    if live_bytes != gc.reach_bytes {
+                        return Err(format!(
+                            "GC soundness: pid {pid}: complete {kind} GC conserved {live_bytes} \
+                             survivor bytes but {} were reachable at start",
+                            gc.reach_bytes
+                        ));
+                    }
+                    if let Some(missing) =
+                        heap.objects.keys().find(|obj| !gc.reachable.contains(obj))
+                    {
+                        return Err(format!(
+                            "GC soundness: pid {pid}: complete {kind} GC kept object {missing}, \
+                             which was unreachable at start"
+                        ));
+                    }
+                }
+            }
+
+            // ------------------------------------------------------ device
+            DeviceAttached { frames, .. } => {
+                dev.frames = Some(*frames);
+            }
+            ProcessSpawn { pid, .. } => {
+                if dev.heaps.insert(*pid, HeapShadow::default()).is_some() {
+                    return Err(format!("pid {pid} spawned twice"));
+                }
+            }
+            ProcessKill { pid } => {
+                dev.heaps.remove(pid);
+                dev.launches.remove(pid);
+                let remaining = dev.pid_pages.get(pid).copied().unwrap_or(0);
+                if remaining > 0 {
+                    return Err(format!(
+                        "page conservation: killed pid {pid} leaked {remaining} mapped pages"
+                    ));
+                }
+            }
+            AppState { .. } => {}
+            LaunchStart { pid } => {
+                if dev.launches.insert(*pid, 0).is_some() {
+                    return Err(format!("pid {pid}: nested launch window"));
+                }
+            }
+            LaunchEnd { pid, faulted_pages } => {
+                let Some(faults) = dev.launches.remove(pid) else {
+                    return Err(format!("pid {pid}: launch ended without a start"));
+                };
+                if faults != *faulted_pages {
+                    return Err(format!(
+                        "launch accounting: pid {pid}: launch report claims {faulted_pages} \
+                         faulted pages but {faults} launch-kind faults were observed"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AuditEvent::*;
+
+    fn feed(auditor: &mut Auditor, events: &[AuditEvent]) -> Result<(), String> {
+        for event in events {
+            auditor.observe(0, event)?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn clean_page_lifecycle_passes() {
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                PageFault { pid: 1, page: 0, file: false, kind: "mutator" },
+                Counters { used_frames: 1, swap_used: 0 },
+                PageUnmapped { pid: 1, page: 0, resident: true, file: false },
+                Counters { used_frames: 0, swap_used: 0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn fault_on_resident_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                PageFault { pid: 1, page: 0, file: false, kind: "mutator" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("already-resident"), "{err}");
+    }
+
+    #[test]
+    fn reclaim_of_pinned_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                PagePinned { pid: 1, page: 0 },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("pinned"), "{err}");
+        // But madvise may swap a pinned page explicitly.
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                PagePinned { pid: 1, page: 0 },
+                SwapOut { pid: 1, page: 0, file: false, advised: true },
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn kill_leaking_pages_is_caught() {
+        let mut a = Auditor::new();
+        let err =
+            feed(&mut a, &[PageMapped { pid: 1, page: 0, file: false }, ProcessKill { pid: 1 }])
+                .unwrap_err();
+        assert!(err.contains("leaked"), "{err}");
+    }
+
+    fn tiny_heap_events() -> Vec<AuditEvent> {
+        vec![
+            ProcessSpawn { pid: 1, name: "app".into() },
+            RegionMapped { pid: 1, region: 0, base: 0, len: 4096, kind: "eden".into() },
+            ObjectAlloc { pid: 1, object: 0, region: 0, size: 100 },
+            ObjectAlloc { pid: 1, object: 1, region: 0, size: 50 },
+            ObjectAlloc { pid: 1, object: 2, region: 0, size: 10 },
+            RootAdded { pid: 1, object: 0 },
+            RefAdded { pid: 1, from: 0, to: 1 },
+        ]
+    }
+
+    #[test]
+    fn complete_gc_that_frees_garbage_passes() {
+        let mut a = Auditor::new();
+        let mut events = tiny_heap_events();
+        events.extend([
+            GcStart { pid: 1, kind: "full".into(), complete: true },
+            RegionMapped { pid: 1, region: 1, base: 4096, len: 4096, kind: "fg".into() },
+            ObjectCopied { pid: 1, object: 0, from_region: 0, to_region: 1, size: 100 },
+            ObjectCopied { pid: 1, object: 1, from_region: 0, to_region: 1, size: 50 },
+            ObjectFreed { pid: 1, object: 2, region: 0, size: 10 },
+            RegionFreed { pid: 1, region: 0, base: 0, len: 4096 },
+            GcEnd {
+                pid: 1,
+                kind: "full".into(),
+                objects_traced: 2,
+                bytes_copied: 150,
+                objects_freed: 1,
+                bytes_freed: 10,
+            },
+        ]);
+        feed(&mut a, &events).unwrap();
+    }
+
+    #[test]
+    fn freeing_a_reachable_object_is_caught() {
+        let mut a = Auditor::new();
+        let mut events = tiny_heap_events();
+        events.extend([
+            GcStart { pid: 1, kind: "full".into(), complete: true },
+            ObjectFreed { pid: 1, object: 1, region: 0, size: 50 },
+        ]);
+        let err = feed(&mut a, &events).unwrap_err();
+        assert!(err.contains("reachable"), "{err}");
+    }
+
+    #[test]
+    fn complete_gc_keeping_garbage_is_caught() {
+        let mut a = Auditor::new();
+        let mut events = tiny_heap_events();
+        events.extend([
+            GcStart { pid: 1, kind: "full".into(), complete: true },
+            GcEnd {
+                pid: 1,
+                kind: "full".into(),
+                objects_traced: 2,
+                bytes_copied: 0,
+                objects_freed: 0,
+                bytes_freed: 0,
+            },
+        ]);
+        let err = feed(&mut a, &events).unwrap_err();
+        assert!(err.contains("reachable at start"), "{err}");
+    }
+
+    #[test]
+    fn partial_gc_may_keep_floating_garbage() {
+        let mut a = Auditor::new();
+        let mut events = tiny_heap_events();
+        events.extend([
+            GcStart { pid: 1, kind: "minor".into(), complete: false },
+            GcEnd {
+                pid: 1,
+                kind: "minor".into(),
+                objects_traced: 2,
+                bytes_copied: 0,
+                objects_freed: 0,
+                bytes_freed: 0,
+            },
+        ]);
+        feed(&mut a, &events).unwrap();
+    }
+
+    #[test]
+    fn launch_fault_miscount_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                LaunchStart { pid: 1 },
+                PageFault { pid: 1, page: 0, file: false, kind: "launch" },
+                LaunchEnd { pid: 1, faulted_pages: 2 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("launch accounting"), "{err}");
+    }
+
+    #[test]
+    fn gc_faults_do_not_count_against_the_launch() {
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                PageMapped { pid: 1, page: 1, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapOut { pid: 1, page: 1, file: false, advised: false },
+                LaunchStart { pid: 1 },
+                PageFault { pid: 1, page: 0, file: false, kind: "launch" },
+                PageFault { pid: 1, page: 1, file: false, kind: "gc" },
+                LaunchEnd { pid: 1, faulted_pages: 1 },
+            ],
+        )
+        .unwrap();
+    }
+}

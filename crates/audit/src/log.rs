@@ -1,0 +1,116 @@
+//! The per-component event buffer mechanism crates emit into.
+
+use crate::event::AuditEvent;
+
+/// A plain event buffer owned by one emitting component (the kernel memory
+/// manager, or one process's heap).
+///
+/// The log is disabled until [`EventLog::enable`] is called, and emission
+/// sites pass a closure so the event is only constructed when enabled:
+///
+/// ```
+/// use fleet_audit::{AuditEvent, EventLog};
+///
+/// let mut log = EventLog::default();
+/// log.push(|_| unreachable!("disabled log never builds events"));
+/// log.enable(7);
+/// log.push(|pid| AuditEvent::RootAdded { pid, object: 1 });
+/// assert_eq!(log.drain().len(), 1);
+/// ```
+///
+/// The closure receives the log's *stamped pid*: a heap log is stamped with
+/// its owning process id so heap emission sites do not need to know it; the
+/// kernel's global log is stamped with 0 and its sites ignore the argument
+/// (kernel events carry real pids already).
+///
+/// Holding events in a plain `Vec` (rather than a shared sink) keeps the
+/// owning components `Send` and the emission sites free of locking; the
+/// device layer drains logs into the pipeline at deterministic barriers.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    enabled: bool,
+    pid: u32,
+    events: Vec<AuditEvent>,
+}
+
+impl EventLog {
+    /// Turns the log on, stamping it with `pid`.
+    pub fn enable(&mut self, pid: u32) {
+        self.enabled = true;
+        self.pid = pid;
+    }
+
+    /// Turns the log off (pending events are kept until drained).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are currently being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Re-stamps the pid passed to emission closures.
+    pub fn set_pid(&mut self, pid: u32) {
+        self.pid = pid;
+    }
+
+    /// Appends the event built by `build` if the log is enabled.
+    #[inline]
+    pub fn push(&mut self, build: impl FnOnce(u32) -> AuditEvent) {
+        if self.enabled {
+            let pid = self.pid;
+            self.events.push(build(pid));
+        }
+    }
+
+    /// Takes all buffered events.
+    pub fn drain(&mut self) -> Vec<AuditEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_skips_construction() {
+        let mut log = EventLog::default();
+        let mut built = false;
+        log.push(|_| {
+            built = true;
+            AuditEvent::ProcessKill { pid: 0 }
+        });
+        assert!(!built);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn stamped_pid_reaches_the_closure() {
+        let mut log = EventLog::default();
+        log.enable(42);
+        log.push(|pid| AuditEvent::RootAdded { pid, object: 5 });
+        log.set_pid(43);
+        log.push(|pid| AuditEvent::RootAdded { pid, object: 6 });
+        let events = log.drain();
+        assert_eq!(
+            events,
+            vec![
+                AuditEvent::RootAdded { pid: 42, object: 5 },
+                AuditEvent::RootAdded { pid: 43, object: 6 },
+            ]
+        );
+        assert!(log.is_empty());
+    }
+}

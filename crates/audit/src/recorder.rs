@@ -1,0 +1,150 @@
+//! The flight recorder: canonical serialization, streaming hash, ring
+//! buffer of recent events.
+
+use crate::event::AuditEvent;
+use std::collections::VecDeque;
+
+/// A hash checkpoint is stored every this many events, so golden-trace
+/// divergence can be localized to a block without storing the full stream.
+pub const CHECKPOINT_INTERVAL: u64 = 65_536;
+
+/// How many recent events the ring buffer keeps for violation context, and
+/// how many head events a trace fingerprint captures verbatim.
+pub const RING_CAPACITY: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming fingerprint of an event stream.
+///
+/// Every event is serialized canonically as `d<device>|<event display>` and
+/// folded into an FNV-1a 64-bit hash. The recorder keeps:
+///
+/// * the running hash and event count,
+/// * `(count, hash)` checkpoints every [`CHECKPOINT_INTERVAL`] events,
+///   so two diverging streams can be bisected to a block,
+/// * the first [`RING_CAPACITY`] serialized events (the *head*), so early
+///   divergence is reported as an exact event diff,
+/// * a ring of the last [`RING_CAPACITY`] events for panic context.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    hash: u64,
+    count: u64,
+    checkpoints: Vec<(u64, u64)>,
+    head: Vec<String>,
+    ring: VecDeque<String>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event into the stream.
+    pub fn record(&mut self, device: u32, event: &AuditEvent) {
+        let line = format!("d{device}|{event}");
+        let mut h = if self.count == 0 { FNV_OFFSET } else { self.hash };
+        for byte in line.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+        self.hash = h;
+        self.count += 1;
+        if self.count.is_multiple_of(CHECKPOINT_INTERVAL) {
+            self.checkpoints.push((self.count, self.hash));
+        }
+        if self.head.len() < RING_CAPACITY {
+            self.head.push(line.clone());
+        }
+        if self.ring.len() == RING_CAPACITY {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(line);
+    }
+
+    /// The running FNV-1a hash over the canonical stream.
+    pub fn hash(&self) -> u64 {
+        if self.count == 0 {
+            FNV_OFFSET
+        } else {
+            self.hash
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn event_count(&self) -> u64 {
+        self.count
+    }
+
+    /// `(event_count, hash)` pairs taken every [`CHECKPOINT_INTERVAL`]
+    /// events.
+    pub fn checkpoints(&self) -> &[(u64, u64)] {
+        &self.checkpoints
+    }
+
+    /// The first [`RING_CAPACITY`] serialized events.
+    pub fn head(&self) -> &[String] {
+        &self.head
+    }
+
+    /// The last [`RING_CAPACITY`] serialized events, oldest first, one per
+    /// line (panic context).
+    pub fn ring_dump(&self) -> String {
+        let mut out = String::new();
+        let first = self.count.saturating_sub(self.ring.len() as u64);
+        for (i, line) in self.ring.iter().enumerate() {
+            out.push_str(&format!("#{} {}\n", first + i as u64 + 1, line));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(page: u64) -> AuditEvent {
+        AuditEvent::PageMapped { pid: 1, page, file: false }
+    }
+
+    #[test]
+    fn hash_depends_on_order_and_device() {
+        let mut a = Recorder::new();
+        a.record(0, &ev(1));
+        a.record(0, &ev(2));
+        let mut b = Recorder::new();
+        b.record(0, &ev(2));
+        b.record(0, &ev(1));
+        assert_ne!(a.hash(), b.hash());
+        let mut c = Recorder::new();
+        c.record(1, &ev(1));
+        c.record(1, &ev(2));
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn ring_keeps_only_recent_events() {
+        let mut r = Recorder::new();
+        for page in 0..(RING_CAPACITY as u64 + 10) {
+            r.record(0, &ev(page));
+        }
+        let dump = r.ring_dump();
+        assert!(!dump.contains("page=9 "), "old events must rotate out");
+        assert!(dump.contains(&format!("page={}", RING_CAPACITY + 9)));
+        assert_eq!(r.head().len(), RING_CAPACITY);
+        assert!(r.head()[0].contains("page=0"));
+    }
+
+    #[test]
+    fn checkpoints_land_on_the_interval() {
+        let mut r = Recorder::new();
+        for page in 0..(CHECKPOINT_INTERVAL + 5) {
+            r.record(0, &ev(page));
+        }
+        assert_eq!(r.checkpoints().len(), 1);
+        assert_eq!(r.checkpoints()[0].0, CHECKPOINT_INTERVAL);
+    }
+}

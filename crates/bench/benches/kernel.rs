@@ -22,7 +22,7 @@ fn bench_mm(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 1024;
-            mm.access(Pid(8), i * PAGE_SIZE, 64, AccessKind::Mutator).expect("resident")
+            mm.access(Pid(8), i * PAGE_SIZE, 64, AccessKind::Mutator)
         })
     });
     group.bench_function("fault_swapped_page", |b| {
@@ -32,7 +32,7 @@ fn bench_mm(c: &mut Criterion) {
                 mm.madvise_cold(Pid(1), 0, 2 * 1024 * 1024);
                 mm
             },
-            |mm| mm.access(Pid(1), 0, 2 * 1024 * 1024, AccessKind::Launch).expect("faults in"),
+            |mm| mm.access(Pid(1), 0, 2 * 1024 * 1024, AccessKind::Launch),
             BatchSize::SmallInput,
         )
     });

@@ -1,0 +1,91 @@
+//! Device-level flight-recorder plumbing (only with the `audit` feature).
+//!
+//! The mechanism crates buffer [`fleet_audit::AuditEvent`]s in per-component
+//! [`fleet_audit::EventLog`]s; this module owns the other half: a process-wide
+//! *installer* that hands every subsequently created [`crate::Device`] a
+//! shared [`AuditPipeline`]. Experiments do not need to thread the pipeline
+//! through their APIs — installing it before building devices is enough,
+//! which is how the golden-trace suite records unmodified registry
+//! experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet::audit::{install, shared_pipeline};
+//! use fleet::{Device, DeviceConfig, SchemeKind};
+//!
+//! let pipeline = shared_pipeline();
+//! let _guard = install(pipeline.clone());
+//! let mut device = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
+//! device.run(1);
+//! drop(device);
+//! assert!(pipeline.lock().unwrap().recorder().event_count() > 0);
+//! ```
+
+pub use fleet_audit::{
+    AuditEvent, AuditPipeline, Auditor, EventLog, Recorder, CHECKPOINT_INTERVAL, RING_CAPACITY,
+};
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// A pipeline shareable between devices and the test harness.
+pub type SharedPipeline = Arc<Mutex<AuditPipeline>>;
+
+thread_local! {
+    static INSTALLED: RefCell<Option<SharedPipeline>> = const { RefCell::new(None) };
+}
+
+/// Creates an empty [`SharedPipeline`].
+pub fn shared_pipeline() -> SharedPipeline {
+    Arc::new(Mutex::new(AuditPipeline::new()))
+}
+
+/// Installs `pipeline` for this thread: every [`crate::Device`] created
+/// while the returned guard is alive attaches to it and streams its events
+/// through the recorder and auditor. Nested installs stack; dropping the
+/// guard restores the previous pipeline.
+pub fn install(pipeline: SharedPipeline) -> InstallGuard {
+    let previous = INSTALLED.with(|slot| slot.borrow_mut().replace(pipeline));
+    InstallGuard { previous }
+}
+
+/// The pipeline installed on this thread, if any.
+pub(crate) fn current() -> Option<SharedPipeline> {
+    INSTALLED.with(|slot| slot.borrow().clone())
+}
+
+/// Uninstalls the pipeline (restoring any outer install) when dropped.
+#[must_use = "dropping the guard immediately uninstalls the pipeline"]
+pub struct InstallGuard {
+    previous: Option<SharedPipeline>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        INSTALLED.with(|slot| *slot.borrow_mut() = previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_scoped_and_stacks() {
+        assert!(current().is_none());
+        let outer = shared_pipeline();
+        let inner = shared_pipeline();
+        {
+            let _a = install(outer.clone());
+            assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+            {
+                let _b = install(inner.clone());
+                assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+            }
+            assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        }
+        assert!(current().is_none());
+    }
+}

@@ -36,6 +36,19 @@ use fleet_sim::{Clock, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Emits a device-level audit event through the attached pipeline; expands
+/// to nothing without the `audit` feature, so event construction is free.
+#[cfg(feature = "audit")]
+macro_rules! device_audit {
+    ($self:ident, $ev:expr) => {
+        $self.audit_emit($ev)
+    };
+}
+#[cfg(not(feature = "audit"))]
+macro_rules! device_audit {
+    ($self:ident, $ev:expr) => {};
+}
+
 /// Native anonymous mappings live far above any Java-heap address.
 const NATIVE_BASE: u64 = 1 << 40;
 /// File-backed mappings live in their own window above the native ones.
@@ -121,6 +134,16 @@ pub struct Device {
     /// Per-app launch-page history for ASAP-style prepaging. Keyed by app
     /// name and persisted across LMK kills, like ASAP's on-disk profiles.
     launch_history: BTreeMap<String, Vec<(u64, u64)>>,
+    /// Flight-recorder hookup, present when a pipeline was installed via
+    /// [`crate::audit::install`] at construction time.
+    #[cfg(feature = "audit")]
+    audit: Option<DeviceAudit>,
+}
+
+#[cfg(feature = "audit")]
+struct DeviceAudit {
+    pipeline: crate::audit::SharedPipeline,
+    ordinal: u32,
 }
 
 struct KernelTouch<'a> {
@@ -146,19 +169,16 @@ impl MemoryTouch for KernelTouch<'_> {
         if first_page == last_page && self.last_resident_page == Some(first_page) {
             return SimDuration::ZERO;
         }
-        match self.mm.access(self.pid, addr, size, AccessKind::Gc) {
-            Ok(outcome) => {
-                self.last_resident_page = Some(last_page);
-                outcome.latency
-            }
-            Err(_) => {
-                // Frames and swap both exhausted mid-trace: the page stays
-                // where it is; the device-level LMK will make room soon.
-                *self.oom += 1;
-                self.last_resident_page = None;
-                SimDuration::ZERO
-            }
+        let outcome = self.mm.access(self.pid, addr, size, AccessKind::Gc);
+        if outcome.oom {
+            // Frames and swap both exhausted mid-trace: the untouched pages
+            // stay where they are; the device-level LMK will make room soon.
+            *self.oom += 1;
+            self.last_resident_page = None;
+        } else {
+            self.last_resident_page = Some(last_page);
         }
+        outcome.latency
     }
 }
 
@@ -189,7 +209,8 @@ impl Device {
             stw_base: SimDuration::from_micros(800),
             marvin_per_stub_stw: SimDuration::from_nanos(6000 * scale),
         };
-        Ok(Device {
+        #[allow(unused_mut)]
+        let mut device = Device {
             mm: MemoryManager::new(config.mm_config()),
             clock: Clock::new(),
             procs: BTreeMap::new(),
@@ -206,7 +227,115 @@ impl Device {
             scratch_tail: 0,
             launch_history: BTreeMap::new(),
             config,
-        })
+            #[cfg(feature = "audit")]
+            audit: None,
+        };
+        #[cfg(feature = "audit")]
+        device.attach_audit();
+        Ok(device)
+    }
+
+    /// Hooks this device up to the thread's installed audit pipeline (if
+    /// any): registers a device ordinal, announces capacities, and enables
+    /// the kernel's event log. Per-process heap logs are enabled at spawn.
+    #[cfg(feature = "audit")]
+    fn attach_audit(&mut self) {
+        let Some(pipeline) = crate::audit::current() else { return };
+        let ordinal = pipeline.lock().expect("audit pipeline poisoned").attach();
+        self.audit = Some(DeviceAudit { pipeline, ordinal });
+        self.mm.audit_log_mut().enable(0);
+        let frames = self.mm.frames_capacity();
+        let swap_pages = self.mm.swap().capacity_pages();
+        self.audit_emit(fleet_audit::AuditEvent::DeviceAttached { frames, swap_pages });
+    }
+
+    /// Drains every component's buffered events into the pipeline, heap
+    /// logs in pid order first, then the kernel's. This is the ordering
+    /// barrier: each component's stream stays internally ordered, and no
+    /// auditor invariant spans a heap log and the kernel log.
+    #[cfg(feature = "audit")]
+    fn audit_flush(&mut self) {
+        let Some(audit) = self.audit.as_ref() else { return };
+        let ordinal = audit.ordinal;
+        let mut events: Vec<fleet_audit::AuditEvent> = Vec::new();
+        for proc in self.procs.values_mut() {
+            events.append(&mut proc.heap.audit_log_mut().drain());
+        }
+        events.append(&mut self.mm.audit_log_mut().drain());
+        if events.is_empty() {
+            return;
+        }
+        let audit = self.audit.as_ref().expect("checked above");
+        let mut pipeline = audit.pipeline.lock().expect("audit pipeline poisoned");
+        for event in events {
+            pipeline.feed(ordinal, event);
+        }
+    }
+
+    /// Flushes the component logs, then feeds one device-level event.
+    #[cfg(feature = "audit")]
+    fn audit_emit(&mut self, event: fleet_audit::AuditEvent) {
+        if self.audit.is_none() {
+            return;
+        }
+        self.audit_flush();
+        let audit = self.audit.as_ref().expect("checked above");
+        audit.pipeline.lock().expect("audit pipeline poisoned").feed(audit.ordinal, event);
+    }
+
+    /// Announces a newly spawned process and synthesizes a snapshot of its
+    /// initial heap (built before its event log was enabled): regions,
+    /// objects, reference edges and roots, in allocation order.
+    #[cfg(feature = "audit")]
+    fn audit_spawn(&mut self, pid: Pid) {
+        if self.audit.is_none() {
+            return;
+        }
+        let name = self.procs.get(&pid).expect("alive").name.clone();
+        self.audit_emit(fleet_audit::AuditEvent::ProcessSpawn { pid: pid.0, name });
+        let mut events: Vec<fleet_audit::AuditEvent> = Vec::new();
+        {
+            let proc = self.procs.get_mut(&pid).expect("alive");
+            let p = pid.0;
+            for region in proc.heap.regions() {
+                events.push(fleet_audit::AuditEvent::RegionMapped {
+                    pid: p,
+                    region: region.id().0,
+                    base: region.base(),
+                    len: region.size() as u64,
+                    kind: region.kind().to_string(),
+                });
+            }
+            let ids: Vec<ObjectId> = proc.heap.object_ids().collect();
+            for &obj in &ids {
+                let o = proc.heap.object(obj);
+                events.push(fleet_audit::AuditEvent::ObjectAlloc {
+                    pid: p,
+                    object: obj.0 as u64,
+                    region: o.region().0,
+                    size: o.size() as u64,
+                });
+            }
+            for &obj in &ids {
+                for &to in proc.heap.object(obj).refs() {
+                    events.push(fleet_audit::AuditEvent::RefAdded {
+                        pid: p,
+                        from: obj.0 as u64,
+                        to: to.0 as u64,
+                    });
+                }
+            }
+            for &root in proc.heap.roots() {
+                events.push(fleet_audit::AuditEvent::RootAdded { pid: p, object: root.0 as u64 });
+            }
+            // From here on the heap reports its own transitions.
+            proc.heap.audit_log_mut().enable(p);
+        }
+        let audit = self.audit.as_ref().expect("checked above");
+        let mut pipeline = audit.pipeline.lock().expect("audit pipeline poisoned");
+        for event in events {
+            pipeline.feed(audit.ordinal, event);
+        }
     }
 
     /// The device configuration.
@@ -348,10 +477,13 @@ impl Device {
             last_launch_faults: Vec::new(),
         };
         self.procs.insert(pid, proc);
+        #[cfg(feature = "audit")]
+        self.audit_spawn(pid);
         self.sync_heap(pid);
         self.map_with_retry(pid, NATIVE_BASE, native_len);
         self.map_file_with_retry(pid, FILE_BASE, file_len);
         self.foreground = Some(pid);
+        device_audit!(self, fleet_audit::AuditEvent::AppState { pid: pid.0, foreground: true });
 
         let jitter = self.rng.normal(1.0, 0.05).clamp(0.8, 1.3);
         let total = SimDuration::from_millis_f64(profile.cold_launch_ms * jitter);
@@ -403,6 +535,7 @@ impl Device {
             });
         }
         self.background_current();
+        device_audit!(self, fleet_audit::AuditEvent::LaunchStart { pid: pid.0 });
 
         // --- sample the launch working set from ground truth.
         let access = {
@@ -478,6 +611,10 @@ impl Device {
             gc_stw = stats.stw;
             gc_stall = stats.fault_stall;
         }
+        device_audit!(
+            self,
+            fleet_audit::AuditEvent::LaunchEnd { pid: pid.0, faulted_pages: outcome.faulted_pages }
+        );
 
         // --- foreground transition.
         let now = self.now();
@@ -499,6 +636,7 @@ impl Device {
             }
         }
         self.foreground = Some(pid);
+        device_audit!(self, fleet_audit::AuditEvent::AppState { pid: pid.0, foreground: true });
 
         let profile_hot_ms = self.procs.get(&pid).expect("alive").behavior.profile().hot_launch_ms;
         let jitter = self.rng.normal(1.0, 0.05).clamp(0.8, 1.3);
@@ -564,6 +702,7 @@ impl Device {
             }
             _ => {}
         }
+        device_audit!(self, fleet_audit::AuditEvent::AppState { pid: pid.0, foreground: false });
     }
 
     // ------------------------------------------------------------- main loop
@@ -582,6 +721,13 @@ impl Device {
             self.mm.kswapd();
             self.update_psi(1.0);
             self.pressure_kill();
+            device_audit!(
+                self,
+                fleet_audit::AuditEvent::Counters {
+                    used_frames: self.mm.used_frames(),
+                    swap_used: self.mm.swap().used_pages(),
+                }
+            );
             self.clock.advance(SimDuration::from_secs(1));
         }
     }
@@ -920,15 +1066,20 @@ impl Device {
         len: u64,
         kind: AccessKind,
     ) -> AccessOutcome {
+        let mut merged = AccessOutcome::default();
         loop {
-            match self.mm.access(pid, base, len, kind) {
-                Ok(outcome) => return outcome,
-                Err(_) => {
-                    if !self.lmk_kill(Some(pid)) {
-                        self.oom_touch_skips += 1;
-                        return AccessOutcome::default();
-                    }
-                }
+            // Partial progress before an OOM is kept: the retry re-walks the
+            // range, but already-faulted pages are resident and free.
+            let outcome = self.mm.access(pid, base, len, kind);
+            let oom = outcome.oom;
+            merged.merge(outcome);
+            if !oom {
+                merged.oom = false;
+                return merged;
+            }
+            if !self.lmk_kill(Some(pid)) {
+                self.oom_touch_skips += 1;
+                return merged;
             }
         }
     }
@@ -1004,13 +1155,19 @@ impl Device {
 
     /// Terminates a process, releasing all its memory.
     pub fn kill(&mut self, pid: Pid) {
-        if let Some(proc) = self.procs.remove(&pid) {
-            self.mm.unmap_process(pid);
-            if self.foreground == Some(pid) {
-                self.foreground = None;
-            }
-            self.kills.push(KillRecord { at: self.clock.now(), pid, name: proc.name });
+        if !self.procs.contains_key(&pid) {
+            return;
         }
+        // Drain the victim's buffered heap events before it disappears.
+        #[cfg(feature = "audit")]
+        self.audit_flush();
+        let proc = self.procs.remove(&pid).expect("checked above");
+        self.mm.unmap_process(pid);
+        device_audit!(self, fleet_audit::AuditEvent::ProcessKill { pid: pid.0 });
+        if self.foreground == Some(pid) {
+            self.foreground = None;
+        }
+        self.kills.push(KillRecord { at: self.clock.now(), pid, name: proc.name });
     }
 
     // ------------------------------------------------------------ diagnostics
@@ -1140,6 +1297,13 @@ impl Device {
                 since_kswapd = 0;
                 self.mm.kswapd();
                 self.pressure_kill();
+                device_audit!(
+                    self,
+                    fleet_audit::AuditEvent::Counters {
+                        used_frames: self.mm.used_frames(),
+                        swap_used: self.mm.swap().used_pages(),
+                    }
+                );
             }
         }
         recorder.report()

@@ -31,6 +31,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod config;
 pub mod device;
 pub mod error;

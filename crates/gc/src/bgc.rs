@@ -18,7 +18,9 @@
 //!    (ART calls this card *aging*; without it a second BGC would free
 //!    reachable BGO.)
 
-use crate::collector::{Collector, GcCostModel, GcKind, GcStats, MemoryTouch};
+use crate::collector::{
+    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+};
 use fleet_heap::{Heap, ObjectId, RegionId, RegionKind};
 use std::collections::HashSet;
 
@@ -55,6 +57,7 @@ impl Collector for BackgroundObjectGc {
     fn collect(&mut self, heap: &mut Heap, touch: &mut dyn MemoryTouch) -> GcStats {
         let mut stats = GcStats::new(GcKind::Bgc);
         stats.stw += self.cost.stw_base;
+        audit_gc_start(heap, GcKind::Bgc, false);
 
         let bg_regions: Vec<RegionId> =
             heap.regions().filter(|r| r.kind() == RegionKind::Bg).map(|r| r.id()).collect();
@@ -150,6 +153,7 @@ impl Collector for BackgroundObjectGc {
 
         heap.bump_gc_epoch();
         heap.update_limit_after_gc();
+        audit_gc_end(heap, &stats);
         stats
     }
 

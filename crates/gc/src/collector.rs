@@ -138,6 +138,51 @@ impl GcStats {
     }
 }
 
+/// Emits a [`fleet_audit::AuditEvent::GcStart`] into the heap's flight-
+/// recorder log; compiled to a no-op without the `audit` feature.
+///
+/// `complete` declares the collection's soundness contract to the auditor:
+/// a complete collection (full, Marvin, non-incremental grouping) sweeps the
+/// whole heap, so everything unreachable at start must be gone at the end;
+/// a partial collection (minor, BGC, incremental grouping) only promises
+/// never to free a live object.
+#[cfg(feature = "audit")]
+pub(crate) fn audit_gc_start(heap: &mut Heap, kind: GcKind, complete: bool) {
+    heap.audit_log_mut().push(|pid| fleet_audit::AuditEvent::GcStart {
+        pid,
+        kind: kind.to_string(),
+        complete,
+    });
+}
+
+#[cfg(not(feature = "audit"))]
+pub(crate) fn audit_gc_start(_heap: &mut Heap, _kind: GcKind, _complete: bool) {}
+
+/// Emits a [`fleet_audit::AuditEvent::GcEnd`] carrying the collection's
+/// reported counters, which the auditor cross-checks against the object
+/// events observed inside the window.
+#[cfg(feature = "audit")]
+pub(crate) fn audit_gc_end(heap: &mut Heap, stats: &GcStats) {
+    let (kind, traced, copied, freed, freed_bytes) = (
+        stats.kind,
+        stats.objects_traced,
+        stats.bytes_copied,
+        stats.objects_freed,
+        stats.bytes_freed,
+    );
+    heap.audit_log_mut().push(move |pid| fleet_audit::AuditEvent::GcEnd {
+        pid,
+        kind: kind.to_string(),
+        objects_traced: traced,
+        bytes_copied: copied,
+        objects_freed: freed,
+        bytes_freed: freed_bytes,
+    });
+}
+
+#[cfg(not(feature = "audit"))]
+pub(crate) fn audit_gc_end(_heap: &mut Heap, _stats: &GcStats) {}
+
 /// A garbage collector over the modelled heap.
 pub trait Collector {
     /// Runs one collection, reporting object touches to `touch`.

@@ -7,7 +7,9 @@
 //! swapped out, this GC faults them all back in (Figure 4's access spike at
 //! 37 s), which is why default Android cannot keep many apps cached.
 
-use crate::collector::{Collector, GcCostModel, GcKind, GcStats, MemoryTouch};
+use crate::collector::{
+    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+};
 use fleet_heap::{AllocContext, Heap, ObjectId, RegionKind};
 use std::collections::HashSet;
 
@@ -43,6 +45,7 @@ impl Collector for FullCopyingGc {
     fn collect(&mut self, heap: &mut Heap, touch: &mut dyn MemoryTouch) -> GcStats {
         let mut stats = GcStats::new(GcKind::Full);
         stats.stw += self.cost.stw_base;
+        audit_gc_start(heap, GcKind::Full, true);
 
         let from_regions = heap.region_ids();
         heap.retire_alloc_targets();
@@ -128,6 +131,7 @@ impl Collector for FullCopyingGc {
         heap.clear_newly_allocated_flags();
         heap.bump_gc_epoch();
         heap.update_limit_after_gc();
+        audit_gc_end(heap, &stats);
         stats
     }
 

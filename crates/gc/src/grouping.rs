@@ -17,7 +17,7 @@
 //! class onto its own pages. The returned [`GroupingOutcome`] carries the
 //! address ranges of each group for the `madvise` calls of §5.3.2.
 
-use crate::collector::{GcCostModel, GcKind, GcStats, MemoryTouch};
+use crate::collector::{audit_gc_end, audit_gc_start, GcCostModel, GcKind, GcStats, MemoryTouch};
 use fleet_heap::{AllocContext, Heap, ObjectClass, ObjectId, RegionId, RegionKind};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -101,6 +101,7 @@ impl GroupingGc {
         let mut stats = GcStats::new(GcKind::Grouping);
         let mut outcome = GroupingOutcome::default();
         stats.stw += self.cost.stw_base;
+        audit_gc_start(heap, GcKind::Grouping, !self.incremental);
 
         // Incremental mode: existing cold regions stay in place untouched.
         let kept_cold: HashSet<RegionId> = if self.incremental {
@@ -293,6 +294,7 @@ impl GroupingGc {
         heap.clear_newly_allocated_flags();
         heap.bump_gc_epoch();
         heap.update_limit_after_gc();
+        audit_gc_end(heap, &stats);
         (stats, outcome)
     }
 }

@@ -21,7 +21,9 @@
 //! fragmentation persists — its heap limit tracks *used* rather than live
 //! bytes.
 
-use crate::collector::{Collector, GcCostModel, GcKind, GcStats, MemoryTouch};
+use crate::collector::{
+    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+};
 use fleet_heap::{Heap, ObjectId, PAGE_SIZE};
 use std::collections::HashSet;
 
@@ -166,6 +168,7 @@ impl Collector for MarvinGc {
         // Drawback (i): reconciling stubs with objects needs a long pause.
         stats.stw +=
             self.cost.stw_base + self.cost.marvin_per_stub_stw * self.state.stub_count() as u64;
+        audit_gc_start(heap, GcKind::Marvin, true);
 
         // Mark phase: bookmarked objects are traversed via their resident
         // stubs (reference metadata) without touching object memory.
@@ -219,6 +222,7 @@ impl Collector for MarvinGc {
         // threshold must track used (not live) bytes.
         let factor = heap.growth_factor();
         heap.set_limit((heap.used_bytes() as f64 * factor) as u64);
+        audit_gc_end(heap, &stats);
         stats
     }
 

@@ -5,7 +5,9 @@
 //! roots, and old→young references found by scanning the dirty cards of the
 //! card table — old regions are *not* traced wholesale.
 
-use crate::collector::{Collector, GcCostModel, GcKind, GcStats, MemoryTouch};
+use crate::collector::{
+    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+};
 use fleet_heap::{AllocContext, Heap, ObjectId, RegionId, RegionKind};
 use std::collections::HashSet;
 
@@ -40,6 +42,7 @@ impl Collector for MinorGc {
     fn collect(&mut self, heap: &mut Heap, touch: &mut dyn MemoryTouch) -> GcStats {
         let mut stats = GcStats::new(GcKind::Minor);
         stats.stw += self.cost.stw_base;
+        audit_gc_start(heap, GcKind::Minor, false);
 
         let young_regions: Vec<RegionId> =
             heap.regions().filter(|r| r.newly_allocated()).map(|r| r.id()).collect();
@@ -157,6 +160,7 @@ impl Collector for MinorGc {
         heap.clear_newly_allocated_flags();
         heap.bump_gc_epoch();
         heap.update_limit_after_gc();
+        audit_gc_end(heap, &stats);
         stats
     }
 

@@ -133,4 +133,51 @@ proptest! {
             prop_assert!(heap.live_bytes() <= heap.used_bytes());
         }
     }
+
+    /// Differential tracing: ART's full GC walks the graph depth-first,
+    /// Fleet's grouping GC breadth-first with a FIFO mark queue (§5.3.1).
+    /// Traversal order must never change *what* is live — on any random
+    /// object graph both collectors keep exactly the reachable set and
+    /// identical survivor byte counts.
+    #[test]
+    fn dfs_and_bfs_tracing_agree_on_liveness(
+        sizes in proptest::collection::vec(16u32..512, 1..40),
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..120),
+        extra_roots in proptest::collection::vec(any::<u8>(), 0..4),
+    ) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let ids: Vec<ObjectId> = sizes.iter().map(|&s| heap.alloc(s)).collect();
+        heap.add_root(ids[0]);
+        for &r in &extra_roots {
+            heap.add_root(ids[r as usize % ids.len()]);
+        }
+        for &(from, to) in &edges {
+            let f = ids[from as usize % ids.len()];
+            let t = ids[to as usize % ids.len()];
+            if f != t {
+                heap.add_ref(f, t);
+            }
+        }
+        let expected = reachable_set(&heap);
+        let expected_bytes: u64 =
+            expected.iter().map(|&id| heap.object(id).size() as u64).sum();
+
+        let mut dfs_heap = heap.clone();
+        let dfs = FullCopyingGc::new(GcCostModel::default()).collect(&mut dfs_heap, &mut NoTouch);
+        let mut bfs_heap = heap;
+        let (bfs, _) = GroupingGc::new(GcCostModel::default(), 2, HashSet::new())
+            .collect_grouping(&mut bfs_heap, &mut NoTouch);
+
+        let dfs_live: HashSet<ObjectId> = dfs_heap.object_ids().collect();
+        let bfs_live: HashSet<ObjectId> = bfs_heap.object_ids().collect();
+        prop_assert_eq!(&dfs_live, &expected, "DFS live set diverges from reachability");
+        prop_assert_eq!(&bfs_live, &expected, "BFS live set diverges from reachability");
+        prop_assert_eq!(dfs_heap.live_bytes(), expected_bytes);
+        prop_assert_eq!(bfs_heap.live_bytes(), expected_bytes);
+        // Both copy every survivor exactly once and trace the same count.
+        prop_assert_eq!(dfs.bytes_copied, expected_bytes);
+        prop_assert_eq!(bfs.bytes_copied, expected_bytes);
+        prop_assert_eq!(dfs.objects_traced, expected.len() as u64);
+        prop_assert_eq!(bfs.objects_traced, expected.len() as u64);
+    }
 }

@@ -20,6 +20,19 @@ use crate::region::{Region, RegionId, RegionKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Emits a flight-recorder event stamped with the owning process id;
+/// compiled to nothing without the `audit` feature.
+#[cfg(feature = "audit")]
+macro_rules! audit {
+    ($self:ident, |$pid:ident| $ev:expr) => {
+        $self.audit.push(|$pid| $ev)
+    };
+}
+#[cfg(not(feature = "audit"))]
+macro_rules! audit {
+    ($($t:tt)*) => {};
+}
+
 /// An address-space change the kernel model must hear about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HeapEvent {
@@ -92,6 +105,9 @@ pub struct Heap {
     live_objects: u64,
     events: Vec<HeapEvent>,
     cards: CardTable,
+    /// Flight-recorder buffer (see `crates/audit`); disabled by default.
+    #[cfg(feature = "audit")]
+    audit: fleet_audit::EventLog,
 }
 
 impl Heap {
@@ -117,7 +133,21 @@ impl Heap {
             live_objects: 0,
             events: Vec::new(),
             cards,
+            #[cfg(feature = "audit")]
+            audit: fleet_audit::EventLog::default(),
         }
+    }
+
+    /// The flight-recorder buffer (drained by the device layer).
+    #[cfg(feature = "audit")]
+    pub fn audit_log_mut(&mut self) -> &mut fleet_audit::EventLog {
+        &mut self.audit
+    }
+
+    /// Read-only view of the flight-recorder buffer.
+    #[cfg(feature = "audit")]
+    pub fn audit_log(&self) -> &fleet_audit::EventLog {
+        &self.audit
     }
 
     /// The heap configuration.
@@ -150,6 +180,13 @@ impl Heap {
         let region = Region::new(id, kind, base, self.config.region_size, true);
         self.events.push(HeapEvent::RegionMapped { base, len: self.config.region_size as u64 });
         self.regions.push(Some(region));
+        audit!(self, |pid| fleet_audit::AuditEvent::RegionMapped {
+            pid,
+            region: idx,
+            base,
+            len: self.config.region_size as u64,
+            kind: kind.to_string(),
+        });
         id
     }
 
@@ -213,6 +250,12 @@ impl Heap {
         );
         self.used_bytes -= region.used() as u64;
         self.events.push(HeapEvent::RegionFreed { base: region.base(), len: region.size() as u64 });
+        audit!(self, |pid| fleet_audit::AuditEvent::RegionFreed {
+            pid,
+            region: id.0,
+            base: region.base(),
+            len: region.size() as u64,
+        });
     }
 
     /// Stops bump-allocating into the current target regions, so subsequent
@@ -265,6 +308,12 @@ impl Heap {
         self.used_bytes += size as u64;
         self.live_bytes += size as u64;
         self.live_objects += 1;
+        audit!(self, |pid| fleet_audit::AuditEvent::ObjectAlloc {
+            pid,
+            object: id.0 as u64,
+            region: region_id.0,
+            size: size as u64,
+        });
         id
     }
 
@@ -347,6 +396,11 @@ impl Heap {
         assert!(self.contains(to), "dangling reference target {to}");
         self.write_barrier(from);
         self.object_mut(from).refs_mut().push(to);
+        audit!(self, |pid| fleet_audit::AuditEvent::RefAdded {
+            pid,
+            from: from.0 as u64,
+            to: to.0 as u64,
+        });
     }
 
     /// Removes one `from → to` edge if present, running the write barrier.
@@ -355,6 +409,11 @@ impl Heap {
         let refs = self.object_mut(from).refs_mut();
         if let Some(pos) = refs.iter().position(|&r| r == to) {
             refs.swap_remove(pos);
+            audit!(self, |pid| fleet_audit::AuditEvent::RefRemoved {
+                pid,
+                from: from.0 as u64,
+                to: to.0 as u64,
+            });
         }
     }
 
@@ -367,6 +426,15 @@ impl Heap {
         for &to in &refs {
             assert!(self.contains(to), "dangling reference target {to}");
         }
+        audit!(self, |pid| fleet_audit::AuditEvent::RefsCleared { pid, object: from.0 as u64 });
+        #[cfg(feature = "audit")]
+        for &to in &refs {
+            audit!(self, |pid| fleet_audit::AuditEvent::RefAdded {
+                pid,
+                from: from.0 as u64,
+                to: to.0 as u64,
+            });
+        }
         self.write_barrier(from);
         *self.object_mut(from).refs_mut() = refs;
     }
@@ -375,6 +443,7 @@ impl Heap {
     pub fn clear_refs(&mut self, from: ObjectId) {
         self.write_barrier(from);
         self.object_mut(from).refs_mut().clear();
+        audit!(self, |pid| fleet_audit::AuditEvent::RefsCleared { pid, object: from.0 as u64 });
     }
 
     /// The write barrier: every object write dirties the card covering the
@@ -394,12 +463,17 @@ impl Heap {
     pub fn add_root(&mut self, id: ObjectId) {
         if !self.roots.contains(&id) {
             self.roots.push(id);
+            audit!(self, |pid| fleet_audit::AuditEvent::RootAdded { pid, object: id.0 as u64 });
         }
     }
 
     /// Unregisters a GC root (no-op if absent).
     pub fn remove_root(&mut self, id: ObjectId) {
+        let before = self.roots.len();
         self.roots.retain(|&r| r != id);
+        if self.roots.len() != before {
+            audit!(self, |pid| fleet_audit::AuditEvent::RootRemoved { pid, object: id.0 as u64 });
+        }
     }
 
     /// The current root set.
@@ -424,6 +498,13 @@ impl Heap {
         let (new_region, offset) = self.bump_into(dest, size, id);
         self.used_bytes += size as u64; // the from-region copy is reclaimed at free_region
         self.object_mut(id).relocate(new_region, offset);
+        audit!(self, |pid| fleet_audit::AuditEvent::ObjectCopied {
+            pid,
+            object: id.0 as u64,
+            from_region: old_region.0,
+            to_region: new_region.0,
+            size: size as u64,
+        });
     }
 
     /// Frees a dead object, removing it from its region.
@@ -441,6 +522,12 @@ impl Heap {
         self.region_mut(obj.region()).remove_object(id);
         self.live_bytes -= obj.size() as u64;
         self.live_objects -= 1;
+        audit!(self, |pid| fleet_audit::AuditEvent::ObjectFreed {
+            pid,
+            object: id.0 as u64,
+            region: obj.region().0,
+            size: obj.size() as u64,
+        });
     }
 
     /// Sets (or clears) the RGS classification of an object.

@@ -25,7 +25,7 @@
 //! let mut mm = MemoryManager::new(MmConfig::small_test());
 //! let pid = Pid(1);
 //! mm.map_range(pid, 0, 64 * 4096).unwrap();
-//! let outcome = mm.access(pid, 0, 128, AccessKind::Mutator).unwrap();
+//! let outcome = mm.access(pid, 0, 128, AccessKind::Mutator);
 //! assert_eq!(outcome.faulted_pages, 0); // freshly mapped pages are resident
 //! ```
 

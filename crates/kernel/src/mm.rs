@@ -23,6 +23,19 @@ use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+/// Emits a flight-recorder event; compiled to nothing without the `audit`
+/// feature, so emission sites cost zero in normal builds.
+#[cfg(feature = "audit")]
+macro_rules! audit {
+    ($self:ident, $ev:expr) => {
+        $self.audit.push(|_| $ev)
+    };
+}
+#[cfg(not(feature = "audit"))]
+macro_rules! audit {
+    ($self:ident, $ev:expr) => {};
+}
+
 /// Who is touching memory; GC-kind accesses are the ones that "offset the
 /// effects of swapping" in Figure 4 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -35,6 +48,17 @@ pub enum AccessKind {
     Launch,
 }
 
+impl AccessKind {
+    /// Canonical name used in flight-recorder events.
+    pub fn audit_name(self) -> &'static str {
+        match self {
+            AccessKind::Mutator => "mutator",
+            AccessKind::Gc => "gc",
+            AccessKind::Launch => "launch",
+        }
+    }
+}
+
 /// Result of an [`MemoryManager::access`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessOutcome {
@@ -44,6 +68,11 @@ pub struct AccessOutcome {
     pub faulted_pages: u64,
     /// Total pages touched (resident + faulted).
     pub touched_pages: u64,
+    /// True when the access ran out of frames mid-way: the pages faulted
+    /// before the failure are counted above and their state changes stand;
+    /// the rest of the range was not touched. The caller should free memory
+    /// (LMK) and retry the access.
+    pub oom: bool,
 }
 
 impl AccessOutcome {
@@ -52,6 +81,7 @@ impl AccessOutcome {
         self.latency += other.latency;
         self.faulted_pages += other.faulted_pages;
         self.touched_pages += other.touched_pages;
+        self.oom |= other.oom;
     }
 }
 
@@ -169,7 +199,7 @@ pub struct ProcessMem {
 ///
 /// let mut mm = MemoryManager::new(MmConfig::small_test());
 /// mm.map_range(Pid(1), 0, 16 * 4096).unwrap();
-/// let out = mm.access(Pid(1), 0, 4096, AccessKind::Mutator).unwrap();
+/// let out = mm.access(Pid(1), 0, 4096, AccessKind::Mutator);
 /// assert_eq!(out.touched_pages, 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -195,6 +225,9 @@ pub struct MemoryManager {
     eviction_seq: u64,
     swap: SwapDevice,
     stats: KernelStats,
+    /// Flight-recorder buffer (see `crates/audit`); disabled by default.
+    #[cfg(feature = "audit")]
+    audit: fleet_audit::EventLog,
 }
 
 impl MemoryManager {
@@ -214,7 +247,21 @@ impl MemoryManager {
             eviction_seq: 0,
             swap: SwapDevice::new(config.swap),
             stats: KernelStats::default(),
+            #[cfg(feature = "audit")]
+            audit: fleet_audit::EventLog::default(),
         }
+    }
+
+    /// The flight-recorder buffer (drained by the device layer).
+    #[cfg(feature = "audit")]
+    pub fn audit_log_mut(&mut self) -> &mut fleet_audit::EventLog {
+        &mut self.audit
+    }
+
+    /// Read-only view of the flight-recorder buffer.
+    #[cfg(feature = "audit")]
+    pub fn audit_log(&self) -> &fleet_audit::EventLog {
+        &self.audit
     }
 
     /// The configuration.
@@ -314,6 +361,14 @@ impl MemoryManager {
             self.resident_count += 1;
             self.queue_insert(key);
             self.pid_pages.entry(pid).or_default().insert(index);
+            audit!(
+                self,
+                fleet_audit::AuditEvent::PageMapped {
+                    pid: pid.0,
+                    page: index,
+                    file: kind == PageKind::File,
+                }
+            );
         }
         Ok(())
     }
@@ -370,6 +425,15 @@ impl MemoryManager {
         };
         self.pinned.remove(&key);
         let kind = self.kinds.remove(&key).unwrap_or(PageKind::Anon);
+        audit!(
+            self,
+            fleet_audit::AuditEvent::PageUnmapped {
+                pid: key.pid.0,
+                page: key.index,
+                resident: state == PageState::Resident,
+                file: kind == PageKind::File,
+            }
+        );
         match state {
             PageState::Resident => {
                 self.resident_count -= 1;
@@ -396,8 +460,11 @@ impl MemoryManager {
 
     /// Unmaps every page of `pid` (process killed). Returns freed frames.
     pub fn unmap_process(&mut self, pid: Pid) -> u64 {
-        let indexes: Vec<u64> =
+        let mut indexes: Vec<u64> =
             self.pid_pages.remove(&pid).map(|s| s.into_iter().collect()).unwrap_or_default();
+        // The per-pid index set is a HashSet; fix the order so the audit
+        // event stream (and thus the golden-trace hash) is deterministic.
+        indexes.sort_unstable();
         let before = self.free_frames();
         for index in indexes {
             self.unmap_page(PageKey { pid, index });
@@ -412,18 +479,12 @@ impl MemoryManager {
     /// and refresh their LRU position; swapped pages fault in at flash
     /// latency.
     ///
-    /// # Errors
-    ///
-    /// Returns [`MmError::OutOfMemory`] when faulting needs a frame and none
-    /// can be made free. The caller should free memory (kill a process) and
-    /// retry.
-    pub fn access(
-        &mut self,
-        pid: Pid,
-        addr: u64,
-        len: u64,
-        kind: AccessKind,
-    ) -> Result<AccessOutcome, MmError> {
+    /// When faulting needs a frame and none can be made free, the access
+    /// stops early with [`AccessOutcome::oom`] set. The pages faulted before
+    /// the failure keep their new state and are fully accounted; the caller
+    /// should free memory (kill a process) and retry the access, merging the
+    /// outcomes.
+    pub fn access(&mut self, pid: Pid, addr: u64, len: u64, kind: AccessKind) -> AccessOutcome {
         let mut outcome = AccessOutcome::default();
         let mut anon_faults = 0u64;
         let mut file_faults = 0u64;
@@ -437,13 +498,16 @@ impl MemoryManager {
                     outcome.latency += self.config.dram_page_cost;
                 }
                 Some(PageState::Swapped) => {
-                    self.take_frame()?;
-                    match self.kind_of(key) {
-                        PageKind::Anon => {
-                            self.swap.release_page();
-                            anon_faults += 1;
-                        }
-                        PageKind::File => file_faults += 1,
+                    if self.take_frame().is_err() {
+                        outcome.oom = true;
+                        break;
+                    }
+                    let file = self.kind_of(key) == PageKind::File;
+                    if file {
+                        file_faults += 1;
+                    } else {
+                        self.swap.release_page();
+                        anon_faults += 1;
                     }
                     self.states.insert(key, PageState::Resident);
                     self.resident_count += 1;
@@ -452,6 +516,15 @@ impl MemoryManager {
                         self.queue_touch(key);
                     }
                     outcome.touched_pages += 1;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::PageFault {
+                            pid: pid.0,
+                            page: index,
+                            file,
+                            kind: kind.audit_name(),
+                        }
+                    );
                 }
             }
         }
@@ -467,7 +540,7 @@ impl MemoryManager {
                 AccessKind::Launch => self.stats.faults_launch += anon_faults + file_faults,
             }
         }
-        Ok(outcome)
+        outcome
     }
 
     /// Finds a free frame, evicting the coldest page if necessary.
@@ -511,6 +584,15 @@ impl MemoryManager {
                         self.states.insert(victim, PageState::Swapped);
                         self.resident_count -= 1;
                         self.stats.pages_dropped_file += 1;
+                        audit!(
+                            self,
+                            fleet_audit::AuditEvent::SwapOut {
+                                pid: victim.pid.0,
+                                page: victim.index,
+                                file: true,
+                                advised: false,
+                            }
+                        );
                         return Ok(victim);
                     }
                 }
@@ -525,6 +607,15 @@ impl MemoryManager {
                         self.resident_count -= 1;
                         self.stats.pages_swapped_out += 1;
                         self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
+                        audit!(
+                            self,
+                            fleet_audit::AuditEvent::SwapOut {
+                                pid: victim.pid.0,
+                                page: victim.index,
+                                file: false,
+                                advised: false,
+                            }
+                        );
                         return Ok(victim);
                     }
                 }
@@ -607,6 +698,7 @@ impl MemoryManager {
             if self.states.contains_key(&key) && self.pinned.insert(key) {
                 self.queue_remove(key);
                 pinned += 1;
+                audit!(self, fleet_audit::AuditEvent::PagePinned { pid: pid.0, page: index });
             }
         }
         pinned
@@ -623,6 +715,7 @@ impl MemoryManager {
                     self.queue_insert(key);
                 }
                 unpinned += 1;
+                audit!(self, fleet_audit::AuditEvent::PageUnpinned { pid: pid.0, page: index });
             }
         }
         unpinned
@@ -643,20 +736,29 @@ impl MemoryManager {
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
             if self.states.get(&key) == Some(&PageState::Resident) {
-                match self.kind_of(key) {
-                    PageKind::Anon => {
-                        if self.swap.is_full() || !self.swap.reserve_page() {
-                            break;
-                        }
-                        self.stats.pages_swapped_out += 1;
-                        self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
+                let file = self.kind_of(key) == PageKind::File;
+                if file {
+                    self.stats.pages_dropped_file += 1;
+                } else {
+                    if self.swap.is_full() || !self.swap.reserve_page() {
+                        break;
                     }
-                    PageKind::File => self.stats.pages_dropped_file += 1,
+                    self.stats.pages_swapped_out += 1;
+                    self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
                 }
                 self.queue_remove(key);
                 self.states.insert(key, PageState::Swapped);
                 self.resident_count -= 1;
                 moved += 1;
+                audit!(
+                    self,
+                    fleet_audit::AuditEvent::SwapOut {
+                        pid: pid.0,
+                        page: index,
+                        file,
+                        advised: true,
+                    }
+                );
             }
         }
         moved
@@ -673,6 +775,7 @@ impl MemoryManager {
             if self.states.get(&key) == Some(&PageState::Resident) {
                 self.queue_mut(key).promote(key);
                 promoted += 1;
+                audit!(self, fleet_audit::AuditEvent::LruPromote { pid: pid.0, page: index });
             }
         }
         promoted
@@ -692,18 +795,26 @@ impl MemoryManager {
                     if self.take_frame().is_err() {
                         break 'outer;
                     }
-                    match self.kind_of(key) {
-                        PageKind::Anon => {
-                            self.swap.release_page();
-                            anon += 1;
-                        }
-                        PageKind::File => file += 1,
+                    let is_file = self.kind_of(key) == PageKind::File;
+                    if is_file {
+                        file += 1;
+                    } else {
+                        self.swap.release_page();
+                        anon += 1;
                     }
                     self.states.insert(key, PageState::Resident);
                     self.resident_count += 1;
                     if !self.pinned.contains(&key) {
                         self.queue_insert(key);
                     }
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::PagePrefetched {
+                            pid: pid.0,
+                            page: index,
+                            file: is_file,
+                        }
+                    );
                 }
             }
         }
@@ -728,7 +839,8 @@ impl MemoryManager {
             let key = PageKey { pid, index };
             if self.states.get(&key) == Some(&PageState::Swapped) {
                 self.take_frame()?;
-                if self.kind_of(key) == PageKind::Anon {
+                let file = self.kind_of(key) == PageKind::File;
+                if !file {
                     self.swap.release_page();
                 }
                 self.states.insert(key, PageState::Resident);
@@ -737,10 +849,94 @@ impl MemoryManager {
                     self.queue_insert(key);
                 }
                 batch += 1;
+                audit!(
+                    self,
+                    fleet_audit::AuditEvent::PagePrefetched { pid: pid.0, page: index, file }
+                );
             }
         }
         let latency = self.swap.read_pages(batch);
         Ok((batch, latency))
+    }
+
+    // ------------------------------------------------------------ validation
+
+    /// Checks the memory manager's internal bookkeeping for consistency and
+    /// panics on the first inconsistency found. Used by the invariant test
+    /// suites after every operation; always compiled (no feature gate) so
+    /// plain tests can call it too.
+    ///
+    /// Invariants checked:
+    ///
+    /// * `resident_count` equals the number of pages in `Resident` state,
+    /// * swap slot usage equals the number of swapped *anonymous* pages
+    ///   (file pages are dropped, not swapped),
+    /// * resident pages plus the zram store fit in DRAM,
+    /// * every resident non-pinned page sits in exactly its proper LRU
+    ///   queue, and the queues hold nothing else,
+    /// * pinned and swapped pages are on no queue,
+    /// * the per-pid page sets agree with the page-state table,
+    /// * every mapped page has a recorded kind.
+    pub fn validate(&self) {
+        let resident = self.states.values().filter(|&&s| s == PageState::Resident).count() as u64;
+        assert_eq!(
+            resident, self.resident_count,
+            "resident_count {} disagrees with page states ({resident} resident)",
+            self.resident_count
+        );
+        let swapped_anon = self
+            .states
+            .iter()
+            .filter(|&(&k, &s)| s == PageState::Swapped && self.kind_of(k) == PageKind::Anon)
+            .count() as u64;
+        assert_eq!(
+            swapped_anon,
+            self.swap.used_pages(),
+            "swap device uses {} slots but {swapped_anon} anon pages are swapped",
+            self.swap.used_pages()
+        );
+        assert!(
+            self.resident_count + self.swap.frames_consumed() <= self.frames_capacity,
+            "resident {} + zram {} exceed DRAM {}",
+            self.resident_count,
+            self.swap.frames_consumed(),
+            self.frames_capacity
+        );
+        let mut queued = 0u64;
+        for (&key, &state) in &self.states {
+            assert!(self.kinds.contains_key(&key), "page {key:?} has no kind");
+            assert!(
+                self.pid_pages.get(&key.pid).is_some_and(|p| p.contains(&key.index)),
+                "page {key:?} missing from its pid set"
+            );
+            let in_queue = match self.kind_of(key) {
+                PageKind::Anon => self.anon_lrus.get(&key.pid).is_some_and(|q| q.contains(key)),
+                PageKind::File => self.file_lru.contains(key),
+            };
+            let should_queue = state == PageState::Resident && !self.pinned.contains(&key);
+            assert_eq!(
+                in_queue,
+                should_queue,
+                "page {key:?} (state {state:?}, pinned {}) queue membership wrong",
+                self.pinned.contains(&key)
+            );
+            if in_queue {
+                queued += 1;
+            }
+        }
+        let queue_total = self.anon_resident_total() + self.file_lru.len() as u64;
+        assert_eq!(
+            queue_total, queued,
+            "LRU queues hold {queue_total} pages but only {queued} mapped pages belong there"
+        );
+        for (pid, pages) in &self.pid_pages {
+            for &index in pages {
+                assert!(
+                    self.states.contains_key(&PageKey { pid: *pid, index }),
+                    "pid {pid} set lists unmapped page {index}"
+                );
+            }
+        }
     }
 }
 
@@ -765,7 +961,7 @@ mod tests {
         let mut mm = mm_with_frames(8, 8);
         mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap();
         assert_eq!(mm.used_frames(), 3);
-        let out = mm.access(Pid(1), 0, 2 * PAGE_SIZE, AccessKind::Mutator).unwrap();
+        let out = mm.access(Pid(1), 0, 2 * PAGE_SIZE, AccessKind::Mutator);
         assert_eq!(out.touched_pages, 2);
         assert_eq!(out.faulted_pages, 0);
         assert_eq!(mm.stats().faults, 0);
@@ -786,7 +982,7 @@ mod tests {
     fn fault_brings_page_back_at_flash_latency() {
         let mut mm = mm_with_frames(2, 4);
         mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap(); // page 0 swapped
-        let out = mm.access(Pid(1), 0, 1, AccessKind::Launch).unwrap();
+        let out = mm.access(Pid(1), 0, 1, AccessKind::Launch);
         assert_eq!(out.faulted_pages, 1);
         assert!(
             out.latency > SimDuration::from_micros(200),
@@ -825,7 +1021,7 @@ mod tests {
     fn gc_faults_are_attributed() {
         let mut mm = mm_with_frames(1, 4);
         mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
-        mm.access(Pid(1), 0, 1, AccessKind::Gc).unwrap();
+        mm.access(Pid(1), 0, 1, AccessKind::Gc);
         assert_eq!(mm.stats().faults_gc, 1);
         assert_eq!(mm.stats().faults_mutator, 0);
     }
@@ -927,8 +1123,46 @@ mod tests {
     #[test]
     fn access_to_unmapped_range_is_free() {
         let mut mm = mm_with_frames(4, 4);
-        let out = mm.access(Pid(1), 0, PAGE_SIZE, AccessKind::Mutator).unwrap();
+        let out = mm.access(Pid(1), 0, PAGE_SIZE, AccessKind::Mutator);
         assert_eq!(out.touched_pages, 0);
         assert_eq!(out.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn access_oom_keeps_partial_progress() {
+        let mut mm = mm_with_frames(2, 2);
+        // Fill DRAM and swap: 2 resident + 2 swapped, nothing evictable left
+        // once swap is full.
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.swap().used_pages(), 2);
+        // Touching all four pages must fault two back in; each fault evicts
+        // another page into the (full) swap, so the second fault cannot find
+        // a frame and the access stops early with the oom flag.
+        let out = mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator);
+        assert!(out.oom, "exhausted memory must set the oom flag");
+        assert!(out.touched_pages < 4, "oom access must stop early, touched {}", out.touched_pages);
+        // Partial progress is fully accounted: counters still balance.
+        mm.validate();
+        // Freeing memory lets a retry finish the range.
+        mm.unmap_range(Pid(1), 0, 2 * PAGE_SIZE);
+        let retry = mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator);
+        assert!(!retry.oom);
+        mm.validate();
+    }
+
+    #[test]
+    fn validate_accepts_all_page_states() {
+        let mut mm = mm_with_frames(4, 8);
+        mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap();
+        mm.map_range_kind(Pid(2), 0, 2 * PAGE_SIZE, PageKind::File).unwrap();
+        mm.validate();
+        mm.madvise_cold(Pid(1), 0, PAGE_SIZE); // one swapped anon page
+        mm.madvise_cold(Pid(2), 0, PAGE_SIZE); // one dropped file page
+        mm.pin_range(Pid(1), PAGE_SIZE, PAGE_SIZE); // one pinned page
+        mm.validate();
+        mm.unmap_process(Pid(1));
+        mm.unmap_process(Pid(2));
+        mm.validate();
+        assert_eq!(mm.used_frames(), 0);
     }
 }

@@ -33,6 +33,7 @@ enum MmOp {
     Hot { pid: u8, page: u16 },
     Pin { pid: u8, page: u16 },
     Unpin { pid: u8, page: u16 },
+    Prefetch { pid: u8, page: u16 },
     Kswapd,
     KillProcess { pid: u8 },
 }
@@ -54,12 +55,23 @@ fn op_strategy() -> impl Strategy<Value = MmOp> {
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Hot { pid, page }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Pin { pid, page }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Unpin { pid, page }),
+        (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Prefetch { pid, page }),
         Just(MmOp::Kswapd),
         (0u8..4).prop_map(|pid| MmOp::KillProcess { pid }),
     ]
 }
 
 fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError> {
+    // With the `audit` feature every kernel transition is replayed through
+    // the event-sourced shadow auditor as well, so the same random scripts
+    // exercise page conservation and residency membership from the outside.
+    #[cfg(feature = "audit")]
+    let mut pipe = fleet_audit::AuditPipeline::new();
+    #[cfg(feature = "audit")]
+    let dev = pipe.attach();
+    #[cfg(feature = "audit")]
+    mm.audit_log_mut().enable(0);
+
     let mut mapped: HashMap<(u8, u16), ()> = HashMap::new();
     for op in ops {
         match op {
@@ -92,6 +104,9 @@ fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError
             MmOp::Unpin { pid, page } => {
                 mm.unpin_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
             }
+            MmOp::Prefetch { pid, page } => {
+                let _ = mm.prefetch(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
             MmOp::Kswapd => {
                 mm.kswapd();
             }
@@ -100,7 +115,24 @@ fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError
                 mapped.retain(|&(p, _), _| p != pid);
             }
         }
-        // Invariants after every operation.
+        // Invariants after every operation: the kernel's own structural
+        // self-check (residency counts, swap slots, exact LRU membership)…
+        mm.validate();
+        // …the event-derived shadow state…
+        #[cfg(feature = "audit")]
+        {
+            for ev in mm.audit_log_mut().drain() {
+                pipe.feed(dev, ev);
+            }
+            pipe.feed(
+                dev,
+                fleet_audit::AuditEvent::Counters {
+                    used_frames: mm.used_frames(),
+                    swap_used: mm.swap().used_pages(),
+                },
+            );
+        }
+        // …and the black-box accounting identities.
         let mut resident = 0;
         let mut swapped = 0;
         for pid in 0u8..4 {
@@ -156,9 +188,44 @@ proptest! {
         mm.map_range(Pid(1), 0, pages * PAGE_SIZE).unwrap();
         mm.madvise_cold(Pid(1), 0, pages * PAGE_SIZE);
         prop_assert_eq!(mm.process_mem(Pid(1)).swapped, pages);
-        let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch).unwrap();
+        let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch);
+        prop_assert!(!out.oom);
         prop_assert_eq!(out.faulted_pages, pages);
         prop_assert_eq!(mm.process_mem(Pid(1)).swapped, 0);
         prop_assert!(out.latency > fleet_sim::SimDuration::ZERO);
+    }
+
+    /// Full swap round-trips: cold → fault-in cycles always restore exact
+    /// residency, release every swap slot they took, and keep the LRU
+    /// membership structurally valid at every step.
+    #[test]
+    fn swap_round_trips_are_lossless(
+        pages in 1u64..24,
+        cycles in 1usize..4,
+        use_prefetch in any::<bool>(),
+    ) {
+        let mut mm = small_mm(32, 64, SwapMedium::Flash);
+        mm.map_range(Pid(1), 0, pages * PAGE_SIZE).unwrap();
+        let swap_before = mm.swap().used_pages();
+        for _ in 0..cycles {
+            mm.madvise_cold(Pid(1), 0, pages * PAGE_SIZE);
+            mm.validate();
+            prop_assert_eq!(mm.process_mem(Pid(1)).swapped, pages);
+            if use_prefetch {
+                let (got, _) = mm.prefetch(Pid(1), 0, pages * PAGE_SIZE).unwrap();
+                prop_assert_eq!(got, pages);
+            } else {
+                let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Mutator);
+                prop_assert!(!out.oom);
+            }
+            mm.validate();
+            // Residency fully restored, no swap slots leaked.
+            prop_assert_eq!(mm.process_mem(Pid(1)).swapped, 0);
+            prop_assert_eq!(mm.process_mem(Pid(1)).resident, pages);
+            prop_assert_eq!(mm.swap().used_pages(), swap_before);
+            for page in 0..pages {
+                prop_assert!(mm.is_resident(Pid(1), page * PAGE_SIZE));
+            }
+        }
     }
 }

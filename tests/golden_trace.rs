@@ -1,0 +1,233 @@
+//! Golden-trace regression suite.
+//!
+//! Three fast registry experiments run with the flight recorder attached;
+//! the canonical event-stream fingerprint (event count, FNV-1a hash,
+//! checkpoints, and the verbatim head of the stream) is committed under
+//! `tests/golden/traces.txt`. Any behavioural drift in the kernel, heap,
+//! GC or device layers changes the stream and fails this suite with a
+//! structured diff of the first diverging event.
+//!
+//! Intentional changes are re-blessed with:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --features audit --test golden_trace
+//! ```
+#![cfg(feature = "audit")]
+
+use fleet::audit::{install, shared_pipeline};
+use fleet::experiment::harness::{derive_seed, ExperimentCtx, REGISTRY};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Master seed for the whole suite; per-experiment seeds derive from it.
+const MASTER_SEED: u64 = 0xF1EE7;
+
+/// The pinned experiments: each drives full `Device` stacks through the
+/// kernel, heap and GC layers, and finishes in seconds under `quick`.
+const GOLDEN_IDS: [&str; 3] = ["fig2", "fig5", "fig11"];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/traces.txt")
+}
+
+/// One experiment's recorded fingerprint.
+struct Trace {
+    id: &'static str,
+    seed: u64,
+    events: u64,
+    hash: u64,
+    checkpoints: Vec<(u64, u64)>,
+    head: Vec<String>,
+}
+
+/// Runs `id` from the registry in quick mode with a fresh pipeline
+/// installed and captures the recorder state.
+fn record(id: &'static str) -> Trace {
+    let exp = REGISTRY.iter().find(|e| e.id() == id).expect("golden id must be in REGISTRY");
+    let seed = derive_seed(MASTER_SEED, id);
+    let ctx = ExperimentCtx { seed, quick: true };
+    let pipeline = shared_pipeline();
+    let _guard = install(pipeline.clone());
+    exp.run(&ctx).expect("golden experiment must run");
+    let pipe = pipeline.lock().unwrap();
+    assert_eq!(pipe.auditor().violations(), 0, "{id}: auditor must stay clean");
+    let rec = pipe.recorder();
+    Trace {
+        id,
+        seed,
+        events: rec.event_count(),
+        hash: rec.hash(),
+        checkpoints: rec.checkpoints().to_vec(),
+        head: rec.head().to_vec(),
+    }
+}
+
+/// Canonical text form of the golden file.
+fn render(traces: &[Trace]) -> String {
+    let mut out = String::new();
+    out.push_str("# Golden flight-recorder traces. Any drift means observable behaviour\n");
+    out.push_str("# changed somewhere in kernel/heap/gc/device; re-bless intentional\n");
+    out.push_str(
+        "# changes with: GOLDEN_BLESS=1 cargo test --features audit --test golden_trace\n",
+    );
+    let _ = writeln!(out, "# master_seed={MASTER_SEED:#x}");
+    for t in traces {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "experiment={} seed={} quick=true events={} hash={:016x}",
+            t.id, t.seed, t.events, t.hash
+        );
+        for (count, hash) in &t.checkpoints {
+            let _ = writeln!(out, "checkpoint {count} {hash:016x}");
+        }
+        for (i, line) in t.head.iter().enumerate() {
+            let _ = writeln!(out, "head {} {}", i + 1, line);
+        }
+    }
+    out
+}
+
+/// A parsed golden-file section.
+struct Section {
+    summary: String,
+    checkpoints: Vec<String>,
+    head: Vec<String>,
+}
+
+fn parse(text: &str) -> Vec<(String, Section)> {
+    let mut out: Vec<(String, Section)> = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("experiment=") {
+            let id = rest.split_whitespace().next().unwrap_or("").to_string();
+            out.push((
+                id,
+                Section { summary: line.to_string(), checkpoints: Vec::new(), head: Vec::new() },
+            ));
+        } else if let Some((_, section)) = out.last_mut() {
+            if line.starts_with("checkpoint ") {
+                section.checkpoints.push(line.to_string());
+            } else if let Some(rest) = line.strip_prefix("head ") {
+                // "head <n> <event>" — keep only the event.
+                let event = rest.split_once(' ').map(|(_, e)| e).unwrap_or("");
+                section.head.push(event.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Localizes the drift for one experiment: the exact first diverging head
+/// event when it happens early, else the first diverging checkpoint block.
+fn explain_drift(golden: &Section, fresh: &Trace) -> String {
+    let mut msg = String::new();
+    let fresh_summary = format!(
+        "experiment={} seed={} quick=true events={} hash={:016x}",
+        fresh.id, fresh.seed, fresh.events, fresh.hash
+    );
+    let _ = writeln!(msg, "  golden: {}", golden.summary);
+    let _ = writeln!(msg, "  fresh:  {fresh_summary}");
+    for (i, (g, f)) in golden.head.iter().zip(&fresh.head).enumerate() {
+        if g != f {
+            let _ = writeln!(msg, "  first diverging event is head #{}:", i + 1);
+            let _ = writeln!(msg, "    golden: {g}");
+            let _ = writeln!(msg, "    fresh:  {f}");
+            return msg;
+        }
+    }
+    if golden.head.len() != fresh.head.len() {
+        let _ = writeln!(
+            msg,
+            "  head streams agree but lengths differ: golden {} vs fresh {} events",
+            golden.head.len(),
+            fresh.head.len()
+        );
+        return msg;
+    }
+    let fresh_cps: Vec<String> = fresh
+        .checkpoints
+        .iter()
+        .map(|(count, hash)| format!("checkpoint {count} {hash:016x}"))
+        .collect();
+    for (i, g) in golden.checkpoints.iter().enumerate() {
+        match fresh_cps.get(i) {
+            Some(f) if f == g => continue,
+            Some(f) => {
+                let _ = writeln!(msg, "  first diverging checkpoint:");
+                let _ = writeln!(msg, "    golden: {g}");
+                let _ = writeln!(msg, "    fresh:  {f}");
+                return msg;
+            }
+            None => {
+                let _ = writeln!(msg, "  fresh stream ends before golden {g}");
+                return msg;
+            }
+        }
+    }
+    let _ = writeln!(msg, "  streams diverge after the recorded head/checkpoint window");
+    msg
+}
+
+#[test]
+fn golden_traces_match() {
+    let path = golden_path();
+    let traces: Vec<Trace> = GOLDEN_IDS.map(record).into_iter().collect();
+    let rendered = render(&traces);
+
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        fs::write(&path, &rendered).expect("write golden file");
+        eprintln!("blessed {} ({} experiments)", path.display(), traces.len());
+        return;
+    }
+
+    let golden_text = fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden file {} ({err}); generate it with \
+             GOLDEN_BLESS=1 cargo test --features audit --test golden_trace",
+            path.display()
+        )
+    });
+    if golden_text == rendered {
+        return;
+    }
+
+    let golden = parse(&golden_text);
+    let mut msg = String::from(
+        "golden trace drift — observable behaviour changed; if intentional, \
+         re-bless with GOLDEN_BLESS=1 and justify in the commit message\n",
+    );
+    for trace in &traces {
+        match golden.iter().find(|(id, _)| id == trace.id) {
+            Some((_, section)) => {
+                let fresh_summary = format!(
+                    "experiment={} seed={} quick=true events={} hash={:016x}",
+                    trace.id, trace.seed, trace.events, trace.hash
+                );
+                if section.summary != fresh_summary || section.head.iter().ne(trace.head.iter()) {
+                    let _ = writeln!(msg, "{}:", trace.id);
+                    msg.push_str(&explain_drift(section, trace));
+                }
+            }
+            None => {
+                let _ = writeln!(msg, "{}: not present in golden file", trace.id);
+            }
+        }
+    }
+    panic!("{msg}");
+}
+
+/// The recorder fingerprint of a golden experiment is bit-stable across
+/// repeated in-process runs — the property the golden file relies on.
+#[test]
+fn golden_recording_is_deterministic() {
+    let a = record("fig5");
+    let b = record("fig5");
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.hash, b.hash);
+    assert_eq!(a.head, b.head);
+}

@@ -9,6 +9,9 @@ use fleet_heap::PAGE_SIZE;
 
 fn check_invariants(dev: &Device) {
     let mm = dev.mm();
+    // The kernel's own structural self-check: exact residency counts, swap
+    // slot conservation and LRU membership (panics with the discrepancy).
+    mm.validate();
     // Frames can never be overcommitted.
     assert!(mm.used_frames() <= mm.frames_capacity());
     // Swap can never be overcommitted.
@@ -35,6 +38,11 @@ fn check_invariants(dev: &Device) {
 #[test]
 fn invariants_hold_through_a_stormy_run() {
     for scheme in SchemeKind::ALL {
+        // With `--features audit` the run additionally streams every state
+        // transition through the online invariant auditor, which panics on
+        // the first violation with the flight-recorder ring as context.
+        #[cfg(feature = "audit")]
+        let _guard = fleet::audit::install(fleet::audit::shared_pipeline());
         let mut dev = Device::new(DeviceConfig::pixel3(scheme));
         let apps = [
             profile_by_name("Twitter").unwrap(),
@@ -67,6 +75,8 @@ fn invariants_hold_through_a_stormy_run() {
 
 #[test]
 fn killing_everything_returns_all_memory() {
+    #[cfg(feature = "audit")]
+    let _guard = fleet::audit::install(fleet::audit::shared_pipeline());
     let mut dev = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
     for _ in 0..6 {
         dev.launch_cold(&synthetic_app(2048, 180));
