@@ -92,11 +92,11 @@ fn bench_fig13(c: &mut Criterion) {
     for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
         group.bench_function(format!("pressured_launch_{scheme}"), |b| {
             b.iter_batched_ref(
-                || AppPool::under_pressure(scheme, &pool_apps(), 99),
+                || AppPool::under_pressure(scheme, &pool_apps(), 99).expect("valid pool"),
                 |pool| {
-                    pool.launch("Spotify");
+                    pool.launch("Spotify").expect("known app");
                     pool.device_mut().run(5);
-                    pool.launch("Twitter")
+                    pool.launch("Twitter").expect("known app")
                 },
                 BatchSize::SmallInput,
             )
@@ -134,8 +134,9 @@ fn bench_fig14(c: &mut Criterion) {
     group.bench_function("one_second_of_frames", |b| {
         b.iter_batched_ref(
             || {
-                let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &pool_apps(), 5);
-                let (pid, _) = pool.ensure("Twitter");
+                let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &pool_apps(), 5)
+                    .expect("valid pool");
+                let (pid, _) = pool.ensure("Twitter").expect("known app");
                 if pool.device().foreground() != Some(pid) {
                     pool.device_mut().switch_to(pid);
                 }

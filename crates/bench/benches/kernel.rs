@@ -1,7 +1,7 @@
 //! Kernel-model micro-benchmarks: the swap machinery behind Figures 3/13.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fleet_kernel::{AccessKind, MemoryManager, MmConfig, Pid, SwapConfig, PAGE_SIZE};
+use fleet_kernel::{AccessKind, Advice, MemoryManager, MmConfig, Pid, SwapConfig, PAGE_SIZE};
 
 fn loaded_mm() -> MemoryManager {
     let mut mm = MemoryManager::new(MmConfig {
@@ -29,7 +29,7 @@ fn bench_mm(c: &mut Criterion) {
         b.iter_batched_ref(
             || {
                 let mut mm = loaded_mm();
-                mm.madvise_cold(Pid(1), 0, 2 * 1024 * 1024);
+                mm.madvise(Pid(1), 0, 2 * 1024 * 1024, Advice::ColdRuntime);
                 mm
             },
             |mm| mm.access(Pid(1), 0, 2 * 1024 * 1024, AccessKind::Launch),
@@ -39,13 +39,13 @@ fn bench_mm(c: &mut Criterion) {
     group.bench_function("madvise_cold_2MiB", |b| {
         b.iter_batched_ref(
             loaded_mm,
-            |mm| mm.madvise_cold(Pid(2), 0, 2 * 1024 * 1024),
+            |mm| mm.madvise(Pid(2), 0, 2 * 1024 * 1024, Advice::ColdRuntime),
             BatchSize::SmallInput,
         )
     });
     group.bench_function("madvise_hot_2MiB", |b| {
         let mut mm = loaded_mm();
-        b.iter(|| mm.madvise_hot(Pid(3), 0, 2 * 1024 * 1024))
+        b.iter(|| mm.madvise(Pid(3), 0, 2 * 1024 * 1024, Advice::HotRuntime))
     });
     group.bench_function("kswapd_reclaim", |b| {
         b.iter_batched_ref(

@@ -70,8 +70,8 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
         for scheme in SchemeKind::ALL {
-            let mut pool = AppPool::under_pressure(scheme, &apps, 42);
-            let reports = pool.measure_hot_launches("Twitter", 6);
+            let mut pool = AppPool::under_pressure(scheme, &apps, 42).expect("valid pool");
+            let reports = pool.measure_hot_launches("Twitter", 6).expect("known app");
             let ms: Vec<f64> = reports.iter().map(|r| r.total.as_millis_f64()).collect();
             let s = Summary::from_values(ms.clone());
             let stalls: Vec<f64> = reports.iter().map(|r| r.fault_stall.as_millis_f64()).collect();

@@ -19,12 +19,12 @@ fn main() {
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &apps, 42);
+    let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &apps, 42).expect("valid pool");
     for i in 0..5 {
         let other = apps[(i + 1) % apps.len()].clone();
-        pool.launch(&other);
+        pool.launch(&other).expect("known app");
         pool.device_mut().run(30);
-        let (pid, _) = pool.ensure("Twitter");
+        let (pid, _) = pool.ensure("Twitter").expect("known app");
         let breakdown = pool.device_mut().launch_breakdown(pid);
         println!("cycle {i}: psi={:.2} {:?}", pool.device().psi(), breakdown);
         let report = pool.device_mut().switch_to(pid);

@@ -1,0 +1,485 @@
+//! `fleet-bench` — the dependency-free performance runner behind
+//! `BENCH_kernel.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fleet-bench [--quick] [--check] [--out PATH]
+//! ```
+//!
+//! Times four layers of the simulator with plain `std::time::Instant` (no
+//! Criterion, no external crates) and writes a schema-stable JSON report:
+//!
+//! * **microbench** — the rewritten index-based structures against their
+//!   pre-rewrite map-based baselines, driven through identical op scripts:
+//!   the intrusive-list `LruQueue` (by handle, as the kernel uses it) vs
+//!   the `BTreeMap`-stamp reference, and the segment/chunk `PageTable` vs
+//!   a `HashMap<PageKey, _>` model of the old layout. Both ops/sec numbers
+//!   and the speedup are recorded; the rewrite's acceptance bar is ≥2×.
+//! * **kernel** — end-to-end page ops through `MemoryManager`: resident
+//!   access (table lookup + LRU touch) and the cold→fault swap round-trip.
+//! * **gc** — a full tracing collection over a deterministic object graph.
+//! * **figures** — wall-clock for the fig2 / fig5 / fig11 experiment
+//!   drivers, end to end through the registry harness.
+//!
+//! `--quick` shrinks workloads for CI smoke runs; `--check` validates an
+//! existing report against the schema (exit 1 on mismatch) instead of
+//! benchmarking. The default output path is the repo root's
+//! `BENCH_kernel.json` regardless of the working directory.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use fleet::experiment::harness;
+use fleet_gc::{Collector, FullCopyingGc, GcCostModel, NoTouch};
+use fleet_heap::{Heap, HeapConfig};
+use fleet_kernel::lru::reference::MapLruQueue;
+use fleet_kernel::{
+    AccessKind, Advice, LruQueue, MemoryManager, MmConfig, PageKey, PageTable, Pid, SwapConfig,
+    PAGE_SIZE,
+};
+use serde::{Deserialize, Serialize};
+
+// ------------------------------------------------------------ JSON schema
+
+/// The full report; field order is the (stable) key order in the file.
+#[derive(Serialize, Deserialize)]
+struct Report {
+    schema_version: u32,
+    /// True when produced by a `--quick` (CI smoke) run.
+    quick: bool,
+    microbench: Microbench,
+    kernel: KernelBench,
+    gc: GcBench,
+    figures: Figures,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Microbench {
+    lru: Comparison,
+    page_table: Comparison,
+}
+
+/// New structure vs map baseline over the identical op script.
+#[derive(Serialize, Deserialize)]
+struct Comparison {
+    /// Operations per script pass (same for both sides).
+    ops_per_pass: u64,
+    new_ops_per_sec: f64,
+    baseline_ops_per_sec: f64,
+    /// `new_ops_per_sec / baseline_ops_per_sec`.
+    speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct KernelBench {
+    access_resident_ops_per_sec: f64,
+    swap_roundtrip_pages_per_sec: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct GcBench {
+    trace_objects: u64,
+    full_gc_ms: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Figures {
+    fig2_ms: f64,
+    fig5_ms: f64,
+    fig11_ms: f64,
+}
+
+// ------------------------------------------------------------- timing core
+
+/// Repeats `pass` until `min_secs` of measured time accumulates (at least
+/// twice, after one untimed warmup), returning ops/sec. `pass` returns the
+/// op count it performed.
+fn ops_per_sec(min_secs: f64, mut pass: impl FnMut() -> u64) -> f64 {
+    pass(); // warmup: touch allocations, fault in code paths
+    let mut ops = 0u64;
+    let mut secs = 0.0;
+    let mut rounds = 0u32;
+    while secs < min_secs || rounds < 2 {
+        let start = Instant::now();
+        ops += pass();
+        secs += start.elapsed().as_secs_f64();
+        rounds += 1;
+    }
+    ops as f64 / secs
+}
+
+/// Wall-clock milliseconds of `f`, best of `rounds` (after one warmup).
+fn best_ms(rounds: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+// -------------------------------------------------------- LRU microbench
+
+fn lru_key(i: u64) -> PageKey {
+    PageKey { pid: Pid((i % 7) as u32), index: i }
+}
+
+/// The shared LRU op script: insert `n`, four touch sweeps (every third
+/// key), drain half, re-insert cold, drain the rest. Returns the op count.
+fn lru_script_new(n: u64) -> u64 {
+    let mut q = LruQueue::new();
+    let mut ops = 0u64;
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            ops += 1;
+            q.push_hot(lru_key(i))
+        })
+        .collect();
+    for _ in 0..4 {
+        for h in handles.iter().step_by(3) {
+            q.touch_handle(*h);
+            ops += 1;
+        }
+    }
+    let evicted: Vec<_> = (0..n / 2).map(|_| q.pop_coldest().expect("non-empty")).collect();
+    ops += n / 2;
+    for &key in evicted.iter().take(n as usize / 4) {
+        // Cold re-insertion of evicted keys: the kernel's swap-out path
+        // uses the O(1) handle API, not the keyed compat shim.
+        q.push_cold(key);
+        ops += 1;
+    }
+    while q.pop_coldest().is_some() {
+        ops += 1;
+    }
+    ops
+}
+
+fn lru_script_baseline(n: u64) -> u64 {
+    let mut q = MapLruQueue::new();
+    let mut ops = 0u64;
+    for i in 0..n {
+        q.insert(lru_key(i));
+        ops += 1;
+    }
+    for _ in 0..4 {
+        for i in (0..n).step_by(3) {
+            q.touch(lru_key(i));
+            ops += 1;
+        }
+    }
+    let evicted: Vec<_> = (0..n / 2).map(|_| q.pop_coldest().expect("non-empty")).collect();
+    ops += n / 2;
+    for &key in evicted.iter().take(n as usize / 4) {
+        q.reinsert_cold(key);
+        ops += 1;
+    }
+    while q.pop_coldest().is_some() {
+        ops += 1;
+    }
+    ops
+}
+
+// ------------------------------------------------- page-table microbench
+
+/// The old page-table layout: one flat hash map over full page keys (the
+/// baseline the segment/chunk rewrite replaced).
+#[derive(Clone, Copy)]
+struct BaselineEntry {
+    resident: bool,
+    #[allow(dead_code)]
+    file: bool,
+    node: u32,
+}
+
+/// Three Fleet address areas: Java heap near 0, native at 2⁴⁰, file
+/// mappings at 2⁴¹ (page indices: address >> 12).
+const AREAS: [u64; 3] = [0, 1 << 28, 1 << 29];
+
+/// The shared page-table op script: map `n` pages per area, four lookup
+/// sweeps, two swap-out/swap-in sweeps over every other page, unmap all.
+fn page_table_script_new(n: u64) -> u64 {
+    let mut pt = PageTable::default();
+    let mut ops = 0u64;
+    for base in AREAS {
+        for i in 0..n {
+            pt.map(base + i, base != 0, i as u32);
+            ops += 1;
+        }
+    }
+    for _ in 0..4 {
+        for base in AREAS {
+            for i in 0..n {
+                assert!(pt.entry(base + i).is_some());
+                ops += 1;
+            }
+        }
+    }
+    for _ in 0..2 {
+        for base in AREAS {
+            for i in (0..n).step_by(2) {
+                pt.set_swapped(base + i);
+                pt.set_resident(base + i, i as u32);
+                ops += 2;
+            }
+        }
+    }
+    for base in AREAS {
+        for i in 0..n {
+            pt.unmap(base + i);
+            ops += 1;
+        }
+    }
+    ops
+}
+
+fn page_table_script_baseline(n: u64) -> u64 {
+    let pid = Pid(1);
+    let mut pt: HashMap<PageKey, BaselineEntry> = HashMap::new();
+    let mut ops = 0u64;
+    for base in AREAS {
+        for i in 0..n {
+            pt.insert(
+                PageKey { pid, index: base + i },
+                BaselineEntry { resident: true, file: base != 0, node: i as u32 },
+            );
+            ops += 1;
+        }
+    }
+    for _ in 0..4 {
+        for base in AREAS {
+            for i in 0..n {
+                assert!(pt.contains_key(&PageKey { pid, index: base + i }));
+                ops += 1;
+            }
+        }
+    }
+    for _ in 0..2 {
+        for base in AREAS {
+            for i in (0..n).step_by(2) {
+                let e = pt.get_mut(&PageKey { pid, index: base + i }).unwrap();
+                e.resident = false;
+                e.node = u32::MAX;
+                let e = pt.get_mut(&PageKey { pid, index: base + i }).unwrap();
+                e.resident = true;
+                e.node = i as u32;
+                ops += 2;
+            }
+        }
+    }
+    for base in AREAS {
+        for i in 0..n {
+            pt.remove(&PageKey { pid, index: base + i });
+            ops += 1;
+        }
+    }
+    ops
+}
+
+// ------------------------------------------------- kernel + GC end-to-end
+
+fn loaded_mm() -> MemoryManager {
+    let mut mm = MemoryManager::new(MmConfig {
+        dram_bytes: 32 * 1024 * 1024,
+        swap: SwapConfig { capacity_bytes: 32 * 1024 * 1024, ..SwapConfig::default() },
+        ..MmConfig::default()
+    });
+    for pid in 1..=8u32 {
+        mm.map_range(Pid(pid), 0, 2 * 1024 * 1024).expect("fits");
+    }
+    mm
+}
+
+/// A deterministic object graph: a spine with square-root shortcuts, so
+/// tracing touches every object through a mix of deep and wide edges.
+fn bench_heap(objects: u64) -> Heap {
+    let mut heap = Heap::new(HeapConfig::default());
+    let ids: Vec<_> = (0..objects).map(|i| heap.alloc(32 + (i % 7) as u32 * 16)).collect();
+    heap.add_root(ids[0]);
+    for w in ids.windows(2) {
+        heap.add_ref(w[0], w[1]);
+    }
+    for i in (0..objects as usize).step_by(31) {
+        heap.add_ref(ids[i], ids[(i * i + 7) % objects as usize]);
+    }
+    heap
+}
+
+fn run_figures(quick: bool) -> Figures {
+    let fig_ms = |id: &str| {
+        let selected = harness::select(&[id.to_string()]).expect("registry id");
+        let reports = harness::run_experiments(&selected, 0xF1EE7, quick, 1, false);
+        let report = reports.into_iter().next().expect("one report");
+        report.result.expect("experiment runs");
+        report.elapsed.as_secs_f64() * 1e3
+    };
+    Figures { fig2_ms: fig_ms("fig2"), fig5_ms: fig_ms("fig5"), fig11_ms: fig_ms("fig11") }
+}
+
+// ---------------------------------------------------------------- driver
+
+fn run(quick: bool) -> Report {
+    let (lru_n, pt_n, gc_objects) = if quick { (512, 512, 20_000) } else { (4096, 4096, 200_000) };
+    let min_secs = if quick { 0.05 } else { 0.3 };
+
+    eprintln!("microbench: lru ({lru_n} keys)…");
+    let lru_ops = lru_script_new(lru_n);
+    assert_eq!(lru_ops, lru_script_baseline(lru_n), "op scripts must match");
+    let lru = Comparison {
+        ops_per_pass: lru_ops,
+        new_ops_per_sec: ops_per_sec(min_secs, || lru_script_new(lru_n)),
+        baseline_ops_per_sec: ops_per_sec(min_secs, || lru_script_baseline(lru_n)),
+        speedup: 0.0,
+    };
+
+    eprintln!("microbench: page table ({pt_n} pages × {} areas)…", AREAS.len());
+    let pt_ops = page_table_script_new(pt_n);
+    assert_eq!(pt_ops, page_table_script_baseline(pt_n), "op scripts must match");
+    let page_table = Comparison {
+        ops_per_pass: pt_ops,
+        new_ops_per_sec: ops_per_sec(min_secs, || page_table_script_new(pt_n)),
+        baseline_ops_per_sec: ops_per_sec(min_secs, || page_table_script_baseline(pt_n)),
+        speedup: 0.0,
+    };
+
+    eprintln!("kernel: page ops through MemoryManager…");
+    let access_resident = {
+        let mut mm = loaded_mm();
+        let mut i = 0u64;
+        ops_per_sec(min_secs, || {
+            for _ in 0..256 {
+                i = (i + 1) % 512;
+                mm.access(Pid(8), i * PAGE_SIZE, 64, AccessKind::Mutator);
+            }
+            256
+        })
+    };
+    let swap_roundtrip = {
+        let mut mm = loaded_mm();
+        let pages = 256u64;
+        ops_per_sec(min_secs, || {
+            mm.madvise(Pid(1), 0, pages * PAGE_SIZE, Advice::ColdRuntime);
+            let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch);
+            assert!(!out.oom);
+            pages
+        })
+    };
+
+    eprintln!("gc: full trace over {gc_objects} objects…");
+    let full_gc_ms = best_ms(if quick { 2 } else { 5 }, || {
+        let mut heap = bench_heap(gc_objects);
+        FullCopyingGc::new(GcCostModel::default()).collect(&mut heap, &mut NoTouch);
+    });
+
+    eprintln!("figures: fig2 / fig5 / fig11 end to end…");
+    let figures = run_figures(quick);
+
+    let mut report = Report {
+        schema_version: 1,
+        quick,
+        microbench: Microbench { lru, page_table },
+        kernel: KernelBench {
+            access_resident_ops_per_sec: access_resident,
+            swap_roundtrip_pages_per_sec: swap_roundtrip,
+        },
+        gc: GcBench { trace_objects: gc_objects, full_gc_ms },
+        figures,
+    };
+    report.microbench.lru.speedup =
+        report.microbench.lru.new_ops_per_sec / report.microbench.lru.baseline_ops_per_sec;
+    report.microbench.page_table.speedup = report.microbench.page_table.new_ops_per_sec
+        / report.microbench.page_table.baseline_ops_per_sec;
+    report
+}
+
+fn default_out() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json")
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: fleet-bench [--quick] [--check] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut out = default_out();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => {
+                out = args
+                    .next()
+                    .map(Into::into)
+                    .unwrap_or_else(|| usage_error("--out needs a path"));
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    if check {
+        // Schema validation only: the file must parse back into `Report`.
+        let text = match std::fs::read_to_string(&out) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", out.display());
+                std::process::exit(1);
+            }
+        };
+        match serde_json::from_str::<Report>(&text) {
+            Ok(report) => {
+                println!(
+                    "{} ok (schema v{}, lru ×{:.2}, page table ×{:.2})",
+                    out.display(),
+                    report.schema_version,
+                    report.microbench.lru.speedup,
+                    report.microbench.page_table.speedup,
+                );
+            }
+            Err(e) => {
+                eprintln!("{} does not match the report schema: {e}", out.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = run(quick);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n")
+        .unwrap_or_else(|e| usage_error(&format!("cannot write {}: {e}", out.display())));
+
+    println!();
+    println!(
+        "LRU:        {:>12.0} ops/s new  {:>12.0} ops/s map baseline  (×{:.2})",
+        report.microbench.lru.new_ops_per_sec,
+        report.microbench.lru.baseline_ops_per_sec,
+        report.microbench.lru.speedup
+    );
+    println!(
+        "Page table: {:>12.0} ops/s new  {:>12.0} ops/s map baseline  (×{:.2})",
+        report.microbench.page_table.new_ops_per_sec,
+        report.microbench.page_table.baseline_ops_per_sec,
+        report.microbench.page_table.speedup
+    );
+    println!(
+        "Kernel:     {:>12.0} resident accesses/s  {:>12.0} swap round-trip pages/s",
+        report.kernel.access_resident_ops_per_sec, report.kernel.swap_roundtrip_pages_per_sec
+    );
+    println!(
+        "GC:         full trace of {} objects in {:.1} ms",
+        report.gc.trace_objects, report.gc.full_gc_ms
+    );
+    println!(
+        "Figures:    fig2 {:.0} ms   fig5 {:.0} ms   fig11 {:.0} ms",
+        report.figures.fig2_ms, report.figures.fig5_ms, report.figures.fig11_ms
+    );
+    println!("wrote {}", out.display());
+}

@@ -29,7 +29,7 @@ use fleet_gc::{
 };
 use fleet_heap::{AllocContext, Heap, HeapConfig, HeapEvent, ObjectId, RegionKind, PAGE_SIZE};
 use fleet_kernel::{
-    choose_victim, AccessKind, AccessOutcome, LmkCandidate, MemoryManager, PageKind, Pid,
+    choose_victim, AccessKind, AccessOutcome, Advice, LmkCandidate, MemoryManager, PageKind, Pid,
 };
 use fleet_metrics::ThreadClass;
 use fleet_sim::{Clock, SimDuration, SimRng, SimTime};
@@ -942,12 +942,12 @@ impl Device {
         };
         if !self.config.fleet_disable_cold_madvise {
             for (base, len) in cold {
-                self.mm.madvise_cold(pid, base, len);
+                self.mm.madvise(pid, base, len, Advice::ColdRuntime);
             }
         }
         if !self.config.fleet_disable_hot_refresh {
             for (base, len) in launch {
-                self.mm.madvise_hot(pid, base, len);
+                self.mm.madvise(pid, base, len, Advice::HotRuntime);
             }
         } else {
             self.procs.get_mut(&pid).expect("alive").fleet.hot_refresh_due = None;
@@ -962,7 +962,7 @@ impl Device {
             proc.fleet.grouped.as_ref().map(|g| g.launch_ranges.clone()).unwrap_or_default()
         };
         for (base, len) in ranges {
-            self.mm.madvise_hot(pid, base, len);
+            self.mm.madvise(pid, base, len, Advice::HotRuntime);
         }
     }
 
@@ -986,7 +986,7 @@ impl Device {
             pages
         };
         for run in page_runs(&pages) {
-            self.mm.madvise_cold(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE);
+            self.mm.madvise(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE, Advice::ColdRuntime);
         }
     }
 

@@ -57,17 +57,17 @@ fn measure_config(
     variant: &str,
     launches: usize,
     capacity_apps: usize,
-) -> AblationRow {
+) -> Result<AblationRow, FleetError> {
     // Hot-launch distribution of the probe app under pressure. A longer
     // usage gap than §7.2's 30 s ages the target deep into the cache, which
     // is where launch-page pinning and prefetching earn their keep.
-    let mut pool = AppPool::with_config(config, &probe_apps());
+    let mut pool = AppPool::with_config(config, &probe_apps())?;
     pool.set_usage_gap(120);
-    let reports = pool.measure_hot_launches("Twitter", launches);
+    let reports = pool.measure_hot_launches("Twitter", launches)?;
     let times = Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64()));
 
     // Caching capacity with synthetic apps.
-    let mut device = Device::new(config);
+    let mut device = Device::try_new(config)?;
     let app = synthetic_app(2048, 180);
     let mut max_cached = 0;
     for _ in 0..capacity_apps {
@@ -75,59 +75,71 @@ fn measure_config(
         device.run(10);
         max_cached = max_cached.max(device.cached_apps());
     }
-    AblationRow {
+    Ok(AblationRow {
         variant: variant.to_string(),
         median_hot_ms: times.median(),
         p90_hot_ms: times.p90(),
         max_cached,
-    }
+    })
 }
 
 /// Knock out Fleet's mechanisms one at a time.
-pub fn fleet_variants(seed: u64, launches: usize, capacity_apps: usize) -> Vec<AblationRow> {
+pub fn fleet_variants(
+    seed: u64,
+    launches: usize,
+    capacity_apps: usize,
+) -> Result<Vec<AblationRow>, FleetError> {
     let base = |seed| {
         let mut c = DeviceConfig::pixel3(SchemeKind::Fleet);
         c.seed = seed;
         c
     };
     let mut rows = Vec::new();
-    rows.push(measure_config(base(seed), "Fleet (full)", launches, capacity_apps));
+    rows.push(measure_config(base(seed), "Fleet (full)", launches, capacity_apps)?);
     let mut c = base(seed);
     c.fleet_disable_bgc = true;
-    rows.push(measure_config(c, "Fleet w/o BGC", launches, capacity_apps));
+    rows.push(measure_config(c, "Fleet w/o BGC", launches, capacity_apps)?);
     let mut c = base(seed);
     c.fleet_disable_hot_refresh = true;
-    rows.push(measure_config(c, "Fleet w/o HOT_RUNTIME", launches, capacity_apps));
+    rows.push(measure_config(c, "Fleet w/o HOT_RUNTIME", launches, capacity_apps)?);
     let mut c = base(seed);
     c.fleet_disable_cold_madvise = true;
-    rows.push(measure_config(c, "Fleet w/o COLD_RUNTIME", launches, capacity_apps));
+    rows.push(measure_config(c, "Fleet w/o COLD_RUNTIME", launches, capacity_apps)?);
     let mut c = base(seed);
     c.fleet.depth = 0;
-    rows.push(measure_config(c, "Fleet D=0", launches, capacity_apps));
+    rows.push(measure_config(c, "Fleet D=0", launches, capacity_apps)?);
     let mut c = base(seed);
     c.fleet.depth = 8;
-    rows.push(measure_config(c, "Fleet D=8", launches, capacity_apps));
-    rows
+    rows.push(measure_config(c, "Fleet D=8", launches, capacity_apps)?);
+    Ok(rows)
 }
 
 /// Android vs Android+ASAP-prefetch vs Fleet.
-pub fn asap_comparison(seed: u64, launches: usize, capacity_apps: usize) -> Vec<AblationRow> {
+pub fn asap_comparison(
+    seed: u64,
+    launches: usize,
+    capacity_apps: usize,
+) -> Result<Vec<AblationRow>, FleetError> {
     let mut rows = Vec::new();
     let mut c = DeviceConfig::pixel3(SchemeKind::Android);
     c.seed = seed;
-    rows.push(measure_config(c, "Android", launches, capacity_apps));
+    rows.push(measure_config(c, "Android", launches, capacity_apps)?);
     let mut c = DeviceConfig::pixel3(SchemeKind::Android);
     c.seed = seed;
     c.prefetch_on_launch = true;
-    rows.push(measure_config(c, "Android + ASAP prefetch", launches, capacity_apps));
+    rows.push(measure_config(c, "Android + ASAP prefetch", launches, capacity_apps)?);
     let mut c = DeviceConfig::pixel3(SchemeKind::Fleet);
     c.seed = seed;
-    rows.push(measure_config(c, "Fleet", launches, capacity_apps));
-    rows
+    rows.push(measure_config(c, "Fleet", launches, capacity_apps)?);
+    Ok(rows)
 }
 
 /// Flash vs zram swap for Android and Fleet.
-pub fn zram_comparison(seed: u64, launches: usize, capacity_apps: usize) -> Vec<AblationRow> {
+pub fn zram_comparison(
+    seed: u64,
+    launches: usize,
+    capacity_apps: usize,
+) -> Result<Vec<AblationRow>, FleetError> {
     let mut rows = Vec::new();
     for scheme in [SchemeKind::Android, SchemeKind::Fleet] {
         for (medium, label) in [
@@ -137,10 +149,10 @@ pub fn zram_comparison(seed: u64, launches: usize, capacity_apps: usize) -> Vec<
             let mut c = DeviceConfig::pixel3(scheme);
             c.seed = seed;
             c.swap_medium = medium;
-            rows.push(measure_config(c, &format!("{scheme} / {label}"), launches, capacity_apps));
+            rows.push(measure_config(c, &format!("{scheme} / {label}"), launches, capacity_apps)?);
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders ablation rows as the text table the extensions section prints.
@@ -175,18 +187,18 @@ impl Experiment for Ablation {
         let (l, cap) = if ctx.quick { (4, 14) } else { (8, 22) };
         let mut out = ExperimentOutput::new();
         out.section("Extensions — Fleet mechanism ablations");
-        let variants = fleet_variants(ctx.seed, l, cap);
+        let variants = fleet_variants(ctx.seed, l, cap)?;
         out.export("ablation_fleet", "mechanism knock-outs", &variants);
         out.table(ablation_table(&variants));
         out.text("BGC carries the caching capacity; COLD_RUNTIME buys headroom; HOT_RUNTIME is");
         out.text("precautionary at this pressure; the depth parameter D trades launch coverage");
         out.text("for launch-region footprint (see Figure 6b).");
         out.section("Extensions — ASAP-style prefetching vs Fleet (§8 related work)");
-        out.table(ablation_table(&asap_comparison(ctx.seed, l, cap)));
+        out.table(ablation_table(&asap_comparison(ctx.seed, l, cap)?));
         out.text("paper's point: prefetching speeds launches but does not fix the GC-swap");
         out.text("conflict, so it cannot recover Fleet's caching capacity.");
         out.section("Extensions — flash vs zram (compressed-RAM) swap");
-        out.table(ablation_table(&zram_comparison(ctx.seed, l, cap)));
+        out.table(ablation_table(&zram_comparison(ctx.seed, l, cap)?));
         out.text("zram removes the 20.3 MB/s flash penalty but eats DRAM for its store.");
         Ok(out)
     }
@@ -202,7 +214,7 @@ mod tests {
 
     #[test]
     fn every_fleet_mechanism_earns_its_keep() {
-        let rows = fleet_variants(31, 5, 20);
+        let rows = fleet_variants(31, 5, 20).unwrap();
         let full = get(&rows, "Fleet (full)");
         let no_bgc = get(&rows, "Fleet w/o BGC");
         let no_hot = get(&rows, "Fleet w/o HOT_RUNTIME");
@@ -240,7 +252,7 @@ mod tests {
 
     #[test]
     fn asap_speeds_launches_but_not_capacity() {
-        let rows = asap_comparison(37, 5, 18);
+        let rows = asap_comparison(37, 5, 18).unwrap();
         let android = get(&rows, "Android");
         let asap = get(&rows, "Android + ASAP prefetch");
         let fleet = get(&rows, "Fleet");
@@ -262,7 +274,7 @@ mod tests {
 
     #[test]
     fn zram_trades_capacity_for_latency() {
-        let rows = zram_comparison(41, 4, 18);
+        let rows = zram_comparison(41, 4, 18).unwrap();
         let android_flash = get(&rows, "Android / flash");
         let android_zram = get(&rows, "Android / zram 2.8x");
         // Zram swap-ins are near-DRAM speed: Android's launch tail shrinks.

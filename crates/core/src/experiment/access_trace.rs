@@ -34,10 +34,10 @@ fn run_phase_trace(
     relaunch_at: u64,
     tail_secs: u64,
     seed: u64,
-) -> AccessTraceResult {
+) -> Result<AccessTraceResult, FleetError> {
     let mut config = DeviceConfig::pixel3(scheme);
     config.seed = seed;
-    let mut device = Device::new(config);
+    let mut device = Device::try_new(config)?;
     let mut markers = Vec::new();
 
     let profile = profile_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
@@ -56,31 +56,31 @@ fn run_phase_trace(
         let wait = (gc_at as f64 - bg_start).max(0.0) as u64;
         device.run(wait);
         markers.push((device.now().as_secs_f64() - t0, "background GC".to_string()));
-        device.run_gc(pid);
+        device.try_run_gc(pid)?;
     }
     let elapsed = device.now().as_secs_f64() - t0;
     device.run((relaunch_at as f64 - elapsed).max(0.0) as u64);
 
     markers.push((device.now().as_secs_f64() - t0, "hot-launch".to_string()));
-    device.switch_to(pid);
+    device.try_switch_to(pid)?;
     device.run(tail_secs);
 
     let trace = device.take_trace().expect("trace was enabled");
     // Markers are relative to the app's launch; shift samples to match.
     let samples = trace.samples().iter().map(|s| TraceSample { secs: s.secs - t0, ..*s }).collect();
-    AccessTraceResult { scheme: scheme.to_string(), samples, markers }
+    Ok(AccessTraceResult { scheme: scheme.to_string(), samples, markers })
 }
 
 /// Figure 4: Amazon shop on default Android. Foreground 0–20 s, background
 /// with a GC at ~37 s, hot-launch at 53 s.
-pub fn fig4(seed: u64) -> AccessTraceResult {
+pub fn fig4(seed: u64) -> Result<AccessTraceResult, FleetError> {
     run_phase_trace(SchemeKind::Android, "AmazonShop", 20, Some(37), 53, 7, seed)
 }
 
 /// Figure 12b: Twitch over 600 s (background at ~180 s, foreground at
 /// ~480 s) under both Android and Fleet. The background GC activity is the
 /// signal: Fleet's BGC touches an order of magnitude fewer objects.
-pub fn fig12b(seed: u64) -> Vec<AccessTraceResult> {
+pub fn fig12b(seed: u64) -> Result<Vec<AccessTraceResult>, FleetError> {
     [SchemeKind::Android, SchemeKind::Fleet]
         .into_iter()
         .map(|scheme| run_phase_trace(scheme, "Twitch", 180, None, 480, 120, seed))
@@ -110,7 +110,7 @@ impl Experiment for Fig4 {
         "access_trace"
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let result = fig4(ctx.seed);
+        let result = fig4(ctx.seed)?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         out.export("fig4", "GC spike ≈37 s, launch re-accesses ≈53 s", &result);
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn fig4_shows_the_gc_spike_and_relaunch() {
-        let result = fig4(3);
+        let result = fig4(3).unwrap();
         assert_eq!(result.markers.len(), 3);
         // Mutator samples exist in the foreground phase.
         let fg_mutator = result
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn fig12b_fleet_background_gc_is_smaller() {
-        let results = fig12b(5);
+        let results = fig12b(5).unwrap();
         let android = &results[0];
         let fleet = &results[1];
         // Compare GC-sourced samples during the background window.

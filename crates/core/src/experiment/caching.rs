@@ -37,9 +37,9 @@ fn synthetic_capacity(
     max_apps: usize,
     use_secs: u64,
     seed: u64,
-) -> CapacityCurve {
+) -> Result<CapacityCurve, FleetError> {
     let config = DeviceConfig::builder(scheme).seed(seed).build().expect("pixel3 variant is valid");
-    let mut device = Device::new(config);
+    let mut device = Device::try_new(config)?;
     let app = synthetic_app(object_size, 180);
     let mut cached = Vec::new();
     let mut first_kill_at = None;
@@ -51,16 +51,16 @@ fn synthetic_capacity(
             first_kill_at = Some(i + 1);
         }
     }
-    CapacityCurve {
+    Ok(CapacityCurve {
         scheme: scheme.to_string(),
         max_cached: cached.iter().copied().max().unwrap_or(0),
         cached_after_launch: cached,
         first_kill_at,
-    }
+    })
 }
 
 /// Figure 11a: large-object (2048 B) synthetic apps.
-pub fn fig11a(seed: u64, max_apps: usize, use_secs: u64) -> Vec<CapacityCurve> {
+pub fn fig11a(seed: u64, max_apps: usize, use_secs: u64) -> Result<Vec<CapacityCurve>, FleetError> {
     [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet]
         .into_iter()
         .map(|s| synthetic_capacity(s, 2048, max_apps, use_secs, seed))
@@ -68,7 +68,7 @@ pub fn fig11a(seed: u64, max_apps: usize, use_secs: u64) -> Vec<CapacityCurve> {
 }
 
 /// Figure 11b: small-object (512 B) synthetic apps.
-pub fn fig11b(seed: u64, max_apps: usize, use_secs: u64) -> Vec<CapacityCurve> {
+pub fn fig11b(seed: u64, max_apps: usize, use_secs: u64) -> Result<Vec<CapacityCurve>, FleetError> {
     [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet]
         .into_iter()
         .map(|s| synthetic_capacity(s, 512, max_apps, use_secs, seed))
@@ -88,13 +88,17 @@ pub struct CommercialCapacity {
 
 /// Figure 11c: two round-robin cycles over the commercial catalog,
 /// 30 seconds of use per app.
-pub fn fig11c(seed: u64, cycles: usize, use_secs: u64) -> Vec<CommercialCapacity> {
+pub fn fig11c(
+    seed: u64,
+    cycles: usize,
+    use_secs: u64,
+) -> Result<Vec<CommercialCapacity>, FleetError> {
     [SchemeKind::AndroidNoSwap, SchemeKind::Android, SchemeKind::Fleet]
         .into_iter()
         .map(|scheme| {
             let config =
                 DeviceConfig::builder(scheme).seed(seed).build().expect("pixel3 variant is valid");
-            let mut device = Device::new(config);
+            let mut device = Device::try_new(config)?;
             let apps = catalog();
             let mut pids = std::collections::BTreeMap::new();
             let mut series = Vec::new();
@@ -104,7 +108,7 @@ pub fn fig11c(seed: u64, cycles: usize, use_secs: u64) -> Vec<CommercialCapacity
                         pids.get(&app.name).copied().filter(|p| device.try_process(*p).is_ok());
                     match alive {
                         Some(pid) => {
-                            device.switch_to(pid);
+                            device.try_switch_to(pid)?;
                         }
                         None => {
                             let (pid, _) = device.launch_cold(app);
@@ -115,11 +119,11 @@ pub fn fig11c(seed: u64, cycles: usize, use_secs: u64) -> Vec<CommercialCapacity
                     series.push((app.name.clone(), device.cached_apps()));
                 }
             }
-            CommercialCapacity {
+            Ok(CommercialCapacity {
                 scheme: scheme.to_string(),
                 max_cached: series.iter().map(|&(_, n)| n).max().unwrap_or(0),
                 series,
-            }
+            })
         })
         .collect()
 }
@@ -165,20 +169,20 @@ impl Experiment for Fig11 {
         let mut out = ExperimentOutput::new();
 
         out.section("Figure 11a — caching capacity, large-object (2048 B) synthetic apps");
-        let curves = fig11a(ctx.seed, max_apps, use_secs);
+        let curves = fig11a(ctx.seed, max_apps, use_secs)?;
         out.export("fig11a", "Android ≈14, Marvin ≈18, Fleet ≈18", &curves);
         out.table(capacity_table(&curves));
         out.text("paper: Android max ≈14 (kills from 11), Marvin ≈18, Fleet ≈18");
 
         out.section("Figure 11b — caching capacity, small-object (512 B) synthetic apps");
-        let curves = fig11b(ctx.seed, max_apps, use_secs);
+        let curves = fig11b(ctx.seed, max_apps, use_secs)?;
         out.export("fig11b", "Marvin ≈9, Fleet ≈18 (2x)", &curves);
         out.table(capacity_table(&curves));
         out.text("paper: Marvin collapses to ≈9; Fleet stays ≈18 (2x)");
 
         out.section("Figure 11c — caching capacity, commercial apps (round-robin)");
         let results =
-            fig11c(ctx.seed, if ctx.quick { 1 } else { 2 }, if ctx.quick { 8 } else { 30 });
+            fig11c(ctx.seed, if ctx.quick { 1 } else { 2 }, if ctx.quick { 8 } else { 30 })?;
         let mut t = Table::new(["Scheme", "Max cached", "Paper"]);
         for r in &results {
             t.row([
@@ -198,7 +202,7 @@ mod tests {
 
     #[test]
     fn fleet_and_marvin_beat_android_on_large_objects() {
-        let curves = fig11a(3, 24, 8);
+        let curves = fig11a(3, 24, 8).unwrap();
         let max = |name: &str| curves.iter().find(|c| c.scheme == name).unwrap().max_cached;
         let android = max("Android");
         let marvin = max("Marvin");
@@ -212,7 +216,7 @@ mod tests {
 
     #[test]
     fn marvin_collapses_on_small_objects() {
-        let curves = fig11b(3, 24, 8);
+        let curves = fig11b(3, 24, 8).unwrap();
         let max = |name: &str| curves.iter().find(|c| c.scheme == name).unwrap().max_cached;
         let marvin = max("Marvin");
         let fleet = max("Fleet");
@@ -224,8 +228,8 @@ mod tests {
 
     #[test]
     fn fleet_object_size_insensitive() {
-        let large = fig11a(3, 24, 8);
-        let small = fig11b(3, 24, 8);
+        let large = fig11a(3, 24, 8).unwrap();
+        let small = fig11b(3, 24, 8).unwrap();
         let fleet_large = large.iter().find(|c| c.scheme == "Fleet").unwrap().max_cached;
         let fleet_small = small.iter().find(|c| c.scheme == "Fleet").unwrap().max_cached;
         let diff = (fleet_large as i64 - fleet_small as i64).abs();
@@ -234,7 +238,7 @@ mod tests {
 
     #[test]
     fn commercial_capacity_ordering() {
-        let results = fig11c(9, 1, 6);
+        let results = fig11c(9, 1, 6).unwrap();
         let max = |name: &str| results.iter().find(|c| c.scheme == name).unwrap().max_cached;
         let no_swap = max("Android w/o swap");
         let android = max("Android");

@@ -27,7 +27,7 @@ pub struct Fig14Row {
 }
 
 /// Runs the frame-rendering experiment for `secs` seconds per app.
-pub fn fig14(seed: u64, secs: u64, apps: Option<Vec<String>>) -> Vec<Fig14Row> {
+pub fn fig14(seed: u64, secs: u64, apps: Option<Vec<String>>) -> Result<Vec<Fig14Row>, FleetError> {
     let apps: Vec<String> = apps.unwrap_or_else(|| catalog().into_iter().map(|a| a.name).collect());
     let mut rows = Vec::new();
     for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
@@ -39,13 +39,13 @@ pub fn fig14(seed: u64, secs: u64, apps: Option<Vec<String>>) -> Vec<Fig14Row> {
             let mut pool_apps = companions.clone();
             pool_apps.retain(|a| a != app);
             pool_apps.push(app.clone());
-            let mut pool = AppPool::under_pressure(scheme, &pool_apps, seed ^ app.len() as u64);
+            let mut pool = AppPool::under_pressure(scheme, &pool_apps, seed ^ app.len() as u64)?;
             // Let the background machinery settle (Fleet groups, Marvin
             // bookmarks and swaps) before the measured interaction starts.
             pool.device_mut().run(40);
-            let (pid, _) = pool.ensure(app);
+            let (pid, _) = pool.ensure(app)?;
             if pool.device().foreground() != Some(pid) {
-                pool.device_mut().switch_to(pid);
+                pool.device_mut().try_switch_to(pid)?;
             }
             let report = pool.device_mut().run_frames(pid, secs);
             rows.push(Fig14Row {
@@ -56,7 +56,7 @@ pub fn fig14(seed: u64, secs: u64, apps: Option<Vec<String>>) -> Vec<Fig14Row> {
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Mean jank/fps per scheme across apps: `(scheme, jank%, fps)`.
@@ -100,7 +100,7 @@ impl Experiment for Fig14 {
         } else {
             None
         };
-        let rows = fig14(ctx.seed, secs, apps);
+        let rows = fig14(ctx.seed, secs, apps)?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         let mut t = Table::new(["Scheme", "Mean jank %", "Mean FPS", "Paper"]);
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn fleet_matches_android_marvin_lags() {
         let apps = Some(vec!["Twitter".to_string(), "Tiktok".to_string(), "Chrome".to_string()]);
-        let rows = fig14(4, 20, apps);
+        let rows = fig14(4, 20, apps).unwrap();
         assert_eq!(rows.len(), 9);
         let means = scheme_means(&rows);
         let get = |name: &str| means.iter().find(|(s, _, _)| s == name).unwrap().clone();

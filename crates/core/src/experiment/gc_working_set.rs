@@ -28,31 +28,38 @@ pub struct Fig12aRow {
     pub fleet_with_bgc: u64,
 }
 
-fn background_gc_working_set(scheme: SchemeKind, disable_bgc: bool, app: &str, seed: u64) -> u64 {
+fn background_gc_working_set(
+    scheme: SchemeKind,
+    disable_bgc: bool,
+    app: &str,
+    seed: u64,
+) -> Result<u64, FleetError> {
     let mut config = DeviceConfig::pixel3(scheme);
     config.seed = seed;
     config.fleet_disable_bgc = disable_bgc;
     // Only the explicit measurement GC should run in the background.
     config.bg_gc_interval = fleet_sim::SimDuration::from_secs(100_000);
-    let mut device = Device::new(config);
+    let mut device = Device::try_new(config)?;
     let profile = profile_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
     let (pid, _) = device.launch_cold(&profile);
     device.run(10);
     device.launch_cold(&profile_by_name("Telegram").expect("catalog app"));
     device.run(20); // Fleet groups at +10 s; the app settles into background
-    let stats = device.run_gc(pid);
-    stats.objects_traced * device.config().scale as u64
+    let stats = device.try_run_gc(pid)?;
+    Ok(stats.objects_traced * device.config().scale as u64)
 }
 
 /// Runs Figure 12a over the plotted apps.
-pub fn fig12a(seed: u64) -> Vec<Fig12aRow> {
+pub fn fig12a(seed: u64) -> Result<Vec<Fig12aRow>, FleetError> {
     ["Twitter", "Youtube", "Twitch", "AmazonShop", "Chrome", "AngryBirds"]
         .iter()
-        .map(|app| Fig12aRow {
-            app: app.to_string(),
-            android: background_gc_working_set(SchemeKind::Android, false, app, seed),
-            fleet_without_bgc: background_gc_working_set(SchemeKind::Fleet, true, app, seed),
-            fleet_with_bgc: background_gc_working_set(SchemeKind::Fleet, false, app, seed),
+        .map(|app| {
+            Ok(Fig12aRow {
+                app: app.to_string(),
+                android: background_gc_working_set(SchemeKind::Android, false, app, seed)?,
+                fleet_without_bgc: background_gc_working_set(SchemeKind::Fleet, true, app, seed)?,
+                fleet_with_bgc: background_gc_working_set(SchemeKind::Fleet, false, app, seed)?,
+            })
         })
         .collect()
 }
@@ -89,7 +96,7 @@ impl Experiment for Fig12 {
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
         let mut out = ExperimentOutput::new();
         out.section("Figure 12a — background GC working set (objects, real-scale)");
-        let rows = fig12a(ctx.seed);
+        let rows = fig12a(ctx.seed)?;
         out.export("fig12a", "≈7x working-set reduction", &rows);
         let mut t = Table::new(["App", "Android", "Fleet w/o BGC", "Fleet w/ BGC", "Reduction"]);
         for r in &rows {
@@ -107,7 +114,7 @@ impl Experiment for Fig12 {
             average_reduction(&rows)
         ));
         out.section("Figure 12b — accessed objects over 600 s (Twitch), Android vs Fleet");
-        for result in access_trace::fig12b(ctx.seed) {
+        for result in access_trace::fig12b(ctx.seed)? {
             let bg_gc = access_trace::gc_samples_in_window(&result, 190.0, 480.0);
             out.text(format!(
                 "{:>8}: GC-touched samples in the background window = {bg_gc}",
@@ -129,9 +136,11 @@ mod tests {
             .iter()
             .map(|app| Fig12aRow {
                 app: app.to_string(),
-                android: background_gc_working_set(SchemeKind::Android, false, app, 5),
-                fleet_without_bgc: background_gc_working_set(SchemeKind::Fleet, true, app, 5),
-                fleet_with_bgc: background_gc_working_set(SchemeKind::Fleet, false, app, 5),
+                android: background_gc_working_set(SchemeKind::Android, false, app, 5).unwrap(),
+                fleet_without_bgc: background_gc_working_set(SchemeKind::Fleet, true, app, 5)
+                    .unwrap(),
+                fleet_with_bgc: background_gc_working_set(SchemeKind::Fleet, false, app, 5)
+                    .unwrap(),
             })
             .collect();
         for row in &rows {

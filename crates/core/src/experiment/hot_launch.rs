@@ -33,19 +33,24 @@ impl HotLaunchData {
 }
 
 /// Measures `launches` hot launches per app for one scheme.
-pub fn measure(scheme: SchemeKind, apps: &[String], launches: usize, seed: u64) -> HotLaunchData {
-    let mut pool = AppPool::under_pressure(scheme, apps, seed);
+pub fn measure(
+    scheme: SchemeKind,
+    apps: &[String],
+    launches: usize,
+    seed: u64,
+) -> Result<HotLaunchData, FleetError> {
+    let mut pool = AppPool::under_pressure(scheme, apps, seed)?;
     let mut per_app_ms = BTreeMap::new();
     for app in apps {
-        let reports = pool.measure_hot_launches(app, launches);
+        let reports = pool.measure_hot_launches(app, launches)?;
         per_app_ms.insert(app.clone(), reports.iter().map(|r| r.total.as_millis_f64()).collect());
     }
-    HotLaunchData { scheme: scheme.to_string(), per_app_ms }
+    Ok(HotLaunchData { scheme: scheme.to_string(), per_app_ms })
 }
 
 /// Runs the full §7.2 experiment: all 18 apps under Android, Marvin and
 /// Fleet. Figure 13 plots the first 12 apps, Figure 16 the remaining 6.
-pub fn fig13(seed: u64, launches: usize) -> Vec<HotLaunchData> {
+pub fn fig13(seed: u64, launches: usize) -> Result<Vec<HotLaunchData>, FleetError> {
     let mut apps = fig13_apps();
     apps.extend(fig16_apps());
     [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet]
@@ -56,7 +61,7 @@ pub fn fig13(seed: u64, launches: usize) -> Vec<HotLaunchData> {
 
 /// Runs Figure 3: 90th-percentile tail hot-launch for Android without swap,
 /// Android with swap, and Marvin (the motivation experiment, §3.1).
-pub fn fig3(seed: u64, launches: usize) -> Vec<HotLaunchData> {
+pub fn fig3(seed: u64, launches: usize) -> Result<Vec<HotLaunchData>, FleetError> {
     let mut apps = fig13_apps();
     apps.extend(fig16_apps());
     [SchemeKind::AndroidNoSwap, SchemeKind::Android, SchemeKind::Marvin]
@@ -172,7 +177,7 @@ impl Experiment for Fig3 {
         "hot_launch"
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let data = fig3(ctx.seed, ctx.launches().min(10));
+        let data = fig3(ctx.seed, ctx.launches().min(10))?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         let mut t = Table::new(["App", "w/o swap p90", "w/ swap p90", "Marvin p90 (ms)"]);
@@ -220,7 +225,7 @@ impl Experiment for Fig13 {
         &["fig15", "fig16", "cdf"]
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let data = fig13(ctx.seed, ctx.launches());
+        let data = fig13(ctx.seed, ctx.launches())?;
         let mut out = ExperimentOutput::new();
 
         out.section("Figure 13 — hot-launch under memory pressure (Android / Marvin / Fleet)");
@@ -341,7 +346,7 @@ mod tests {
         let apps = small_apps();
         let data: Vec<HotLaunchData> = [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet]
             .into_iter()
-            .map(|s| measure(s, &apps, 4, 21))
+            .map(|s| measure(s, &apps, 4, 21).unwrap())
             .collect();
         let rows = speedups_at(&data, 50.0);
         assert!(!rows.is_empty());
@@ -357,7 +362,7 @@ mod tests {
         let apps = small_apps();
         let data: Vec<HotLaunchData> = [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet]
             .into_iter()
-            .map(|s| measure(s, &apps, 4, 33))
+            .map(|s| measure(s, &apps, 4, 33).unwrap())
             .collect();
         let p50 = geomean_speedup(&speedups_at(&data, 50.0), false);
         let p90 = geomean_speedup(&speedups_at(&data, 90.0), false);
@@ -370,8 +375,8 @@ mod tests {
     fn swap_hurts_the_tail_without_fleet() {
         // Figure 3's motivation: enabling swap slows the Android tail.
         let apps = small_apps();
-        let no_swap = measure(SchemeKind::AndroidNoSwap, &apps, 4, 8);
-        let swap = measure(SchemeKind::Android, &apps, 4, 8);
+        let no_swap = measure(SchemeKind::AndroidNoSwap, &apps, 4, 8).unwrap();
+        let swap = measure(SchemeKind::Android, &apps, 4, 8).unwrap();
         let p90 = |d: &HotLaunchData| {
             let all: Vec<f64> = d.per_app_ms.values().flatten().copied().collect();
             Summary::from_values(all).p90()

@@ -30,12 +30,12 @@ pub struct Fig2Row {
 
 /// Runs Figure 2: `launches` hot and cold launches per app on an idle
 /// device (default Android, no memory pressure).
-pub fn fig2(seed: u64, launches: usize) -> Vec<Fig2Row> {
+pub fn fig2(seed: u64, launches: usize) -> Result<Vec<Fig2Row>, FleetError> {
     let mut rows = Vec::new();
     for profile in catalog() {
         let mut config = DeviceConfig::pixel3(SchemeKind::Android);
         config.seed = seed ^ profile.name.len() as u64;
-        let mut device = Device::new(config);
+        let mut device = Device::try_new(config)?;
 
         // Cold samples: terminate and recreate each time (§2.1: "obtained
         // by explicitly terminating apps before the launch").
@@ -59,7 +59,7 @@ pub fn fig2(seed: u64, launches: usize) -> Vec<Fig2Row> {
         device.run(2);
         let mut hot = Vec::new();
         for _ in 0..launches {
-            let report = device.switch_to(target);
+            let report = device.try_switch_to(target)?;
             hot.push(report.total.as_millis_f64());
             device.run(2);
             let (helper_pid, _) = {
@@ -72,7 +72,7 @@ pub fn fig2(seed: u64, launches: usize) -> Vec<Fig2Row> {
                     .expect("helper stays alive on an idle device");
                 (helper_pid, ())
             };
-            device.switch_to(helper_pid);
+            device.try_switch_to(helper_pid)?;
             device.run(2);
         }
 
@@ -86,7 +86,7 @@ pub fn fig2(seed: u64, launches: usize) -> Vec<Fig2Row> {
             cold_std_ms: cold.std_dev(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Experiment `fig2`.
@@ -103,7 +103,7 @@ impl Experiment for Fig2 {
         "launch_basics"
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let rows = fig2(ctx.seed, ctx.launches().min(10));
+        let rows = fig2(ctx.seed, ctx.launches().min(10))?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         out.export("fig2", "hot ≪ cold; Twitter 273 vs 2390 ms", &rows);
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn hot_is_several_times_faster_than_cold() {
-        let rows = fig2(1, 4);
+        let rows = fig2(1, 4).unwrap();
         assert_eq!(rows.len(), 18);
         for row in &rows {
             assert!(

@@ -42,12 +42,12 @@ pub struct FootprintRow {
 /// Runs the Figure 5 study: `cycles` explicit GCs 15 s apart on a
 /// backgrounded Twitter (5a/5b), plus the FGO/BGO footprint of every app
 /// (5c).
-pub fn fig5(seed: u64, cycles: u32) -> Fig5Result {
+pub fn fig5(seed: u64, cycles: u32) -> Result<Fig5Result, FleetError> {
     let mut config = DeviceConfig::pixel3(SchemeKind::Android);
     config.seed = seed;
     // Explicit GCs only: push the periodic trim cycle out of the way.
     config.bg_gc_interval = fleet_sim::SimDuration::from_secs(100_000);
-    let mut device = Device::new(config);
+    let mut device = Device::try_new(config)?;
 
     let twitter = catalog().into_iter().find(|a| a.name == "Twitter").expect("catalog app");
     let (pid, _) = device.launch_cold(&twitter);
@@ -60,23 +60,23 @@ pub fn fig5(seed: u64, cycles: u32) -> Fig5Result {
     let mut birth: HashMap<ObjectId, (AllocContext, u32)> = HashMap::new();
     let mut fgo_lifetime = Histogram::new(cycles.saturating_sub(1));
     let mut bgo_lifetime = Histogram::new(cycles.saturating_sub(1));
-    let snapshot = |device: &Device| -> HashMap<ObjectId, AllocContext> {
-        let proc = device.process(pid);
-        proc.heap.object_ids().map(|o| (o, proc.heap.object(o).context())).collect()
+    let snapshot = |device: &Device| -> Result<HashMap<ObjectId, AllocContext>, FleetError> {
+        let proc = device.try_process(pid)?;
+        Ok(proc.heap.object_ids().map(|o| (o, proc.heap.object(o).context())).collect())
     };
-    for (obj, ctx) in snapshot(&device) {
+    for (obj, ctx) in snapshot(&device)? {
         birth.insert(obj, (ctx, 0));
     }
 
     for cycle in 0..cycles {
         device.run(15);
         // New allocations since the last snapshot are born this cycle.
-        let live = snapshot(&device);
+        let live = snapshot(&device)?;
         for (&obj, &ctx) in &live {
             birth.entry(obj).or_insert((ctx, cycle));
         }
-        device.run_gc(pid);
-        let survivors = snapshot(&device);
+        device.try_run_gc(pid)?;
+        let survivors = snapshot(&device)?;
         // Deaths this cycle: lifetime = cycles survived since birth.
         birth.retain(|obj, &mut (ctx, born)| {
             if survivors.contains_key(obj) {
@@ -104,13 +104,13 @@ pub fn fig5(seed: u64, cycles: u32) -> Fig5Result {
     for profile in catalog() {
         let mut config = DeviceConfig::pixel3(SchemeKind::Android);
         config.seed = seed ^ 0x5c ^ profile.footprint_mib as u64;
-        let mut dev = Device::new(config);
+        let mut dev = Device::try_new(config)?;
         let (p, _) = dev.launch_cold(&profile);
         dev.run(20);
         let helper = catalog().into_iter().find(|a| a.name != profile.name).expect("catalog");
         dev.launch_cold(&helper);
         dev.run(20); // accumulate some BGO
-        let stats = dev.process(p).heap.stats();
+        let stats = dev.try_process(p)?.heap.stats();
         let scale = dev.config().scale as f64;
         footprints.push(FootprintRow {
             app: profile.name,
@@ -119,7 +119,7 @@ pub fn fig5(seed: u64, cycles: u32) -> Fig5Result {
         });
     }
 
-    Fig5Result { fgo_lifetime, bgo_lifetime, footprints }
+    Ok(Fig5Result { fgo_lifetime, bgo_lifetime, footprints })
 }
 
 /// Experiment `fig5`.
@@ -136,7 +136,7 @@ impl Experiment for Fig5 {
         "lifetimes"
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let result = fig5(ctx.seed, 15);
+        let result = fig5(ctx.seed, 15)?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         out.text(format!(
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn bgo_die_young_fgo_live_long() {
-        let result = fig5(11, 8);
+        let result = fig5(11, 8).unwrap();
         let fgo = &result.fgo_lifetime;
         let bgo = &result.bgo_lifetime;
         assert!(fgo.total() > 0 && bgo.total() > 0);
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn fgo_dominate_footprints() {
-        let result = fig5(13, 2);
+        let result = fig5(13, 2).unwrap();
         assert_eq!(result.footprints.len(), 18);
         for row in &result.footprints {
             assert!(

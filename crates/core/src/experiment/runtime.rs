@@ -31,22 +31,22 @@ fn cycling_workload(
     scheme: SchemeKind,
     seed: u64,
     cycles: usize,
-) -> (CpuAccounting, u64, u64, SimDuration) {
+) -> Result<(CpuAccounting, u64, u64, SimDuration), FleetError> {
     let apps: Vec<String> = ["Twitter", "Youtube", "AmazonShop", "Chrome", "Spotify"]
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut pool = AppPool::under_pressure(scheme, &apps, seed);
+    let mut pool = AppPool::under_pressure(scheme, &apps, seed)?;
     let start = pool.device().now();
     let swap_before = pool.device().mm().swap().total_bytes_moved();
     // "launch an app, use it for 30 seconds, switch it to the background
     // for 30 seconds, and repeat" — rotated over the pool.
     for i in 0..cycles {
         let app = apps[i % apps.len()].clone();
-        pool.launch(&app);
+        pool.launch(&app)?;
         pool.device_mut().run(30);
         let next = apps[(i + 1) % apps.len()].clone();
-        pool.launch(&next);
+        pool.launch(&next)?;
         pool.device_mut().run(30);
     }
     let mut cpu = CpuAccounting::new();
@@ -60,21 +60,21 @@ fn cycling_workload(
     let swap_bytes = pool.device().mm().swap().total_bytes_moved() - swap_before;
     let resident_bytes = pool.device().mm().used_frames() * fleet_heap::PAGE_SIZE;
     let window = pool.device().now() - start;
-    (cpu, swap_bytes, resident_bytes, window)
+    Ok((cpu, swap_bytes, resident_bytes, window))
 }
 
 /// Runs the CPU-usage comparison.
-pub fn cpu_usage(seed: u64, cycles: usize) -> Vec<CpuRow> {
+pub fn cpu_usage(seed: u64, cycles: usize) -> Result<Vec<CpuRow>, FleetError> {
     [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet]
         .into_iter()
         .map(|scheme| {
-            let (cpu, _, _, _) = cycling_workload(scheme, seed, cycles);
-            CpuRow {
+            let (cpu, _, _, _) = cycling_workload(scheme, seed, cycles)?;
+            Ok(CpuRow {
                 scheme: scheme.to_string(),
                 total_cpu_s: cpu.total().as_secs_f64(),
                 gc_share_pct: cpu.share_percent(ThreadClass::Gc),
                 kernel_share_pct: cpu.share_percent(ThreadClass::Kernel),
-            }
+            })
         })
         .collect()
 }
@@ -93,22 +93,22 @@ pub struct PowerRow {
 }
 
 /// Runs the power comparison (1 min foreground + 1 min background cycles).
-pub fn power(seed: u64, cycles: usize) -> Vec<PowerRow> {
+pub fn power(seed: u64, cycles: usize) -> Result<Vec<PowerRow>, FleetError> {
     [SchemeKind::Android, SchemeKind::Fleet]
         .into_iter()
         .map(|scheme| {
-            let (cpu, swap_bytes, resident, window) = cycling_workload(scheme, seed, cycles);
+            let (cpu, swap_bytes, resident, window) = cycling_workload(scheme, seed, cycles)?;
             // Scale activity back to real magnitude: the simulation runs at
             // 1/16 of the device's memory traffic.
             let scale = 16;
             let report =
                 PowerModel::default().report(window, &cpu, swap_bytes * scale, resident * scale);
-            PowerRow {
+            Ok(PowerRow {
                 scheme: scheme.to_string(),
                 average_mw: report.average_mw,
                 cpu_mw: report.cpu_mw,
                 swap_mw: report.swap_mw,
-            }
+            })
         })
         .collect()
 }
@@ -147,7 +147,7 @@ impl Experiment for CpuUsage {
         "runtime"
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let rows = cpu_usage(ctx.seed, if ctx.quick { 2 } else { 4 });
+        let rows = cpu_usage(ctx.seed, if ctx.quick { 2 } else { 4 })?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         let mut t = Table::new(["Scheme", "Total CPU (s)", "GC share %", "Kernel share %"]);
@@ -186,7 +186,7 @@ impl Experiment for Power {
         "runtime"
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
-        let rows = power(ctx.seed, if ctx.quick { 1 } else { 2 });
+        let rows = power(ctx.seed, if ctx.quick { 1 } else { 2 })?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         let mut t = Table::new(["Scheme", "Average (mW)", "CPU (mW)", "Swap (mW)", "Paper"]);
@@ -238,7 +238,7 @@ mod tests {
 
     #[test]
     fn fleet_cpu_is_close_to_android_marvin_higher() {
-        let rows = cpu_usage(17, 2);
+        let rows = cpu_usage(17, 2).unwrap();
         let get = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap();
         let android = get("Android");
         let fleet = get("Fleet");
@@ -258,7 +258,7 @@ mod tests {
 
     #[test]
     fn power_is_comparable_between_fleet_and_android() {
-        let rows = power(19, 2);
+        let rows = power(19, 2).unwrap();
         let get = |name: &str| rows.iter().find(|r| r.scheme == name).unwrap();
         let android = get("Android");
         let fleet = get("Fleet");

@@ -60,10 +60,15 @@ impl AppPool {
     /// the Table 3 catalog), using each briefly, producing the paper's
     /// "~10 background apps" pressure state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an app name is not in the catalog.
-    pub fn under_pressure(scheme: SchemeKind, apps: &[String], seed: u64) -> Self {
+    /// [`FleetError::UnknownApp`] if an app name is not in the catalog;
+    /// [`FleetError::InvalidConfig`] if the derived config is invalid.
+    pub fn under_pressure(
+        scheme: SchemeKind,
+        apps: &[String],
+        seed: u64,
+    ) -> Result<Self, FleetError> {
         let mut config = DeviceConfig::pixel3(scheme);
         config.seed = seed;
         Self::with_config(config, apps)
@@ -71,14 +76,15 @@ impl AppPool {
 
     /// Like [`AppPool::under_pressure`] with an explicit device config.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an app name is not in the catalog.
-    pub fn with_config(config: DeviceConfig, apps: &[String]) -> Self {
+    /// [`FleetError::UnknownApp`] if an app name is not in the catalog;
+    /// [`FleetError::InvalidConfig`] if `config` is invalid.
+    pub fn with_config(config: DeviceConfig, apps: &[String]) -> Result<Self, FleetError> {
         let all: BTreeMap<String, AppProfile> =
             catalog().into_iter().map(|a| (a.name.clone(), a)).collect();
         let mut pool = AppPool {
-            device: Device::new(config),
+            device: Device::try_new(config)?,
             profiles: BTreeMap::new(),
             pids: BTreeMap::new(),
             rotation: apps.to_vec(),
@@ -86,14 +92,15 @@ impl AppPool {
             usage_gap_secs: 30,
         };
         for name in apps {
-            let profile = all.get(name).unwrap_or_else(|| panic!("unknown app {name}")).clone();
+            let profile =
+                all.get(name).ok_or_else(|| FleetError::UnknownApp(name.clone()))?.clone();
             pool.profiles.insert(name.clone(), profile);
         }
         for name in apps {
-            pool.ensure(name);
+            pool.ensure(name)?;
             pool.device.run(5);
         }
-        pool
+        Ok(pool)
     }
 
     /// The underlying device.
@@ -108,28 +115,39 @@ impl AppPool {
 
     /// The pid of `name`, cold-launching (or re-launching after an LMK
     /// kill) if needed. Returns the pid and whether a cold launch happened.
-    pub fn ensure(&mut self, name: &str) -> (Pid, bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownApp`] if `name` was not in the pool's app list.
+    pub fn ensure(&mut self, name: &str) -> Result<(Pid, bool), FleetError> {
         if let Some(&pid) = self.pids.get(name) {
             if self.device.try_process(pid).is_ok() {
-                return (pid, false);
+                return Ok((pid, false));
             }
         }
-        let profile =
-            self.profiles.get(name).unwrap_or_else(|| panic!("unknown app {name}")).clone();
+        let profile = self
+            .profiles
+            .get(name)
+            .ok_or_else(|| FleetError::UnknownApp(name.to_string()))?
+            .clone();
         let (pid, _) = self.device.launch_cold(&profile);
         self.pids.insert(name.to_string(), pid);
-        (pid, true)
+        Ok((pid, true))
     }
 
     /// Brings `name` to the foreground. Returns the launch report; hot if
     /// the app was cached, cold if it had to be recreated.
-    pub fn launch(&mut self, name: &str) -> LaunchReport {
-        let (pid, was_cold) = self.ensure(name);
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownApp`] if `name` was not in the pool's app list.
+    pub fn launch(&mut self, name: &str) -> Result<LaunchReport, FleetError> {
+        let (pid, was_cold) = self.ensure(name)?;
         if was_cold {
-            let proc = self.device.process(pid);
-            return *proc.launches.last().expect("cold launch recorded");
+            let proc = self.device.try_process(pid)?;
+            return Ok(*proc.launches.last().expect("cold launch recorded"));
         }
-        self.device.switch_to(pid)
+        self.device.try_switch_to(pid)
     }
 
     /// Overrides the between-launches usage gap (default 30 s, the §7.2
@@ -142,15 +160,23 @@ impl AppPool {
     /// (default 30 s) of a rotating other app between launches (the §7.2
     /// protocol). Cold relaunches after LMK kills re-warm the app but are
     /// not counted. Gives up after `3 * n` attempts.
-    pub fn measure_hot_launches(&mut self, name: &str, n: usize) -> Vec<LaunchReport> {
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownApp`] if `name` was not in the pool's app list.
+    pub fn measure_hot_launches(
+        &mut self,
+        name: &str,
+        n: usize,
+    ) -> Result<Vec<LaunchReport>, FleetError> {
         let mut reports = Vec::new();
         let mut attempts = 0;
         while reports.len() < n && attempts < 3 * n {
             attempts += 1;
             let other = self.next_other(name);
-            self.launch(&other);
+            self.launch(&other)?;
             self.device.run(self.usage_gap_secs);
-            let report = self.launch(name);
+            let report = self.launch(name)?;
             if report.kind == LaunchKind::Hot {
                 reports.push(report);
             } else {
@@ -158,7 +184,7 @@ impl AppPool {
                 self.device.run(5);
             }
         }
-        reports
+        Ok(reports)
     }
 
     fn next_other(&mut self, not: &str) -> String {
@@ -195,8 +221,8 @@ impl Experiment for Scenario {
         let mut t =
             Table::new(["Scheme", "Cached apps", "LMK kills", "Twitter hot p50 (ms)", "Hot hits"]);
         for scheme in [SchemeKind::Android, SchemeKind::Marvin, SchemeKind::Fleet] {
-            let mut pool = AppPool::under_pressure(scheme, &fig13_apps(), ctx.seed);
-            let reports = pool.measure_hot_launches("Twitter", launches);
+            let mut pool = AppPool::under_pressure(scheme, &fig13_apps(), ctx.seed)?;
+            let reports = pool.measure_hot_launches("Twitter", launches)?;
             let median =
                 Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64())).median();
             t.row([
@@ -231,9 +257,9 @@ mod tests {
     fn pool_builds_pressure_and_measures_hot_launches() {
         let apps: Vec<String> =
             ["Twitter", "Telegram", "Spotify", "LinkedIn"].iter().map(|s| s.to_string()).collect();
-        let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &apps, 7);
+        let mut pool = AppPool::under_pressure(SchemeKind::Fleet, &apps, 7).unwrap();
         assert!(pool.device().cached_apps() >= 3);
-        let reports = pool.measure_hot_launches("Twitter", 3);
+        let reports = pool.measure_hot_launches("Twitter", 3).unwrap();
         assert_eq!(reports.len(), 3);
         for r in reports {
             assert_eq!(r.kind, LaunchKind::Hot);

@@ -30,7 +30,11 @@ pub struct SensitivityRow {
 }
 
 /// Runs the sensitivity sweep: `{Android, Fleet} × {1.1, 2.0}`.
-pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<SensitivityRow> {
+pub fn sensitivity(
+    seed: u64,
+    max_apps: usize,
+    launches: usize,
+) -> Result<Vec<SensitivityRow>, FleetError> {
     let mut rows = Vec::new();
     for scheme in [SchemeKind::Android, SchemeKind::Fleet] {
         for factor in [1.1, 2.0] {
@@ -40,7 +44,7 @@ pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<Sensitivi
                 .heap_growth_background(factor)
                 .build()
                 .expect("pixel3 variant is valid");
-            let mut device = Device::new(config);
+            let mut device = Device::try_new(config)?;
             let app = synthetic_app(2048, 180);
             let mut max_cached = 0;
             for _ in 0..max_apps {
@@ -59,8 +63,8 @@ pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<Sensitivi
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-            let mut pool = AppPool::with_config(config, &apps);
-            let reports = pool.measure_hot_launches("Twitter", launches);
+            let mut pool = AppPool::with_config(config, &apps)?;
+            let reports = pool.measure_hot_launches("Twitter", launches)?;
             let median =
                 Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64())).median();
 
@@ -72,7 +76,7 @@ pub fn sensitivity(seed: u64, max_apps: usize, launches: usize) -> Vec<Sensitivi
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Experiment `sensitivity`.
@@ -90,7 +94,7 @@ impl Experiment for Sensitivity {
     }
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
         let rows =
-            sensitivity(ctx.seed, if ctx.quick { 14 } else { 24 }, if ctx.quick { 4 } else { 8 });
+            sensitivity(ctx.seed, if ctx.quick { 14 } else { 24 }, if ctx.quick { 4 } else { 8 })?;
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         let mut t = Table::new(["Scheme", "Factor", "Max cached", "Median hot (ms)"]);
@@ -116,7 +120,7 @@ mod tests {
 
     #[test]
     fn fleet_needs_tight_background_heaps_for_capacity() {
-        let rows = sensitivity(23, 20, 4);
+        let rows = sensitivity(23, 20, 4).unwrap();
         let get = |scheme: &str, factor: f64| {
             rows.iter().find(|r| r.scheme == scheme && r.factor == factor).unwrap()
         };
@@ -141,7 +145,7 @@ mod tests {
 
     #[test]
     fn fleet_hot_launch_is_robust_across_factors() {
-        let rows = sensitivity(29, 12, 5);
+        let rows = sensitivity(29, 12, 5).unwrap();
         let get = |scheme: &str, factor: f64| {
             rows.iter().find(|r| r.scheme == scheme && r.factor == factor).unwrap().median_hot_ms
         };

@@ -47,3 +47,24 @@ pub use error::FleetError;
 pub use params::{FleetParams, SchemeKind};
 pub use process::{AppState, FleetProcState, GcRecord, LaunchKind, LaunchReport, Process};
 pub use timeline::{Timeline, TimelineEvent};
+
+/// The stable, supported surface of the reproduction in one import.
+///
+/// `use fleet::prelude::*;` brings in everything a downstream consumer —
+/// an example, a bench, or an external driver — needs to build a device,
+/// run experiments from the registry and summarise the results. Anything
+/// *not* re-exported here (collector internals, page-table layouts, the
+/// reference LRU model) is crate plumbing and may change without notice;
+/// such items are marked `#[doc(hidden)]` at their definition sites.
+pub mod prelude {
+    pub use crate::config::{DeviceConfig, DeviceConfigBuilder};
+    pub use crate::device::{Device, DeviceTrace, KillRecord};
+    pub use crate::error::FleetError;
+    pub use crate::experiment::harness::{
+        run_experiments, select, Experiment, ExperimentCtx, ExperimentOutput, RunReport, REGISTRY,
+    };
+    pub use crate::experiment::scenario::AppPool;
+    pub use crate::params::{FleetParams, SchemeKind};
+    pub use crate::process::{LaunchKind, LaunchReport};
+    pub use fleet_metrics::{Histogram, Summary, Table};
+}

@@ -21,8 +21,7 @@
 use crate::collector::{
     audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
 };
-use fleet_heap::{Heap, ObjectId, RegionId, RegionKind};
-use std::collections::HashSet;
+use fleet_heap::{Heap, ObjectId, ObjectMarks, RegionId, RegionKind, RegionSet};
 
 /// The background-object collector.
 ///
@@ -61,10 +60,10 @@ impl Collector for BackgroundObjectGc {
 
         let bg_regions: Vec<RegionId> =
             heap.regions().filter(|r| r.kind() == RegionKind::Bg).map(|r| r.id()).collect();
-        let bg_set: HashSet<RegionId> = bg_regions.iter().copied().collect();
+        let bg_set: RegionSet = bg_regions.iter().copied().collect();
         heap.retire_alloc_targets();
 
-        let is_bgo = |heap: &Heap, obj: ObjectId| bg_set.contains(&heap.object(obj).region());
+        let is_bgo = |heap: &Heap, obj: ObjectId| bg_set.contains(heap.object(obj).region());
 
         // Scan dirty cards for modified foreground objects.
         let mut dirty_fgo: Vec<ObjectId> = Vec::new();
@@ -81,10 +80,11 @@ impl Collector for BackgroundObjectGc {
 
         // Trace. FGO sources (roots and dirty FGO) contribute their refs;
         // FGO found *during* the trace are live-by-fiat and never accessed.
-        let mut live: HashSet<ObjectId> = HashSet::new();
+        // Mark state lives in dense arena-slot bitmaps instead of hash sets.
+        let mut live = ObjectMarks::for_heap(heap);
         let mut order: Vec<ObjectId> = Vec::new();
         let mut stack: Vec<ObjectId> = Vec::new();
-        let mut seeded: HashSet<ObjectId> = HashSet::new();
+        let mut seeded = ObjectMarks::for_heap(heap);
         let roots: Vec<ObjectId> = heap.roots().to_vec();
         for obj in roots.iter().copied().chain(dirty_fgo.iter().copied()) {
             if is_bgo(heap, obj) {
@@ -145,7 +145,7 @@ impl Collector for BackgroundObjectGc {
         // re-dirtied: cards only retire when a collector that consumes their
         // full meaning (a full GC or a full grouping) clears them.
         heap.cards_mut().clear();
-        for &fgo in seeded.iter() {
+        for fgo in seeded.iter() {
             let addr = heap.address(fgo);
             let size = heap.object(fgo).size() as u64;
             heap.cards_mut().dirty_range(addr, size);

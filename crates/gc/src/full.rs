@@ -10,8 +10,7 @@
 use crate::collector::{
     audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
 };
-use fleet_heap::{AllocContext, Heap, ObjectId, RegionKind};
-use std::collections::HashSet;
+use fleet_heap::{AllocContext, Heap, ObjectId, ObjectMarks, RegionKind, RegionSet};
 
 /// The full copying collector (DFS trace over the whole heap).
 ///
@@ -52,7 +51,9 @@ impl Collector for FullCopyingGc {
 
         // DFS trace from the roots, touching every visited object at its
         // pre-copy address (this is what faults swapped pages back in).
-        let mut live: HashSet<ObjectId> = HashSet::new();
+        // The mark set is a dense bitmap over arena slots, not a hash set:
+        // one bit test-and-set per edge.
+        let mut live = ObjectMarks::for_heap(heap);
         let mut order: Vec<ObjectId> = Vec::new();
         let mut stack: Vec<ObjectId> = heap.roots().to_vec();
         for &r in heap.roots() {
@@ -104,7 +105,7 @@ impl Collector for FullCopyingGc {
         // consumed: the young generation was collected and no cold regions
         // survive a full GC.
         heap.cards_mut().clear();
-        let bg_regions: HashSet<fleet_heap::RegionId> =
+        let bg_regions: RegionSet =
             heap.regions().filter(|r| r.kind() == RegionKind::Bg).map(|r| r.id()).collect();
         if !bg_regions.is_empty() {
             let needs_card: Vec<ObjectId> = order
@@ -116,7 +117,7 @@ impl Collector for FullCopyingGc {
                             .object(o)
                             .refs()
                             .iter()
-                            .any(|&r| bg_regions.contains(&heap.object(r).region()))
+                            .any(|&r| bg_regions.contains(heap.object(r).region()))
                 })
                 .collect();
             for obj in needs_card {

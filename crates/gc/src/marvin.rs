@@ -24,22 +24,25 @@
 use crate::collector::{
     audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
 };
-use fleet_heap::{Heap, ObjectId, PAGE_SIZE};
-use std::collections::HashSet;
+use fleet_heap::{Heap, ObjectId, ObjectMarks, PAGE_SIZE};
 
 /// Marvin's persistent bookmarking state: which objects are swapped out and
 /// therefore represented by resident stubs.
+///
+/// The stub table is a dense bitmap over arena slots (object ids are never
+/// recycled), so the per-object `is_swapped` check on the trace hot path is
+/// one bit test instead of a hash probe.
 #[derive(Debug, Clone, Default)]
 pub struct MarvinState {
     threshold: u32,
-    swapped: HashSet<ObjectId>,
+    swapped: ObjectMarks,
 }
 
 impl MarvinState {
     /// Creates a state with the large-object threshold (the paper evaluates
     /// Marvin with 1024 bytes, §6).
     pub fn new(threshold: u32) -> Self {
-        MarvinState { threshold, swapped: HashSet::new() }
+        MarvinState { threshold, swapped: ObjectMarks::default() }
     }
 
     /// The large-object threshold in bytes.
@@ -66,12 +69,12 @@ impl MarvinState {
 
     /// Clears the bookmark after the object faults back in.
     pub fn mark_resident(&mut self, obj: ObjectId) {
-        self.swapped.remove(&obj);
+        self.swapped.remove(obj);
     }
 
     /// True if `obj` is currently bookmarked (swapped out).
     pub fn is_swapped(&self, obj: ObjectId) -> bool {
-        self.swapped.contains(&obj)
+        self.swapped.contains(obj)
     }
 
     /// Number of live stubs (drives the STW reconciliation cost).
@@ -79,9 +82,9 @@ impl MarvinState {
         self.swapped.len()
     }
 
-    /// Iterates the bookmarked objects.
+    /// Iterates the bookmarked objects in ascending id order.
     pub fn swapped_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.swapped.iter().copied()
+        self.swapped.iter()
     }
 }
 
@@ -171,8 +174,9 @@ impl Collector for MarvinGc {
         audit_gc_start(heap, GcKind::Marvin, true);
 
         // Mark phase: bookmarked objects are traversed via their resident
-        // stubs (reference metadata) without touching object memory.
-        let mut live: HashSet<ObjectId> = HashSet::new();
+        // stubs (reference metadata) without touching object memory. The
+        // mark set is a dense bitmap over arena slots.
+        let mut live = ObjectMarks::for_heap(heap);
         let mut stack: Vec<ObjectId> = heap.roots().to_vec();
         for &r in heap.roots() {
             live.insert(r);
@@ -194,7 +198,7 @@ impl Collector for MarvinGc {
         // fully-empty regions are returned.
         let all: Vec<ObjectId> = heap.object_ids().collect();
         for obj in all {
-            if !live.contains(&obj) {
+            if !live.contains(obj) {
                 stats.bytes_freed += heap.object(obj).size() as u64;
                 stats.objects_freed += 1;
                 self.state.mark_resident(obj); // drop the stub if any

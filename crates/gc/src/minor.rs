@@ -8,8 +8,7 @@
 use crate::collector::{
     audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
 };
-use fleet_heap::{AllocContext, Heap, ObjectId, RegionId, RegionKind};
-use std::collections::HashSet;
+use fleet_heap::{AllocContext, Heap, ObjectId, ObjectMarks, RegionId, RegionKind, RegionSet};
 
 /// The minor (young-generation) collector.
 ///
@@ -46,10 +45,10 @@ impl Collector for MinorGc {
 
         let young_regions: Vec<RegionId> =
             heap.regions().filter(|r| r.newly_allocated()).map(|r| r.id()).collect();
-        let young_set: HashSet<RegionId> = young_regions.iter().copied().collect();
+        let young_set: RegionSet = young_regions.iter().copied().collect();
         heap.retire_alloc_targets();
 
-        let is_young = |heap: &Heap, obj: ObjectId| young_set.contains(&heap.object(obj).region());
+        let is_young = |heap: &Heap, obj: ObjectId| young_set.contains(heap.object(obj).region());
 
         // Old objects holding possible old→young references: the dirty cards.
         let mut boundary: Vec<ObjectId> = Vec::new();
@@ -67,26 +66,27 @@ impl Collector for MinorGc {
         // Trace young liveness from roots + carded old objects. Old objects
         // act as one-hop sources: their refs are scanned (the object itself
         // was recently written, hence resident) but old→old edges stop there.
-        let mut live: HashSet<ObjectId> = HashSet::new();
+        // Mark state lives in dense arena-slot bitmaps instead of hash sets.
+        let mut live = ObjectMarks::for_heap(heap);
         let mut order: Vec<ObjectId> = Vec::new();
         let mut stack: Vec<ObjectId> = Vec::new();
         let seed = |heap: &Heap,
                     obj: ObjectId,
                     stats: &mut GcStats,
                     touch: &mut dyn MemoryTouch,
-                    live: &mut HashSet<ObjectId>,
+                    live: &mut ObjectMarks,
                     stack: &mut Vec<ObjectId>| {
             stats.fault_stall += touch.touch(heap.address(obj), heap.object(obj).size());
             stats.cpu += self.cost.per_object_trace;
             stats.objects_traced += 1;
             for &next in heap.object(obj).refs() {
-                if young_set.contains(&heap.object(next).region()) && live.insert(next) {
+                if young_set.contains(heap.object(next).region()) && live.insert(next) {
                     stack.push(next);
                 }
             }
         };
         let roots: Vec<ObjectId> = heap.roots().to_vec();
-        let mut seeded: HashSet<ObjectId> = HashSet::new();
+        let mut seeded = ObjectMarks::for_heap(heap);
         for obj in roots.iter().copied().chain(boundary.iter().copied()) {
             if is_young(heap, obj) {
                 if live.insert(obj) {
@@ -102,7 +102,7 @@ impl Collector for MinorGc {
             stats.cpu += self.cost.per_object_trace;
             stats.objects_traced += 1;
             for &next in heap.object(obj).refs() {
-                if young_set.contains(&heap.object(next).region()) && live.insert(next) {
+                if young_set.contains(heap.object(next).region()) && live.insert(next) {
                     stack.push(next);
                 }
             }
@@ -136,9 +136,9 @@ impl Collector for MinorGc {
         // theirs unconditionally (the incremental re-grouping remembered
         // set — see `GroupingGc::with_incremental`).
         heap.cards_mut().clear();
-        let bg_regions: HashSet<RegionId> =
+        let bg_regions: RegionSet =
             heap.regions().filter(|r| r.kind() == RegionKind::Bg).map(|r| r.id()).collect();
-        for &obj in seeded.iter() {
+        for obj in seeded.iter() {
             if !heap.contains(obj) {
                 continue;
             }
@@ -147,7 +147,7 @@ impl Collector for MinorGc {
                 .object(obj)
                 .refs()
                 .iter()
-                .any(|&r| bg_regions.contains(&heap.object(r).region()));
+                .any(|&r| bg_regions.contains(heap.object(r).region()));
             if in_cold || refs_bgo {
                 let addr = heap.address(obj);
                 let size = heap.object(obj).size() as u64;

@@ -371,6 +371,18 @@ impl Heap {
         self.arena.iter().enumerate().filter(|(_, o)| o.is_some()).map(|(i, _)| ObjectId(i as u32))
     }
 
+    /// Exclusive upper bound on [`ObjectId`] slot indices ever handed out
+    /// (slots are never recycled). Sizes the collectors' mark bitmaps.
+    pub fn object_slots(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Exclusive upper bound on [`RegionId`] slot indices ever handed out
+    /// (regions are never renumbered). Sizes region membership bitmaps.
+    pub fn region_slots(&self) -> usize {
+        self.regions.len()
+    }
+
     /// The absolute heap address of an object.
     pub fn address(&self, id: ObjectId) -> u64 {
         let obj = self.object(id);

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod card;
 pub mod config;
 pub mod graph;
@@ -46,6 +47,7 @@ pub mod heap;
 pub mod object;
 pub mod region;
 
+pub use bitmap::{ObjectMarks, RegionSet, SlotBitmap};
 pub use card::CardTable;
 pub use config::{HeapConfig, PAGE_SIZE};
 pub use graph::{depth_map, reachable_set};

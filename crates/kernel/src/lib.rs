@@ -38,7 +38,9 @@ pub mod page;
 pub mod swap;
 
 pub use lmk::{choose_victim, LmkCandidate};
-pub use lru::LruQueue;
-pub use mm::{AccessKind, AccessOutcome, KernelStats, MemoryManager, MmConfig, MmError};
+pub use lru::{LruHandle, LruQueue};
+pub use mm::{AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmConfig, MmError};
+#[doc(hidden)]
+pub use mm::{PageEntry, PageTable};
 pub use page::{PageKey, PageKind, PageState, Pid, PAGE_SIZE};
 pub use swap::{SwapConfig, SwapDevice, SwapMedium};

@@ -8,20 +8,30 @@
 //!   at flash latency (the §3.2 hot-launch stall mechanism),
 //! * watermark reclaim — [`MemoryManager::kswapd`] pushes cold pages out
 //!   when free memory is low,
-//! * Fleet's madvise extensions — [`MemoryManager::madvise_cold`]
-//!   (`COLD_RUNTIME`: actively swap a range out) and
-//!   [`MemoryManager::madvise_hot`] (`HOT_RUNTIME`: pin launch pages to the
-//!   hot end of the LRU), §5.3.2,
+//! * Fleet's madvise extensions — [`MemoryManager::madvise`] with
+//!   [`Advice::ColdRuntime`] (`COLD_RUNTIME`: actively swap a range out)
+//!   and [`Advice::HotRuntime`] (`HOT_RUNTIME`: pin launch pages to the hot
+//!   end of the LRU), §5.3.2,
 //! * out-of-memory signalling — operations return [`MmError::OutOfMemory`]
 //!   when neither frames nor swap slots are available, at which point the
 //!   device layer invokes the low-memory killer.
+//!
+//! # Data layout
+//!
+//! Page metadata lives in real-page-table-shaped structures rather than
+//! maps: each process owns a [`PageTable`] — a short sorted list of address
+//! segments, each a directory of 512-page chunks holding one 8-byte
+//! [`PageEntry`] (`flags` + LRU node handle) per page. A page lookup is a
+//! couple of compares plus two array indexes; no hashing, no tree walk.
+//! The entry stores the page's [`LruHandle`], so every LRU operation on the
+//! access/fault/reclaim paths is O(1) pointer surgery in the intrusive
+//! [`LruQueue`] slab.
 
-use crate::lru::LruQueue;
+use crate::lru::{LruHandle, LruQueue};
 use crate::page::{pages_in_range, PageKey, PageKind, PageState, Pid, PAGE_SIZE};
 use crate::swap::{SwapConfig, SwapDevice};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Emits a flight-recorder event; compiled to nothing without the `audit`
 /// feature, so emission sites cost zero in normal builds.
@@ -57,6 +67,19 @@ impl AccessKind {
             AccessKind::Launch => "launch",
         }
     }
+}
+
+/// Advice passed to [`MemoryManager::madvise`] — the paper's two new
+/// `madvise` options (§5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Advice {
+    /// `COLD_RUNTIME`: the range will not be needed soon; actively swap its
+    /// resident pages out ahead of memory pressure.
+    ColdRuntime,
+    /// `HOT_RUNTIME`: the range is about to be (or being) used on a launch
+    /// critical path; rotate its resident pages to the hot end of the LRU
+    /// so reclaim will not pick them.
+    HotRuntime,
 }
 
 /// Result of an [`MemoryManager::access`] call.
@@ -190,6 +213,306 @@ pub struct ProcessMem {
     pub swapped: u64,
 }
 
+// ------------------------------------------------------------- page tables
+
+/// Page-entry flag: the page is mapped (the entry is live).
+const PE_MAPPED: u8 = 1;
+/// Page-entry flag: the page is in DRAM (else it is in swap).
+const PE_RESIDENT: u8 = 1 << 1;
+/// Page-entry flag: the page is file-backed (else anonymous).
+const PE_FILE: u8 = 1 << 2;
+/// Page-entry flag: the page is excluded from LRU eviction.
+const PE_PINNED: u8 = 1 << 3;
+
+/// "No LRU node": the page is not on any queue (swapped or pinned).
+const NO_NODE: u32 = u32::MAX;
+
+/// One page's metadata: state flags plus its LRU node handle. 8 bytes —
+/// 512 entries pack into one 4 KiB chunk, so walking a range of pages is a
+/// linear scan of one array.
+///
+/// Public only for `fleet-bench`'s page-table microbenchmark; not part of
+/// the supported API surface.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageEntry {
+    flags: u8,
+    /// Raw [`LruHandle`] of the page's node, or [`NO_NODE`].
+    node: u32,
+}
+
+impl PageEntry {
+    const EMPTY: PageEntry = PageEntry { flags: 0, node: NO_NODE };
+
+    pub fn is_mapped(self) -> bool {
+        self.flags & PE_MAPPED != 0
+    }
+    pub fn is_resident(self) -> bool {
+        self.flags & PE_RESIDENT != 0
+    }
+    pub fn is_file(self) -> bool {
+        self.flags & PE_FILE != 0
+    }
+    pub fn is_pinned(self) -> bool {
+        self.flags & PE_PINNED != 0
+    }
+}
+
+/// Pages per chunk: 512 × 4 KiB = 2 MiB of address space per chunk, the
+/// same span as one x86-64 last-level page-table page.
+const CHUNK_PAGES: u64 = 512;
+
+/// Adjacent-segment slack: a new chunk this close to an existing segment
+/// extends it instead of opening a new one, keeping the segment list short
+/// (heap, native and file mappings land in one segment each).
+const SLACK_CHUNKS: u64 = 64;
+
+/// A 2 MiB-aligned block of 512 page entries.
+#[derive(Debug, Clone)]
+struct Chunk {
+    entries: Box<[PageEntry; CHUNK_PAGES as usize]>,
+    /// Mapped entries in this chunk; the chunk is freed when it hits zero,
+    /// so long-dead address ranges do not pin memory.
+    mapped: u32,
+}
+
+impl Chunk {
+    fn new() -> Chunk {
+        Chunk { entries: Box::new([PageEntry::EMPTY; CHUNK_PAGES as usize]), mapped: 0 }
+    }
+}
+
+/// A contiguous run of chunk slots starting at `first_chunk`.
+#[derive(Debug, Clone)]
+struct Segment {
+    first_chunk: u64,
+    chunks: Vec<Option<Chunk>>,
+}
+
+impl Segment {
+    /// One past the last chunk index covered by this segment.
+    fn end(&self) -> u64 {
+        self.first_chunk + self.chunks.len() as u64
+    }
+}
+
+/// One process's page table: a sorted list of non-overlapping segments.
+/// Fleet processes have three widely separated address areas (Java heap
+/// near 0, native at 2⁴⁰, file mappings at 2⁴¹), so the list stays at a
+/// handful of entries and lookup is a couple of compares.
+///
+/// Public only for `fleet-bench`'s page-table microbenchmark; not part of
+/// the supported API surface.
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    segs: Vec<Segment>,
+    mapped: u64,
+    resident: u64,
+    swapped: u64,
+}
+
+impl PageTable {
+    /// The entry for `page`, if mapped.
+    pub fn entry(&self, page: u64) -> Option<PageEntry> {
+        let c = page / CHUNK_PAGES;
+        for seg in &self.segs {
+            if c < seg.first_chunk {
+                return None;
+            }
+            let off = (c - seg.first_chunk) as usize;
+            if off < seg.chunks.len() {
+                let e = seg.chunks[off].as_ref()?.entries[(page % CHUNK_PAGES) as usize];
+                return e.is_mapped().then_some(e);
+            }
+        }
+        None
+    }
+
+    /// Mutable access to the entry for `page`, if mapped.
+    fn entry_mut(&mut self, page: u64) -> Option<&mut PageEntry> {
+        let c = page / CHUNK_PAGES;
+        for seg in &mut self.segs {
+            if c < seg.first_chunk {
+                return None;
+            }
+            let off = (c - seg.first_chunk) as usize;
+            if off < seg.chunks.len() {
+                let e = &mut seg.chunks[off].as_mut()?.entries[(page % CHUNK_PAGES) as usize];
+                return e.is_mapped().then_some(e);
+            }
+        }
+        None
+    }
+
+    /// Index of a segment covering chunk `c`, creating or extending
+    /// segments as needed (list stays sorted and non-overlapping).
+    fn seg_index_for(&mut self, c: u64) -> usize {
+        for (i, s) in self.segs.iter().enumerate() {
+            if c >= s.first_chunk && c < s.end() {
+                return i;
+            }
+        }
+        let insert_at = self.segs.iter().position(|s| s.first_chunk > c).unwrap_or(self.segs.len());
+        // Small gap after the predecessor: grow it forward.
+        if insert_at > 0 {
+            let limit = self.segs.get(insert_at).map(|s| s.first_chunk).unwrap_or(u64::MAX);
+            let prev = &mut self.segs[insert_at - 1];
+            if c - prev.end() <= SLACK_CHUNKS && c < limit {
+                let new_len = (c - prev.first_chunk + 1) as usize;
+                prev.chunks.resize_with(new_len, || None);
+                return insert_at - 1;
+            }
+        }
+        // Small gap before the successor: grow it backward.
+        if insert_at < self.segs.len() {
+            let next = &mut self.segs[insert_at];
+            let gap = (next.first_chunk - c) as usize;
+            if gap as u64 <= SLACK_CHUNKS {
+                let mut chunks = Vec::with_capacity(next.chunks.len() + gap);
+                chunks.resize_with(gap, || None);
+                chunks.append(&mut next.chunks);
+                next.chunks = chunks;
+                next.first_chunk = c;
+                return insert_at;
+            }
+        }
+        self.segs.insert(insert_at, Segment { first_chunk: c, chunks: vec![None] });
+        insert_at
+    }
+
+    /// Maps `page` (must not be mapped) as resident, with the given kind
+    /// and LRU node.
+    pub fn map(&mut self, page: u64, file: bool, node: u32) {
+        let c = page / CHUNK_PAGES;
+        let i = self.seg_index_for(c);
+        let off = (c - self.segs[i].first_chunk) as usize;
+        let chunk = self.segs[i].chunks[off].get_or_insert_with(Chunk::new);
+        let e = &mut chunk.entries[(page % CHUNK_PAGES) as usize];
+        debug_assert!(!e.is_mapped(), "double map of page {page}");
+        *e = PageEntry { flags: PE_MAPPED | PE_RESIDENT | if file { PE_FILE } else { 0 }, node };
+        chunk.mapped += 1;
+        self.mapped += 1;
+        self.resident += 1;
+    }
+
+    /// Unmaps `page`, returning its last entry; frees the chunk when it
+    /// holds no other mapped pages.
+    pub fn unmap(&mut self, page: u64) -> Option<PageEntry> {
+        let c = page / CHUNK_PAGES;
+        for seg in &mut self.segs {
+            if c < seg.first_chunk {
+                return None;
+            }
+            let off = (c - seg.first_chunk) as usize;
+            if off < seg.chunks.len() {
+                let slot = &mut seg.chunks[off];
+                let chunk = slot.as_mut()?;
+                let e = chunk.entries[(page % CHUNK_PAGES) as usize];
+                if !e.is_mapped() {
+                    return None;
+                }
+                chunk.entries[(page % CHUNK_PAGES) as usize] = PageEntry::EMPTY;
+                chunk.mapped -= 1;
+                if chunk.mapped == 0 {
+                    *slot = None;
+                }
+                self.mapped -= 1;
+                if e.is_resident() {
+                    self.resident -= 1;
+                } else {
+                    self.swapped -= 1;
+                }
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Flips a mapped page to `Swapped` and clears its LRU node.
+    pub fn set_swapped(&mut self, page: u64) {
+        let e = self.entry_mut(page).expect("set_swapped on unmapped page");
+        debug_assert!(e.is_resident());
+        e.flags &= !PE_RESIDENT;
+        e.node = NO_NODE;
+        self.resident -= 1;
+        self.swapped += 1;
+    }
+
+    /// Flips a mapped page to `Resident` with the given LRU node.
+    pub fn set_resident(&mut self, page: u64, node: u32) {
+        let e = self.entry_mut(page).expect("set_resident on unmapped page");
+        debug_assert!(!e.is_resident());
+        e.flags |= PE_RESIDENT;
+        e.node = node;
+        self.resident += 1;
+        self.swapped -= 1;
+    }
+
+    /// Mapped pages in ascending page-index order.
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (u64, PageEntry)> + '_ {
+        self.segs.iter().flat_map(|seg| {
+            seg.chunks
+                .iter()
+                .enumerate()
+                .filter_map(move |(ci, c)| {
+                    c.as_ref().map(move |c| (seg.first_chunk + ci as u64, c))
+                })
+                .flat_map(|(chunk_idx, chunk)| {
+                    chunk.entries.iter().enumerate().filter_map(move |(off, &e)| {
+                        e.is_mapped().then_some((chunk_idx * CHUNK_PAGES + off as u64, e))
+                    })
+                })
+        })
+    }
+}
+
+/// A tiny sorted-vector map keyed by pid. Devices run at most a few dozen
+/// processes, so binary search over a contiguous array beats both hashing
+/// and a pointer-chasing tree — and iteration is ascending-pid, matching
+/// the determinism contract of the former `BTreeMap<Pid, _>` exactly
+/// (including the page-cache sentinel pid `u32::MAX` sorting last).
+#[derive(Debug, Clone)]
+struct PidMap<T> {
+    entries: Vec<(u32, T)>,
+}
+
+impl<T> Default for PidMap<T> {
+    fn default() -> Self {
+        PidMap { entries: Vec::new() }
+    }
+}
+
+impl<T> PidMap<T> {
+    fn get(&self, pid: Pid) -> Option<&T> {
+        self.entries.binary_search_by_key(&pid.0, |e| e.0).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn get_mut(&mut self, pid: Pid) -> Option<&mut T> {
+        self.entries.binary_search_by_key(&pid.0, |e| e.0).ok().map(|i| &mut self.entries[i].1)
+    }
+
+    fn get_or_insert_with(&mut self, pid: Pid, make: impl FnOnce() -> T) -> &mut T {
+        let i = match self.entries.binary_search_by_key(&pid.0, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (pid.0, make()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    fn remove(&mut self, pid: Pid) -> Option<T> {
+        self.entries.binary_search_by_key(&pid.0, |e| e.0).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    /// Entries in ascending-pid order.
+    fn iter(&self) -> impl Iterator<Item = (Pid, &T)> {
+        self.entries.iter().map(|(p, t)| (Pid(*p), t))
+    }
+}
+
 /// The kernel memory manager.
 ///
 /// # Examples
@@ -206,18 +529,17 @@ pub struct ProcessMem {
 pub struct MemoryManager {
     config: MmConfig,
     frames_capacity: u64,
-    states: HashMap<PageKey, PageState>,
-    kinds: HashMap<PageKey, PageKind>,
-    pid_pages: HashMap<Pid, HashSet<u64>>,
-    /// Pages excluded from LRU eviction (Marvin manages its Java heap
-    /// itself; the kernel must keep its hands off). Pinned pages can still
-    /// be swapped *explicitly* via `madvise_cold`.
-    pinned: HashSet<PageKey>,
+    /// Per-process page tables; an entry is dropped wholesale when the
+    /// process is unmapped.
+    tables: PidMap<PageTable>,
     resident_count: u64,
     /// Per-process LRUs of resident anonymous pages. Android places every
     /// app in its own memory cgroup; reclaim scans cgroups proportionally
-    /// to their size rather than by perfect global recency.
-    anon_lrus: BTreeMap<Pid, LruQueue>,
+    /// to their size rather than by perfect global recency. An entry
+    /// appears when the process maps its first anon page and disappears
+    /// when the process is unmapped — reclaim iterates in ascending-pid
+    /// order, exactly like the former `BTreeMap<Pid, LruQueue>`.
+    anon_lrus: PidMap<LruQueue>,
     /// LRU of resident file-backed pages (the global file list).
     file_lru: LruQueue,
     /// Monotonic eviction counter driving the anon/file balance and the
@@ -237,12 +559,9 @@ impl MemoryManager {
         MemoryManager {
             config,
             frames_capacity,
-            states: HashMap::new(),
-            kinds: HashMap::new(),
-            pid_pages: HashMap::new(),
-            pinned: HashSet::new(),
+            tables: PidMap::default(),
             resident_count: 0,
-            anon_lrus: BTreeMap::new(),
+            anon_lrus: PidMap::default(),
             file_lru: LruQueue::new(),
             eviction_seq: 0,
             swap: SwapDevice::new(config.swap),
@@ -299,26 +618,90 @@ impl MemoryManager {
 
     /// Per-process residency counts.
     pub fn process_mem(&self, pid: Pid) -> ProcessMem {
-        let mut mem = ProcessMem::default();
-        if let Some(pages) = self.pid_pages.get(&pid) {
-            for &index in pages {
-                match self.states[&PageKey { pid, index }] {
-                    PageState::Resident => mem.resident += 1,
-                    PageState::Swapped => mem.swapped += 1,
-                }
-            }
-        }
-        mem
+        self.table(pid)
+            .map(|t| ProcessMem { resident: t.resident, swapped: t.swapped })
+            .unwrap_or_default()
     }
 
     /// The state of one page, if mapped.
     pub fn page_state(&self, key: PageKey) -> Option<PageState> {
-        self.states.get(&key).copied()
+        let e = self.entry(key)?;
+        Some(if e.is_resident() { PageState::Resident } else { PageState::Swapped })
     }
 
     /// True if the page covering `addr` is mapped and resident.
     pub fn is_resident(&self, pid: Pid, addr: u64) -> bool {
         self.page_state(PageKey::of_addr(pid, addr)) == Some(PageState::Resident)
+    }
+
+    // ----------------------------------------------------- table/queue access
+
+    fn table(&self, pid: Pid) -> Option<&PageTable> {
+        self.tables.get(pid)
+    }
+
+    fn table_mut(&mut self, pid: Pid) -> Option<&mut PageTable> {
+        self.tables.get_mut(pid)
+    }
+
+    fn table_mut_or_create(&mut self, pid: Pid) -> &mut PageTable {
+        self.tables.get_or_insert_with(pid, PageTable::default)
+    }
+
+    fn entry(&self, key: PageKey) -> Option<PageEntry> {
+        self.table(key.pid)?.entry(key.index)
+    }
+
+    /// The anon LRU of `pid`, created on first use (mirrors cgroup
+    /// creation: the entry appears when the process first maps anon
+    /// memory).
+    fn anon_queue_mut(&mut self, pid: Pid) -> &mut LruQueue {
+        self.anon_lrus.get_or_insert_with(pid, LruQueue::new)
+    }
+
+    /// The anon LRU that must already exist (the page's handle points into
+    /// it).
+    fn anon_queue_existing(&mut self, pid: Pid) -> &mut LruQueue {
+        self.anon_lrus.get_mut(pid).expect("anon LRU must exist for a queued page")
+    }
+
+    /// Detaches a queued page from its LRU via the O(1) handle stored in
+    /// its page entry. No-op when the page is on no queue.
+    fn queue_remove_entry(&mut self, key: PageKey, e: PageEntry) {
+        if e.node == NO_NODE {
+            return;
+        }
+        let h = LruHandle::from_raw(e.node);
+        if e.is_file() {
+            self.file_lru.remove_handle(h);
+        } else {
+            self.anon_queue_existing(key.pid).remove_handle(h);
+        }
+    }
+
+    /// Inserts a resident page at the hot end of its LRU, returning the raw
+    /// node handle to store in its page entry.
+    fn queue_push(&mut self, key: PageKey, file: bool) -> u32 {
+        let h = if file {
+            self.file_lru.push_hot(key)
+        } else {
+            self.anon_queue_mut(key.pid).push_hot(key)
+        };
+        h.raw()
+    }
+
+    fn anon_resident_total(&self) -> u64 {
+        self.anon_lrus.iter().map(|(_, q)| q.len() as u64).sum()
+    }
+
+    /// Latency of re-reading `n` dropped file-backed pages (readahead).
+    fn file_read_cost(&mut self, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.stats.faults_file += n;
+        let transfer = (n * PAGE_SIZE) as f64 / self.config.file_read_bw;
+        SimDuration::from_micros(100) + SimDuration::from_secs_f64(transfer)
     }
 
     // ------------------------------------------------------------- map/unmap
@@ -350,64 +733,19 @@ impl MemoryManager {
         len: u64,
         kind: PageKind,
     ) -> Result<(), MmError> {
+        let file = kind == PageKind::File;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
-            if self.states.contains_key(&key) {
+            if self.entry(key).is_some() {
                 continue;
             }
             self.take_frame()?;
-            self.states.insert(key, PageState::Resident);
-            self.kinds.insert(key, kind);
+            let node = self.queue_push(key, file);
+            self.table_mut_or_create(pid).map(index, file, node);
             self.resident_count += 1;
-            self.queue_insert(key);
-            self.pid_pages.entry(pid).or_default().insert(index);
-            audit!(
-                self,
-                fleet_audit::AuditEvent::PageMapped {
-                    pid: pid.0,
-                    page: index,
-                    file: kind == PageKind::File,
-                }
-            );
+            audit!(self, fleet_audit::AuditEvent::PageMapped { pid: pid.0, page: index, file });
         }
         Ok(())
-    }
-
-    fn kind_of(&self, key: PageKey) -> PageKind {
-        self.kinds.get(&key).copied().unwrap_or(PageKind::Anon)
-    }
-
-    fn queue_mut(&mut self, key: PageKey) -> &mut LruQueue {
-        match self.kind_of(key) {
-            PageKind::Anon => self.anon_lrus.entry(key.pid).or_default(),
-            PageKind::File => &mut self.file_lru,
-        }
-    }
-
-    fn queue_insert(&mut self, key: PageKey) {
-        self.queue_mut(key).insert(key);
-    }
-
-    fn queue_touch(&mut self, key: PageKey) {
-        self.queue_mut(key).touch(key);
-    }
-
-    fn queue_remove(&mut self, key: PageKey) {
-        self.queue_mut(key).remove(key);
-    }
-
-    fn anon_resident_total(&self) -> u64 {
-        self.anon_lrus.values().map(|q| q.len() as u64).sum()
-    }
-
-    /// Latency of re-reading `n` dropped file-backed pages (readahead).
-    fn file_read_cost(&mut self, n: u64) -> SimDuration {
-        if n == 0 {
-            return SimDuration::ZERO;
-        }
-        self.stats.faults_file += n;
-        let transfer = (n * PAGE_SIZE) as f64 / self.config.file_read_bw;
-        SimDuration::from_micros(100) + SimDuration::from_secs_f64(transfer)
     }
 
     /// Unmaps `[base, base + len)` for `pid`, releasing frames and swap
@@ -420,56 +758,39 @@ impl MemoryManager {
     }
 
     fn unmap_page(&mut self, key: PageKey) {
-        let Some(state) = self.states.remove(&key) else {
+        let Some(e) = self.table_mut(key.pid).and_then(|t| t.unmap(key.index)) else {
             return;
         };
-        self.pinned.remove(&key);
-        let kind = self.kinds.remove(&key).unwrap_or(PageKind::Anon);
         audit!(
             self,
             fleet_audit::AuditEvent::PageUnmapped {
                 pid: key.pid.0,
                 page: key.index,
-                resident: state == PageState::Resident,
-                file: kind == PageKind::File,
+                resident: e.is_resident(),
+                file: e.is_file(),
             }
         );
-        match state {
-            PageState::Resident => {
-                self.resident_count -= 1;
-                match kind {
-                    PageKind::Anon => {
-                        if let Some(q) = self.anon_lrus.get_mut(&key.pid) {
-                            q.remove(key);
-                        }
-                    }
-                    PageKind::File => self.file_lru.remove(key),
-                }
-            }
+        if e.is_resident() {
+            self.resident_count -= 1;
+            self.queue_remove_entry(key, e);
+        } else if !e.is_file() {
             // Only anonymous pages hold swap slots; file pages were dropped.
-            PageState::Swapped => {
-                if kind == PageKind::Anon {
-                    self.swap.release_page();
-                }
-            }
-        }
-        if let Some(pages) = self.pid_pages.get_mut(&key.pid) {
-            pages.remove(&key.index);
+            self.swap.release_page();
         }
     }
 
     /// Unmaps every page of `pid` (process killed). Returns freed frames.
     pub fn unmap_process(&mut self, pid: Pid) -> u64 {
-        let mut indexes: Vec<u64> =
-            self.pid_pages.remove(&pid).map(|s| s.into_iter().collect()).unwrap_or_default();
-        // The per-pid index set is a HashSet; fix the order so the audit
-        // event stream (and thus the golden-trace hash) is deterministic.
-        indexes.sort_unstable();
+        // Page tables iterate in ascending page order, so the audit event
+        // stream (and thus the golden-trace hash) is deterministic.
+        let indexes: Vec<u64> =
+            self.table(pid).map(|t| t.iter_mapped().map(|(i, _)| i).collect()).unwrap_or_default();
         let before = self.free_frames();
         for index in indexes {
             self.unmap_page(PageKey { pid, index });
         }
-        self.anon_lrus.remove(&pid);
+        self.tables.remove(pid);
+        self.anon_lrus.remove(pid);
         self.free_frames() - before
     }
 
@@ -490,42 +811,57 @@ impl MemoryManager {
         let mut file_faults = 0u64;
         for index in pages_in_range(addr, len.max(1)) {
             let key = PageKey { pid, index };
-            match self.states.get(&key) {
-                None => continue, // unmapped (e.g. native memory not modelled here)
-                Some(PageState::Resident) => {
-                    self.queue_touch(key);
-                    outcome.touched_pages += 1;
-                    outcome.latency += self.config.dram_page_cost;
-                }
-                Some(PageState::Swapped) => {
-                    if self.take_frame().is_err() {
-                        outcome.oom = true;
-                        break;
-                    }
-                    let file = self.kind_of(key) == PageKind::File;
-                    if file {
-                        file_faults += 1;
+            let Some(e) = self.entry(key) else {
+                continue; // unmapped (e.g. native memory not modelled here)
+            };
+            if e.is_resident() {
+                if e.node != NO_NODE {
+                    let h = LruHandle::from_raw(e.node);
+                    if e.is_file() {
+                        self.file_lru.touch_handle(h);
                     } else {
-                        self.swap.release_page();
-                        anon_faults += 1;
+                        self.anon_queue_existing(pid).touch_handle(h);
                     }
-                    self.states.insert(key, PageState::Resident);
-                    self.resident_count += 1;
-                    if !self.pinned.contains(&key) {
-                        self.queue_insert(key);
-                        self.queue_touch(key);
-                    }
-                    outcome.touched_pages += 1;
-                    audit!(
-                        self,
-                        fleet_audit::AuditEvent::PageFault {
-                            pid: pid.0,
-                            page: index,
-                            file,
-                            kind: kind.audit_name(),
-                        }
-                    );
                 }
+                outcome.touched_pages += 1;
+                outcome.latency += self.config.dram_page_cost;
+            } else {
+                if self.take_frame().is_err() {
+                    outcome.oom = true;
+                    break;
+                }
+                let file = e.is_file();
+                if file {
+                    file_faults += 1;
+                } else {
+                    self.swap.release_page();
+                    anon_faults += 1;
+                }
+                let node = if e.is_pinned() {
+                    NO_NODE
+                } else {
+                    let raw = self.queue_push(key, file);
+                    // A faulting access is an access: set the referenced bit.
+                    let h = LruHandle::from_raw(raw);
+                    if file {
+                        self.file_lru.touch_handle(h);
+                    } else {
+                        self.anon_queue_existing(pid).touch_handle(h);
+                    }
+                    raw
+                };
+                self.table_mut(pid).expect("faulting page has a table").set_resident(index, node);
+                self.resident_count += 1;
+                outcome.touched_pages += 1;
+                audit!(
+                    self,
+                    fleet_audit::AuditEvent::PageFault {
+                        pid: pid.0,
+                        page: index,
+                        file,
+                        kind: kind.audit_name(),
+                    }
+                );
             }
         }
         if anon_faults + file_faults > 0 {
@@ -549,6 +885,13 @@ impl MemoryManager {
             return Ok(());
         }
         self.evict_one().map(|_| ())
+    }
+
+    /// Flips an evicted page to `Swapped` in its table, clearing its LRU
+    /// node (the queue pop already detached it).
+    fn mark_swapped_out(&mut self, victim: PageKey) {
+        self.table_mut(victim.pid).expect("evicted page has a table").set_swapped(victim.index);
+        self.resident_count -= 1;
     }
 
     /// Evicts one page. Policy mirrors Linux reclaim balance (swappiness):
@@ -581,8 +924,7 @@ impl MemoryManager {
             match kind {
                 PageKind::File => {
                     if let Some(victim) = self.file_lru.pop_coldest() {
-                        self.states.insert(victim, PageState::Swapped);
-                        self.resident_count -= 1;
+                        self.mark_swapped_out(victim);
                         self.stats.pages_dropped_file += 1;
                         audit!(
                             self,
@@ -603,8 +945,7 @@ impl MemoryManager {
                     if let Some(victim) = self.pop_anon_proportional() {
                         let reserved = self.swap.reserve_page();
                         debug_assert!(reserved, "swap fullness checked above");
-                        self.states.insert(victim, PageState::Swapped);
-                        self.resident_count -= 1;
+                        self.mark_swapped_out(victim);
                         self.stats.pages_swapped_out += 1;
                         self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
                         audit!(
@@ -637,7 +978,7 @@ impl MemoryManager {
         let target = self.eviction_seq.wrapping_mul(0x9e3779b97f4a7c15) % total;
         let mut acc = 0u64;
         let mut chosen: Option<Pid> = None;
-        for (&pid, q) in &self.anon_lrus {
+        for (pid, q) in self.anon_lrus.iter() {
             acc += q.len() as u64;
             if target < acc {
                 chosen = Some(pid);
@@ -647,11 +988,11 @@ impl MemoryManager {
         let start = chosen?;
         // Pop from the chosen process; fall back to later (then earlier)
         // processes if its queue yields nothing.
-        let pids: Vec<Pid> = self.anon_lrus.keys().copied().collect();
+        let pids: Vec<Pid> = self.anon_lrus.iter().map(|(p, _)| p).collect();
         let start_idx = pids.iter().position(|&p| p == start).unwrap_or(0);
         for offset in 0..pids.len() {
             let pid = pids[(start_idx + offset) % pids.len()];
-            if let Some(q) = self.anon_lrus.get_mut(&pid) {
+            if let Some(q) = self.anon_lrus.get_mut(pid) {
                 if let Some(victim) = q.pop_coldest() {
                     return Some(victim);
                 }
@@ -689,17 +1030,22 @@ impl MemoryManager {
 
     /// Excludes the mapped pages of `[base, base + len)` from LRU eviction
     /// (Marvin's runtime-managed Java heap). Pinned pages can still be
-    /// swapped explicitly with [`MemoryManager::madvise_cold`]. Returns the
-    /// number of pages pinned.
+    /// swapped explicitly with [`Advice::ColdRuntime`]. Returns the number
+    /// of pages pinned.
     pub fn pin_range(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
         let mut pinned = 0;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
-            if self.states.contains_key(&key) && self.pinned.insert(key) {
-                self.queue_remove(key);
-                pinned += 1;
-                audit!(self, fleet_audit::AuditEvent::PagePinned { pid: pid.0, page: index });
+            let Some(e) = self.entry(key) else { continue };
+            if e.is_pinned() {
+                continue;
             }
+            self.queue_remove_entry(key, e);
+            let em = self.table_mut(pid).and_then(|t| t.entry_mut(index)).unwrap();
+            em.flags |= PE_PINNED;
+            em.node = NO_NODE;
+            pinned += 1;
+            audit!(self, fleet_audit::AuditEvent::PagePinned { pid: pid.0, page: index });
         }
         pinned
     }
@@ -710,75 +1056,106 @@ impl MemoryManager {
         let mut unpinned = 0;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
-            if self.pinned.remove(&key) {
-                if self.states.get(&key) == Some(&PageState::Resident) {
-                    self.queue_insert(key);
-                }
-                unpinned += 1;
-                audit!(self, fleet_audit::AuditEvent::PageUnpinned { pid: pid.0, page: index });
+            let Some(e) = self.entry(key) else { continue };
+            if !e.is_pinned() {
+                continue;
             }
+            let node = if e.is_resident() { self.queue_push(key, e.is_file()) } else { NO_NODE };
+            let em = self.table_mut(pid).and_then(|t| t.entry_mut(index)).unwrap();
+            em.flags &= !PE_PINNED;
+            em.node = node;
+            unpinned += 1;
+            audit!(self, fleet_audit::AuditEvent::PageUnpinned { pid: pid.0, page: index });
         }
         unpinned
     }
 
     /// True if the page covering `addr` is pinned.
     pub fn is_pinned(&self, pid: Pid, addr: u64) -> bool {
-        self.pinned.contains(&PageKey::of_addr(pid, addr))
+        self.entry(PageKey::of_addr(pid, addr)).is_some_and(|e| e.is_pinned())
     }
 
     // --------------------------------------------------------------- madvise
 
-    /// `madvise(COLD_RUNTIME)` (§5.3.2): actively swaps the resident pages
-    /// of `[base, base + len)` out, ahead of memory pressure. Stops early if
-    /// swap fills up. Returns the number of pages swapped out.
-    pub fn madvise_cold(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+    /// Fleet's extended `madvise` system call (§5.3.2) over
+    /// `[base, base + len)`:
+    ///
+    /// * [`Advice::ColdRuntime`] actively swaps the range's resident pages
+    ///   out ahead of memory pressure, stopping early if swap fills up;
+    /// * [`Advice::HotRuntime`] rotates the range's resident pages to the
+    ///   hot end of the LRU so reclaim will not pick them; swapped pages
+    ///   are left where they are.
+    ///
+    /// Returns the number of pages affected.
+    pub fn madvise(&mut self, pid: Pid, base: u64, len: u64, advice: Advice) -> u64 {
+        match advice {
+            Advice::ColdRuntime => self.madvise_cold_impl(pid, base, len),
+            Advice::HotRuntime => self.madvise_hot_impl(pid, base, len),
+        }
+    }
+
+    fn madvise_cold_impl(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
         let mut moved = 0;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
-            if self.states.get(&key) == Some(&PageState::Resident) {
-                let file = self.kind_of(key) == PageKind::File;
-                if file {
-                    self.stats.pages_dropped_file += 1;
-                } else {
-                    if self.swap.is_full() || !self.swap.reserve_page() {
-                        break;
-                    }
-                    self.stats.pages_swapped_out += 1;
-                    self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
-                }
-                self.queue_remove(key);
-                self.states.insert(key, PageState::Swapped);
-                self.resident_count -= 1;
-                moved += 1;
-                audit!(
-                    self,
-                    fleet_audit::AuditEvent::SwapOut {
-                        pid: pid.0,
-                        page: index,
-                        file,
-                        advised: true,
-                    }
-                );
+            let Some(e) = self.entry(key) else { continue };
+            if !e.is_resident() {
+                continue;
             }
+            let file = e.is_file();
+            if file {
+                self.stats.pages_dropped_file += 1;
+            } else {
+                if self.swap.is_full() || !self.swap.reserve_page() {
+                    break;
+                }
+                self.stats.pages_swapped_out += 1;
+                self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
+            }
+            self.queue_remove_entry(key, e);
+            self.table_mut(pid).expect("resident page has a table").set_swapped(index);
+            self.resident_count -= 1;
+            moved += 1;
+            audit!(
+                self,
+                fleet_audit::AuditEvent::SwapOut { pid: pid.0, page: index, file, advised: true }
+            );
         }
         moved
     }
 
-    /// `madvise(HOT_RUNTIME)` (§5.3.2): rotates the resident pages of
-    /// `[base, base + len)` to the hot end of the LRU so reclaim will not
-    /// pick them. Swapped pages are left where they are. Returns the number
-    /// of pages promoted.
-    pub fn madvise_hot(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+    fn madvise_hot_impl(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
         let mut promoted = 0;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
-            if self.states.get(&key) == Some(&PageState::Resident) {
-                self.queue_mut(key).promote(key);
-                promoted += 1;
-                audit!(self, fleet_audit::AuditEvent::LruPromote { pid: pid.0, page: index });
+            let Some(e) = self.entry(key) else { continue };
+            if !e.is_resident() {
+                continue;
             }
+            if e.node != NO_NODE {
+                let h = LruHandle::from_raw(e.node);
+                if e.is_file() {
+                    self.file_lru.promote_handle(h);
+                } else {
+                    self.anon_queue_existing(pid).promote_handle(h);
+                }
+            }
+            promoted += 1;
+            audit!(self, fleet_audit::AuditEvent::LruPromote { pid: pid.0, page: index });
         }
         promoted
+    }
+
+    /// `madvise(COLD_RUNTIME)`: see [`Advice::ColdRuntime`].
+    #[deprecated(since = "0.2.0", note = "use `madvise(pid, base, len, Advice::ColdRuntime)`")]
+    pub fn madvise_cold(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+        self.madvise(pid, base, len, Advice::ColdRuntime)
+    }
+
+    /// `madvise(HOT_RUNTIME)`: see [`Advice::HotRuntime`].
+    #[deprecated(since = "0.2.0", note = "use `madvise(pid, base, len, Advice::HotRuntime)`")]
+    pub fn madvise_hot(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
+        self.madvise(pid, base, len, Advice::HotRuntime)
     }
 
     /// Prefetches swapped pages of several ranges back into DRAM in one
@@ -791,31 +1168,31 @@ impl MemoryManager {
         'outer: for &(base, len) in ranges {
             for index in pages_in_range(base, len) {
                 let key = PageKey { pid, index };
-                if self.states.get(&key) == Some(&PageState::Swapped) {
-                    if self.take_frame().is_err() {
-                        break 'outer;
-                    }
-                    let is_file = self.kind_of(key) == PageKind::File;
-                    if is_file {
-                        file += 1;
-                    } else {
-                        self.swap.release_page();
-                        anon += 1;
-                    }
-                    self.states.insert(key, PageState::Resident);
-                    self.resident_count += 1;
-                    if !self.pinned.contains(&key) {
-                        self.queue_insert(key);
-                    }
-                    audit!(
-                        self,
-                        fleet_audit::AuditEvent::PagePrefetched {
-                            pid: pid.0,
-                            page: index,
-                            file: is_file,
-                        }
-                    );
+                let Some(e) = self.entry(key) else { continue };
+                if e.is_resident() {
+                    continue;
                 }
+                if self.take_frame().is_err() {
+                    break 'outer;
+                }
+                let is_file = e.is_file();
+                if is_file {
+                    file += 1;
+                } else {
+                    self.swap.release_page();
+                    anon += 1;
+                }
+                let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, is_file) };
+                self.table_mut(pid).expect("prefetched page has a table").set_resident(index, node);
+                self.resident_count += 1;
+                audit!(
+                    self,
+                    fleet_audit::AuditEvent::PagePrefetched {
+                        pid: pid.0,
+                        page: index,
+                        file: is_file,
+                    }
+                );
             }
         }
         let latency = self.swap.read_pages(anon) + self.file_read_cost(file);
@@ -837,23 +1214,20 @@ impl MemoryManager {
         let mut batch = 0;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
-            if self.states.get(&key) == Some(&PageState::Swapped) {
-                self.take_frame()?;
-                let file = self.kind_of(key) == PageKind::File;
-                if !file {
-                    self.swap.release_page();
-                }
-                self.states.insert(key, PageState::Resident);
-                self.resident_count += 1;
-                if !self.pinned.contains(&key) {
-                    self.queue_insert(key);
-                }
-                batch += 1;
-                audit!(
-                    self,
-                    fleet_audit::AuditEvent::PagePrefetched { pid: pid.0, page: index, file }
-                );
+            let Some(e) = self.entry(key) else { continue };
+            if e.is_resident() {
+                continue;
             }
+            self.take_frame()?;
+            let file = e.is_file();
+            if !file {
+                self.swap.release_page();
+            }
+            let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, file) };
+            self.table_mut(pid).expect("prefetched page has a table").set_resident(index, node);
+            self.resident_count += 1;
+            batch += 1;
+            audit!(self, fleet_audit::AuditEvent::PagePrefetched { pid: pid.0, page: index, file });
         }
         let latency = self.swap.read_pages(batch);
         Ok((batch, latency))
@@ -868,27 +1242,62 @@ impl MemoryManager {
     ///
     /// Invariants checked:
     ///
-    /// * `resident_count` equals the number of pages in `Resident` state,
+    /// * `resident_count` and the per-table resident/swapped/mapped
+    ///   counters equal recounts over the page tables,
     /// * swap slot usage equals the number of swapped *anonymous* pages
     ///   (file pages are dropped, not swapped),
     /// * resident pages plus the zram store fit in DRAM,
-    /// * every resident non-pinned page sits in exactly its proper LRU
-    ///   queue, and the queues hold nothing else,
-    /// * pinned and swapped pages are on no queue,
-    /// * the per-pid page sets agree with the page-state table,
-    /// * every mapped page has a recorded kind.
+    /// * every resident non-pinned page holds an LRU handle that resolves
+    ///   back to it in exactly its proper queue, and the queues hold
+    ///   nothing else,
+    /// * pinned and swapped pages are on no queue.
     pub fn validate(&self) {
-        let resident = self.states.values().filter(|&&s| s == PageState::Resident).count() as u64;
+        let mut resident = 0u64;
+        let mut swapped_anon = 0u64;
+        let mut queued = 0u64;
+        for (pid, table) in self.tables.iter() {
+            let (mut t_mapped, mut t_res, mut t_swap) = (0u64, 0u64, 0u64);
+            for (index, e) in table.iter_mapped() {
+                let key = PageKey { pid, index };
+                t_mapped += 1;
+                if e.is_resident() {
+                    resident += 1;
+                    t_res += 1;
+                } else {
+                    t_swap += 1;
+                    if !e.is_file() {
+                        swapped_anon += 1;
+                    }
+                }
+                let should_queue = e.is_resident() && !e.is_pinned();
+                let in_queue = e.node != NO_NODE;
+                assert_eq!(
+                    in_queue,
+                    should_queue,
+                    "page {key:?} (resident {}, pinned {}) queue membership wrong",
+                    e.is_resident(),
+                    e.is_pinned()
+                );
+                if in_queue {
+                    let h = LruHandle::from_raw(e.node);
+                    let q_key = if e.is_file() {
+                        self.file_lru.key_of(h)
+                    } else {
+                        self.anon_lrus.get(pid).and_then(|q| q.key_of(h))
+                    };
+                    assert_eq!(q_key, Some(key), "page {key:?} LRU handle does not resolve to it");
+                    queued += 1;
+                }
+            }
+            assert_eq!(t_mapped, table.mapped, "mapped counter wrong for pid {pid:?}");
+            assert_eq!(t_res, table.resident, "resident counter wrong for pid {pid:?}");
+            assert_eq!(t_swap, table.swapped, "swapped counter wrong for pid {pid:?}");
+        }
         assert_eq!(
             resident, self.resident_count,
-            "resident_count {} disagrees with page states ({resident} resident)",
+            "resident_count {} disagrees with page tables ({resident} resident)",
             self.resident_count
         );
-        let swapped_anon = self
-            .states
-            .iter()
-            .filter(|&(&k, &s)| s == PageState::Swapped && self.kind_of(k) == PageKind::Anon)
-            .count() as u64;
         assert_eq!(
             swapped_anon,
             self.swap.used_pages(),
@@ -902,41 +1311,11 @@ impl MemoryManager {
             self.swap.frames_consumed(),
             self.frames_capacity
         );
-        let mut queued = 0u64;
-        for (&key, &state) in &self.states {
-            assert!(self.kinds.contains_key(&key), "page {key:?} has no kind");
-            assert!(
-                self.pid_pages.get(&key.pid).is_some_and(|p| p.contains(&key.index)),
-                "page {key:?} missing from its pid set"
-            );
-            let in_queue = match self.kind_of(key) {
-                PageKind::Anon => self.anon_lrus.get(&key.pid).is_some_and(|q| q.contains(key)),
-                PageKind::File => self.file_lru.contains(key),
-            };
-            let should_queue = state == PageState::Resident && !self.pinned.contains(&key);
-            assert_eq!(
-                in_queue,
-                should_queue,
-                "page {key:?} (state {state:?}, pinned {}) queue membership wrong",
-                self.pinned.contains(&key)
-            );
-            if in_queue {
-                queued += 1;
-            }
-        }
         let queue_total = self.anon_resident_total() + self.file_lru.len() as u64;
         assert_eq!(
             queue_total, queued,
             "LRU queues hold {queue_total} pages but only {queued} mapped pages belong there"
         );
-        for (pid, pages) in &self.pid_pages {
-            for &index in pages {
-                assert!(
-                    self.states.contains_key(&PageKey { pid: *pid, index }),
-                    "pid {pid} set lists unmapped page {index}"
-                );
-            }
-        }
     }
 }
 
@@ -1030,7 +1409,7 @@ mod tests {
     fn madvise_cold_swaps_out_range() {
         let mut mm = mm_with_frames(8, 8);
         mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
-        let moved = mm.madvise_cold(Pid(1), 0, 4 * PAGE_SIZE);
+        let moved = mm.madvise(Pid(1), 0, 4 * PAGE_SIZE, Advice::ColdRuntime);
         assert_eq!(moved, 4);
         assert_eq!(mm.used_frames(), 0);
         assert_eq!(mm.process_mem(Pid(1)).swapped, 4);
@@ -1040,7 +1419,7 @@ mod tests {
     fn madvise_cold_stops_when_swap_full() {
         let mut mm = mm_with_frames(8, 2);
         mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
-        let moved = mm.madvise_cold(Pid(1), 0, 4 * PAGE_SIZE);
+        let moved = mm.madvise(Pid(1), 0, 4 * PAGE_SIZE, Advice::ColdRuntime);
         assert_eq!(moved, 2);
         assert_eq!(mm.process_mem(Pid(1)).resident, 2);
     }
@@ -1050,11 +1429,22 @@ mod tests {
         let mut mm = mm_with_frames(4, 8);
         mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
         // Promote page 0, then map two more pages forcing evictions.
-        assert_eq!(mm.madvise_hot(Pid(1), 0, PAGE_SIZE), 1);
+        assert_eq!(mm.madvise(Pid(1), 0, PAGE_SIZE, Advice::HotRuntime), 1);
         mm.map_range(Pid(1), 4 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
         assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Resident));
         // Pages 1 and 2 (cold, unreferenced) went instead.
         assert_eq!(mm.process_mem(Pid(1)).swapped, 2);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let mut mm = mm_with_frames(8, 8);
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.madvise_hot(Pid(1), 0, PAGE_SIZE), 1);
+        assert_eq!(mm.madvise_cold(Pid(1), 0, 2 * PAGE_SIZE), 2);
+        assert_eq!(mm.process_mem(Pid(1)).swapped, 2);
+        mm.validate();
     }
 
     #[test]
@@ -1080,7 +1470,7 @@ mod tests {
     fn prefetch_restores_range() {
         let mut mm = mm_with_frames(4, 8);
         mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
-        mm.madvise_cold(Pid(1), 0, 2 * PAGE_SIZE);
+        mm.madvise(Pid(1), 0, 2 * PAGE_SIZE, Advice::ColdRuntime);
         let (pages, latency) = mm.prefetch(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
         assert_eq!(pages, 2);
         assert!(latency > SimDuration::ZERO);
@@ -1156,13 +1546,52 @@ mod tests {
         mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap();
         mm.map_range_kind(Pid(2), 0, 2 * PAGE_SIZE, PageKind::File).unwrap();
         mm.validate();
-        mm.madvise_cold(Pid(1), 0, PAGE_SIZE); // one swapped anon page
-        mm.madvise_cold(Pid(2), 0, PAGE_SIZE); // one dropped file page
+        mm.madvise(Pid(1), 0, PAGE_SIZE, Advice::ColdRuntime); // one swapped anon page
+        mm.madvise(Pid(2), 0, PAGE_SIZE, Advice::ColdRuntime); // one dropped file page
         mm.pin_range(Pid(1), PAGE_SIZE, PAGE_SIZE); // one pinned page
         mm.validate();
         mm.unmap_process(Pid(1));
         mm.unmap_process(Pid(2));
         mm.validate();
         assert_eq!(mm.used_frames(), 0);
+    }
+
+    #[test]
+    fn page_tables_cover_distant_address_areas() {
+        // Java heap near 0, native at 2^40, file at 2^41: three segments,
+        // all resolvable, no interference.
+        let mut mm = mm_with_frames(64, 64);
+        let native = 1u64 << 40;
+        let file = 1u64 << 41;
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.map_range(Pid(1), native, 4 * PAGE_SIZE).unwrap();
+        mm.map_range_kind(Pid(1), file, 4 * PAGE_SIZE, PageKind::File).unwrap();
+        mm.validate();
+        assert!(mm.is_resident(Pid(1), 0));
+        assert!(mm.is_resident(Pid(1), native));
+        assert!(mm.is_resident(Pid(1), file));
+        assert_eq!(mm.process_mem(Pid(1)).resident, 12);
+        mm.unmap_range(Pid(1), native, 4 * PAGE_SIZE);
+        mm.validate();
+        assert!(!mm.is_resident(Pid(1), native));
+        assert_eq!(mm.process_mem(Pid(1)).resident, 8);
+    }
+
+    #[test]
+    fn empty_chunks_are_freed_under_address_churn() {
+        // Map and fully unmap many widely spaced ranges; the table must not
+        // accumulate chunks for dead address space.
+        let mut mm = mm_with_frames(16, 16);
+        for i in 0..64u64 {
+            let base = i * 4 * 1024 * 1024; // a fresh 2 MiB chunk every time
+            mm.map_range(Pid(1), base, 2 * PAGE_SIZE).unwrap();
+            mm.unmap_range(Pid(1), base, 2 * PAGE_SIZE);
+        }
+        mm.validate();
+        let table = mm.table(Pid(1)).unwrap();
+        let live_chunks: usize =
+            table.segs.iter().map(|s| s.chunks.iter().filter(|c| c.is_some()).count()).sum();
+        assert_eq!(live_chunks, 0, "fully unmapped chunks must be freed");
+        assert_eq!(mm.process_mem(Pid(1)), ProcessMem::default());
     }
 }

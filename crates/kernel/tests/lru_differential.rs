@@ -1,0 +1,122 @@
+//! Differential tests: the intrusive-list [`LruQueue`] against the
+//! pre-rewrite map-based reference model.
+//!
+//! Both queues are driven through identical random op scripts — insert,
+//! touch, promote, reinsert_cold (demote), remove, pop — and must agree on
+//! every observable at every step: length, membership, peeked victim, and
+//! (the acceptance bar for the rewrite) the exact pop order.
+
+use fleet_kernel::lru::reference::MapLruQueue;
+use fleet_kernel::{LruQueue, PageKey, Pid};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum LruOp {
+    Insert(u8),
+    ReinsertCold(u8),
+    Touch(u8),
+    Promote(u8),
+    Remove(u8),
+    Pop,
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0u8..24).prop_map(LruOp::Insert),
+        (0u8..24).prop_map(LruOp::ReinsertCold),
+        (0u8..24).prop_map(LruOp::Touch),
+        (0u8..24).prop_map(LruOp::Promote),
+        (0u8..24).prop_map(LruOp::Remove),
+        Just(LruOp::Pop),
+        Just(LruOp::Peek),
+    ]
+}
+
+fn key(i: u8) -> PageKey {
+    // Spread keys over two pids so remove/pop mix processes.
+    PageKey { pid: Pid(u32::from(i) % 2), index: u64::from(i) }
+}
+
+fn run_script(ops: Vec<LruOp>) -> Result<(), TestCaseError> {
+    let mut new = LruQueue::new();
+    let mut old = MapLruQueue::new();
+    for op in ops {
+        match op {
+            LruOp::Insert(i) => {
+                new.insert(key(i));
+                old.insert(key(i));
+            }
+            LruOp::ReinsertCold(i) => {
+                new.reinsert_cold(key(i));
+                old.reinsert_cold(key(i));
+            }
+            LruOp::Touch(i) => {
+                new.touch(key(i));
+                old.touch(key(i));
+            }
+            LruOp::Promote(i) => {
+                new.promote(key(i));
+                old.promote(key(i));
+            }
+            LruOp::Remove(i) => {
+                new.remove(key(i));
+                old.remove(key(i));
+            }
+            LruOp::Pop => {
+                prop_assert_eq!(new.pop_coldest(), old.pop_coldest());
+            }
+            LruOp::Peek => {
+                prop_assert_eq!(new.peek_coldest(), old.peek_coldest());
+            }
+        }
+        prop_assert_eq!(new.len(), old.len());
+        prop_assert_eq!(new.is_empty(), old.is_empty());
+        for i in 0u8..24 {
+            prop_assert_eq!(new.contains(key(i)), old.contains(key(i)));
+        }
+    }
+    // Drain both: the full eviction order must match, not just prefixes.
+    loop {
+        let (a, b) = (new.pop_coldest(), old.pop_coldest());
+        prop_assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn list_lru_matches_map_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        run_script(ops)?;
+    }
+
+    /// All-active drains: every entry holds a referenced bit, forcing the
+    /// maximum number of second-chance rotations before each pop.
+    #[test]
+    fn drain_order_matches_when_everything_is_referenced(n in 1u8..24) {
+        let mut new = LruQueue::new();
+        let mut old = MapLruQueue::new();
+        for i in 0..n {
+            new.insert(key(i));
+            old.insert(key(i));
+        }
+        for i in 0..n {
+            new.touch(key(i));
+            old.touch(key(i));
+        }
+        loop {
+            let (a, b) = (new.pop_coldest(), old.pop_coldest());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

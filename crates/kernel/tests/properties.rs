@@ -1,7 +1,7 @@
 //! Property tests on the kernel model's invariants.
 
 use fleet_kernel::{
-    AccessKind, MemoryManager, MmConfig, PageKind, Pid, SwapConfig, SwapMedium, PAGE_SIZE,
+    AccessKind, Advice, MemoryManager, MmConfig, PageKind, Pid, SwapConfig, SwapMedium, PAGE_SIZE,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -93,10 +93,15 @@ fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError
                 let _ = mm.access(Pid(pid as u32), page as u64 * PAGE_SIZE, 64, kind);
             }
             MmOp::Cold { pid, page } => {
-                mm.madvise_cold(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+                mm.madvise(
+                    Pid(pid as u32),
+                    page as u64 * PAGE_SIZE,
+                    PAGE_SIZE,
+                    Advice::ColdRuntime,
+                );
             }
             MmOp::Hot { pid, page } => {
-                mm.madvise_hot(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+                mm.madvise(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE, Advice::HotRuntime);
             }
             MmOp::Pin { pid, page } => {
                 mm.pin_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
@@ -186,7 +191,7 @@ proptest! {
     fn faults_always_restore_residency(pages in 2u64..24) {
         let mut mm = small_mm(64, 64, SwapMedium::Flash);
         mm.map_range(Pid(1), 0, pages * PAGE_SIZE).unwrap();
-        mm.madvise_cold(Pid(1), 0, pages * PAGE_SIZE);
+        mm.madvise(Pid(1), 0, pages * PAGE_SIZE, Advice::ColdRuntime);
         prop_assert_eq!(mm.process_mem(Pid(1)).swapped, pages);
         let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch);
         prop_assert!(!out.oom);
@@ -208,7 +213,7 @@ proptest! {
         mm.map_range(Pid(1), 0, pages * PAGE_SIZE).unwrap();
         let swap_before = mm.swap().used_pages();
         for _ in 0..cycles {
-            mm.madvise_cold(Pid(1), 0, pages * PAGE_SIZE);
+            mm.madvise(Pid(1), 0, pages * PAGE_SIZE, Advice::ColdRuntime);
             mm.validate();
             prop_assert_eq!(mm.process_mem(Pid(1)).swapped, pages);
             if use_prefetch {

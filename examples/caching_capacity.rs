@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example caching_capacity [small|large]`
 
-use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet::{Device, DeviceConfig, FleetError, SchemeKind};
 use fleet_apps::synthetic_app;
 
-fn main() {
+fn main() -> Result<(), FleetError> {
     let object_size = match std::env::args().nth(1).as_deref() {
         Some("small") => 512,
         _ => 2048,
@@ -18,7 +18,7 @@ fn main() {
     println!("{:<18} {:>10} {:>12}  curve", "scheme", "max cached", "first kill");
 
     for scheme in SchemeKind::ALL {
-        let mut device = Device::new(DeviceConfig::pixel3(scheme));
+        let mut device = Device::try_new(DeviceConfig::pixel3(scheme))?;
         let app = synthetic_app(object_size, 180);
         let mut curve = Vec::new();
         let mut first_kill = None;
@@ -43,4 +43,5 @@ fn main() {
     println!("\npaper (Figure 11): Android kills from 11 cached apps (max 14); Marvin and Fleet");
     println!("reach ~18 for large objects, but Marvin collapses to ~9 for small objects while");
     println!("Fleet is insensitive to object size — its grouping packs small objects into pages.");
+    Ok(())
 }

@@ -6,30 +6,34 @@
 //!
 //! Run with: `cargo run --release --example gc_working_set [app]`
 
-use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet::{Device, DeviceConfig, FleetError, SchemeKind};
 use fleet_apps::profile_by_name;
 use fleet_sim::SimDuration;
 
-fn measure(scheme: SchemeKind, disable_bgc: bool, app: &str) -> (u64, SimDuration) {
+fn measure(
+    scheme: SchemeKind,
+    disable_bgc: bool,
+    app: &str,
+) -> Result<(u64, SimDuration), FleetError> {
     let mut config = DeviceConfig::pixel3(scheme);
     config.fleet_disable_bgc = disable_bgc;
     config.bg_gc_interval = SimDuration::from_secs(100_000); // only the explicit GC
-    let mut device = Device::new(config);
+    let mut device = Device::try_new(config)?;
     let profile = profile_by_name(app).expect("catalog app");
     let (pid, _) = device.launch_cold(&profile);
     device.run(10);
     device.launch_cold(&profile_by_name("Telegram").expect("catalog app"));
     device.run(20);
-    let stats = device.run_gc(pid);
-    (stats.objects_traced * device.config().scale as u64, stats.duration())
+    let stats = device.try_run_gc(pid)?;
+    Ok((stats.objects_traced * device.config().scale as u64, stats.duration()))
 }
 
-fn main() {
+fn main() -> Result<(), FleetError> {
     let app = std::env::args().nth(1).unwrap_or_else(|| "Twitch".to_string());
     println!("one background GC of {app} (objects at real scale):\n");
-    let (android, t_android) = measure(SchemeKind::Android, false, &app);
-    let (no_bgc, t_no_bgc) = measure(SchemeKind::Fleet, true, &app);
-    let (bgc, t_bgc) = measure(SchemeKind::Fleet, false, &app);
+    let (android, t_android) = measure(SchemeKind::Android, false, &app)?;
+    let (no_bgc, t_no_bgc) = measure(SchemeKind::Fleet, true, &app)?;
+    let (bgc, t_bgc) = measure(SchemeKind::Fleet, false, &app)?;
     println!("{:<22} {:>12} objects   {:>12}", "Android (full GC)", android, t_android.to_string());
     println!("{:<22} {:>12} objects   {:>12}", "Fleet w/o BGC", no_bgc, t_no_bgc.to_string());
     println!("{:<22} {:>12} objects   {:>12}", "Fleet w/ BGC", bgc, t_bgc.to_string());
@@ -39,4 +43,5 @@ fn main() {
     );
     println!("BGC traces only background objects; the foreground heap — most of the app — is");
     println!("never touched, so its swapped-out pages stay swapped out and the app stays cached.");
+    Ok(())
 }

@@ -7,10 +7,10 @@
 //! Run with: `cargo run --release --example hot_launch_race [app] [launches]`
 
 use fleet::experiment::scenario::AppPool;
-use fleet::SchemeKind;
+use fleet::{FleetError, SchemeKind};
 use fleet_metrics::Summary;
 
-fn main() {
+fn main() -> Result<(), FleetError> {
     let target = std::env::args().nth(1).unwrap_or_else(|| "Twitter".to_string());
     let launches: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
     let pool_apps: Vec<String> = [
@@ -36,8 +36,8 @@ fn main() {
         "scheme", "n", "p10 (ms)", "p50 (ms)", "p90 (ms)", "mean stall"
     );
     for scheme in SchemeKind::ALL {
-        let mut pool = AppPool::under_pressure(scheme, &pool_apps, 2024);
-        let reports = pool.measure_hot_launches(&target, launches);
+        let mut pool = AppPool::under_pressure(scheme, &pool_apps, 2024)?;
+        let reports = pool.measure_hot_launches(&target, launches)?;
         let times = Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64()));
         let stall = Summary::from_values(reports.iter().map(|r| r.fault_stall.as_millis_f64()));
         println!(
@@ -53,4 +53,5 @@ fn main() {
     println!("\npaper (Figure 13/15): Fleet wins the median by ~1.6x over Android and ~2.6x over");
     println!("Marvin, and the 90th-percentile tail by ~2.6x / ~4.5x — the launch pages were kept");
     println!("resident by the runtime-guided swap while everything else was free to leave.");
+    Ok(())
 }

@@ -6,12 +6,12 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use fleet::{Device, DeviceConfig, SchemeKind};
+use fleet::{Device, DeviceConfig, FleetError, SchemeKind};
 use fleet_apps::profile_by_name;
 
-fn main() {
+fn main() -> Result<(), FleetError> {
     // A Pixel 3 (4 GB DRAM, 2 GB swap) running the Fleet scheme.
-    let mut device = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
+    let mut device = Device::try_new(DeviceConfig::pixel3(SchemeKind::Fleet))?;
 
     let twitter = profile_by_name("Twitter").expect("catalog app");
     let telegram = profile_by_name("Telegram").expect("catalog app");
@@ -28,7 +28,7 @@ fn main() {
     device.launch_cold(&telegram);
     device.run(20);
 
-    let proc = device.process(twitter_pid);
+    let proc = device.try_process(twitter_pid)?;
     if let Some(grouped) = &proc.fleet.grouped {
         println!(
             "grouping: {} launch objects ({} KiB), {} ws objects, {} cold objects ({} KiB)",
@@ -44,7 +44,7 @@ fn main() {
 
     // Hot-launch Twitter: the launch working set was kept resident, so the
     // launch sits near the render floor despite the swapped-out cold bulk.
-    let hot = device.switch_to(twitter_pid);
+    let hot = device.try_switch_to(twitter_pid)?;
     println!(
         "hot launch: {} total ({} faulted pages, {} stall, {} gc pause)",
         hot.total, hot.faulted_pages, hot.fault_stall, hot.gc_stw
@@ -54,4 +54,5 @@ fn main() {
         "speedup over cold launch: {:.1}x",
         cold.total.as_millis_f64() / hot.total.as_millis_f64()
     );
+    Ok(())
 }

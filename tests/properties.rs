@@ -14,7 +14,9 @@ use fleet_gc::{
 use fleet_heap::{
     depth_map, reachable_set, AllocContext, Heap, HeapConfig, ObjectClass, ObjectId, RegionKind,
 };
-use fleet_kernel::{AccessKind, MemoryManager, MmConfig, PageKind, Pid, SwapConfig, PAGE_SIZE};
+use fleet_kernel::{
+    AccessKind, Advice, MemoryManager, MmConfig, PageKind, Pid, SwapConfig, PAGE_SIZE,
+};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -195,7 +197,7 @@ proptest! {
                     let _ = mm.access(pid, addr, 64, AccessKind::Mutator);
                 }
                 3 => {
-                    mm.madvise_cold(pid, addr, PAGE_SIZE);
+                    mm.madvise(pid, addr, PAGE_SIZE, Advice::ColdRuntime);
                 }
                 _ => {
                     mm.kswapd();
