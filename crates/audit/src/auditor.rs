@@ -18,9 +18,22 @@
 //!    empty.
 //! 4. **Launch accounting** — a hot launch's reported fault count equals
 //!    the launch-kind faults observed inside its window.
+//! 5. **Fault resilience** — injected swap faults degrade, never corrupt:
+//!    an I/O error is only reported against a page in the state the failing
+//!    operation implies (reads target swapped pages, write-backs target
+//!    resident victims), retries stay within the kernel's bounded budget,
+//!    an LMK kill leaves its victim with zero mapped pages, and an
+//!    evacuation abort names a region that actually exists. Page
+//!    conservation (family 1) keeps holding under faults, so a lost or
+//!    duplicated page still trips the `Counters` cross-check.
 
 use crate::event::AuditEvent;
 use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Upper bound accepted for [`AuditEvent::FaultRetry::attempt`]; mirrors
+/// `fleet_kernel::FAULT_RETRY_MAX` (this crate is dependency-free, so the
+/// constant is duplicated and cross-checked by the kernel's tests).
+const FAULT_RETRY_BOUND: u32 = 3;
 
 #[derive(Debug, Clone, Copy)]
 struct PageShadow {
@@ -503,6 +516,74 @@ impl Auditor {
                     ));
                 }
             }
+
+            // -------------------------------------------------- fault events
+            SwapIoError { pid, page, op, transient: _ } => {
+                let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
+                    return Err(format!(
+                        "fault resilience: swap I/O error on unmapped pid {pid} page {page}"
+                    ));
+                };
+                match *op {
+                    "read" => {
+                        if shadow.resident {
+                            return Err(format!(
+                                "fault resilience: swap read error on resident pid {pid} \
+                                 page {page} (nothing was being read from swap)"
+                            ));
+                        }
+                    }
+                    "write" | "reserve" => {
+                        if !shadow.resident {
+                            return Err(format!(
+                                "fault resilience: swap {op} error on non-resident pid {pid} \
+                                 page {page} (write-backs target resident victims)"
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "fault resilience: unknown swap I/O operation `{other}`"
+                        ));
+                    }
+                }
+            }
+            FaultRetry { pid, page, attempt } => {
+                let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
+                    return Err(format!(
+                        "fault resilience: retry against unmapped pid {pid} page {page}"
+                    ));
+                };
+                if shadow.resident {
+                    return Err(format!(
+                        "fault resilience: retry against resident pid {pid} page {page}"
+                    ));
+                }
+                if *attempt == 0 || *attempt > FAULT_RETRY_BOUND {
+                    return Err(format!(
+                        "fault resilience: retry attempt {attempt} outside the bounded \
+                         budget [1, {FAULT_RETRY_BOUND}] for pid {pid} page {page}"
+                    ));
+                }
+            }
+            LmkKill { pid, freed_pages: _ } => {
+                let remaining = dev.pid_pages.get(pid).copied().unwrap_or(0);
+                if remaining > 0 {
+                    return Err(format!(
+                        "fault resilience: LMK killed pid {pid} but {remaining} of its pages \
+                         are still mapped (kills must fully unmap)"
+                    ));
+                }
+            }
+            EvacAbort { pid, region, objects_left: _ } => {
+                let heap = dev.heaps.entry(*pid).or_default();
+                if !heap.regions.contains_key(region) {
+                    return Err(format!(
+                        "fault resilience: pid {pid}: evacuation abort names unmapped \
+                         region {region}"
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -686,6 +767,88 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("launch accounting"), "{err}");
+    }
+
+    #[test]
+    fn fault_events_in_the_right_states_pass() {
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                FaultRetry { pid: 1, page: 0, attempt: 1 },
+                FaultRetry { pid: 1, page: 0, attempt: 2 },
+                SwapIoError { pid: 1, page: 0, op: "read", transient: true },
+                PageUnmapped { pid: 1, page: 0, resident: false, file: false },
+                LmkKill { pid: 1, freed_pages: 0 },
+                ProcessKill { pid: 1 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn read_error_on_resident_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapIoError { pid: 1, page: 0, op: "read", transient: false },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("resident"), "{err}");
+    }
+
+    #[test]
+    fn write_error_on_swapped_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapIoError { pid: 1, page: 0, op: "write", transient: true },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("non-resident"), "{err}");
+    }
+
+    #[test]
+    fn retry_past_the_budget_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                FaultRetry { pid: 1, page: 0, attempt: 4 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("bounded"), "{err}");
+    }
+
+    #[test]
+    fn lmk_kill_with_mapped_pages_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[PageMapped { pid: 1, page: 0, file: false }, LmkKill { pid: 1, freed_pages: 1 }],
+        )
+        .unwrap_err();
+        assert!(err.contains("fully unmap"), "{err}");
+    }
+
+    #[test]
+    fn evac_abort_of_unknown_region_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(&mut a, &[EvacAbort { pid: 1, region: 9, objects_left: 1 }]).unwrap_err();
+        assert!(err.contains("unmapped"), "{err}");
     }
 
     #[test]

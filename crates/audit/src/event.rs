@@ -264,6 +264,50 @@ pub enum AuditEvent {
         /// `SwapDevice::used_pages()` as the kernel reports it.
         swap_used: u64,
     },
+
+    // ----------------------------------------------------- fault injection
+    /// An injected swap I/O error surfaced past the retry budget (reads) or
+    /// on first roll (write-backs / reservations). Only emitted on devices
+    /// with an armed fault plan.
+    SwapIoError {
+        /// Process owning the page.
+        pid: u32,
+        /// Page index.
+        page: u64,
+        /// Failing operation: `read`, `write` or `reserve`.
+        op: &'static str,
+        /// True when a retry could have helped (transient), false for a
+        /// permanent media error.
+        transient: bool,
+    },
+    /// One bounded retry of a transient swap read error.
+    FaultRetry {
+        /// Process owning the page.
+        pid: u32,
+        /// Page index.
+        page: u64,
+        /// Retry number, 1-based, never above the retry budget.
+        attempt: u32,
+    },
+    /// The low-memory-killer driver killed a process during reclaim
+    /// escalation; every page it owned must already be unmapped.
+    LmkKill {
+        /// The victim.
+        pid: u32,
+        /// DRAM frames the kill freed.
+        freed_pages: u64,
+    },
+    /// The copying collector aborted evacuation mid-collection (allocation
+    /// failure under pressure) and fell back to in-place marking for the
+    /// remaining live objects.
+    EvacAbort {
+        /// Owning process.
+        pid: u32,
+        /// The region whose evacuation was abandoned.
+        region: u32,
+        /// Live objects left in place instead of being copied.
+        objects_left: u64,
+    },
 }
 
 impl std::fmt::Display for AuditEvent {
@@ -338,6 +382,18 @@ impl std::fmt::Display for AuditEvent {
             Counters { used_frames, swap_used } => {
                 write!(f, "counters used_frames={used_frames} swap_used={swap_used}")
             }
+            SwapIoError { pid, page, op, transient } => {
+                write!(f, "swap_io_error pid={pid} page={page} op={op} transient={transient}")
+            }
+            FaultRetry { pid, page, attempt } => {
+                write!(f, "fault_retry pid={pid} page={page} attempt={attempt}")
+            }
+            LmkKill { pid, freed_pages } => {
+                write!(f, "lmk_kill pid={pid} freed_pages={freed_pages}")
+            }
+            EvacAbort { pid, region, objects_left } => {
+                write!(f, "evac_abort pid={pid} region={region} objects_left={objects_left}")
+            }
         }
     }
 }
@@ -364,6 +420,19 @@ mod tests {
                 "gc_start pid=9 kind=full complete=true",
             ),
             (AuditEvent::LaunchEnd { pid: 4, faulted_pages: 12 }, "launch_end pid=4 faulted=12"),
+            (
+                AuditEvent::SwapIoError { pid: 2, page: 40, op: "read", transient: true },
+                "swap_io_error pid=2 page=40 op=read transient=true",
+            ),
+            (
+                AuditEvent::FaultRetry { pid: 2, page: 40, attempt: 3 },
+                "fault_retry pid=2 page=40 attempt=3",
+            ),
+            (AuditEvent::LmkKill { pid: 6, freed_pages: 512 }, "lmk_kill pid=6 freed_pages=512"),
+            (
+                AuditEvent::EvacAbort { pid: 5, region: 7, objects_left: 19 },
+                "evac_abort pid=5 region=7 objects_left=19",
+            ),
         ];
         for (event, expect) in cases {
             assert_eq!(event.to_string(), expect);

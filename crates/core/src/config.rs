@@ -2,7 +2,7 @@
 
 use crate::error::FleetError;
 use crate::params::{FleetParams, SchemeKind};
-use fleet_kernel::{MmConfig, SwapConfig, SwapMedium, PAGE_SIZE};
+use fleet_kernel::{FaultConfig, MmConfig, SwapConfig, SwapMedium, PAGE_SIZE};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,10 @@ pub struct DeviceConfig {
     pub swap_medium: SwapMedium,
     /// Kernel reclaim balance (`vm.swappiness`-style, 0–200; default 50).
     pub swappiness: u32,
+    /// Fault-injection rates for the swap device (DESIGN.md §9). The
+    /// default is quiet — nothing is injected and the kernel behaves
+    /// bit-identically to a build without the fault module.
+    pub fault: FaultConfig,
     /// Master seed for the run.
     pub seed: u64,
 }
@@ -110,6 +114,7 @@ impl DeviceConfig {
             prefetch_on_launch: false,
             swap_medium: SwapMedium::Flash,
             swappiness: 50,
+            fault: FaultConfig::default(),
             seed: 0xF1EE7,
         }
     }
@@ -182,6 +187,7 @@ impl DeviceConfig {
         if self.marvin_threshold == 0 {
             return Err("marvin threshold must be positive".into());
         }
+        self.fault.validate()?;
         Ok(())
     }
 }
@@ -265,6 +271,12 @@ impl DeviceConfigBuilder {
         self
     }
 
+    /// Fault-injection rates for the swap device (default: quiet).
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
     /// Validates the assembled configuration.
     ///
     /// # Errors
@@ -344,5 +356,18 @@ mod tests {
         let mut cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
         cfg.heap_growth_background = 0.9;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_rates_are_validated_and_default_quiet() {
+        assert!(DeviceConfig::pixel3(SchemeKind::Fleet).fault.is_quiet());
+        let mut cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
+        cfg.fault.read_transient_rate = 2.0;
+        assert!(cfg.validate().is_err());
+        let cfg = DeviceConfig::builder(SchemeKind::Android)
+            .fault(FaultConfig::flaky_flash(0.1))
+            .build()
+            .unwrap();
+        assert!(!cfg.fault.is_quiet());
     }
 }

@@ -29,7 +29,7 @@ use fleet_gc::{
 };
 use fleet_heap::{AllocContext, Heap, HeapConfig, HeapEvent, ObjectId, RegionKind, PAGE_SIZE};
 use fleet_kernel::{
-    choose_victim, AccessKind, AccessOutcome, Advice, LmkCandidate, MemoryManager, PageKind, Pid,
+    AccessKind, AccessOutcome, Advice, FaultPlan, LmkCandidate, Lmkd, MemoryManager, PageKind, Pid,
 };
 use fleet_metrics::ThreadClass;
 use fleet_sim::{Clock, SimDuration, SimRng, SimTime};
@@ -120,7 +120,16 @@ pub struct Device {
     next_pid: u32,
     rng: SimRng,
     kills: Vec<KillRecord>,
+    /// The stateful low-memory-killer driver: executes kills against the
+    /// kernel and escalates under an armed fault plan.
+    lmkd: Lmkd,
     oom_touch_skips: u64,
+    /// Processes killed because an anonymous page was lost to a permanent
+    /// swap I/O error (the SIGBUS analog); fault injection only.
+    sigbus_kills: u64,
+    /// Mappings abandoned because memory was exhausted with nothing left to
+    /// kill (the un-mapped remainder simply never becomes resident).
+    map_failures: u64,
     trace: Option<DeviceTrace>,
     gc_cost: GcCostModel,
     /// PSI-style IO-pressure tracker: EWMA of the fraction of wall time
@@ -153,11 +162,15 @@ struct KernelTouch<'a> {
     /// Fast path: consecutive touches within one already-resident page skip
     /// the kernel call (real hardware pays a TLB hit, not a page walk).
     last_resident_page: Option<u64>,
+    /// Set when an anonymous page of this process was lost to a permanent
+    /// swap error mid-trace: the process must be SIGBUS-killed by the
+    /// device once the collector unwinds.
+    fatal: bool,
 }
 
 impl<'a> KernelTouch<'a> {
     fn new(mm: &'a mut MemoryManager, pid: Pid, oom: &'a mut u64) -> Self {
-        KernelTouch { mm, pid, oom, last_resident_page: None }
+        KernelTouch { mm, pid, oom, last_resident_page: None, fatal: false }
     }
 }
 
@@ -170,6 +183,9 @@ impl MemoryTouch for KernelTouch<'_> {
             return SimDuration::ZERO;
         }
         let outcome = self.mm.access(self.pid, addr, size, AccessKind::Gc);
+        if outcome.killed {
+            self.fatal = true;
+        }
         if outcome.oom {
             // Frames and swap both exhausted mid-trace: the untouched pages
             // stay where they are; the device-level LMK will make room soon.
@@ -179,6 +195,13 @@ impl MemoryTouch for KernelTouch<'_> {
             self.last_resident_page = Some(last_page);
         }
         outcome.latency
+    }
+
+    fn copy_budget(&mut self, _bytes: u64) -> bool {
+        // Under an armed fault plan, a collector running at the free-memory
+        // floor aborts evacuation instead of deepening the shortage; quiet
+        // plans always grant so golden traces are untouched (DESIGN.md §9).
+        !self.mm.fault_active() || self.mm.free_frames() > self.mm.config().low_watermark_frames
     }
 }
 
@@ -218,7 +241,10 @@ impl Device {
             next_pid: 1,
             rng: SimRng::seed_from(config.seed),
             kills: Vec::new(),
+            lmkd: Lmkd::new(),
             oom_touch_skips: 0,
+            sigbus_kills: 0,
+            map_failures: 0,
             trace: None,
             gc_cost,
             psi_ewma: 0.0,
@@ -230,6 +256,10 @@ impl Device {
             #[cfg(feature = "audit")]
             audit: None,
         };
+        if !device.config.fault.is_quiet() {
+            let plan = FaultPlan::new(device.config.seed, device.config.fault);
+            device.mm.install_fault_plan(plan);
+        }
         #[cfg(feature = "audit")]
         device.attach_audit();
         Ok(device)
@@ -403,6 +433,23 @@ impl Device {
         self.oom_touch_skips
     }
 
+    /// Processes killed by an unrecoverable swap data loss (SIGBUS analog).
+    /// Always zero under a quiet fault plan.
+    pub fn sigbus_kills(&self) -> u64 {
+        self.sigbus_kills
+    }
+
+    /// Mappings abandoned because memory was exhausted with no killable
+    /// process left; the affected range simply never becomes resident.
+    pub fn map_failures(&self) -> u64 {
+        self.map_failures
+    }
+
+    /// The low-memory-killer driver (kill counters, escalation stats).
+    pub fn lmkd(&self) -> &Lmkd {
+        &self.lmkd
+    }
+
     /// Enables 1-in-`every` object-access tracing for `pid`.
     pub fn enable_trace(&mut self, pid: Pid, every: u64) {
         self.trace =
@@ -507,8 +554,9 @@ impl Device {
     ///
     /// # Panics
     ///
-    /// Panics if `pid` is not a live cached process; see
-    /// [`Device::try_switch_to`] for the fallible form.
+    /// Panics if `pid` is not a live cached process, or if an armed fault
+    /// plan SIGBUS-kills the app mid-launch; under fault injection use
+    /// [`Device::try_switch_to`] and treat the error as a failed launch.
     pub fn switch_to(&mut self, pid: Pid) -> LaunchReport {
         self.try_switch_to(pid).expect("switch_to a dead process")
     }
@@ -518,7 +566,8 @@ impl Device {
     /// # Errors
     ///
     /// Returns [`FleetError::ProcessNotAlive`] if `pid` has been killed or
-    /// never existed.
+    /// never existed — or if the launch itself touched an anonymous page
+    /// lost to a permanent swap error, SIGBUS-killing the app mid-launch.
     pub fn try_switch_to(&mut self, pid: Pid) -> Result<LaunchReport, FleetError> {
         if !self.procs.contains_key(&pid) {
             return Err(FleetError::ProcessNotAlive(pid));
@@ -574,6 +623,11 @@ impl Device {
                 AccessKind::Launch,
             );
             outcome.merge(o);
+            if !self.procs.contains_key(&pid) {
+                // The launch touched an anon page lost to a permanent swap
+                // error; the app was SIGBUS-killed and the launch failed.
+                return Err(FleetError::ProcessNotAlive(pid));
+            }
         }
         // Native working set: a slice of the anonymous mapping (slow when
         // swapped) and a larger slice of the file mapping (fast readahead).
@@ -591,6 +645,9 @@ impl Device {
         outcome.merge(o);
         let o = self.access_with_retry(pid, file_base, file_touch, AccessKind::Launch);
         outcome.merge(o);
+        if !self.procs.contains_key(&pid) {
+            return Err(FleetError::ProcessNotAlive(pid));
+        }
 
         self.record_access_objects(pid, &access.objects, TraceSource::Launch);
 
@@ -610,6 +667,9 @@ impl Device {
             let stats = self.run_gc(pid);
             gc_stw = stats.stw;
             gc_stall = stats.fault_stall;
+        }
+        if !self.procs.contains_key(&pid) {
+            return Err(FleetError::ProcessNotAlive(pid));
         }
         device_audit!(
             self,
@@ -757,10 +817,15 @@ impl Device {
                 self.sync_heap(pid);
                 self.touch_objects(pid, &out.accessed, AccessKind::Mutator);
                 self.record_access_objects(pid, &out.accessed, TraceSource::Mutator);
-                let proc = self.procs.get_mut(&pid).expect("alive");
+                // Unrecoverable swap errors can SIGBUS-kill the process
+                // anywhere a page is touched; every step below re-checks.
+                let Some(proc) = self.procs.get_mut(&pid) else { return };
                 proc.cpu.charge(ThreadClass::Mutator, SimDuration::from_secs_f64(dt * 0.35));
                 if proc.heap.should_trigger_gc() {
                     self.run_gc(pid);
+                }
+                if !self.procs.contains_key(&pid) {
+                    return;
                 }
                 self.foreground_churn(pid, dt);
             }
@@ -772,7 +837,7 @@ impl Device {
                 self.sync_heap(pid);
                 self.touch_objects(pid, &out.accessed, AccessKind::Mutator);
                 self.record_access_objects(pid, &out.accessed, TraceSource::Mutator);
-                let proc = self.procs.get_mut(&pid).expect("alive");
+                let Some(proc) = self.procs.get_mut(&pid) else { return };
                 proc.cpu.charge(ThreadClass::Mutator, SimDuration::from_secs_f64(dt * 0.01));
                 self.service_background_timers(pid);
             }
@@ -819,37 +884,41 @@ impl Device {
 
     fn service_background_timers(&mut self, pid: Pid) {
         let now = self.clock.now();
+        // Any GC here may SIGBUS-kill the process under an armed fault plan,
+        // so each timer re-checks liveness instead of expecting it.
         // Heap-pressure GC.
-        if self.procs.get(&pid).expect("alive").heap.should_trigger_gc() {
+        if self.procs.get(&pid).is_some_and(|p| p.heap.should_trigger_gc()) {
             self.run_gc(pid);
         }
         // Fleet: grouping GC at +Ts, then periodic HOT_RUNTIME refreshes.
         if self.config.scheme == SchemeKind::Fleet {
-            let due = self.procs.get(&pid).expect("alive").fleet.grouping_due;
+            let due = self.procs.get(&pid).and_then(|p| p.fleet.grouping_due);
             if due.is_some_and(|t| now >= t) {
                 self.run_grouping(pid);
             }
-            let refresh = self.procs.get(&pid).expect("alive").fleet.hot_refresh_due;
+            let refresh = self.procs.get(&pid).and_then(|p| p.fleet.hot_refresh_due);
             if refresh.is_some_and(|t| now >= t) {
                 self.refresh_hot_pages(pid);
             }
         }
         // Marvin: periodic object-swap pass.
         if self.config.scheme == SchemeKind::Marvin {
-            let due = self.procs.get(&pid).expect("alive").marvin_swap_due;
+            let due = self.procs.get(&pid).and_then(|p| p.marvin_swap_due);
             if due.is_some_and(|t| now >= t) {
                 self.marvin_swap_pass(pid);
-                self.procs.get_mut(&pid).expect("alive").marvin_swap_due =
-                    Some(now + SimDuration::from_secs(30));
+                if let Some(proc) = self.procs.get_mut(&pid) {
+                    proc.marvin_swap_due = Some(now + SimDuration::from_secs(30));
+                }
             }
         }
         // Background maintenance GC (Android trim cycle; BGC under Fleet,
         // bookmarking GC under Marvin).
-        let due = self.procs.get(&pid).expect("alive").next_bg_gc;
+        let due = self.procs.get(&pid).and_then(|p| p.next_bg_gc);
         if due.is_some_and(|t| now >= t) {
             self.run_gc(pid);
-            self.procs.get_mut(&pid).expect("alive").next_bg_gc =
-                Some(now + self.config.bg_gc_interval);
+            if let Some(proc) = self.procs.get_mut(&pid) {
+                proc.next_bg_gc = Some(now + self.config.bg_gc_interval);
+            }
         }
     }
 
@@ -875,10 +944,10 @@ impl Device {
     pub fn try_run_gc(&mut self, pid: Pid) -> Result<GcStats, FleetError> {
         let scheme = self.config.scheme;
         let state = self.try_process(pid)?.state;
-        let stats = {
+        let (stats, fatal) = {
             let proc = self.procs.get_mut(&pid).expect("alive");
             let mut touch = KernelTouch::new(&mut self.mm, pid, &mut self.oom_touch_skips);
-            match scheme {
+            let stats = match scheme {
                 SchemeKind::Marvin => {
                     let mut gc = proc.marvin.take().expect("marvin scheme has a marvin gc");
                     let stats = gc.collect(&mut proc.heap, &mut touch);
@@ -905,8 +974,16 @@ impl Device {
                     }
                 }
                 _ => FullCopyingGc::new(self.gc_cost).collect(&mut proc.heap, &mut touch),
-            }
+            };
+            (stats, touch.fatal)
         };
+        if fatal {
+            // The trace touched an anon page lost to a permanent swap error:
+            // the process is not salvageable. Skip post-GC bookkeeping — the
+            // kill unmaps everything the collector left behind.
+            self.sigbus_kill(pid);
+            return Ok(stats);
+        }
         self.finish_gc(pid, stats);
         Ok(stats)
     }
@@ -914,7 +991,7 @@ impl Device {
     /// Fleet's RGS grouping GC (§5.3.1) plus the §5.3.2 madvise calls.
     pub fn run_grouping(&mut self, pid: Pid) -> GcStats {
         let depth = self.config.fleet.depth;
-        let (stats, outcome) = {
+        let (stats, outcome, fatal) = {
             let proc = self.procs.get_mut(&pid).expect("alive");
             let ws = proc.behavior.working_set().clone();
             // After the first grouping, re-group incrementally: regions that
@@ -925,10 +1002,15 @@ impl Device {
                 proc.fleet.groupings_done > 0 && !proc.fleet.groupings_done.is_multiple_of(8);
             proc.fleet.groupings_done += 1;
             let mut touch = KernelTouch::new(&mut self.mm, pid, &mut self.oom_touch_skips);
-            GroupingGc::new(self.gc_cost, depth, ws)
+            let (stats, outcome) = GroupingGc::new(self.gc_cost, depth, ws)
                 .with_incremental(incremental)
-                .collect_grouping(&mut proc.heap, &mut touch)
+                .collect_grouping(&mut proc.heap, &mut touch);
+            (stats, outcome, touch.fatal)
         };
+        if fatal {
+            self.sigbus_kill(pid);
+            return stats;
+        }
         self.finish_gc(pid, stats);
         // Actively swap the cold ranges out; pin launch pages hot.
         let (cold, launch) = {
@@ -1039,7 +1121,12 @@ impl Device {
                 Ok(()) => return,
                 Err(_) => {
                     if !self.lmk_kill(Some(pid)) {
-                        panic!("device out of memory with no killable process");
+                        // Nothing left to kill: give up on the mapping. The
+                        // kernel treats accesses to unmapped pages as no-ops,
+                        // so the process limps along partially mapped rather
+                        // than taking the whole device down.
+                        self.map_failures += 1;
+                        return;
                     }
                 }
             }
@@ -1052,7 +1139,8 @@ impl Device {
                 Ok(()) => return,
                 Err(_) => {
                     if !self.lmk_kill(Some(pid)) {
-                        panic!("device out of memory with no killable process");
+                        self.map_failures += 1;
+                        return;
                     }
                 }
             }
@@ -1072,7 +1160,14 @@ impl Device {
             // range, but already-faulted pages are resident and free.
             let outcome = self.mm.access(pid, base, len, kind);
             let oom = outcome.oom;
+            let killed = outcome.killed;
             merged.merge(outcome);
+            if killed {
+                // An anonymous page was lost to a permanent swap error: the
+                // process cannot recover the data and takes a SIGBUS.
+                self.sigbus_kill(pid);
+                return merged;
+            }
             if !oom {
                 merged.oom = false;
                 return merged;
@@ -1101,6 +1196,9 @@ impl Device {
         for run in page_runs(&pages) {
             stall +=
                 self.access_with_retry(pid, run.0 * PAGE_SIZE, run.1 * PAGE_SIZE, kind).latency;
+            if !self.procs.contains_key(&pid) {
+                return; // SIGBUS-killed mid-walk by a permanent swap error
+            }
         }
         let proc = self.procs.get_mut(&pid).expect("alive");
         proc.cpu.charge(ThreadClass::Kernel, stall);
@@ -1114,12 +1212,11 @@ impl Device {
 
     // ---------------------------------------------------------------- LMK
 
-    /// Kills the coldest killable background app. Returns false when none
-    /// exists. `protect` additionally shields one pid (e.g. the app whose
-    /// launch is in progress).
-    fn lmk_kill(&mut self, protect: Option<Pid>) -> bool {
-        let candidates: Vec<LmkCandidate> = self
-            .procs
+    /// Snapshots the current process set as LMK candidates. `protect`
+    /// additionally shields one pid (e.g. the app whose launch is in
+    /// progress) by presenting it as foreground.
+    fn lmk_candidates(&self, protect: Option<Pid>) -> Vec<LmkCandidate> {
+        self.procs
             .values()
             .map(|p| LmkCandidate {
                 pid: p.pid,
@@ -1127,14 +1224,45 @@ impl Device {
                 last_foreground: p.last_foreground,
                 pinned: false,
             })
-            .collect();
-        match choose_victim(&candidates) {
-            Some(victim) => {
-                self.kill(victim);
+            .collect()
+    }
+
+    /// Kills the coldest killable background app via the lmkd driver.
+    /// Returns false when none exists.
+    fn lmk_kill(&mut self, protect: Option<Pid>) -> bool {
+        let candidates = self.lmk_candidates(protect);
+        // Flush buffered component events first so the victim's heap events
+        // precede its unmap/kill events in the audit stream.
+        #[cfg(feature = "audit")]
+        self.audit_flush();
+        match self.lmkd.kill_one(&mut self.mm, &candidates) {
+            Some(_) => {
+                self.reap_lmk_kills();
                 true
             }
             None => false,
         }
+    }
+
+    /// Completes device-side teardown of processes the lmkd driver killed:
+    /// removes their process records, emits the device-level kill events,
+    /// and records the kills.
+    fn reap_lmk_kills(&mut self) {
+        for victim in self.lmkd.drain_kills() {
+            let Some(proc) = self.procs.remove(&victim) else { continue };
+            device_audit!(self, fleet_audit::AuditEvent::ProcessKill { pid: victim.0 });
+            if self.foreground == Some(victim) {
+                self.foreground = None;
+            }
+            self.kills.push(KillRecord { at: self.clock.now(), pid: victim, name: proc.name });
+        }
+    }
+
+    /// Terminates a process hit by an unrecoverable data loss (a permanent
+    /// swap read error on an anonymous page — the SIGBUS analog).
+    fn sigbus_kill(&mut self, pid: Pid) {
+        self.sigbus_kills += 1;
+        self.kill(pid);
     }
 
     fn pressure_kill(&mut self) {
@@ -1142,7 +1270,19 @@ impl Device {
         // the low watermark, a cached app dies.
         let threshold = self.mm.config().low_watermark_frames / 2;
         if self.mm.free_frames() < threshold {
-            self.lmk_kill(None);
+            if self.mm.fault_active() {
+                // Degraded mode: keep killing until the full low watermark is
+                // restored, so the next fault burst has headroom to retry
+                // into. The quiet path keeps the historical one-kill policy.
+                let target = self.mm.config().low_watermark_frames;
+                let candidates = self.lmk_candidates(None);
+                #[cfg(feature = "audit")]
+                self.audit_flush();
+                let _ = self.lmkd.escalate(&mut self.mm, &candidates, target);
+                self.reap_lmk_kills();
+            } else {
+                self.lmk_kill(None);
+            }
             return;
         }
         // PSI path: sustained swap thrash (as produced by background GCs
@@ -1264,11 +1404,17 @@ impl Device {
                         .latency;
                 }
             }
+            if !self.procs.contains_key(&pid) {
+                break; // SIGBUS-killed by a permanent swap error
+            }
             // A frame that triggers GC eats the pause on its critical path.
             let mut gc_pause = SimDuration::ZERO;
             if self.procs.get(&pid).expect("alive").heap.should_trigger_gc() {
                 let stats = self.run_gc(pid);
                 gc_pause = stats.stw;
+            }
+            if !self.procs.contains_key(&pid) {
+                break;
             }
             // Marvin periodically reconciles the stub table with mutators
             // stopped; with bookmarked objects outstanding this lands in the

@@ -177,6 +177,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::sensitivity::Sensitivity,
     &crate::experiment::scenario::Scenario,
     &crate::experiment::ablation::Ablation,
+    &crate::experiment::resilience::Resilience,
 ];
 
 /// Derives an experiment's RNG seed from the master seed and its id.
@@ -322,6 +323,7 @@ mod tests {
         "lifetimes",
         "object_sizes",
         "reaccess",
+        "resilience",
         "runtime",
         "scenario",
         "sensitivity",

@@ -18,6 +18,7 @@ pub mod launch_basics;
 pub mod lifetimes;
 pub mod object_sizes;
 pub mod reaccess;
+pub mod resilience;
 pub mod runtime;
 pub mod scenario;
 pub mod sensitivity;

@@ -1,0 +1,216 @@
+//! Robustness: hot-launch behaviour under injected swap faults.
+//!
+//! Not a figure from the paper — a degradation study of the repro itself
+//! (DESIGN.md §9). The §7.2 pressure protocol runs against a swap device
+//! with the `flaky_flash` fault mix at increasing intensity; the sweep
+//! reports how the hot-launch tail stretches and what the graceful-
+//! degradation machinery did about it: bounded retries, discard-and-
+//! refault, LMK escalation, and SIGBUS kills for unrecoverable anon-page
+//! losses. Intensity 0 is the quiet plan and must match the fault-free
+//! baseline bit for bit.
+
+use crate::config::DeviceConfig;
+use crate::error::FleetError;
+use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::experiment::scenario::AppPool;
+use crate::params::SchemeKind;
+use fleet_kernel::FaultConfig;
+use fleet_metrics::{Summary, Table};
+use serde::Serialize;
+
+/// One fault-intensity cell of the resilience sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceRow {
+    /// `flaky_flash` intensity (transient read-error probability).
+    pub intensity: f64,
+    /// Hot launches that completed.
+    pub launches: usize,
+    /// Launches that failed because the app was SIGBUS-killed mid-launch.
+    pub failed_launches: u64,
+    /// Median hot-launch time, ms.
+    pub median_hot_ms: f64,
+    /// 99th-percentile hot-launch time, ms.
+    pub p99_hot_ms: f64,
+    /// Transient-fault retries the kernel performed.
+    pub fault_retries: u64,
+    /// Swap reads that failed after all retries.
+    pub swap_read_errors: u64,
+    /// Swap writes that failed (page kept resident).
+    pub swap_write_errors: u64,
+    /// Anonymous pages lost to permanent errors.
+    pub pages_lost: u64,
+    /// Processes SIGBUS-killed over the run.
+    pub sigbus_kills: u64,
+    /// Kills executed by the lmkd driver (incl. escalation rounds).
+    pub lmk_kills: u64,
+}
+
+/// Runs the §7.2 pressure protocol under each fault intensity and collects
+/// launch-tail and degradation counters.
+pub fn resilience(
+    seed: u64,
+    intensities: &[f64],
+    launches: usize,
+) -> Result<Vec<ResilienceRow>, FleetError> {
+    let mut rows = Vec::new();
+    let apps: Vec<String> = ["Twitter", "Facebook", "Youtube", "Chrome", "Spotify"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for &intensity in intensities {
+        let config = DeviceConfig::builder(SchemeKind::Fleet)
+            .seed(seed)
+            .fault(FaultConfig::flaky_flash(intensity))
+            .build()
+            .expect("pixel3 variant with faults is valid");
+        let mut pool = AppPool::with_config(config, &apps)?;
+        let mut reports = Vec::new();
+        let mut failed_launches = 0u64;
+        let mut attempts = 0usize;
+        // Like `measure_hot_launches`, but a SIGBUS mid-launch is data (a
+        // failed launch), not an error that aborts the sweep.
+        while reports.len() < launches && attempts < 4 * launches {
+            attempts += 1;
+            let other = pool.next_other_app("Twitter");
+            match pool.launch(&other) {
+                Ok(_) => {}
+                Err(FleetError::ProcessNotAlive(_)) => {
+                    failed_launches += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            pool.device_mut().run(30);
+            match pool.launch("Twitter") {
+                Ok(report) if report.kind == crate::process::LaunchKind::Hot => {
+                    reports.push(report);
+                }
+                Ok(_) => pool.device_mut().run(5), // cold re-warm, not counted
+                Err(FleetError::ProcessNotAlive(_)) => failed_launches += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let device = pool.device();
+        let summary = Summary::from_values(reports.iter().map(|r| r.total.as_millis_f64()));
+        let stats = device.mm().stats();
+        rows.push(ResilienceRow {
+            intensity,
+            launches: reports.len(),
+            failed_launches,
+            median_hot_ms: summary.median(),
+            p99_hot_ms: summary.percentile(99.0),
+            fault_retries: stats.fault_retries,
+            swap_read_errors: stats.swap_read_errors,
+            swap_write_errors: stats.swap_write_errors,
+            pages_lost: stats.pages_lost,
+            sigbus_kills: device.sigbus_kills(),
+            lmk_kills: device.lmkd().total_kills(),
+        });
+    }
+    Ok(rows)
+}
+
+/// The sweep's standard intensity ladder.
+pub fn standard_intensities() -> Vec<f64> {
+    vec![0.0, 0.02, 0.05, 0.10]
+}
+
+/// Experiment `resilience`.
+pub struct Resilience;
+
+impl Experiment for Resilience {
+    fn id(&self) -> &'static str {
+        "resilience"
+    }
+    fn title(&self) -> &'static str {
+        "DESIGN.md §9 — hot-launch degradation under injected swap faults"
+    }
+    fn module(&self) -> &'static str {
+        "resilience"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
+        let launches = if ctx.quick { 4 } else { 10 };
+        let rows = resilience(ctx.seed, &standard_intensities(), launches)?;
+        let mut out = ExperimentOutput::new();
+        out.section(self.title());
+        let mut t = Table::new([
+            "Intensity",
+            "Hot launches",
+            "Failed",
+            "Median (ms)",
+            "p99 (ms)",
+            "Retries",
+            "Read errs",
+            "Lost pages",
+            "SIGBUS",
+            "LMK kills",
+        ]);
+        for r in &rows {
+            t.row([
+                format!("{:.2}", r.intensity),
+                r.launches.to_string(),
+                r.failed_launches.to_string(),
+                format!("{:.0}", r.median_hot_ms),
+                format!("{:.0}", r.p99_hot_ms),
+                r.fault_retries.to_string(),
+                r.swap_read_errors.to_string(),
+                r.pages_lost.to_string(),
+                r.sigbus_kills.to_string(),
+                r.lmk_kills.to_string(),
+            ]);
+        }
+        out.table(t);
+        out.text(
+            "intensity 0 is the quiet plan (bit-identical to a fault-free run); \
+             transients are absorbed by bounded retries, permanents degrade to \
+             refaults or SIGBUS kills — never a panic",
+        );
+        out.export("resilience", "n/a (robustness study, not a paper figure)", &rows);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_intensity_matches_fault_free_baseline() {
+        // Intensity 0 must take the exact code paths of a config without a
+        // fault plan: same launches, same kernel stats.
+        let a = resilience(11, &[0.0], 3).unwrap();
+        let apps: Vec<String> = ["Twitter", "Facebook", "Youtube", "Chrome", "Spotify"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let config = DeviceConfig::builder(SchemeKind::Fleet).seed(11).build().expect("valid");
+        let mut pool = AppPool::with_config(config, &apps).unwrap();
+        let baseline = pool.measure_hot_launches("Twitter", 3).unwrap();
+        assert_eq!(a[0].launches, baseline.len());
+        let medians = Summary::from_values(baseline.iter().map(|r| r.total.as_millis_f64()));
+        assert_eq!(a[0].median_hot_ms, medians.median(), "quiet plan diverged from baseline");
+        assert_eq!(a[0].fault_retries, 0);
+        assert_eq!(a[0].pages_lost, 0);
+        assert_eq!(a[0].sigbus_kills, 0);
+        assert_eq!(a[0].failed_launches, 0);
+    }
+
+    #[test]
+    fn armed_intensities_degrade_without_panicking() {
+        let rows = resilience(13, &[0.05], 3).unwrap();
+        let row = &rows[0];
+        // The run survived; the machinery reported *some* fault activity.
+        assert!(row.fault_retries + row.swap_read_errors + row.swap_write_errors > 0);
+        // Whatever completed is a plausible launch time.
+        if row.launches > 0 {
+            assert!(row.median_hot_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn resilience_sweep_is_deterministic() {
+        let a = resilience(17, &[0.05], 2).unwrap();
+        let b = resilience(17, &[0.05], 2).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -187,6 +187,12 @@ impl AppPool {
         Ok(reports)
     }
 
+    /// The next app from the usage rotation that is not `not` (advances
+    /// the rotation); used by drivers that interleave launches by hand.
+    pub fn next_other_app(&mut self, not: &str) -> String {
+        self.next_other(not)
+    }
+
     fn next_other(&mut self, not: &str) -> String {
         for _ in 0..self.rotation.len() {
             let candidate = self.rotation[self.next_rotation % self.rotation.len()].clone();

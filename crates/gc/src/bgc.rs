@@ -19,7 +19,8 @@
 //!    reachable BGO.)
 
 use crate::collector::{
-    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats,
+    MemoryTouch,
 };
 use fleet_heap::{Heap, ObjectId, ObjectMarks, RegionId, RegionKind, RegionSet};
 
@@ -116,24 +117,34 @@ impl Collector for BackgroundObjectGc {
             }
         }
 
-        // Evacuate live BGO into fresh background regions.
-        for &obj in &order {
+        // Evacuate live BGO into fresh background regions. A copy-budget
+        // denial aborts the evacuation: the remaining live BGO stay where
+        // they are and only proven-dead objects are swept below.
+        for (i, &obj) in order.iter().enumerate() {
             let size = heap.object(obj).size() as u64;
+            if !touch.copy_budget(size) {
+                audit_evac_abort(heap, heap.object(obj).region().0, (order.len() - i) as u64);
+                break;
+            }
             heap.copy_object(obj, RegionKind::Bg);
             stats.bytes_copied += size;
             stats.cpu += self.cost.copy_cost(size);
         }
 
-        // Free dead BGO and release the background from-regions.
+        // Free dead BGO; background from-regions are released only once
+        // they hold nothing (always, unless the evacuation aborted).
         for rid in bg_regions {
-            let dead: Vec<ObjectId> = heap.region(rid).objects().to_vec();
+            let dead: Vec<ObjectId> =
+                heap.region(rid).objects().iter().copied().filter(|&o| !live.contains(o)).collect();
             for obj in dead {
                 stats.bytes_freed += heap.object(obj).size() as u64;
                 stats.objects_freed += 1;
                 heap.free_object(obj);
             }
-            heap.free_region(rid);
-            stats.regions_freed += 1;
+            if heap.region(rid).objects().is_empty() {
+                heap.free_region(rid);
+                stats.regions_freed += 1;
+            }
         }
 
         // Card aging. BGC consumed only one piece of the card table's

@@ -41,6 +41,20 @@ impl std::fmt::Display for GcKind {
 pub trait MemoryTouch {
     /// The GC read `size` bytes at heap address `addr`.
     fn touch(&mut self, addr: u64, size: u32) -> SimDuration;
+
+    /// Asks the embedder whether `bytes` more can be copied to a to-region.
+    ///
+    /// Copying collectors call this before evacuating each object. A `false`
+    /// answer means the embedding layer cannot back another to-region page
+    /// (DRAM below the low watermark while a fault plan is armed): the
+    /// collector must abort evacuation — remaining live objects stay in
+    /// place — and degrade to an in-place sweep of the garbage it has
+    /// already proven dead. The default always grants, which preserves the
+    /// legacy infallible-copy behaviour for [`NoTouch`] and quiet devices.
+    fn copy_budget(&mut self, bytes: u64) -> bool {
+        let _ = bytes;
+        true
+    }
 }
 
 /// A [`MemoryTouch`] that records nothing and never stalls; for unit tests
@@ -182,6 +196,21 @@ pub(crate) fn audit_gc_end(heap: &mut Heap, stats: &GcStats) {
 
 #[cfg(not(feature = "audit"))]
 pub(crate) fn audit_gc_end(_heap: &mut Heap, _stats: &GcStats) {}
+
+/// Emits a [`fleet_audit::AuditEvent::EvacAbort`] when a copying collector
+/// runs out of copy budget mid-evacuation: `region` is the from-region of
+/// the first object denied, `objects_left` the live objects left in place.
+#[cfg(feature = "audit")]
+pub(crate) fn audit_evac_abort(heap: &mut Heap, region: u32, objects_left: u64) {
+    heap.audit_log_mut().push(move |pid| fleet_audit::AuditEvent::EvacAbort {
+        pid,
+        region,
+        objects_left,
+    });
+}
+
+#[cfg(not(feature = "audit"))]
+pub(crate) fn audit_evac_abort(_heap: &mut Heap, _region: u32, _objects_left: u64) {}
 
 /// A garbage collector over the modelled heap.
 pub trait Collector {

@@ -8,7 +8,8 @@
 //! 37 s), which is why default Android cannot keep many apps cached.
 
 use crate::collector::{
-    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats,
+    MemoryTouch,
 };
 use fleet_heap::{AllocContext, Heap, ObjectId, ObjectMarks, RegionKind, RegionSet};
 
@@ -74,28 +75,53 @@ impl Collector for FullCopyingGc {
 
         // Copy survivors to fresh to-regions; Android treats all to-regions
         // equally, so placement only distinguishes FGO/BGO allocation spaces.
-        for &obj in &order {
+        // Every copy first asks the embedder for budget: a denial (DRAM too
+        // low to back another to-region page under an armed fault plan)
+        // aborts the evacuation — this and all remaining survivors stay at
+        // their pre-copy addresses and the GC degrades to an in-place sweep.
+        // The trace was exact, so soundness is unaffected; only compaction
+        // is lost until a later collection retries.
+        let mut aborted_at = None;
+        for (i, &obj) in order.iter().enumerate() {
+            let size = heap.object(obj).size() as u64;
+            if !touch.copy_budget(size) {
+                let region = heap.object(obj).region().0;
+                audit_evac_abort(heap, region, (order.len() - i) as u64);
+                aborted_at = Some(i);
+                break;
+            }
             let dest = match heap.object(obj).context() {
                 AllocContext::Foreground => RegionKind::Eden,
                 AllocContext::Background => RegionKind::Bg,
             };
-            let size = heap.object(obj).size() as u64;
             heap.copy_object(obj, dest);
             heap.set_class(obj, None); // a full GC destroys any RGS grouping
             stats.bytes_copied += size;
             stats.cpu += self.cost.copy_cost(size);
         }
+        if let Some(i) = aborted_at {
+            // In-place survivors lose their RGS grouping too: a full GC
+            // invalidates every class, moved or not.
+            for &obj in &order[i..] {
+                heap.set_class(obj, None);
+            }
+        }
 
-        // Everything still sitting in a from-region is garbage.
+        // Sweep the from-regions: anything unmarked is garbage. After a
+        // clean evacuation this empties and frees every from-region; after
+        // an abort, regions still holding in-place survivors stay mapped.
         for &rid in &from_regions {
-            let dead: Vec<ObjectId> = heap.region(rid).objects().to_vec();
+            let dead: Vec<ObjectId> =
+                heap.region(rid).objects().iter().copied().filter(|&o| !live.contains(o)).collect();
             for obj in dead {
                 stats.bytes_freed += heap.object(obj).size() as u64;
                 stats.objects_freed += 1;
                 heap.free_object(obj);
             }
-            heap.free_region(rid);
-            stats.regions_freed += 1;
+            if heap.region(rid).objects().is_empty() {
+                heap.free_region(rid);
+                stats.regions_freed += 1;
+            }
         }
 
         // All addresses moved: stale cards are dropped, then the one piece
@@ -259,6 +285,85 @@ mod tests {
         assert_eq!(h.gc_epoch(), 1);
         assert!(!h.should_trigger_gc());
         assert_eq!(h.limit(), 8192.max((3000f64 * 2.0) as u64));
+    }
+
+    /// Grants the first `grants` copy requests, then denies everything —
+    /// the shape of a device whose DRAM runs out mid-evacuation.
+    struct Budget {
+        grants: usize,
+    }
+
+    impl MemoryTouch for Budget {
+        fn touch(&mut self, _addr: u64, _size: u32) -> SimDuration {
+            SimDuration::ZERO
+        }
+        fn copy_budget(&mut self, _bytes: u64) -> bool {
+            if self.grants == 0 {
+                false
+            } else {
+                self.grants -= 1;
+                true
+            }
+        }
+    }
+
+    #[test]
+    fn evac_abort_leaves_survivors_in_place_and_still_sweeps() {
+        let mut h = heap();
+        let root = h.alloc(64);
+        h.add_root(root);
+        let mut prev = root;
+        let mut live_ids = vec![root];
+        for _ in 0..9 {
+            let next = h.alloc(64);
+            h.add_ref(prev, next);
+            prev = next;
+            live_ids.push(next);
+        }
+        for _ in 0..20 {
+            h.alloc(64); // garbage interleaved with the survivors
+        }
+        let before_addrs: Vec<u64> = live_ids.iter().map(|&o| h.address(o)).collect();
+        let shape_before = depth_map(&h, None);
+
+        let stats =
+            FullCopyingGc::new(GcCostModel::default()).collect(&mut h, &mut Budget { grants: 3 });
+
+        // Exactly three survivors moved; the other seven kept their
+        // pre-copy addresses.
+        assert_eq!(stats.bytes_copied, 3 * 64);
+        let moved =
+            live_ids.iter().zip(&before_addrs).filter(|&(&o, &addr)| h.address(o) != addr).count();
+        assert_eq!(moved, 3);
+        // The sweep is unaffected by the abort: every garbage object died.
+        assert_eq!(stats.objects_freed, 20);
+        assert_eq!(stats.bytes_freed, 20 * 64);
+        for id in &live_ids {
+            assert!(h.contains(*id));
+        }
+        assert_eq!(depth_map(&h, None), shape_before, "abort must not change the graph");
+        h.validate_refs().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_in_place_sweep() {
+        let mut h = heap();
+        let root = h.alloc(100);
+        h.add_root(root);
+        let addr = h.address(root);
+        for _ in 0..50 {
+            h.alloc(100);
+        }
+        let regions_before = h.stats().regions;
+        let stats =
+            FullCopyingGc::new(GcCostModel::default()).collect(&mut h, &mut Budget { grants: 0 });
+        assert_eq!(stats.bytes_copied, 0);
+        assert_eq!(stats.objects_freed, 50);
+        assert_eq!(h.address(root), addr, "nothing may move without budget");
+        // Only the root's region survives; the all-garbage ones were freed.
+        assert_eq!(stats.regions_freed, regions_before - 1);
+        assert_eq!(h.stats().regions, 1);
+        h.validate_refs().unwrap();
     }
 
     #[test]

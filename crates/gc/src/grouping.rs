@@ -17,7 +17,9 @@
 //! class onto its own pages. The returned [`GroupingOutcome`] carries the
 //! address ranges of each group for the `madvise` calls of §5.3.2.
 
-use crate::collector::{audit_gc_end, audit_gc_start, GcCostModel, GcKind, GcStats, MemoryTouch};
+use crate::collector::{
+    audit_evac_abort, audit_gc_end, audit_gc_start, GcCostModel, GcKind, GcStats, MemoryTouch,
+};
 use fleet_heap::{AllocContext, Heap, ObjectClass, ObjectId, RegionId, RegionKind};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -186,8 +188,16 @@ impl GroupingGc {
         let _ = cold_boundary;
 
         // Classify and copy. BGO stay in background regions; FGO are grouped.
-        for &obj in &order {
+        // A copy-budget denial aborts the grouping mid-way: objects not yet
+        // copied keep their old placement and class (no grouping benefit,
+        // but nothing moves without a backing frame) and the tallies below
+        // honestly reflect only what was actually grouped.
+        for (i, &obj) in order.iter().enumerate() {
             let size = heap.object(obj).size() as u64;
+            if !touch.copy_budget(size) {
+                audit_evac_abort(heap, heap.object(obj).region().0, (order.len() - i) as u64);
+                break;
+            }
             let context = heap.object(obj).context();
             let (dest, class) = if context == AllocContext::Background {
                 (RegionKind::Bg, None)
@@ -221,16 +231,25 @@ impl GroupingGc {
             stats.cpu += self.cost.copy_cost(size);
         }
 
-        // Sweep the from-space.
+        // Sweep the from-space: unmarked objects are garbage; regions are
+        // released only once empty (always, unless the evacuation aborted).
         for &rid in &from_regions {
-            let dead: Vec<ObjectId> = heap.region(rid).objects().to_vec();
+            let dead: Vec<ObjectId> = heap
+                .region(rid)
+                .objects()
+                .iter()
+                .copied()
+                .filter(|&o| !depth_of.contains_key(&o))
+                .collect();
             for obj in dead {
                 stats.bytes_freed += heap.object(obj).size() as u64;
                 stats.objects_freed += 1;
                 heap.free_object(obj);
             }
-            heap.free_region(rid);
-            stats.regions_freed += 1;
+            if heap.region(rid).objects().is_empty() {
+                heap.free_region(rid);
+                stats.regions_freed += 1;
+            }
         }
 
         // Record the grouped ranges for madvise (§5.3.2). Whole regions are

@@ -6,7 +6,8 @@
 //! card table — old regions are *not* traced wholesale.
 
 use crate::collector::{
-    audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats, MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats,
+    MemoryTouch,
 };
 use fleet_heap::{AllocContext, Heap, ObjectId, ObjectMarks, RegionId, RegionKind, RegionSet};
 
@@ -108,26 +109,36 @@ impl Collector for MinorGc {
             }
         }
 
-        // Evacuate young survivors, then free the young from-regions.
-        for &obj in &order {
+        // Evacuate young survivors, then sweep the young from-regions. A
+        // copy-budget denial aborts the evacuation: remaining survivors are
+        // promoted in place (their region just loses its newly-allocated
+        // flag) and only proven-dead objects are swept.
+        for (i, &obj) in order.iter().enumerate() {
+            let size = heap.object(obj).size() as u64;
+            if !touch.copy_budget(size) {
+                audit_evac_abort(heap, heap.object(obj).region().0, (order.len() - i) as u64);
+                break;
+            }
             let dest = match heap.object(obj).context() {
                 AllocContext::Foreground => RegionKind::Eden,
                 AllocContext::Background => RegionKind::Bg,
             };
-            let size = heap.object(obj).size() as u64;
             heap.copy_object(obj, dest);
             stats.bytes_copied += size;
             stats.cpu += self.cost.copy_cost(size);
         }
         for rid in young_regions {
-            let dead: Vec<ObjectId> = heap.region(rid).objects().to_vec();
+            let dead: Vec<ObjectId> =
+                heap.region(rid).objects().iter().copied().filter(|&o| !live.contains(o)).collect();
             for obj in dead {
                 stats.bytes_freed += heap.object(obj).size() as u64;
                 stats.objects_freed += 1;
                 heap.free_object(obj);
             }
-            heap.free_region(rid);
-            stats.regions_freed += 1;
+            if heap.region(rid).objects().is_empty() {
+                heap.free_region(rid);
+                stats.regions_freed += 1;
+            }
         }
 
         // Card aging, with the same preservation rules as BGC: boundary

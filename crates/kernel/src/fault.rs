@@ -1,0 +1,401 @@
+//! Deterministic fault injection for the swap/reclaim stack.
+//!
+//! The real systems Fleet co-designs against are defined by their failure
+//! behaviour: flash controllers stall for device-internal GC, NAND blocks
+//! go bad, zram meets incompressible pages, and swap partitions fill at the
+//! worst moment. This module models those hazards as a seeded, schedule-
+//! driven [`FaultPlan`]: every potentially-failing swap operation draws one
+//! `splitmix64` value from the plan's private stream and compares it against
+//! thresholds precomputed from the configured rates. The stream is
+//! completely independent of the simulation's `SimRng`, so
+//!
+//! * the same `(seed, FaultConfig)` pair always produces the same fault
+//!   schedule, byte for byte, regardless of build flags or host, and
+//! * [`FaultConfig::default`] (all rates zero) injects nothing and the
+//!   quiet fast path never advances any state — runs without faults are
+//!   bit-identical to builds that predate this module (the golden-trace
+//!   gate relies on this).
+//!
+//! The taxonomy (DESIGN.md §9):
+//!
+//! | fault                      | knob                    | recovery                                    |
+//! |----------------------------|-------------------------|---------------------------------------------|
+//! | transient read I/O error   | `read_transient_rate`   | bounded retry with deterministic backoff    |
+//! | permanent read I/O error   | `read_permanent_rate`   | file: discard-and-refault; anon: kill owner |
+//! | flash latency spike        | `latency_spike_rate`    | absorb; reported as degraded latency        |
+//! | write-back I/O error       | `write_error_rate`      | victim stays resident; reclaim escalates    |
+//! | swap-slot exhaustion       | `slot_exhaustion_rate`  | eviction falls to file pages; LMK escalates |
+//! | zram compression failure   | `compress_fail_rate`    | page stored raw (full frame consumed)       |
+
+use fleet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Bounded-retry budget for transient read errors: a faulting thread
+/// re-issues the read at most this many times before escalating (file pages
+/// fall back to a refault from the original file; anonymous pages are lost
+/// and their owner is killed).
+pub const FAULT_RETRY_MAX: u32 = 3;
+
+/// Deterministic exponential backoff before retry `attempt` (1-based):
+/// 500 µs, 1 ms, 2 ms, … capped at 32 ms. Mirrors the kernel's fixed
+/// bio-retry pacing rather than randomized jitter so event streams stay
+/// reproducible.
+pub fn retry_backoff(attempt: u32) -> SimDuration {
+    let shift = attempt.saturating_sub(1).min(6);
+    SimDuration::from_micros(500u64 << shift)
+}
+
+/// Injection rates for every modelled hazard. All rates are per-operation
+/// probabilities in `[0, 1]`; the default is all-zero (a quiet plan).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a swap read fails transiently (succeeds on retry).
+    pub read_transient_rate: f64,
+    /// Probability that a swap read fails permanently (media error; retry
+    /// cannot help).
+    pub read_permanent_rate: f64,
+    /// Probability that a swap write-back fails (the victim page stays
+    /// resident and reclaim must look elsewhere).
+    pub write_error_rate: f64,
+    /// Probability that a swap read hits a device-internal GC pause.
+    pub latency_spike_rate: f64,
+    /// Extra stall charged when a latency spike fires.
+    pub latency_spike: SimDuration,
+    /// Probability that a slot reservation is refused even though capacity
+    /// remains (fragmentation/allocator stall window).
+    pub slot_exhaustion_rate: f64,
+    /// Zram only: probability that a page is incompressible and is stored
+    /// raw, consuming a full DRAM frame instead of `1/ratio`.
+    pub compress_fail_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            read_transient_rate: 0.0,
+            read_permanent_rate: 0.0,
+            write_error_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike: Self::default_spike(),
+            slot_exhaustion_rate: 0.0,
+            compress_fail_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    fn default_spike() -> SimDuration {
+        // §3.2-class flash: a device-internal GC pause is tens of ms.
+        SimDuration::from_millis(30)
+    }
+
+    /// True when every rate is zero — the plan will never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.read_transient_rate == 0.0
+            && self.read_permanent_rate == 0.0
+            && self.write_error_rate == 0.0
+            && self.latency_spike_rate == 0.0
+            && self.slot_exhaustion_rate == 0.0
+            && self.compress_fail_rate == 0.0
+    }
+
+    /// Checks every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first out-of-range rate.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("read_transient_rate", self.read_transient_rate),
+            ("read_permanent_rate", self.read_permanent_rate),
+            ("write_error_rate", self.write_error_rate),
+            ("latency_spike_rate", self.latency_spike_rate),
+            ("slot_exhaustion_rate", self.slot_exhaustion_rate),
+            ("compress_fail_rate", self.compress_fail_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("fault rate {name} = {rate} is not in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A convenience preset: a flaky flash device where every hazard fires
+    /// at a rate proportional to `intensity` (itself a probability). Used
+    /// by the `resilience` experiment sweep.
+    pub fn flaky_flash(intensity: f64) -> Self {
+        FaultConfig {
+            read_transient_rate: intensity,
+            read_permanent_rate: intensity / 50.0,
+            write_error_rate: intensity / 2.0,
+            latency_spike_rate: intensity,
+            latency_spike: Self::default_spike(),
+            slot_exhaustion_rate: intensity / 4.0,
+            compress_fail_rate: intensity,
+        }
+    }
+}
+
+/// What an injected read fault looks like to the memory manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The read failed but a retry may succeed.
+    Transient,
+    /// The read failed for good (media error).
+    Permanent,
+    /// The read succeeded after a device-internal stall of the given extra
+    /// duration.
+    Spike(SimDuration),
+}
+
+/// `splitmix64` — the same finaliser the experiment harness uses for seed
+/// derivation, so fault schedules compose with harness seeds without
+/// correlation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Converts a probability into a `u64` threshold for `draw < threshold`
+/// comparisons (deterministic across platforms; no floating point on the
+/// hot path).
+fn threshold(rate: f64) -> u64 {
+    let clamped = rate.clamp(0.0, 1.0);
+    if clamped >= 1.0 {
+        u64::MAX
+    } else {
+        (clamped * u64::MAX as f64) as u64
+    }
+}
+
+/// A seeded, schedule-driven fault plan.
+///
+/// One plan is installed per [`SwapDevice`](crate::SwapDevice); every
+/// fallible operation draws from it. Cloning a plan clones its position in
+/// the stream, so cloned devices replay identical schedules.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_kernel::{FaultConfig, FaultPlan};
+///
+/// let quiet = FaultPlan::new(7, FaultConfig::default());
+/// assert!(quiet.is_quiet());
+///
+/// let mut flaky = FaultPlan::new(7, FaultConfig { read_transient_rate: 1.0, ..FaultConfig::default() });
+/// assert!(flaky.read_fault().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    state: u64,
+    draws: u64,
+    // Precomputed per-draw thresholds (cumulative for the read ladder).
+    t_read_permanent: u64,
+    t_read_transient: u64,
+    t_read_spike: u64,
+    t_write: u64,
+    t_exhaust: u64,
+    t_compress: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and a configuration. The seed is mixed
+    /// through `splitmix64` once so consecutive seeds give uncorrelated
+    /// streams.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        let mut state = seed ^ 0xFA17_1A7E_D00D_F00Du64;
+        let _ = splitmix64(&mut state);
+        let p = threshold(config.read_permanent_rate);
+        let t = p.saturating_add(threshold(config.read_transient_rate));
+        let s = t.saturating_add(threshold(config.latency_spike_rate));
+        FaultPlan {
+            config,
+            state,
+            draws: 0,
+            t_read_permanent: p,
+            t_read_transient: t,
+            t_read_spike: s,
+            t_write: threshold(config.write_error_rate),
+            t_exhaust: threshold(config.slot_exhaustion_rate),
+            t_compress: threshold(config.compress_fail_rate),
+        }
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True when the plan can never inject anything. The quiet fast path in
+    /// every decision method returns before touching the stream, so a quiet
+    /// plan is behaviourally identical to no plan at all.
+    pub fn is_quiet(&self) -> bool {
+        self.config.is_quiet()
+    }
+
+    /// Total decisions drawn so far (diagnostics).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.draws += 1;
+        splitmix64(&mut self.state)
+    }
+
+    /// Decides the fate of one swap read operation. Priorities: permanent
+    /// error, then transient error, then latency spike, then clean.
+    pub fn read_fault(&mut self) -> Option<ReadFault> {
+        if self.is_quiet() {
+            return None;
+        }
+        let r = self.draw();
+        if r < self.t_read_permanent {
+            Some(ReadFault::Permanent)
+        } else if r < self.t_read_transient {
+            Some(ReadFault::Transient)
+        } else if r < self.t_read_spike {
+            Some(ReadFault::Spike(self.config.latency_spike))
+        } else {
+            None
+        }
+    }
+
+    /// Decides whether one swap write-back fails.
+    pub fn write_fault(&mut self) -> bool {
+        if self.is_quiet() {
+            return false;
+        }
+        let r = self.draw();
+        r < self.t_write
+    }
+
+    /// Decides whether one slot reservation is refused despite free
+    /// capacity (injected exhaustion window).
+    pub fn reserve_fault(&mut self) -> bool {
+        if self.is_quiet() {
+            return false;
+        }
+        let r = self.draw();
+        r < self.t_exhaust
+    }
+
+    /// Decides whether one stored page is incompressible (zram only).
+    pub fn compress_fault(&mut self) -> bool {
+        if self.is_quiet() {
+            return false;
+        }
+        let r = self.draw();
+        r < self.t_compress
+    }
+}
+
+impl Default for FaultPlan {
+    /// A quiet plan: all rates zero, injects nothing.
+    fn default() -> Self {
+        FaultPlan::new(0, FaultConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_quiet_and_injects_nothing() {
+        let mut plan = FaultPlan::default();
+        for _ in 0..1000 {
+            assert_eq!(plan.read_fault(), None);
+            assert!(!plan.write_fault());
+            assert!(!plan.reserve_fault());
+            assert!(!plan.compress_fault());
+        }
+        // The quiet fast path never advances the stream.
+        assert_eq!(plan.draws(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = FaultConfig::flaky_flash(0.3);
+        let mut a = FaultPlan::new(99, config);
+        let mut b = FaultPlan::new(99, config);
+        for _ in 0..4096 {
+            assert_eq!(a.read_fault(), b.read_fault());
+            assert_eq!(a.write_fault(), b.write_fault());
+            assert_eq!(a.reserve_fault(), b.reserve_fault());
+            assert_eq!(a.compress_fault(), b.compress_fault());
+        }
+        assert_eq!(a.draws(), b.draws());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let config = FaultConfig::flaky_flash(0.5);
+        let mut a = FaultPlan::new(1, config);
+        let mut b = FaultPlan::new(2, config);
+        let mut same = 0;
+        for _ in 0..256 {
+            if a.read_fault() == b.read_fault() {
+                same += 1;
+            }
+        }
+        assert!(same < 256, "independent seeds must not replay the same schedule");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let config = FaultConfig { read_transient_rate: 0.25, ..FaultConfig::default() };
+        let mut plan = FaultPlan::new(7, config);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| plan.read_fault() == Some(ReadFault::Transient)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed transient rate {rate}");
+    }
+
+    #[test]
+    fn certain_rates_always_fire() {
+        let mut plan =
+            FaultPlan::new(3, FaultConfig { write_error_rate: 1.0, ..FaultConfig::default() });
+        for _ in 0..64 {
+            assert!(plan.write_fault());
+        }
+    }
+
+    #[test]
+    fn read_ladder_orders_permanent_over_transient() {
+        // With both rates at 1.0 the ladder always reports the permanent
+        // error (it is the one the caller cannot retry away).
+        let config = FaultConfig {
+            read_transient_rate: 1.0,
+            read_permanent_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(11, config);
+        for _ in 0..16 {
+            assert_eq!(plan.read_fault(), Some(ReadFault::Permanent));
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_rates() {
+        let mut config = FaultConfig::default();
+        assert!(config.validate().is_ok());
+        config.read_transient_rate = 1.5;
+        assert!(config.validate().is_err());
+        config.read_transient_rate = f64::NAN;
+        assert!(config.validate().is_err());
+        assert!(FaultConfig::flaky_flash(0.2).validate().is_ok());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        assert_eq!(retry_backoff(1), SimDuration::from_micros(500));
+        assert_eq!(retry_backoff(2), SimDuration::from_millis(1));
+        assert_eq!(retry_backoff(3), SimDuration::from_millis(2));
+        assert_eq!(retry_backoff(100), SimDuration::from_millis(32));
+    }
+}

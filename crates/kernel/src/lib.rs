@@ -15,7 +15,11 @@
 //! * [`swap`] — the swap device with the paper's measured bandwidths,
 //! * [`mm`] — the memory manager tying frames, LRU, swap, reclaim and
 //!   the madvise extensions together,
-//! * [`lmk`] — the low-memory-killer victim policy.
+//! * [`lmk`] — the low-memory-killer victim policy and the stateful
+//!   [`Lmkd`] escalation driver,
+//! * [`fault`] — deterministic fault injection (I/O errors, latency
+//!   spikes, slot exhaustion, zram compression failures) for the
+//!   degradation paths; quiet by default.
 //!
 //! # Examples
 //!
@@ -31,16 +35,18 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod lmk;
 pub mod lru;
 pub mod mm;
 pub mod page;
 pub mod swap;
 
-pub use lmk::{choose_victim, LmkCandidate};
+pub use fault::{retry_backoff, FaultConfig, FaultPlan, ReadFault, FAULT_RETRY_MAX};
+pub use lmk::{choose_victim, LmkCandidate, LmkOutcome, Lmkd};
 pub use lru::{LruHandle, LruQueue};
 pub use mm::{AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmConfig, MmError};
 #[doc(hidden)]
 pub use mm::{PageEntry, PageTable};
 pub use page::{PageKey, PageKind, PageState, Pid, PAGE_SIZE};
-pub use swap::{SwapConfig, SwapDevice, SwapMedium};
+pub use swap::{SwapConfig, SwapDevice, SwapError, SwapMedium, SwapOp};

@@ -27,9 +27,10 @@
 //! access/fault/reclaim paths is O(1) pointer surgery in the intrusive
 //! [`LruQueue`] slab.
 
+use crate::fault::{retry_backoff, FaultPlan, ReadFault, FAULT_RETRY_MAX};
 use crate::lru::{LruHandle, LruQueue};
 use crate::page::{pages_in_range, PageKey, PageKind, PageState, Pid, PAGE_SIZE};
-use crate::swap::{SwapConfig, SwapDevice};
+use crate::swap::{SwapConfig, SwapDevice, SwapError};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +97,17 @@ pub struct AccessOutcome {
     /// the rest of the range was not touched. The caller should free memory
     /// (LMK) and retry the access.
     pub oom: bool,
+    /// Bounded retries performed against transient swap I/O errors
+    /// (injected by an armed [`FaultPlan`]; always zero on quiet devices).
+    pub retries: u64,
+    /// The injected share of `latency`: retry backoff, device-internal GC
+    /// pauses and discard-and-refault penalties. Already included in
+    /// `latency`; reported separately so callers can attribute degradation.
+    pub degraded_latency: SimDuration,
+    /// True when a permanent swap read error lost an anonymous page of this
+    /// process. The page's data is gone; the access stopped early and the
+    /// caller must kill the process (the SIGBUS path) rather than retry.
+    pub killed: bool,
 }
 
 impl AccessOutcome {
@@ -105,6 +117,9 @@ impl AccessOutcome {
         self.faulted_pages += other.faulted_pages;
         self.touched_pages += other.touched_pages;
         self.oom |= other.oom;
+        self.retries += other.retries;
+        self.degraded_latency += other.degraded_latency;
+        self.killed |= other.killed;
     }
 }
 
@@ -202,6 +217,14 @@ pub struct KernelStats {
     pub fault_stall_nanos: u64,
     /// CPU time spent in kswapd/reclaim.
     pub kswapd_cpu_nanos: u64,
+    /// Bounded retries of transient swap I/O errors (fault injection).
+    pub fault_retries: u64,
+    /// Swap read operations that failed past the retry budget.
+    pub swap_read_errors: u64,
+    /// Swap write-backs that failed; the victim page stayed resident.
+    pub swap_write_errors: u64,
+    /// Anonymous pages lost to permanent read errors (owner killed).
+    pub pages_lost: u64,
 }
 
 /// Per-process residency snapshot.
@@ -431,7 +454,10 @@ impl PageTable {
 
     /// Flips a mapped page to `Swapped` and clears its LRU node.
     pub fn set_swapped(&mut self, page: u64) {
-        let e = self.entry_mut(page).expect("set_swapped on unmapped page");
+        let e = match self.entry_mut(page) {
+            Some(e) => e,
+            None => panic!("page-table invariant violated: set_swapped on unmapped page {page}"),
+        };
         debug_assert!(e.is_resident());
         e.flags &= !PE_RESIDENT;
         e.node = NO_NODE;
@@ -441,7 +467,10 @@ impl PageTable {
 
     /// Flips a mapped page to `Resident` with the given LRU node.
     pub fn set_resident(&mut self, page: u64, node: u32) {
-        let e = self.entry_mut(page).expect("set_resident on unmapped page");
+        let e = match self.entry_mut(page) {
+            Some(e) => e,
+            None => panic!("page-table invariant violated: set_resident on unmapped page {page}"),
+        };
         debug_assert!(!e.is_resident());
         e.flags |= PE_RESIDENT;
         e.node = node;
@@ -511,6 +540,18 @@ impl<T> PidMap<T> {
     fn iter(&self) -> impl Iterator<Item = (Pid, &T)> {
         self.entries.iter().map(|(p, t)| (Pid(*p), t))
     }
+}
+
+/// Outcome of one fault-injection roll on the swap-read path (see
+/// [`MemoryManager::access`] and the prefetch paths). `Ok` may still carry
+/// degradation: retry backoff and injected latency spikes.
+enum ReadRoll {
+    /// The read (eventually) succeeds after `retries` bounded retries,
+    /// absorbing `extra` injected latency.
+    Ok { retries: u32, extra: SimDuration },
+    /// The read failed past the retry budget (or permanently); `retries`
+    /// and `extra` account for the attempts made before giving up.
+    Failed { retries: u32, extra: SimDuration },
 }
 
 /// The kernel memory manager.
@@ -611,6 +652,32 @@ impl MemoryManager {
         &self.swap
     }
 
+    /// Installs a fault plan on the swap device. With the default (quiet)
+    /// plan every operation behaves exactly as before; an armed plan
+    /// activates the degradation paths (bounded retries, discard-and-
+    /// refault, write-back fallback, loss reporting).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.swap.install_fault_plan(plan);
+    }
+
+    /// True when an armed (non-quiet) fault plan is installed.
+    pub fn fault_active(&self) -> bool {
+        self.swap.fault_active()
+    }
+
+    /// Records an LMK kill executed by the [`crate::Lmkd`] driver. Only
+    /// emits an audit event on fault-active devices so quiet golden traces
+    /// are untouched (their kills are recorded by the device layer).
+    pub(crate) fn note_lmk_kill(&mut self, _pid: Pid, _freed_pages: u64) {
+        #[cfg(feature = "audit")]
+        if self.swap.fault_active() {
+            audit!(
+                self,
+                fleet_audit::AuditEvent::LmkKill { pid: _pid.0, freed_pages: _freed_pages }
+            );
+        }
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> KernelStats {
         self.stats
@@ -662,7 +729,41 @@ impl MemoryManager {
     /// The anon LRU that must already exist (the page's handle points into
     /// it).
     fn anon_queue_existing(&mut self, pid: Pid) -> &mut LruQueue {
-        self.anon_lrus.get_mut(pid).expect("anon LRU must exist for a queued page")
+        match self.anon_lrus.get_mut(pid) {
+            Some(q) => q,
+            None => panic!(
+                "mm invariant violated: pid {} has a queued anon page but no anon LRU",
+                pid.0
+            ),
+        }
+    }
+
+    /// Fault-path lookup of a page table that *must* exist: the caller holds
+    /// a [`PageEntry`] proving the page is mapped, so a missing table is a
+    /// structural bug, never a recoverable condition. Panics with pid/page
+    /// context instead of a bare `expect`.
+    #[track_caller]
+    fn table_expect(&mut self, pid: Pid, page: u64, op: &'static str) -> &mut PageTable {
+        match self.tables.get_mut(pid) {
+            Some(t) => t,
+            None => panic!(
+                "mm invariant violated during {op}: pid {} page {page} is mapped but has no table",
+                pid.0
+            ),
+        }
+    }
+
+    /// Fault-path lookup of a page entry that *must* exist (same contract as
+    /// [`MemoryManager::table_expect`], one level deeper).
+    #[track_caller]
+    fn entry_expect(&mut self, pid: Pid, page: u64, op: &'static str) -> &mut PageEntry {
+        match self.tables.get_mut(pid).and_then(|t| t.entry_mut(page)) {
+            Some(e) => e,
+            None => panic!(
+                "mm invariant violated during {op}: pid {} page {page} vanished mid-operation",
+                pid.0
+            ),
+        }
     }
 
     /// Detaches a queued page from its LRU via the O(1) handle stored in
@@ -826,11 +927,44 @@ impl MemoryManager {
                 outcome.touched_pages += 1;
                 outcome.latency += self.config.dram_page_cost;
             } else {
+                let file = e.is_file();
+                if self.swap.fault_active() {
+                    match self.roll_read_fault(pid, index) {
+                        ReadRoll::Ok { retries, extra } => {
+                            outcome.retries += retries as u64;
+                            outcome.degraded_latency += extra;
+                            outcome.latency += extra;
+                        }
+                        ReadRoll::Failed { retries, extra, .. } if file => {
+                            // Discard-and-refault: the failing copy of a
+                            // clean file page is dropped and re-read from
+                            // its file — one wasted read plus backoff, but
+                            // never data loss.
+                            let penalty =
+                                extra + self.file_read_cost(1) + retry_backoff(retries + 1);
+                            outcome.retries += (retries + 1) as u64;
+                            outcome.degraded_latency += penalty;
+                            outcome.latency += penalty;
+                        }
+                        ReadRoll::Failed { retries, extra, .. } => {
+                            // Permanent loss of an anonymous page: the data
+                            // is gone. Stop the access and report the
+                            // SIGBUS-analog; the caller kills the process,
+                            // which releases the poisoned slot via
+                            // `unmap_process`.
+                            outcome.retries += retries as u64;
+                            outcome.degraded_latency += extra;
+                            outcome.latency += extra;
+                            outcome.killed = true;
+                            self.stats.pages_lost += 1;
+                            break;
+                        }
+                    }
+                }
                 if self.take_frame().is_err() {
                     outcome.oom = true;
                     break;
                 }
-                let file = e.is_file();
                 if file {
                     file_faults += 1;
                 } else {
@@ -850,7 +984,7 @@ impl MemoryManager {
                     }
                     raw
                 };
-                self.table_mut(pid).expect("faulting page has a table").set_resident(index, node);
+                self.table_expect(pid, index, "fault-in").set_resident(index, node);
                 self.resident_count += 1;
                 outcome.touched_pages += 1;
                 audit!(
@@ -884,13 +1018,22 @@ impl MemoryManager {
         if self.free_frames() > 0 {
             return Ok(());
         }
-        self.evict_one().map(|_| ())
+        self.evict_one()?;
+        // Under an armed fault plan an eviction may not net a frame: a zram
+        // store of an incompressible page consumes a full raw frame, making
+        // the swap-out net-zero. Keep evicting until a frame is actually
+        // free. Quiet devices never take this loop (single-eviction legacy
+        // behaviour, bit-identical golden traces).
+        while self.swap.fault_active() && self.free_frames() == 0 {
+            self.evict_one()?;
+        }
+        Ok(())
     }
 
     /// Flips an evicted page to `Swapped` in its table, clearing its LRU
     /// node (the queue pop already detached it).
     fn mark_swapped_out(&mut self, victim: PageKey) {
-        self.table_mut(victim.pid).expect("evicted page has a table").set_swapped(victim.index);
+        self.table_expect(victim.pid, victim.index, "eviction").set_swapped(victim.index);
         self.resident_count -= 1;
     }
 
@@ -943,26 +1086,115 @@ impl MemoryManager {
                         continue;
                     }
                     if let Some(victim) = self.pop_anon_proportional() {
-                        let reserved = self.swap.reserve_page();
-                        debug_assert!(reserved, "swap fullness checked above");
-                        self.mark_swapped_out(victim);
-                        self.stats.pages_swapped_out += 1;
-                        self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
-                        audit!(
-                            self,
-                            fleet_audit::AuditEvent::SwapOut {
-                                pid: victim.pid.0,
-                                page: victim.index,
-                                file: false,
-                                advised: false,
-                            }
-                        );
-                        return Ok(victim);
+                        match self.swap_out_anon(victim) {
+                            Ok(()) => return Ok(victim),
+                            // Write-back failed (injected): the victim was
+                            // re-queued resident; fall through to the file
+                            // list so reclaim still makes progress.
+                            Err(()) => continue,
+                        }
                     }
                 }
             }
         }
         Err(MmError::OutOfMemory)
+    }
+
+    /// Reserves a slot and writes one anon victim back to swap. On an
+    /// injected write error or slot-exhaustion window the victim is
+    /// re-queued at the hot end (the failed write-back touched it) and the
+    /// caller falls back to the file list — at most one failed roll per
+    /// [`MemoryManager::evict_one`] call, so reclaim cannot spin. Quiet
+    /// devices always take the success path, byte-identical to the legacy
+    /// `reserve_page` + `write_cost` sequence.
+    fn swap_out_anon(&mut self, victim: PageKey) -> Result<(), ()> {
+        let written = self.swap.try_reserve().and_then(|()| match self.swap.try_write(1) {
+            Ok(op) => Ok(op),
+            Err(e) => {
+                self.swap.release_page();
+                Err(e)
+            }
+        });
+        match written {
+            Ok(op) => {
+                self.mark_swapped_out(victim);
+                self.stats.pages_swapped_out += 1;
+                self.stats.kswapd_cpu_nanos += op.latency.as_nanos();
+                audit!(
+                    self,
+                    fleet_audit::AuditEvent::SwapOut {
+                        pid: victim.pid.0,
+                        page: victim.index,
+                        file: false,
+                        advised: false,
+                    }
+                );
+                Ok(())
+            }
+            Err(err) => {
+                self.stats.swap_write_errors += 1;
+                let op = if err == SwapError::Full { "reserve" } else { "write" };
+                let _ = op;
+                audit!(
+                    self,
+                    fleet_audit::AuditEvent::SwapIoError {
+                        pid: victim.pid.0,
+                        page: victim.index,
+                        op,
+                        transient: true,
+                    }
+                );
+                // The pop detached the victim; it is still resident, so put
+                // it back on its queue and repair the handle in its entry.
+                let raw = self.queue_push(victim, false);
+                self.entry_expect(victim.pid, victim.index, "failed write-back").node = raw;
+                Err(())
+            }
+        }
+    }
+
+    /// Rolls the fate of one swap read under an armed fault plan: transient
+    /// errors retry with deterministic backoff up to [`FAULT_RETRY_MAX`]
+    /// times; an error that persists past the budget (or a permanent one)
+    /// is reported as `Failed` and the caller decides the disposition
+    /// (discard-and-refault, skip, or kill). Device-internal GC pauses
+    /// surface as extra latency on the `Ok` path.
+    fn roll_read_fault(&mut self, _pid: Pid, _index: u64) -> ReadRoll {
+        let mut retries = 0u32;
+        let mut extra = SimDuration::ZERO;
+        loop {
+            match self.swap.fault_plan_mut().read_fault() {
+                None => return ReadRoll::Ok { retries, extra },
+                Some(ReadFault::Spike(d)) => return ReadRoll::Ok { retries, extra: extra + d },
+                Some(ReadFault::Transient) if retries < FAULT_RETRY_MAX => {
+                    retries += 1;
+                    extra += retry_backoff(retries);
+                    self.stats.fault_retries += 1;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::FaultRetry {
+                            pid: _pid.0,
+                            page: _index,
+                            attempt: retries,
+                        }
+                    );
+                }
+                Some(other) => {
+                    let _transient = other == ReadFault::Transient;
+                    self.stats.swap_read_errors += 1;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::SwapIoError {
+                            pid: _pid.0,
+                            page: _index,
+                            op: "read",
+                            transient: _transient,
+                        }
+                    );
+                    return ReadRoll::Failed { retries, extra };
+                }
+            }
+        }
     }
 
     /// Picks an anon victim: a process chosen proportionally to its
@@ -1041,7 +1273,7 @@ impl MemoryManager {
                 continue;
             }
             self.queue_remove_entry(key, e);
-            let em = self.table_mut(pid).and_then(|t| t.entry_mut(index)).unwrap();
+            let em = self.entry_expect(pid, index, "pin");
             em.flags |= PE_PINNED;
             em.node = NO_NODE;
             pinned += 1;
@@ -1061,7 +1293,7 @@ impl MemoryManager {
                 continue;
             }
             let node = if e.is_resident() { self.queue_push(key, e.is_file()) } else { NO_NODE };
-            let em = self.table_mut(pid).and_then(|t| t.entry_mut(index)).unwrap();
+            let em = self.entry_expect(pid, index, "unpin");
             em.flags &= !PE_PINNED;
             em.node = node;
             unpinned += 1;
@@ -1113,7 +1345,7 @@ impl MemoryManager {
                 self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
             }
             self.queue_remove_entry(key, e);
-            self.table_mut(pid).expect("resident page has a table").set_swapped(index);
+            self.table_expect(pid, index, "madvise(COLD_RUNTIME)").set_swapped(index);
             self.resident_count -= 1;
             moved += 1;
             audit!(
@@ -1146,18 +1378,6 @@ impl MemoryManager {
         promoted
     }
 
-    /// `madvise(COLD_RUNTIME)`: see [`Advice::ColdRuntime`].
-    #[deprecated(since = "0.2.0", note = "use `madvise(pid, base, len, Advice::ColdRuntime)`")]
-    pub fn madvise_cold(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
-        self.madvise(pid, base, len, Advice::ColdRuntime)
-    }
-
-    /// `madvise(HOT_RUNTIME)`: see [`Advice::HotRuntime`].
-    #[deprecated(since = "0.2.0", note = "use `madvise(pid, base, len, Advice::HotRuntime)`")]
-    pub fn madvise_hot(&mut self, pid: Pid, base: u64, len: u64) -> u64 {
-        self.madvise(pid, base, len, Advice::HotRuntime)
-    }
-
     /// Prefetches swapped pages of several ranges back into DRAM in one
     /// batched operation (ASAP-style prepaging: the whole set is issued as
     /// one queued I/O, paying the setup latency once). Returns
@@ -1165,12 +1385,25 @@ impl MemoryManager {
     pub fn prefetch_many(&mut self, pid: Pid, ranges: &[(u64, u64)]) -> (u64, SimDuration) {
         let mut anon = 0u64;
         let mut file = 0u64;
+        let mut degraded = SimDuration::ZERO;
         'outer: for &(base, len) in ranges {
             for index in pages_in_range(base, len) {
                 let key = PageKey { pid, index };
                 let Some(e) = self.entry(key) else { continue };
                 if e.is_resident() {
                     continue;
+                }
+                if self.swap.fault_active() {
+                    match self.roll_read_fault(pid, index) {
+                        ReadRoll::Ok { extra, .. } => degraded += extra,
+                        // Prefetch is advisory: an unreadable page is simply
+                        // skipped (it stays swapped and will be handled by
+                        // the demand-fault path later).
+                        ReadRoll::Failed { extra, .. } => {
+                            degraded += extra;
+                            continue;
+                        }
+                    }
                 }
                 if self.take_frame().is_err() {
                     break 'outer;
@@ -1183,7 +1416,7 @@ impl MemoryManager {
                     anon += 1;
                 }
                 let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, is_file) };
-                self.table_mut(pid).expect("prefetched page has a table").set_resident(index, node);
+                self.table_expect(pid, index, "prefetch").set_resident(index, node);
                 self.resident_count += 1;
                 audit!(
                     self,
@@ -1195,7 +1428,7 @@ impl MemoryManager {
                 );
             }
         }
-        let latency = self.swap.read_pages(anon) + self.file_read_cost(file);
+        let latency = self.swap.read_pages(anon) + self.file_read_cost(file) + degraded;
         (anon + file, latency)
     }
 
@@ -1212,11 +1445,22 @@ impl MemoryManager {
         len: u64,
     ) -> Result<(u64, SimDuration), MmError> {
         let mut batch = 0;
+        let mut degraded = SimDuration::ZERO;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
             let Some(e) = self.entry(key) else { continue };
             if e.is_resident() {
                 continue;
+            }
+            if self.swap.fault_active() {
+                match self.roll_read_fault(pid, index) {
+                    ReadRoll::Ok { extra, .. } => degraded += extra,
+                    // Advisory: skip unreadable pages, never fail the batch.
+                    ReadRoll::Failed { extra, .. } => {
+                        degraded += extra;
+                        continue;
+                    }
+                }
             }
             self.take_frame()?;
             let file = e.is_file();
@@ -1224,12 +1468,12 @@ impl MemoryManager {
                 self.swap.release_page();
             }
             let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, file) };
-            self.table_mut(pid).expect("prefetched page has a table").set_resident(index, node);
+            self.table_expect(pid, index, "prefetch").set_resident(index, node);
             self.resident_count += 1;
             batch += 1;
             audit!(self, fleet_audit::AuditEvent::PagePrefetched { pid: pid.0, page: index, file });
         }
-        let latency = self.swap.read_pages(batch);
+        let latency = self.swap.read_pages(batch) + degraded;
         Ok((batch, latency))
     }
 
@@ -1437,17 +1681,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_work() {
-        #![allow(deprecated)]
-        let mut mm = mm_with_frames(8, 8);
-        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
-        assert_eq!(mm.madvise_hot(Pid(1), 0, PAGE_SIZE), 1);
-        assert_eq!(mm.madvise_cold(Pid(1), 0, 2 * PAGE_SIZE), 2);
-        assert_eq!(mm.process_mem(Pid(1)).swapped, 2);
-        mm.validate();
-    }
-
-    #[test]
     fn kswapd_restores_watermark() {
         let mut mm = MemoryManager::new(MmConfig {
             dram_bytes: 10 * PAGE_SIZE,
@@ -1575,6 +1808,145 @@ mod tests {
         mm.validate();
         assert!(!mm.is_resident(Pid(1), native));
         assert_eq!(mm.process_mem(Pid(1)).resident, 8);
+    }
+
+    // ----------------------------------------------------- fault injection
+
+    use crate::fault::FaultConfig;
+
+    fn arm(mm: &mut MemoryManager, seed: u64, config: FaultConfig) {
+        mm.install_fault_plan(FaultPlan::new(seed, config));
+    }
+
+    #[test]
+    fn quiet_plan_changes_nothing() {
+        let scenario = |mm: &mut MemoryManager| {
+            mm.map_range(Pid(1), 0, 6 * PAGE_SIZE).unwrap();
+            mm.access(Pid(1), 0, 6 * PAGE_SIZE, AccessKind::Launch)
+        };
+        let mut plain = mm_with_frames(4, 8);
+        let mut quiet = mm_with_frames(4, 8);
+        quiet.install_fault_plan(FaultPlan::default());
+        assert!(!quiet.fault_active());
+        let a = scenario(&mut plain);
+        let b = scenario(&mut quiet);
+        assert_eq!(a, b);
+        assert_eq!(plain.stats(), quiet.stats());
+        assert_eq!(b.retries, 0);
+        assert_eq!(b.degraded_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transient_read_errors_exhaust_the_retry_budget() {
+        let mut mm = mm_with_frames(2, 8);
+        mm.map_range(Pid(1), 0, 3 * PAGE_SIZE).unwrap(); // page 0 swapped
+        arm(&mut mm, 7, FaultConfig { read_transient_rate: 1.0, ..FaultConfig::default() });
+        let out = mm.access(Pid(1), 0, 1, AccessKind::Launch);
+        // Every roll is transient: FAULT_RETRY_MAX bounded retries, then the
+        // anon page is declared lost and the owner must die — no spin.
+        assert_eq!(out.retries, FAULT_RETRY_MAX as u64);
+        assert!(out.killed, "unreadable anon page must report the kill");
+        assert!(!out.oom);
+        assert!(out.degraded_latency > SimDuration::ZERO);
+        assert_eq!(mm.stats().fault_retries, FAULT_RETRY_MAX as u64);
+        assert_eq!(mm.stats().swap_read_errors, 1);
+        assert_eq!(mm.stats().pages_lost, 1);
+        // The page stays swapped (slot retained) until the kill unmaps it.
+        assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Swapped));
+        mm.validate();
+        assert_eq!(mm.unmap_process(Pid(1)), 2);
+        assert_eq!(mm.swap().used_pages(), 0);
+        mm.validate();
+    }
+
+    #[test]
+    fn permanent_read_error_on_file_page_discards_and_refaults() {
+        let mut mm = mm_with_frames(8, 8);
+        mm.map_range_kind(Pid(1), 0, 2 * PAGE_SIZE, PageKind::File).unwrap();
+        mm.madvise(Pid(1), 0, PAGE_SIZE, Advice::ColdRuntime); // drop page 0
+        arm(&mut mm, 11, FaultConfig { read_permanent_rate: 1.0, ..FaultConfig::default() });
+        let out = mm.access(Pid(1), 0, 1, AccessKind::Launch);
+        // Clean file page: the failing copy is discarded and re-read from
+        // the file — degraded, but never lost and never fatal.
+        assert!(!out.killed);
+        assert_eq!(out.faulted_pages, 1);
+        assert!(out.retries >= 1);
+        assert!(out.degraded_latency > SimDuration::ZERO);
+        assert_eq!(mm.stats().swap_read_errors, 1);
+        assert_eq!(mm.stats().pages_lost, 0);
+        assert_eq!(mm.page_state(PageKey { pid: Pid(1), index: 0 }), Some(PageState::Resident));
+        mm.validate();
+    }
+
+    #[test]
+    fn latency_spikes_degrade_but_never_fail() {
+        let spike = SimDuration::from_millis(30);
+        let mut mm = mm_with_frames(2, 8);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap(); // pages 0,1 swapped
+        arm(
+            &mut mm,
+            13,
+            FaultConfig { latency_spike_rate: 1.0, latency_spike: spike, ..FaultConfig::default() },
+        );
+        let out = mm.access(Pid(1), 0, 2 * PAGE_SIZE, AccessKind::Launch);
+        assert!(!out.killed && !out.oom);
+        assert_eq!(out.faulted_pages, 2);
+        assert_eq!(out.retries, 0);
+        // One spike per faulted page, fully accounted inside latency.
+        assert_eq!(out.degraded_latency, spike * 2);
+        assert!(out.latency > out.degraded_latency);
+        mm.validate();
+    }
+
+    #[test]
+    fn write_back_failures_leave_no_page_lost() {
+        let mut mm = mm_with_frames(4, 16);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        arm(&mut mm, 17, FaultConfig { write_error_rate: 1.0, ..FaultConfig::default() });
+        // Every anon write-back fails and there are no file pages to fall
+        // back on: the mapping attempt surfaces OOM instead of spinning or
+        // corrupting state, and every already-mapped page survives.
+        let err = mm.map_range(Pid(2), 0, PAGE_SIZE);
+        assert_eq!(err, Err(MmError::OutOfMemory));
+        assert!(mm.stats().swap_write_errors >= 1);
+        assert_eq!(mm.stats().pages_swapped_out, 0);
+        assert_eq!(mm.process_mem(Pid(1)).resident, 4);
+        mm.validate();
+    }
+
+    #[test]
+    fn incompressible_zram_pressure_stays_consistent() {
+        let mut mm = MemoryManager::new(MmConfig {
+            dram_bytes: 4 * PAGE_SIZE,
+            swap: SwapConfig::zram(16 * PAGE_SIZE, 2.0),
+            low_watermark_frames: 0,
+            high_watermark_frames: 0,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 200, // always prefer anon so zram is exercised
+        });
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        arm(&mut mm, 19, FaultConfig { compress_fail_rate: 1.0, ..FaultConfig::default() });
+        // Every store is incompressible (net-zero eviction). take_frame must
+        // keep evicting until it either frees a frame or honestly reports
+        // OOM — and the books must balance either way.
+        let _ = mm.map_range(Pid(1), 4 * PAGE_SIZE, PAGE_SIZE);
+        mm.validate();
+    }
+
+    #[test]
+    fn prefetch_skips_unreadable_pages() {
+        let mut mm = mm_with_frames(8, 8);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.madvise(Pid(1), 0, 2 * PAGE_SIZE, Advice::ColdRuntime);
+        arm(&mut mm, 23, FaultConfig { read_permanent_rate: 1.0, ..FaultConfig::default() });
+        let (pages, _latency) = mm.prefetch_many(Pid(1), &[(0, 4 * PAGE_SIZE)]);
+        // Advisory path: both swapped pages are unreadable and skipped; the
+        // demand-fault path deals with them later.
+        assert_eq!(pages, 0);
+        assert_eq!(mm.process_mem(Pid(1)).swapped, 2);
+        assert_eq!(mm.stats().swap_read_errors, 2);
+        mm.validate();
     }
 
     #[test]

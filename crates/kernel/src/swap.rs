@@ -5,6 +5,7 @@
 //! partition — a ~452× gap. Those two constants are the defaults here and
 //! drive every page-fault latency in the simulation.
 
+use crate::fault::{FaultPlan, ReadFault};
 use crate::page::PAGE_SIZE;
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,44 @@ impl SwapConfig {
     }
 }
 
+/// One completed swap operation: how much moved, what it cost, and how much
+/// of that cost was injected degradation (latency spikes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwapOp {
+    /// Pages transferred.
+    pub pages: u64,
+    /// Total stall charged to the caller (transfer + any spike).
+    pub latency: SimDuration,
+    /// The injected-spike share of `latency` (zero on a clean op).
+    pub degraded: SimDuration,
+}
+
+/// Why a swap operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// A transient I/O error: the same operation may succeed on retry.
+    TransientIo,
+    /// A permanent media error: retrying cannot help. For a file-backed
+    /// page the caller refaults from the original file; for an anonymous
+    /// page the data is lost and the owning process must die.
+    PermanentIo,
+    /// No slot is free — either the device is genuinely full or an injected
+    /// exhaustion window refused the reservation.
+    Full,
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::TransientIo => write!(f, "transient swap I/O error"),
+            SwapError::PermanentIo => write!(f, "permanent swap I/O error"),
+            SwapError::Full => write!(f, "swap device full"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
 /// The swap partition: a capacity-limited store with asymmetric read/write
 /// cost.
 ///
@@ -93,17 +132,49 @@ pub struct SwapDevice {
     used_pages: u64,
     total_pages_written: u64,
     total_pages_read: u64,
+    /// Deterministic fault schedule; a quiet default plan until one is
+    /// installed, so plain devices never inject anything.
+    fault: FaultPlan,
+    /// Zram only: stored pages that failed compression and occupy a full
+    /// frame each. Always `<= used_pages`.
+    raw_pages: u64,
 }
 
 impl SwapDevice {
-    /// Creates an empty swap device.
+    /// Creates an empty swap device (quiet fault plan: nothing injected).
     pub fn new(config: SwapConfig) -> Self {
-        SwapDevice { config, used_pages: 0, total_pages_written: 0, total_pages_read: 0 }
+        SwapDevice {
+            config,
+            used_pages: 0,
+            total_pages_written: 0,
+            total_pages_read: 0,
+            fault: FaultPlan::default(),
+            raw_pages: 0,
+        }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &SwapConfig {
         &self.config
+    }
+
+    /// Installs (arms) a fault plan. Replacing the plan mid-run resets its
+    /// stream position.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// True when an armed (non-quiet) fault plan can inject faults. The
+    /// degradation machinery in the memory manager and device layers is
+    /// gated on this so quiet runs stay bit-identical to fault-free builds.
+    pub fn fault_active(&self) -> bool {
+        !self.fault.is_quiet()
+    }
+
+    /// The installed fault plan (decision stream for callers that roll
+    /// per-page fates, e.g. the memory manager's fault-in path).
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.fault
     }
 
     /// Capacity in pages.
@@ -137,6 +208,68 @@ impl SwapDevice {
         true
     }
 
+    /// Reserves a slot through the fault plan: an armed plan may refuse the
+    /// reservation (injected exhaustion window) or store the page raw on a
+    /// zram device (compression failure).
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::Full`] when no slot is free or the reservation was
+    /// refused by an injected exhaustion window.
+    pub fn try_reserve(&mut self) -> Result<(), SwapError> {
+        if self.is_full() {
+            return Err(SwapError::Full);
+        }
+        if self.fault.reserve_fault() {
+            return Err(SwapError::Full);
+        }
+        let raw =
+            matches!(self.config.medium, SwapMedium::Zram { .. }) && self.fault.compress_fault();
+        let reserved = self.reserve_page();
+        debug_assert!(reserved, "fullness checked above");
+        if raw {
+            self.raw_pages += 1;
+        }
+        Ok(())
+    }
+
+    /// Decides the fate of one write-back through the fault plan (quiet
+    /// plans never fail). On error the caller must leave the victim page
+    /// resident.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::TransientIo`] when the injected write-back fails.
+    pub fn try_write(&mut self, n: u64) -> Result<SwapOp, SwapError> {
+        if self.fault.write_fault() {
+            return Err(SwapError::TransientIo);
+        }
+        Ok(SwapOp { pages: n, latency: self.write_cost(n), degraded: SimDuration::ZERO })
+    }
+
+    /// Reads `n` pages through the fault plan: an armed plan may fail the
+    /// operation or stretch it with a device-internal GC pause.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::TransientIo`] (retry may help) or
+    /// [`SwapError::PermanentIo`] (it will not).
+    pub fn try_read(&mut self, n: u64) -> Result<SwapOp, SwapError> {
+        if n == 0 {
+            return Ok(SwapOp::default());
+        }
+        match self.fault.read_fault() {
+            Some(ReadFault::Permanent) => Err(SwapError::PermanentIo),
+            Some(ReadFault::Transient) => Err(SwapError::TransientIo),
+            Some(ReadFault::Spike(extra)) => {
+                Ok(SwapOp { pages: n, latency: self.read_pages(n) + extra, degraded: extra })
+            }
+            None => {
+                Ok(SwapOp { pages: n, latency: self.read_pages(n), degraded: SimDuration::ZERO })
+            }
+        }
+    }
+
     /// Releases a slot (page faulted back in or unmapped while swapped).
     ///
     /// # Panics
@@ -145,6 +278,10 @@ impl SwapDevice {
     pub fn release_page(&mut self) {
         assert!(self.used_pages > 0, "releasing a page from an empty swap device");
         self.used_pages -= 1;
+        // Raw-stored pages are not tracked per slot; clamping keeps the
+        // count consistent (releases are attributed to compressed slots
+        // first, a deterministic approximation documented in DESIGN.md §9).
+        self.raw_pages = self.raw_pages.min(self.used_pages);
     }
 
     /// Latency of reading `n` pages back from the device (one operation:
@@ -183,13 +320,21 @@ impl SwapDevice {
         (self.total_pages_written + self.total_pages_read) * PAGE_SIZE
     }
 
+    /// Zram only: stored pages that failed compression and occupy a full
+    /// frame each.
+    pub fn raw_pages(&self) -> u64 {
+        self.raw_pages
+    }
+
     /// DRAM frames consumed by the stored pages: zero for flash, the
-    /// compressed size for zram.
+    /// compressed size for zram. Incompressible pages (injected compression
+    /// failures) are charged a full frame each.
     pub fn frames_consumed(&self) -> u64 {
         match self.config.medium {
             SwapMedium::Flash => 0,
             SwapMedium::Zram { compression_ratio } => {
-                (self.used_pages as f64 / compression_ratio).ceil() as u64
+                let compressed = self.used_pages - self.raw_pages;
+                (compressed as f64 / compression_ratio).ceil() as u64 + self.raw_pages
             }
         }
     }
@@ -274,5 +419,70 @@ mod tests {
     #[should_panic(expected = "pointless")]
     fn zram_ratio_must_exceed_one() {
         SwapConfig::zram(1024, 0.9);
+    }
+
+    #[test]
+    fn quiet_try_ops_match_infallible_ops() {
+        let mut a = SwapDevice::new(SwapConfig::default());
+        let mut b = SwapDevice::new(SwapConfig::default());
+        assert!(a.try_reserve().is_ok());
+        assert!(b.reserve_page());
+        assert_eq!(a.used_pages(), b.used_pages());
+        let op = a.try_read(5).expect("quiet reads never fail");
+        assert_eq!(op.latency, b.read_pages(5));
+        assert_eq!(op.degraded, SimDuration::ZERO);
+        let w = a.try_write(3).expect("quiet writes never fail");
+        assert_eq!(w.latency, b.write_cost(3));
+    }
+
+    #[test]
+    fn armed_plan_injects_read_errors_and_spikes() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut swap = SwapDevice::new(SwapConfig::default());
+        swap.install_fault_plan(FaultPlan::new(
+            1,
+            FaultConfig { read_transient_rate: 1.0, ..FaultConfig::default() },
+        ));
+        assert!(swap.fault_active());
+        assert_eq!(swap.try_read(1), Err(SwapError::TransientIo));
+
+        swap.install_fault_plan(FaultPlan::new(
+            1,
+            FaultConfig { latency_spike_rate: 1.0, ..FaultConfig::default() },
+        ));
+        let clean = SwapDevice::new(SwapConfig::default()).read_pages(1);
+        let op = swap.try_read(1).expect("spikes still succeed");
+        assert_eq!(op.latency, clean + op.degraded);
+        assert!(op.degraded > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn injected_exhaustion_refuses_despite_capacity() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut swap = SwapDevice::new(SwapConfig::default());
+        swap.install_fault_plan(FaultPlan::new(
+            2,
+            FaultConfig { slot_exhaustion_rate: 1.0, ..FaultConfig::default() },
+        ));
+        assert_eq!(swap.try_reserve(), Err(SwapError::Full));
+        assert_eq!(swap.used_pages(), 0);
+        assert!(!swap.is_full());
+    }
+
+    #[test]
+    fn incompressible_pages_consume_full_frames() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut zram = SwapDevice::new(SwapConfig::zram(1024 * 1024 * 1024, 2.0));
+        zram.install_fault_plan(FaultPlan::new(
+            3,
+            FaultConfig { compress_fail_rate: 1.0, ..FaultConfig::default() },
+        ));
+        for _ in 0..10 {
+            zram.try_reserve().expect("capacity remains");
+        }
+        assert_eq!(zram.raw_pages(), 10);
+        assert_eq!(zram.frames_consumed(), 10); // raw: no 2:1 benefit
+        zram.release_page();
+        assert_eq!(zram.raw_pages(), 9);
     }
 }

@@ -89,3 +89,62 @@ fn different_seeds_produce_different_event_streams() {
     let b = run_scenario(SchemeKind::Fleet, 202);
     assert_ne!(a.1, b.1, "seeds must shape the scenario and its trace");
 }
+
+/// Like [`run_scenario`], but against a flaky flash device: launches may
+/// fail with SIGBUS kills mid-scenario (tolerated via `try_switch_to`),
+/// and the fifth invariant family (SwapIoError / FaultRetry / LmkKill /
+/// EvacAbort) is live. The auditor must stay clean and the stream must
+/// still hash deterministically.
+fn run_faulty_scenario(scheme: SchemeKind, seed: u64, intensity: f64) -> (u64, u64) {
+    use fleet_kernel::FaultConfig;
+    let pipeline = shared_pipeline();
+    let _guard = install(pipeline.clone());
+    let config = fleet::DeviceConfig::builder(scheme)
+        .seed(seed)
+        .fault(FaultConfig::flaky_flash(intensity))
+        .build()
+        .unwrap();
+    let mut dev = Device::try_new(config).unwrap();
+    let mut script = Script(seed ^ 0xFA17);
+    for _ in 0..30 {
+        match script.below(10) {
+            0..=3 => {
+                let app = profile_by_name(APPS[script.below(APPS.len() as u64) as usize]).unwrap();
+                dev.launch_cold(&app);
+            }
+            4..=6 => {
+                let alive = dev.alive();
+                if !alive.is_empty() {
+                    let pid = alive[script.below(alive.len() as u64) as usize];
+                    if dev.foreground() != Some(pid) {
+                        // A SIGBUS mid-launch is a legal degraded outcome.
+                        let _ = dev.try_switch_to(pid);
+                    }
+                }
+            }
+            7 => {
+                let alive = dev.alive();
+                if !alive.is_empty() {
+                    dev.kill(alive[script.below(alive.len() as u64) as usize]);
+                }
+            }
+            _ => dev.run(1 + script.below(5)),
+        }
+    }
+    drop(dev);
+    let pipe = pipeline.lock().unwrap();
+    assert_eq!(pipe.auditor().violations(), 0, "auditor must stay clean under faults");
+    assert!(pipe.recorder().event_count() > 0, "scenario must record events");
+    (pipe.recorder().event_count(), pipe.recorder().hash())
+}
+
+#[test]
+fn faulty_scenarios_audit_clean_and_hash_deterministically() {
+    for scheme in SchemeKind::ALL {
+        let first = run_faulty_scenario(scheme, 3, 0.05);
+        let second = run_faulty_scenario(scheme, 3, 0.05);
+        assert_eq!(first, second, "{scheme}: faulty event stream must be deterministic");
+    }
+    // A harsh plan must degrade, not panic or corrupt shadow state.
+    run_faulty_scenario(SchemeKind::Fleet, 9, 0.4);
+}

@@ -6,6 +6,7 @@
 
 use fleet::{Device, DeviceConfig, SchemeKind};
 use fleet_apps::{profile_by_name, synthetic_app};
+use fleet_kernel::FaultConfig;
 
 /// A condensed fingerprint of a device run.
 fn fingerprint(scheme: SchemeKind, seed: u64) -> String {
@@ -48,6 +49,90 @@ fn different_seeds_diverge() {
     let a = fingerprint(SchemeKind::Fleet, 1);
     let b = fingerprint(SchemeKind::Fleet, 2);
     assert_ne!(a, b, "seeds must matter (launch jitter, graph shapes)");
+}
+
+/// Like [`fingerprint`], but under an armed fault plan: launches may fail
+/// (SIGBUS mid-launch) and the fingerprint additionally pins the
+/// degradation counters.
+fn faulty_fingerprint(scheme: SchemeKind, seed: u64, intensity: f64) -> String {
+    let config = DeviceConfig::builder(scheme)
+        .seed(seed)
+        .fault(FaultConfig::flaky_flash(intensity))
+        .build()
+        .unwrap();
+    let mut dev = Device::try_new(config).unwrap();
+    let (a, _) = dev.launch_cold(&profile_by_name("Twitter").unwrap());
+    dev.run(8);
+    let (b, _) = dev.launch_cold(&profile_by_name("Youtube").unwrap());
+    dev.run(20);
+    let hot_a = dev.try_switch_to(a);
+    dev.run(8);
+    let hot_b = dev.try_switch_to(b);
+    dev.run(4);
+    let mm = dev.mm();
+    format!(
+        "{:?}|{:?}|faults={} retries={} read_errs={} write_errs={} lost={} \
+         sigbus={} lmk={} esc={} map_fail={} frames={} kills={} t={}",
+        hot_a,
+        hot_b,
+        mm.stats().faults,
+        mm.stats().fault_retries,
+        mm.stats().swap_read_errors,
+        mm.stats().swap_write_errors,
+        mm.stats().pages_lost,
+        dev.sigbus_kills(),
+        dev.lmkd().total_kills(),
+        dev.lmkd().escalations(),
+        dev.map_failures(),
+        mm.used_frames(),
+        dev.kills().len(),
+        dev.now(),
+    )
+}
+
+#[test]
+fn armed_fault_plans_are_deterministic_and_never_panic() {
+    for scheme in SchemeKind::ALL {
+        let a = faulty_fingerprint(scheme, 42, 0.05);
+        let b = faulty_fingerprint(scheme, 42, 0.05);
+        assert_eq!(a, b, "{scheme} under faults must be deterministic");
+    }
+    // A harsher plan still completes without panicking.
+    let _ = faulty_fingerprint(SchemeKind::Fleet, 7, 0.5);
+}
+
+#[test]
+fn quiet_fault_plan_is_bit_identical_to_no_plan() {
+    // FaultConfig::default() must not change a single observable byte —
+    // the property the golden-trace gate rests on.
+    let quiet = {
+        let config = DeviceConfig::builder(SchemeKind::Fleet)
+            .seed(42)
+            .fault(FaultConfig::default())
+            .build()
+            .unwrap();
+        assert!(config.fault.is_quiet());
+        config
+    };
+    let mut dev = Device::try_new(quiet).unwrap();
+    let (a, _) = dev.launch_cold(&profile_by_name("Twitter").unwrap());
+    dev.run(10);
+    let hot = dev.switch_to(a);
+    let with_plan = format!("{:?}|{}|{}", hot, dev.mm().stats().faults, dev.mm().used_frames());
+    assert_eq!(dev.sigbus_kills(), 0);
+    assert_eq!(dev.mm().stats().fault_retries, 0);
+
+    let mut dev2 = Device::new({
+        let mut c = DeviceConfig::pixel3(SchemeKind::Fleet);
+        c.seed = 42;
+        c
+    });
+    let (a2, _) = dev2.launch_cold(&profile_by_name("Twitter").unwrap());
+    dev2.run(10);
+    let hot2 = dev2.switch_to(a2);
+    let without_plan =
+        format!("{:?}|{}|{}", hot2, dev2.mm().stats().faults, dev2.mm().used_frames());
+    assert_eq!(with_plan, without_plan, "quiet plan diverged from plan-free device");
 }
 
 #[test]
