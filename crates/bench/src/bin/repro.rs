@@ -3,19 +3,27 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--export DIR] [--threads N] [--list]
-//!       [SELECTOR ...]
+//! repro [--quick] [--seed N] [--export DIR] [--trace DIR] [--threads N]
+//!       [--list] [SELECTOR ...]
 //! ```
 //!
 //! A `SELECTOR` is an experiment id (`fig13`), an alias (`fig15`, `cdf`),
 //! a driver module (`hot_launch`), or a glob over those (`fig1*`);
 //! comma-separated lists work too (`repro hot_launch,fig11*`). With no
-//! selector, `all` runs the full registry. `--list` prints the id table.
+//! selector, `all` runs the full registry. `--list` prints the id table
+//! with each experiment's one-line description.
 //!
 //! Experiments run in parallel (`--threads`, default: the machine's
 //! parallelism). Each experiment's RNG seed is derived from `--seed` and
 //! its id, so output — including `--export DIR` JSON, one file per
 //! artifact — is bit-identical whatever the thread count.
+//!
+//! `--trace DIR` profiles each selected experiment: it runs sequentially
+//! on the main thread under an installed observability pipeline and writes
+//! `<id>.trace.json` (Chrome trace-event JSON; load it at
+//! <https://ui.perfetto.dev>) plus `<id>.metrics.json` (counters, latency
+//! histograms, time series) per experiment. Each trace is schema-validated
+//! before it is written; a validation failure fails the run.
 //!
 //! Each section prints the simulator's measurement next to the paper's
 //! reported value. Absolute numbers are not expected to match (the
@@ -32,6 +40,7 @@ struct Opts {
     seed: u64,
     what: Vec<String>,
     export: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
     threads: usize,
     list: bool,
 }
@@ -43,7 +52,8 @@ fn default_threads() -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--export DIR] [--threads N] [--list] [SELECTOR ...]"
+        "usage: repro [--quick] [--seed N] [--export DIR] [--trace DIR] [--threads N] [--list] \
+         [SELECTOR ...]"
     );
     std::process::exit(2);
 }
@@ -54,6 +64,7 @@ fn parse_args() -> Opts {
         seed: 0xF1EE7,
         what: Vec::new(),
         export: None,
+        trace: None,
         threads: default_threads(),
         list: false,
     };
@@ -79,6 +90,10 @@ fn parse_args() -> Opts {
                 let dir = args.next().unwrap_or_else(|| usage_error("--export needs a directory"));
                 opts.export = Some(std::path::PathBuf::from(dir));
             }
+            "--trace" => {
+                let dir = args.next().unwrap_or_else(|| usage_error("--trace needs a directory"));
+                opts.trace = Some(std::path::PathBuf::from(dir));
+            }
             other if other.starts_with('-') => usage_error(&format!("unknown flag `{other}`")),
             other => {
                 opts.what.extend(other.split(',').filter(|s| !s.is_empty()).map(|s| s.to_string()))
@@ -92,16 +107,69 @@ fn parse_args() -> Opts {
 }
 
 fn print_registry() {
-    let mut t = Table::new(["Id", "Aliases", "Module", "Title"]);
+    let mut t = Table::new(["Id", "Aliases", "Title"]);
     for exp in harness::REGISTRY {
-        t.row([
-            exp.id().to_string(),
-            exp.aliases().join(", "),
-            exp.module().to_string(),
-            exp.title().to_string(),
-        ]);
+        t.row([exp.id().to_string(), exp.aliases().join(", "), exp.title().to_string()]);
+        t.row([String::new(), String::new(), format!("  {}", exp.description())]);
     }
     print!("{t}");
+}
+
+/// Runs `selected` sequentially on this thread under an installed
+/// observability pipeline (and, with the `audit` feature, an audit
+/// pipeline), writing a validated `<id>.trace.json` and `<id>.metrics.json`
+/// per experiment into `dir`.
+fn run_traced(
+    selected: &[&'static dyn harness::Experiment],
+    opts: &Opts,
+    dir: &std::path::Path,
+) -> Vec<harness::RunReport> {
+    use std::time::Instant;
+    let mut reports = Vec::new();
+    for exp in selected {
+        let pipeline = fleet::obs::shared_pipeline();
+        #[cfg(feature = "audit")]
+        let audit_pipeline = fleet::audit::shared_pipeline();
+        let start = Instant::now();
+        let result = {
+            let _obs = fleet::obs::install(pipeline.clone());
+            #[cfg(feature = "audit")]
+            let _audit = fleet::audit::install(audit_pipeline.clone());
+            let ctx = harness::ExperimentCtx {
+                seed: harness::derive_seed(opts.seed, exp.id()),
+                quick: opts.quick,
+            };
+            exp.run(&ctx)
+        };
+        let elapsed = start.elapsed();
+        eprintln!("done {:<18} ({:.1}s, traced)", exp.id(), elapsed.as_secs_f64());
+        let result = result.and_then(|output| {
+            let p = pipeline.lock().expect("obs pipeline poisoned");
+            let trace = p.trace_json();
+            let metrics = p.metrics_json();
+            drop(p);
+            let summary = fleet::obs::validate_chrome_trace(&trace).map_err(|e| {
+                fleet::FleetError::InvalidConfig(format!("{}: invalid trace: {e}", exp.id()))
+            })?;
+            let trace_path = dir.join(format!("{}.trace.json", exp.id()));
+            let metrics_path = dir.join(format!("{}.metrics.json", exp.id()));
+            std::fs::write(&trace_path, &trace)
+                .and_then(|()| std::fs::write(&metrics_path, &metrics))
+                .map_err(|e| {
+                    fleet::FleetError::InvalidConfig(format!("{}: write failed: {e}", exp.id()))
+                })?;
+            println!(
+                "[traced {} — {} spans on {} tracks, {}]",
+                exp.id(),
+                summary.spans,
+                summary.tracks,
+                trace_path.display()
+            );
+            Ok(output)
+        });
+        reports.push(harness::RunReport { id: exp.id(), title: exp.title(), result, elapsed });
+    }
+    reports
 }
 
 fn main() {
@@ -125,8 +193,19 @@ fn main() {
             usage_error(&format!("cannot create export dir {}: {e}", dir.display()));
         }
     }
+    if let Some(dir) = &opts.trace {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            usage_error(&format!("cannot create trace dir {}: {e}", dir.display()));
+        }
+    }
 
-    let reports = harness::run_experiments(&selected, opts.seed, opts.quick, opts.threads, true);
+    // Tracing installs a thread-local pipeline, so traced runs go inline on
+    // this thread; the parallel pool keeps its run_experiments determinism
+    // contract either way (seeds derive from --seed and the id alone).
+    let reports = match &opts.trace {
+        Some(dir) => run_traced(&selected, &opts, dir),
+        None => harness::run_experiments(&selected, opts.seed, opts.quick, opts.threads, true),
+    };
 
     let mut failed = false;
     for report in &reports {

@@ -21,6 +21,9 @@
 //! * **gc** — a full tracing collection over a deterministic object graph.
 //! * **figures** — wall-clock for the fig2 / fig5 / fig11 experiment
 //!   drivers, end to end through the registry harness.
+//! * **obs_overhead** — the fig2 driver inline with and without an
+//!   installed observability pipeline; the zero-cost-when-idle contract's
+//!   acceptance bar is <10% overhead with tracing live.
 //!
 //! `--quick` shrinks workloads for CI smoke runs; `--check` validates an
 //! existing report against the schema (exit 1 on mismatch) instead of
@@ -52,6 +55,7 @@ struct Report {
     kernel: KernelBench,
     gc: GcBench,
     figures: Figures,
+    obs_overhead: ObsOverhead,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -88,6 +92,17 @@ struct Figures {
     fig2_ms: f64,
     fig5_ms: f64,
     fig11_ms: f64,
+}
+
+/// Cost of live tracing on the fig2 hot-launch path. Both sides compile
+/// the obs layer in; `enabled` installs a fresh pipeline per round.
+#[derive(Serialize, Deserialize)]
+struct ObsOverhead {
+    fig2_disabled_ms: f64,
+    fig2_enabled_ms: f64,
+    /// `(enabled - disabled) / disabled`, percent. May go slightly
+    /// negative from timer noise on a quiet path.
+    overhead_pct: f64,
 }
 
 // ------------------------------------------------------------- timing core
@@ -319,6 +334,43 @@ fn run_figures(quick: bool) -> Figures {
     Figures { fig2_ms: fig_ms("fig2"), fig5_ms: fig_ms("fig5"), fig11_ms: fig_ms("fig11") }
 }
 
+/// Times the fig2 driver inline on this thread (installed pipelines are
+/// thread-local, so the harness's worker pool would shed them). Traced and
+/// untraced rounds interleave so clock-speed drift over the measurement
+/// window lands on both sides equally; each side keeps its best round.
+fn run_obs_overhead(quick: bool) -> ObsOverhead {
+    let selected = harness::select(&["fig2".to_string()]).expect("registry id");
+    let exp = selected[0];
+    let ctx = harness::ExperimentCtx { seed: harness::derive_seed(0xF1EE7, exp.id()), quick };
+    let plain = || {
+        exp.run(&ctx).expect("fig2 runs");
+    };
+    let traced = || {
+        // A fresh pipeline per round: steady-state recording cost, not the
+        // cost of appending to an ever-growing span vector.
+        let _guard = fleet::obs::install(fleet::obs::shared_pipeline());
+        exp.run(&ctx).expect("fig2 runs");
+    };
+    plain();
+    traced();
+    let rounds = if quick { 2 } else { 5 };
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        plain();
+        disabled = disabled.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        traced();
+        enabled = enabled.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    ObsOverhead {
+        fig2_disabled_ms: disabled,
+        fig2_enabled_ms: enabled,
+        overhead_pct: (enabled - disabled) / disabled * 100.0,
+    }
+}
+
 // ---------------------------------------------------------------- driver
 
 fn run(quick: bool) -> Report {
@@ -377,8 +429,11 @@ fn run(quick: bool) -> Report {
     eprintln!("figures: fig2 / fig5 / fig11 end to end…");
     let figures = run_figures(quick);
 
+    eprintln!("obs overhead: fig2 with tracing off / on…");
+    let obs_overhead = run_obs_overhead(quick);
+
     let mut report = Report {
-        schema_version: 1,
+        schema_version: 2,
         quick,
         microbench: Microbench { lru, page_table },
         kernel: KernelBench {
@@ -387,6 +442,7 @@ fn run(quick: bool) -> Report {
         },
         gc: GcBench { trace_objects: gc_objects, full_gc_ms },
         figures,
+        obs_overhead,
     };
     report.microbench.lru.speedup =
         report.microbench.lru.new_ops_per_sec / report.microbench.lru.baseline_ops_per_sec;
@@ -480,6 +536,12 @@ fn main() {
     println!(
         "Figures:    fig2 {:.0} ms   fig5 {:.0} ms   fig11 {:.0} ms",
         report.figures.fig2_ms, report.figures.fig5_ms, report.figures.fig11_ms
+    );
+    println!(
+        "Obs:        fig2 {:.0} ms untraced   {:.0} ms traced   ({:+.1}% overhead)",
+        report.obs_overhead.fig2_disabled_ms,
+        report.obs_overhead.fig2_enabled_ms,
+        report.obs_overhead.overhead_pct
     );
     println!("wrote {}", out.display());
 }

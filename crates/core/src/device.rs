@@ -130,6 +130,10 @@ pub struct Device {
     /// Mappings abandoned because memory was exhausted with nothing left to
     /// kill (the un-mapped remainder simply never becomes resident).
     map_failures: u64,
+    /// Collections that ran out of copy budget mid-evacuation and degraded
+    /// to an in-place sweep ([`fleet_gc::MemoryTouch::copy_budget`]);
+    /// fault injection only.
+    evac_aborts: u64,
     trace: Option<DeviceTrace>,
     gc_cost: GcCostModel,
     /// PSI-style IO-pressure tracker: EWMA of the fraction of wall time
@@ -147,11 +151,21 @@ pub struct Device {
     /// [`crate::audit::install`] at construction time.
     #[cfg(feature = "audit")]
     audit: Option<DeviceAudit>,
+    /// Tracing hookup, present when a pipeline was installed via
+    /// [`crate::obs::install`] at construction time.
+    #[cfg(feature = "obs")]
+    obs: Option<DeviceObs>,
 }
 
 #[cfg(feature = "audit")]
 struct DeviceAudit {
     pipeline: crate::audit::SharedPipeline,
+    ordinal: u32,
+}
+
+#[cfg(feature = "obs")]
+struct DeviceObs {
+    pipeline: crate::obs::SharedPipeline,
     ordinal: u32,
 }
 
@@ -245,6 +259,7 @@ impl Device {
             oom_touch_skips: 0,
             sigbus_kills: 0,
             map_failures: 0,
+            evac_aborts: 0,
             trace: None,
             gc_cost,
             psi_ewma: 0.0,
@@ -255,6 +270,8 @@ impl Device {
             config,
             #[cfg(feature = "audit")]
             audit: None,
+            #[cfg(feature = "obs")]
+            obs: None,
         };
         if !device.config.fault.is_quiet() {
             let plan = FaultPlan::new(device.config.seed, device.config.fault);
@@ -262,6 +279,8 @@ impl Device {
         }
         #[cfg(feature = "audit")]
         device.attach_audit();
+        #[cfg(feature = "obs")]
+        device.attach_obs();
         Ok(device)
     }
 
@@ -368,6 +387,188 @@ impl Device {
         }
     }
 
+    /// Hooks this device up to the thread's installed observability
+    /// pipeline (if any): registers a device ordinal, names the kernel
+    /// track, and enables the kernel's span log. Per-process heap logs are
+    /// enabled at spawn.
+    #[cfg(feature = "obs")]
+    fn attach_obs(&mut self) {
+        let Some(pipeline) = crate::obs::current() else { return };
+        let ordinal = pipeline.lock().expect("obs pipeline poisoned").attach();
+        self.obs = Some(DeviceObs { pipeline, ordinal });
+        self.mm.obs_log_mut().enable(0);
+        let obs = self.obs.as_ref().expect("just set");
+        obs.pipeline.lock().expect("obs pipeline poisoned").set_track_name(
+            ordinal,
+            0,
+            "kernel (mm)".to_string(),
+        );
+    }
+
+    /// Names the process's trace track and enables its heap span log so GC
+    /// phase spans are recorded from the first collection on.
+    #[cfg(feature = "obs")]
+    fn obs_spawn(&mut self, pid: Pid) {
+        let Some(obs) = self.obs.as_ref() else { return };
+        let name = {
+            let proc = self.procs.get_mut(&pid).expect("alive");
+            proc.heap.obs_log_mut().enable(pid.0);
+            format!("{} (pid {})", proc.name, pid.0)
+        };
+        obs.pipeline.lock().expect("obs pipeline poisoned").set_track_name(
+            obs.ordinal,
+            pid.0,
+            name,
+        );
+    }
+
+    /// Drains the kernel's buffered span records into the tracer, anchored
+    /// at the current virtual time. Heap logs are *not* drained here: GC
+    /// phase spans are placed per-collection by [`Device::obs_gc_span`] so
+    /// they nest under that collection's root span.
+    #[cfg(feature = "obs")]
+    fn obs_flush(&mut self) {
+        if self.obs.is_none() {
+            return;
+        }
+        let records = self.mm.obs_log_mut().drain();
+        if records.is_empty() {
+            return;
+        }
+        let anchor = self.clock.now().as_nanos();
+        let obs = self.obs.as_ref().expect("checked above");
+        obs.pipeline.lock().expect("obs pipeline poisoned").feed_batch(
+            obs.ordinal,
+            anchor,
+            records,
+        );
+    }
+
+    /// Emits one collection's span family onto the app's track: a depth-0
+    /// root span named after the collector, with the phase spans the
+    /// collector pushed into the heap's obs log (`gc_mark` / `gc_copy` /
+    /// `gc_evac_abort`) nested beneath it, plus the GC latency metrics.
+    #[cfg(feature = "obs")]
+    fn obs_gc_span(&mut self, pid: Pid, stats: &GcStats) {
+        if self.obs.is_none() {
+            return;
+        }
+        let mut records = match self.procs.get_mut(&pid) {
+            Some(proc) => proc.heap.obs_log_mut().drain(),
+            None => Vec::new(),
+        };
+        let name = match stats.kind {
+            GcKind::Full => "gc_full",
+            GcKind::Minor => "gc_minor",
+            GcKind::Marvin => "gc_marvin",
+            GcKind::Bgc => "gc_bgc",
+            GcKind::Grouping => "gc_grouping",
+        };
+        let root = fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+            pid: pid.0,
+            name,
+            cat: "gc",
+            depth: 0,
+            rel_start: 0,
+            dur: stats.duration().as_nanos(),
+            args: vec![
+                ("stw_ns", stats.stw.as_nanos()),
+                ("objects_traced", stats.objects_traced),
+                ("bytes_freed", stats.bytes_freed),
+                ("evac_aborted", u64::from(stats.evac_aborted)),
+            ],
+        });
+        records.insert(0, root);
+        let anchor = self.clock.now().as_nanos();
+        let obs = self.obs.as_ref().expect("checked above");
+        let mut pipeline = obs.pipeline.lock().expect("obs pipeline poisoned");
+        pipeline.feed_batch(obs.ordinal, anchor, records);
+        pipeline.latency("gc.stw_ns", stats.stw.as_nanos());
+        pipeline.latency("gc.duration_ns", stats.duration().as_nanos());
+        pipeline.counter_add("gc.collections", 1);
+    }
+
+    /// Emits the hot-launch span family: a root `launch` span of the full
+    /// time-to-first-frame with `cpu` / `fault_in` / `gc_pause` children
+    /// laid end to end — their durations sum *exactly* to the root's, which
+    /// is what the `launch_attribution` experiment decomposes.
+    #[cfg(feature = "obs")]
+    fn obs_launch_span(
+        &mut self,
+        pid: Pid,
+        report: &LaunchReport,
+        cpu: SimDuration,
+        fault_in: SimDuration,
+        gc_pause: SimDuration,
+    ) {
+        let Some(obs) = self.obs.as_ref() else { return };
+        let total = report.total.as_nanos();
+        let faulted = report.faulted_pages;
+        let root_name = match report.kind {
+            LaunchKind::Cold => "launch_cold",
+            LaunchKind::Hot => "launch_hot",
+        };
+        let span =
+            |name: &'static str, depth: u8, rel_start: u64, dur: u64, args: fleet_obs::SpanArgs| {
+                fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                    pid: pid.0,
+                    name,
+                    cat: "launch",
+                    depth,
+                    rel_start,
+                    dur,
+                    args,
+                })
+            };
+        let mut records = vec![span(root_name, 0, 0, total, vec![("faulted_pages", faulted)])];
+        if total > 0 {
+            records.push(span("cpu", 1, 0, cpu.as_nanos(), Vec::new()));
+            records.push(span("fault_in", 1, cpu.as_nanos(), fault_in.as_nanos(), Vec::new()));
+            records.push(span(
+                "gc_pause",
+                1,
+                cpu.as_nanos() + fault_in.as_nanos(),
+                gc_pause.as_nanos(),
+                Vec::new(),
+            ));
+        }
+        let anchor = self.clock.now().as_nanos();
+        let mut pipeline = obs.pipeline.lock().expect("obs pipeline poisoned");
+        pipeline.feed_batch(obs.ordinal, anchor, records);
+        pipeline.latency("launch.total_ns", total);
+        pipeline.latency("launch.fault_in_ns", fault_in.as_nanos());
+        pipeline.latency("launch.gc_ns", gc_pause.as_nanos());
+        pipeline.counter_add("launch.hot", 1);
+    }
+
+    /// Once per one-second slice: drains the kernel span log and samples
+    /// the degradation and occupancy counters onto the metric timeline, so
+    /// `KernelStats` becomes a set of time series in `metrics.json`.
+    #[cfg(feature = "obs")]
+    fn obs_slice_sample(&mut self) {
+        if self.obs.is_none() {
+            return;
+        }
+        self.obs_flush();
+        let now = self.clock.now().as_nanos();
+        let faults = self.mm.stats().faults;
+        let retries = self.mm.stats().fault_retries;
+        let read_errors = self.mm.stats().swap_read_errors;
+        let lost = self.mm.stats().pages_lost;
+        let used = self.mm.used_frames();
+        let swap_used = self.mm.swap().used_pages();
+        let psi_micro = (self.psi_ewma * 1e6) as u64;
+        let obs = self.obs.as_ref().expect("checked above");
+        let mut pipeline = obs.pipeline.lock().expect("obs pipeline poisoned");
+        pipeline.sample("kernel.faults", now, faults);
+        pipeline.sample("kernel.fault_retries", now, retries);
+        pipeline.sample("kernel.swap_read_errors", now, read_errors);
+        pipeline.sample("kernel.pages_lost", now, lost);
+        pipeline.sample("mem.used_frames", now, used);
+        pipeline.sample("swap.used_pages", now, swap_used);
+        pipeline.sample("device.psi_micro", now, psi_micro);
+    }
+
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
@@ -443,6 +644,12 @@ impl Device {
     /// process left; the affected range simply never becomes resident.
     pub fn map_failures(&self) -> u64 {
         self.map_failures
+    }
+
+    /// Collections that ran out of copy budget mid-evacuation and degraded
+    /// to an in-place sweep. Always zero under a quiet fault plan.
+    pub fn evac_aborts(&self) -> u64 {
+        self.evac_aborts
     }
 
     /// The low-memory-killer driver (kill counters, escalation stats).
@@ -526,6 +733,8 @@ impl Device {
         self.procs.insert(pid, proc);
         #[cfg(feature = "audit")]
         self.audit_spawn(pid);
+        #[cfg(feature = "obs")]
+        self.obs_spawn(pid);
         self.sync_heap(pid);
         self.map_with_retry(pid, NATIVE_BASE, native_len);
         self.map_file_with_retry(pid, FILE_BASE, file_len);
@@ -545,6 +754,8 @@ impl Device {
         let proc = self.procs.get_mut(&pid).expect("just inserted");
         proc.cpu.charge(ThreadClass::Mutator, total);
         proc.launches.push(report);
+        #[cfg(feature = "obs")]
+        self.obs_launch_span(pid, &report, total, SimDuration::ZERO, SimDuration::ZERO);
         self.clock.advance(total);
         (pid, report)
     }
@@ -585,6 +796,11 @@ impl Device {
         }
         self.background_current();
         device_audit!(self, fleet_audit::AuditEvent::LaunchStart { pid: pid.0 });
+        // Place any kernel spans buffered before the launch at their
+        // pre-launch anchor, so the fault spans generated *during* the
+        // launch land inside the launch window on the kernel track.
+        #[cfg(feature = "obs")]
+        self.obs_flush();
 
         // --- sample the launch working set from ground truth.
         let access = {
@@ -725,6 +941,19 @@ impl Device {
         proc.cpu.charge(ThreadClass::Mutator, render);
         proc.launches.push(report);
         self.launch_history.insert(name, history);
+        // The clock still reads launch-start here, so both the kernel fault
+        // spans and the launch span family anchor at the launch window.
+        #[cfg(feature = "obs")]
+        {
+            self.obs_flush();
+            self.obs_launch_span(
+                pid,
+                &report,
+                render,
+                outcome.latency + prefetch_stall,
+                gc_stw + gc_stall + marvin_resume,
+            );
+        }
         self.clock.advance(total);
         Ok(report)
     }
@@ -788,6 +1017,8 @@ impl Device {
                     swap_used: self.mm.swap().used_pages(),
                 }
             );
+            #[cfg(feature = "obs")]
+            self.obs_slice_sample();
             self.clock.advance(SimDuration::from_secs(1));
         }
     }
@@ -981,6 +1212,11 @@ impl Device {
             // The trace touched an anon page lost to a permanent swap error:
             // the process is not salvageable. Skip post-GC bookkeeping — the
             // kill unmaps everything the collector left behind.
+            if stats.evac_aborted {
+                self.evac_aborts += 1;
+            }
+            #[cfg(feature = "obs")]
+            self.obs_gc_span(pid, &stats);
             self.sigbus_kill(pid);
             return Ok(stats);
         }
@@ -1008,6 +1244,11 @@ impl Device {
             (stats, outcome, touch.fatal)
         };
         if fatal {
+            if stats.evac_aborted {
+                self.evac_aborts += 1;
+            }
+            #[cfg(feature = "obs")]
+            self.obs_gc_span(pid, &stats);
             self.sigbus_kill(pid);
             return stats;
         }
@@ -1073,6 +1314,11 @@ impl Device {
     }
 
     fn finish_gc(&mut self, pid: Pid, stats: GcStats) {
+        if stats.evac_aborted {
+            self.evac_aborts += 1;
+        }
+        #[cfg(feature = "obs")]
+        self.obs_gc_span(pid, &stats);
         // Paranoia hook: `FLEET_VALIDATE_HEAP=1` re-verifies the whole heap
         // after every collection (O(heap); used when hunting GC bugs — the
         // per-collector invariants are otherwise covered by the adversarial
@@ -1280,6 +1526,27 @@ impl Device {
                 self.audit_flush();
                 let _ = self.lmkd.escalate(&mut self.mm, &candidates, target);
                 self.reap_lmk_kills();
+                // Mark the escalation on the kernel track (drained by the
+                // next obs_flush) and count it.
+                #[cfg(feature = "obs")]
+                {
+                    let free = self.mm.free_frames();
+                    self.mm.obs_log_mut().push(move |_| {
+                        fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                            pid: 0,
+                            name: "lmkd_escalate",
+                            cat: "kernel",
+                            depth: 0,
+                            rel_start: 0,
+                            dur: 0,
+                            args: vec![("free_frames", free), ("target_frames", target)],
+                        })
+                    });
+                    self.mm.obs_log_mut().push(|_| fleet_obs::ObsRecord::Counter {
+                        name: "lmkd.escalations",
+                        delta: 1,
+                    });
+                }
             } else {
                 self.lmk_kill(None);
             }

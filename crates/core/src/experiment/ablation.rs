@@ -180,6 +180,9 @@ impl Experiment for Ablation {
     fn title(&self) -> &'static str {
         "Extensions — ablations, ASAP prefetching, zram"
     }
+    fn description(&self) -> &'static str {
+        "Fleet feature ablations plus ASAP prefetch and zram swap variants"
+    }
     fn module(&self) -> &'static str {
         "ablation"
     }

@@ -106,6 +106,9 @@ impl Experiment for Fig4 {
     fn title(&self) -> &'static str {
         "Figure 4 — accessed objects over time (Amazon shop, Android)"
     }
+    fn description(&self) -> &'static str {
+        "Object accesses sampled over time around a backgrounding event"
+    }
     fn module(&self) -> &'static str {
         "access_trace"
     }

@@ -158,6 +158,9 @@ impl Experiment for Fig11 {
     fn title(&self) -> &'static str {
         "Figure 11 — app-caching capacity"
     }
+    fn description(&self) -> &'static str {
+        "How many apps each scheme keeps cached before the LMK steps in"
+    }
     fn module(&self) -> &'static str {
         "caching"
     }

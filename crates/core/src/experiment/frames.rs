@@ -85,6 +85,9 @@ impl Experiment for Fig14 {
     fn title(&self) -> &'static str {
         "Figure 14 — frame rendering: jank ratio and FPS"
     }
+    fn description(&self) -> &'static str {
+        "Jank ratio and FPS while swiping the foreground app under pressure"
+    }
     fn module(&self) -> &'static str {
         "frames"
     }

@@ -90,6 +90,9 @@ impl Experiment for Fig12 {
     fn title(&self) -> &'static str {
         "Figure 12 — background GC working set"
     }
+    fn description(&self) -> &'static str {
+        "Objects traced by background collections — the GC working set"
+    }
     fn module(&self) -> &'static str {
         "gc_working_set"
     }

@@ -140,6 +140,9 @@ pub trait Experiment: Sync {
     fn id(&self) -> &'static str;
     /// Human title printed by `repro --list`.
     fn title(&self) -> &'static str;
+    /// One-line summary of what the experiment measures, printed under the
+    /// title by `repro --list`.
+    fn description(&self) -> &'static str;
     /// The `experiment::` submodule this driver lives in; also a selector.
     fn module(&self) -> &'static str;
     /// Extra selectors that resolve to this experiment (e.g. "fig15" for
@@ -178,6 +181,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::scenario::Scenario,
     &crate::experiment::ablation::Ablation,
     &crate::experiment::resilience::Resilience,
+    &crate::experiment::attribution::LaunchAttribution,
 ];
 
 /// Derives an experiment's RNG seed from the master seed and its id.
@@ -315,6 +319,7 @@ mod tests {
     const DRIVER_MODULES: &[&str] = &[
         "ablation",
         "access_trace",
+        "attribution",
         "caching",
         "frames",
         "gc_working_set",
@@ -338,6 +343,16 @@ mod tests {
             for alias in exp.aliases() {
                 assert!(seen.insert(*alias), "alias {alias} collides");
             }
+        }
+    }
+
+    #[test]
+    fn every_experiment_has_a_description() {
+        for exp in REGISTRY {
+            let d = exp.description();
+            assert!(!d.trim().is_empty(), "{} has an empty description", exp.id());
+            assert!(!d.contains('\n'), "{} description must be one line", exp.id());
+            assert!(d.len() <= 90, "{} description too long for --list", exp.id());
         }
     }
 

@@ -173,6 +173,9 @@ impl Experiment for Fig3 {
     fn title(&self) -> &'static str {
         "Figure 3 — 90th-percentile tail hot-launch (motivation)"
     }
+    fn description(&self) -> &'static str {
+        "Tail (p90) hot-launch latency as the cached-app count grows"
+    }
     fn module(&self) -> &'static str {
         "hot_launch"
     }
@@ -217,6 +220,9 @@ impl Experiment for Fig13 {
     }
     fn title(&self) -> &'static str {
         "Figure 13/15/16 — hot-launch under memory pressure"
+    }
+    fn description(&self) -> &'static str {
+        "Hot-launch latency per app and scheme under the §7.2 pressure protocol"
     }
     fn module(&self) -> &'static str {
         "hot_launch"

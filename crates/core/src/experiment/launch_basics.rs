@@ -99,6 +99,9 @@ impl Experiment for Fig2 {
     fn title(&self) -> &'static str {
         "Figure 2 — hot vs cold launch times (idle device)"
     }
+    fn description(&self) -> &'static str {
+        "Per-app hot and cold launch latency on an otherwise idle device"
+    }
     fn module(&self) -> &'static str {
         "launch_basics"
     }

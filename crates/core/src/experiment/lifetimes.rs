@@ -132,6 +132,9 @@ impl Experiment for Fig5 {
     fn title(&self) -> &'static str {
         "Figure 5 — FGO/BGO lifetimes and footprints"
     }
+    fn description(&self) -> &'static str {
+        "Lifetimes and heap footprints of foreground- vs background-allocated objects"
+    }
     fn module(&self) -> &'static str {
         "lifetimes"
     }

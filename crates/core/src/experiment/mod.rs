@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod access_trace;
+pub mod attribution;
 pub mod caching;
 pub mod export;
 pub mod frames;

@@ -79,6 +79,9 @@ impl Experiment for Fig7 {
     fn title(&self) -> &'static str {
         "Figure 7 — object-size distribution (CDF %)"
     }
+    fn description(&self) -> &'static str {
+        "Cumulative object-size distribution across the app heaps"
+    }
     fn module(&self) -> &'static str {
         "object_sizes"
     }

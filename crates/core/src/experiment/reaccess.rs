@@ -155,6 +155,9 @@ impl Experiment for Fig6 {
     fn title(&self) -> &'static str {
         "Figure 6 — NRO/FYO re-access shares and the depth sweep"
     }
+    fn description(&self) -> &'static str {
+        "Re-access shares of backgrounded objects and the grouping-depth sweep"
+    }
     fn module(&self) -> &'static str {
         "reaccess"
     }

@@ -43,6 +43,13 @@ pub struct ResilienceRow {
     pub sigbus_kills: u64,
     /// Kills executed by the lmkd driver (incl. escalation rounds).
     pub lmk_kills: u64,
+    /// Collections that aborted evacuation on a copy-budget denial and
+    /// degraded to an in-place sweep.
+    pub evac_aborts: u64,
+    /// GC touches skipped because memory was exhausted mid-trace.
+    pub oom_touch_skips: u64,
+    /// Mappings abandoned with nothing left to kill.
+    pub map_failures: u64,
 }
 
 /// Runs the §7.2 pressure protocol under each fault intensity and collects
@@ -105,6 +112,9 @@ pub fn resilience(
             pages_lost: stats.pages_lost,
             sigbus_kills: device.sigbus_kills(),
             lmk_kills: device.lmkd().total_kills(),
+            evac_aborts: device.evac_aborts(),
+            oom_touch_skips: device.oom_touch_skips(),
+            map_failures: device.map_failures(),
         });
     }
     Ok(rows)
@@ -125,6 +135,9 @@ impl Experiment for Resilience {
     fn title(&self) -> &'static str {
         "DESIGN.md §9 — hot-launch degradation under injected swap faults"
     }
+    fn description(&self) -> &'static str {
+        "Launch tails and graceful-degradation counters under injected swap faults"
+    }
     fn module(&self) -> &'static str {
         "resilience"
     }
@@ -144,6 +157,8 @@ impl Experiment for Resilience {
             "Lost pages",
             "SIGBUS",
             "LMK kills",
+            "Evac aborts",
+            "OOM skips",
         ]);
         for r in &rows {
             t.row([
@@ -157,6 +172,8 @@ impl Experiment for Resilience {
                 r.pages_lost.to_string(),
                 r.sigbus_kills.to_string(),
                 r.lmk_kills.to_string(),
+                r.evac_aborts.to_string(),
+                r.oom_touch_skips.to_string(),
             ]);
         }
         out.table(t);
@@ -193,6 +210,7 @@ mod tests {
         assert_eq!(a[0].pages_lost, 0);
         assert_eq!(a[0].sigbus_kills, 0);
         assert_eq!(a[0].failed_launches, 0);
+        assert_eq!(a[0].evac_aborts, 0, "quiet plans always grant copy budget");
     }
 
     #[test]

@@ -143,6 +143,9 @@ impl Experiment for CpuUsage {
     fn title(&self) -> &'static str {
         "§7.3 — CPU usage"
     }
+    fn description(&self) -> &'static str {
+        "GC and kernel CPU seconds consumed per scheme over the protocol"
+    }
     fn module(&self) -> &'static str {
         "runtime"
     }
@@ -182,6 +185,9 @@ impl Experiment for Power {
     fn title(&self) -> &'static str {
         "§7.3 — power consumption"
     }
+    fn description(&self) -> &'static str {
+        "Energy proxy derived from CPU time and swap I/O per scheme"
+    }
     fn module(&self) -> &'static str {
         "runtime"
     }
@@ -215,6 +221,9 @@ impl Experiment for MemoryOverhead {
     }
     fn title(&self) -> &'static str {
         "§7.3 — memory overhead (card table)"
+    }
+    fn description(&self) -> &'static str {
+        "Card-table and scheme metadata overhead relative to heap size"
     }
     fn module(&self) -> &'static str {
         "runtime"

@@ -217,6 +217,9 @@ impl Experiment for Scenario {
     fn title(&self) -> &'static str {
         "§7.2 protocol — app pool under memory pressure"
     }
+    fn description(&self) -> &'static str {
+        "End-to-end pressure-protocol walkthrough with per-phase device stats"
+    }
     fn module(&self) -> &'static str {
         "scenario"
     }

@@ -89,6 +89,9 @@ impl Experiment for Sensitivity {
     fn title(&self) -> &'static str {
         "§7.4 — sensitivity to the background heap-size factor"
     }
+    fn description(&self) -> &'static str {
+        "Hot-launch sensitivity to the background heap-growth factor"
+    }
     fn module(&self) -> &'static str {
         "sensitivity"
     }

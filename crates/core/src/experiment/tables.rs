@@ -70,6 +70,9 @@ impl Experiment for Table1 {
     fn title(&self) -> &'static str {
         "Table 1 — comparison methods"
     }
+    fn description(&self) -> &'static str {
+        "Qualitative side-by-side of the Android, Marvin, and Fleet mechanisms"
+    }
     fn module(&self) -> &'static str {
         "tables"
     }
@@ -91,6 +94,9 @@ impl Experiment for Table2 {
     fn title(&self) -> &'static str {
         "Table 2 — Fleet's default parameters"
     }
+    fn description(&self) -> &'static str {
+        "Fleet's Ts/Tf, grouping depth, and region parameters as modelled"
+    }
     fn module(&self) -> &'static str {
         "tables"
     }
@@ -111,6 +117,9 @@ impl Experiment for Table3 {
     }
     fn title(&self) -> &'static str {
         "Table 3 — commercial apps for evaluation"
+    }
+    fn description(&self) -> &'static str {
+        "The simulated app profiles standing in for the paper's app set"
     }
     fn module(&self) -> &'static str {
         "tables"

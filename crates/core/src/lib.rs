@@ -37,6 +37,8 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod experiment;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod params;
 pub mod process;
 pub mod timeline;

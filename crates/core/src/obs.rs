@@ -1,0 +1,94 @@
+//! Device-level observability plumbing (only with the `obs` feature).
+//!
+//! The mechanism crates buffer [`fleet_obs::ObsRecord`]s in per-component
+//! [`fleet_obs::ObsLog`]s; this module owns the other half: a process-wide
+//! *installer* that hands every subsequently created [`crate::Device`] a
+//! shared [`ObsPipeline`]. Experiments do not need to thread the pipeline
+//! through their APIs — installing it before building devices is enough,
+//! exactly like `fleet::audit::install`. Without an install, the obs-enabled
+//! build records nothing: component logs stay disabled and the `push`
+//! closures are never invoked.
+//!
+//! # Examples
+//!
+//! ```
+//! use fleet::obs::{install, shared_pipeline};
+//! use fleet::{Device, DeviceConfig, SchemeKind};
+//!
+//! let pipeline = shared_pipeline();
+//! let _guard = install(pipeline.clone());
+//! let mut device = Device::new(DeviceConfig::pixel3(SchemeKind::Fleet));
+//! device.run(2);
+//! drop(device);
+//! let trace = pipeline.lock().unwrap().trace_json();
+//! fleet_obs::validate_chrome_trace(&trace).unwrap();
+//! ```
+
+pub use fleet_obs::{
+    validate_chrome_trace, LatencyHistogram, MetricRegistry, ObsLog, ObsPipeline, ObsRecord,
+    PlacedSpan, SpanRec, TraceSummary, Tracer, METRICS_SCHEMA_VERSION,
+};
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// A pipeline shareable between devices and the harness/CLI.
+pub type SharedPipeline = Arc<Mutex<ObsPipeline>>;
+
+thread_local! {
+    static INSTALLED: RefCell<Option<SharedPipeline>> = const { RefCell::new(None) };
+}
+
+/// Creates an empty [`SharedPipeline`].
+pub fn shared_pipeline() -> SharedPipeline {
+    Arc::new(Mutex::new(ObsPipeline::new()))
+}
+
+/// Installs `pipeline` for this thread: every [`crate::Device`] created
+/// while the returned guard is alive attaches to it and streams spans and
+/// metrics into it. Nested installs stack; dropping the guard restores the
+/// previous pipeline.
+pub fn install(pipeline: SharedPipeline) -> InstallGuard {
+    let previous = INSTALLED.with(|slot| slot.borrow_mut().replace(pipeline));
+    InstallGuard { previous }
+}
+
+/// The pipeline installed on this thread, if any.
+pub(crate) fn current() -> Option<SharedPipeline> {
+    INSTALLED.with(|slot| slot.borrow().clone())
+}
+
+/// Uninstalls the pipeline (restoring any outer install) when dropped.
+#[must_use = "dropping the guard immediately uninstalls the pipeline"]
+pub struct InstallGuard {
+    previous: Option<SharedPipeline>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        INSTALLED.with(|slot| *slot.borrow_mut() = previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_scoped_and_stacks() {
+        assert!(current().is_none());
+        let outer = shared_pipeline();
+        let inner = shared_pipeline();
+        {
+            let _a = install(outer.clone());
+            assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+            {
+                let _b = install(inner.clone());
+                assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+            }
+            assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        }
+        assert!(current().is_none());
+    }
+}

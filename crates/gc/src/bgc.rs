@@ -19,10 +19,11 @@
 //!    reachable BGO.)
 
 use crate::collector::{
-    audit_evac_abort, audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats,
-    MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, obs_gc_phase, Collector, GcCostModel, GcKind,
+    GcStats, MemoryTouch,
 };
 use fleet_heap::{Heap, ObjectId, ObjectMarks, RegionId, RegionKind, RegionSet};
+use fleet_sim::SimDuration;
 
 /// The background-object collector.
 ///
@@ -117,18 +118,39 @@ impl Collector for BackgroundObjectGc {
             }
         }
 
+        let mark_end = stats.cpu + stats.fault_stall;
+        let traced = stats.objects_traced;
+        obs_gc_phase(heap, "gc_mark", 1, SimDuration::ZERO, mark_end, || {
+            vec![("objects", traced), ("cards", stats.cards_scanned)]
+        });
+
         // Evacuate live BGO into fresh background regions. A copy-budget
         // denial aborts the evacuation: the remaining live BGO stay where
         // they are and only proven-dead objects are swept below.
+        let mut abort_obs: Option<(SimDuration, u32, u64)> = None;
         for (i, &obj) in order.iter().enumerate() {
             let size = heap.object(obj).size() as u64;
             if !touch.copy_budget(size) {
                 audit_evac_abort(heap, heap.object(obj).region().0, (order.len() - i) as u64);
+                stats.evac_aborted = true;
+                abort_obs = Some((
+                    (stats.cpu + stats.fault_stall).saturating_sub(mark_end),
+                    heap.object(obj).region().0,
+                    (order.len() - i) as u64,
+                ));
                 break;
             }
             heap.copy_object(obj, RegionKind::Bg);
             stats.bytes_copied += size;
             stats.cpu += self.cost.copy_cost(size);
+        }
+        let copy_dur = (stats.cpu + stats.fault_stall).saturating_sub(mark_end);
+        let copied = stats.bytes_copied;
+        obs_gc_phase(heap, "gc_copy", 1, mark_end, copy_dur, || vec![("bytes", copied)]);
+        if let Some((rel, region, left)) = abort_obs {
+            obs_gc_phase(heap, "gc_evac_abort", 2, rel, SimDuration::ZERO, || {
+                vec![("region", u64::from(region)), ("objects_left", left)]
+            });
         }
 
         // Free dead BGO; background from-regions are released only once

@@ -128,6 +128,10 @@ pub struct GcStats {
     pub cpu: SimDuration,
     /// Time the GC thread stalled on swapped-in pages.
     pub fault_stall: SimDuration,
+    /// True when the copy phase ran out of copy budget and aborted
+    /// evacuation (remaining live objects stayed in place; see
+    /// [`MemoryTouch::copy_budget`]).
+    pub evac_aborted: bool,
 }
 
 impl GcStats {
@@ -143,6 +147,7 @@ impl GcStats {
             stw: SimDuration::ZERO,
             cpu: SimDuration::ZERO,
             fault_stall: SimDuration::ZERO,
+            evac_aborted: false,
         }
     }
 
@@ -211,6 +216,45 @@ pub(crate) fn audit_evac_abort(heap: &mut Heap, region: u32, objects_left: u64) 
 
 #[cfg(not(feature = "audit"))]
 pub(crate) fn audit_evac_abort(_heap: &mut Heap, _region: u32, _objects_left: u64) {}
+
+/// Pushes one GC phase span into the heap's obs log (see `crates/obs`):
+/// `"gc_mark"` / `"gc_copy"` at depth 1 (placed by the device layer under
+/// its per-collection root span), `"gc_evac_abort"` at depth 2 inside the
+/// copy phase. `rel_start` is the offset from the parent span's start;
+/// `args` is only evaluated if the log is actually recording. Compiled to
+/// a no-op without the `obs` feature.
+#[cfg(feature = "obs")]
+pub(crate) fn obs_gc_phase(
+    heap: &mut Heap,
+    name: &'static str,
+    depth: u8,
+    rel_start: SimDuration,
+    dur: SimDuration,
+    args: impl FnOnce() -> Vec<(&'static str, u64)>,
+) {
+    heap.obs_log_mut().push(move |pid| {
+        fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+            pid,
+            name,
+            cat: "gc",
+            depth,
+            rel_start: rel_start.as_nanos(),
+            dur: dur.as_nanos(),
+            args: args(),
+        })
+    });
+}
+
+#[cfg(not(feature = "obs"))]
+pub(crate) fn obs_gc_phase(
+    _heap: &mut Heap,
+    _name: &'static str,
+    _depth: u8,
+    _rel_start: SimDuration,
+    _dur: SimDuration,
+    _args: impl FnOnce() -> Vec<(&'static str, u64)>,
+) {
+}
 
 /// A garbage collector over the modelled heap.
 pub trait Collector {

@@ -8,10 +8,11 @@
 //! 37 s), which is why default Android cannot keep many apps cached.
 
 use crate::collector::{
-    audit_evac_abort, audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats,
-    MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, obs_gc_phase, Collector, GcCostModel, GcKind,
+    GcStats, MemoryTouch,
 };
 use fleet_heap::{AllocContext, Heap, ObjectId, ObjectMarks, RegionKind, RegionSet};
+use fleet_sim::SimDuration;
 
 /// The full copying collector (DFS trace over the whole heap).
 ///
@@ -72,6 +73,9 @@ impl Collector for FullCopyingGc {
                 }
             }
         }
+        let mark_end = stats.cpu + stats.fault_stall;
+        let traced = stats.objects_traced;
+        obs_gc_phase(heap, "gc_mark", 1, SimDuration::ZERO, mark_end, || vec![("objects", traced)]);
 
         // Copy survivors to fresh to-regions; Android treats all to-regions
         // equally, so placement only distinguishes FGO/BGO allocation spaces.
@@ -82,11 +86,18 @@ impl Collector for FullCopyingGc {
         // The trace was exact, so soundness is unaffected; only compaction
         // is lost until a later collection retries.
         let mut aborted_at = None;
+        let mut abort_obs: Option<(SimDuration, u32, u64)> = None;
         for (i, &obj) in order.iter().enumerate() {
             let size = heap.object(obj).size() as u64;
             if !touch.copy_budget(size) {
                 let region = heap.object(obj).region().0;
                 audit_evac_abort(heap, region, (order.len() - i) as u64);
+                stats.evac_aborted = true;
+                abort_obs = Some((
+                    (stats.cpu + stats.fault_stall).saturating_sub(mark_end),
+                    region,
+                    (order.len() - i) as u64,
+                ));
                 aborted_at = Some(i);
                 break;
             }
@@ -105,6 +116,14 @@ impl Collector for FullCopyingGc {
             for &obj in &order[i..] {
                 heap.set_class(obj, None);
             }
+        }
+        let copy_dur = (stats.cpu + stats.fault_stall).saturating_sub(mark_end);
+        let copied = stats.bytes_copied;
+        obs_gc_phase(heap, "gc_copy", 1, mark_end, copy_dur, || vec![("bytes", copied)]);
+        if let Some((rel, region, left)) = abort_obs {
+            obs_gc_phase(heap, "gc_evac_abort", 2, rel, SimDuration::ZERO, || {
+                vec![("region", u64::from(region)), ("objects_left", left)]
+            });
         }
 
         // Sweep the from-regions: anything unmarked is garbage. After a

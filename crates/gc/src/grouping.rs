@@ -18,9 +18,11 @@
 //! address ranges of each group for the `madvise` calls of §5.3.2.
 
 use crate::collector::{
-    audit_evac_abort, audit_gc_end, audit_gc_start, GcCostModel, GcKind, GcStats, MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, obs_gc_phase, GcCostModel, GcKind, GcStats,
+    MemoryTouch,
 };
 use fleet_heap::{AllocContext, Heap, ObjectClass, ObjectId, RegionId, RegionKind};
+use fleet_sim::SimDuration;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Byte ranges of the grouped pages plus per-class tallies.
@@ -187,15 +189,28 @@ impl GroupingGc {
         }
         let _ = cold_boundary;
 
+        let mark_end = stats.cpu + stats.fault_stall;
+        let traced = stats.objects_traced;
+        obs_gc_phase(heap, "gc_mark", 1, SimDuration::ZERO, mark_end, || {
+            vec![("objects", traced), ("cards", stats.cards_scanned)]
+        });
+
         // Classify and copy. BGO stay in background regions; FGO are grouped.
         // A copy-budget denial aborts the grouping mid-way: objects not yet
         // copied keep their old placement and class (no grouping benefit,
         // but nothing moves without a backing frame) and the tallies below
         // honestly reflect only what was actually grouped.
+        let mut abort_obs: Option<(SimDuration, u32, u64)> = None;
         for (i, &obj) in order.iter().enumerate() {
             let size = heap.object(obj).size() as u64;
             if !touch.copy_budget(size) {
                 audit_evac_abort(heap, heap.object(obj).region().0, (order.len() - i) as u64);
+                stats.evac_aborted = true;
+                abort_obs = Some((
+                    (stats.cpu + stats.fault_stall).saturating_sub(mark_end),
+                    heap.object(obj).region().0,
+                    (order.len() - i) as u64,
+                ));
                 break;
             }
             let context = heap.object(obj).context();
@@ -229,6 +244,14 @@ impl GroupingGc {
             heap.set_class(obj, class);
             stats.bytes_copied += size;
             stats.cpu += self.cost.copy_cost(size);
+        }
+        let copy_dur = (stats.cpu + stats.fault_stall).saturating_sub(mark_end);
+        let copied = stats.bytes_copied;
+        obs_gc_phase(heap, "gc_copy", 1, mark_end, copy_dur, || vec![("bytes", copied)]);
+        if let Some((rel, region, left)) = abort_obs {
+            obs_gc_phase(heap, "gc_evac_abort", 2, rel, SimDuration::ZERO, || {
+                vec![("region", u64::from(region)), ("objects_left", left)]
+            });
         }
 
         // Sweep the from-space: unmarked objects are garbage; regions are

@@ -6,10 +6,11 @@
 //! card table — old regions are *not* traced wholesale.
 
 use crate::collector::{
-    audit_evac_abort, audit_gc_end, audit_gc_start, Collector, GcCostModel, GcKind, GcStats,
-    MemoryTouch,
+    audit_evac_abort, audit_gc_end, audit_gc_start, obs_gc_phase, Collector, GcCostModel, GcKind,
+    GcStats, MemoryTouch,
 };
 use fleet_heap::{AllocContext, Heap, ObjectId, ObjectMarks, RegionId, RegionKind, RegionSet};
+use fleet_sim::SimDuration;
 
 /// The minor (young-generation) collector.
 ///
@@ -109,14 +110,27 @@ impl Collector for MinorGc {
             }
         }
 
+        let mark_end = stats.cpu + stats.fault_stall;
+        let traced = stats.objects_traced;
+        obs_gc_phase(heap, "gc_mark", 1, SimDuration::ZERO, mark_end, || {
+            vec![("objects", traced), ("cards", stats.cards_scanned)]
+        });
+
         // Evacuate young survivors, then sweep the young from-regions. A
         // copy-budget denial aborts the evacuation: remaining survivors are
         // promoted in place (their region just loses its newly-allocated
         // flag) and only proven-dead objects are swept.
+        let mut abort_obs: Option<(SimDuration, u32, u64)> = None;
         for (i, &obj) in order.iter().enumerate() {
             let size = heap.object(obj).size() as u64;
             if !touch.copy_budget(size) {
                 audit_evac_abort(heap, heap.object(obj).region().0, (order.len() - i) as u64);
+                stats.evac_aborted = true;
+                abort_obs = Some((
+                    (stats.cpu + stats.fault_stall).saturating_sub(mark_end),
+                    heap.object(obj).region().0,
+                    (order.len() - i) as u64,
+                ));
                 break;
             }
             let dest = match heap.object(obj).context() {
@@ -126,6 +140,14 @@ impl Collector for MinorGc {
             heap.copy_object(obj, dest);
             stats.bytes_copied += size;
             stats.cpu += self.cost.copy_cost(size);
+        }
+        let copy_dur = (stats.cpu + stats.fault_stall).saturating_sub(mark_end);
+        let copied = stats.bytes_copied;
+        obs_gc_phase(heap, "gc_copy", 1, mark_end, copy_dur, || vec![("bytes", copied)]);
+        if let Some((rel, region, left)) = abort_obs {
+            obs_gc_phase(heap, "gc_evac_abort", 2, rel, SimDuration::ZERO, || {
+                vec![("region", u64::from(region)), ("objects_left", left)]
+            });
         }
         for rid in young_regions {
             let dead: Vec<ObjectId> =

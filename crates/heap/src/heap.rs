@@ -108,6 +108,10 @@ pub struct Heap {
     /// Flight-recorder buffer (see `crates/audit`); disabled by default.
     #[cfg(feature = "audit")]
     audit: fleet_audit::EventLog,
+    /// Observability record buffer (see `crates/obs`); disabled by default.
+    /// The collectors in `fleet-gc` push their phase spans here.
+    #[cfg(feature = "obs")]
+    obs: fleet_obs::ObsLog,
 }
 
 impl Heap {
@@ -135,6 +139,8 @@ impl Heap {
             cards,
             #[cfg(feature = "audit")]
             audit: fleet_audit::EventLog::default(),
+            #[cfg(feature = "obs")]
+            obs: fleet_obs::ObsLog::default(),
         }
     }
 
@@ -148,6 +154,18 @@ impl Heap {
     #[cfg(feature = "audit")]
     pub fn audit_log(&self) -> &fleet_audit::EventLog {
         &self.audit
+    }
+
+    /// The observability record buffer (drained by the device layer).
+    #[cfg(feature = "obs")]
+    pub fn obs_log_mut(&mut self) -> &mut fleet_obs::ObsLog {
+        &mut self.obs
+    }
+
+    /// Read-only view of the observability record buffer.
+    #[cfg(feature = "obs")]
+    pub fn obs_log(&self) -> &fleet_obs::ObsLog {
+        &self.obs
     }
 
     /// The heap configuration.

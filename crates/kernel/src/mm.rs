@@ -47,6 +47,28 @@ macro_rules! audit {
     ($self:ident, $ev:expr) => {};
 }
 
+/// Builds a child span of a `fault_service` span for one degradation event
+/// (retry chain, discard-and-refault, fatal loss) at `rel` nanos into the
+/// access, lasting `dur`.
+#[cfg(feature = "obs")]
+fn fault_child(
+    name: &'static str,
+    rel: u64,
+    dur: SimDuration,
+    page: u64,
+    retries: u64,
+) -> fleet_obs::SpanRec {
+    fleet_obs::SpanRec {
+        pid: 0,
+        name,
+        cat: "kernel",
+        depth: 1,
+        rel_start: rel,
+        dur: dur.as_nanos(),
+        args: vec![("page", page), ("retries", retries)],
+    }
+}
+
 /// Who is touching memory; GC-kind accesses are the ones that "offset the
 /// effects of swapping" in Figure 4 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -591,6 +613,9 @@ pub struct MemoryManager {
     /// Flight-recorder buffer (see `crates/audit`); disabled by default.
     #[cfg(feature = "audit")]
     audit: fleet_audit::EventLog,
+    /// Observability record buffer (see `crates/obs`); disabled by default.
+    #[cfg(feature = "obs")]
+    obs: fleet_obs::ObsLog,
 }
 
 impl MemoryManager {
@@ -609,6 +634,8 @@ impl MemoryManager {
             stats: KernelStats::default(),
             #[cfg(feature = "audit")]
             audit: fleet_audit::EventLog::default(),
+            #[cfg(feature = "obs")]
+            obs: fleet_obs::ObsLog::default(),
         }
     }
 
@@ -622,6 +649,18 @@ impl MemoryManager {
     #[cfg(feature = "audit")]
     pub fn audit_log(&self) -> &fleet_audit::EventLog {
         &self.audit
+    }
+
+    /// The observability record buffer (drained by the device layer).
+    #[cfg(feature = "obs")]
+    pub fn obs_log_mut(&mut self) -> &mut fleet_obs::ObsLog {
+        &mut self.obs
+    }
+
+    /// Read-only view of the observability record buffer.
+    #[cfg(feature = "obs")]
+    pub fn obs_log(&self) -> &fleet_obs::ObsLog {
+        &self.obs
     }
 
     /// The configuration.
@@ -910,6 +949,13 @@ impl MemoryManager {
         let mut outcome = AccessOutcome::default();
         let mut anon_faults = 0u64;
         let mut file_faults = 0u64;
+        // Degradation events inside this access become children of one
+        // "fault_service" span; buffered here because the parent's duration
+        // is only known once the batched stall is added at the end.
+        #[cfg(feature = "obs")]
+        let obs_on = self.obs.is_enabled();
+        #[cfg(feature = "obs")]
+        let mut obs_children: Vec<fleet_obs::SpanRec> = Vec::new();
         for index in pages_in_range(addr, len.max(1)) {
             let key = PageKey { pid, index };
             let Some(e) = self.entry(key) else {
@@ -929,11 +975,23 @@ impl MemoryManager {
             } else {
                 let file = e.is_file();
                 if self.swap.fault_active() {
+                    #[cfg(feature = "obs")]
+                    let obs_rel = outcome.latency.as_nanos();
                     match self.roll_read_fault(pid, index) {
                         ReadRoll::Ok { retries, extra } => {
                             outcome.retries += retries as u64;
                             outcome.degraded_latency += extra;
                             outcome.latency += extra;
+                            #[cfg(feature = "obs")]
+                            if obs_on && retries > 0 {
+                                obs_children.push(fault_child(
+                                    "fault_retry",
+                                    obs_rel,
+                                    extra,
+                                    index,
+                                    retries as u64,
+                                ));
+                            }
                         }
                         ReadRoll::Failed { retries, extra, .. } if file => {
                             // Discard-and-refault: the failing copy of a
@@ -945,6 +1003,16 @@ impl MemoryManager {
                             outcome.retries += (retries + 1) as u64;
                             outcome.degraded_latency += penalty;
                             outcome.latency += penalty;
+                            #[cfg(feature = "obs")]
+                            if obs_on {
+                                obs_children.push(fault_child(
+                                    "fault_refault",
+                                    obs_rel,
+                                    penalty,
+                                    index,
+                                    (retries + 1) as u64,
+                                ));
+                            }
                         }
                         ReadRoll::Failed { retries, extra, .. } => {
                             // Permanent loss of an anonymous page: the data
@@ -957,6 +1025,16 @@ impl MemoryManager {
                             outcome.latency += extra;
                             outcome.killed = true;
                             self.stats.pages_lost += 1;
+                            #[cfg(feature = "obs")]
+                            if obs_on {
+                                obs_children.push(fault_child(
+                                    "fault_fatal",
+                                    obs_rel,
+                                    extra,
+                                    index,
+                                    retries as u64,
+                                ));
+                            }
                             break;
                         }
                     }
@@ -1009,6 +1087,34 @@ impl MemoryManager {
                 AccessKind::Gc => self.stats.faults_gc += anon_faults + file_faults,
                 AccessKind::Launch => self.stats.faults_launch += anon_faults + file_faults,
             }
+        }
+        #[cfg(feature = "obs")]
+        if obs_on && (outcome.faulted_pages > 0 || !obs_children.is_empty()) {
+            let dur = outcome.latency.as_nanos();
+            let (pages, retries) = (outcome.faulted_pages, outcome.retries);
+            self.obs.push(move |_| {
+                fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                    pid: 0,
+                    name: "fault_service",
+                    cat: "kernel",
+                    depth: 0,
+                    rel_start: 0,
+                    dur,
+                    args: vec![
+                        ("pid", u64::from(pid.0)),
+                        ("pages", pages),
+                        ("retries", retries),
+                        ("kind", kind as u64),
+                    ],
+                })
+            });
+            for child in obs_children {
+                self.obs.push(move |_| fleet_obs::ObsRecord::Span(child));
+            }
+            self.obs.push(move |_| fleet_obs::ObsRecord::Latency {
+                name: "kernel.fault_service_ns",
+                nanos: dur,
+            });
         }
         outcome
     }
@@ -1242,12 +1348,34 @@ impl MemoryManager {
         if self.free_frames() >= self.config.low_watermark_frames {
             return 0;
         }
+        #[cfg(feature = "obs")]
+        let cpu_before = self.stats.kswapd_cpu_nanos;
         let mut reclaimed = 0;
         while self.free_frames() < self.config.high_watermark_frames {
             match self.evict_one() {
                 Ok(_) => reclaimed += 1,
                 Err(_) => break,
             }
+        }
+        #[cfg(feature = "obs")]
+        if self.obs.is_enabled() && reclaimed > 0 {
+            let dur = self.stats.kswapd_cpu_nanos - cpu_before;
+            let free = self.free_frames();
+            self.obs.push(move |_| {
+                fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                    pid: 0,
+                    name: "kswapd_pass",
+                    cat: "kernel",
+                    depth: 0,
+                    rel_start: 0,
+                    dur,
+                    args: vec![("reclaimed", reclaimed), ("free_frames", free)],
+                })
+            });
+            self.obs.push(move |_| fleet_obs::ObsRecord::Counter {
+                name: "kernel.kswapd_reclaimed_pages",
+                delta: reclaimed,
+            });
         }
         reclaimed
     }
@@ -1429,6 +1557,21 @@ impl MemoryManager {
             }
         }
         let latency = self.swap.read_pages(anon) + self.file_read_cost(file) + degraded;
+        #[cfg(feature = "obs")]
+        if self.obs.is_enabled() && anon + file > 0 {
+            let (pages, dur) = (anon + file, latency.as_nanos());
+            self.obs.push(move |_| {
+                fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                    pid: 0,
+                    name: "prefetch",
+                    cat: "kernel",
+                    depth: 0,
+                    rel_start: 0,
+                    dur,
+                    args: vec![("pid", u64::from(pid.0)), ("pages", pages)],
+                })
+            });
+        }
         (anon + file, latency)
     }
 

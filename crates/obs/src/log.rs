@@ -1,0 +1,172 @@
+//! Per-component observability record log.
+//!
+//! Mirrors `fleet_audit::EventLog`: each instrumented component (the kernel
+//! memory manager, each process heap) owns an [`ObsLog`] that is disabled by
+//! default. The device enables the logs it cares about when an
+//! [`ObsPipeline`](crate::ObsPipeline) is installed and drains them at
+//! deterministic barriers. The [`ObsLog::push`] closure is only invoked when
+//! the log is enabled, so a disabled log never constructs a record — the
+//! same free-when-off contract the audit layer has.
+
+/// Key:value attributes attached to a span. Keys are static names from the
+/// span taxonomy (DESIGN.md §10); values are plain integers (counts, ids,
+/// nanosecond durations).
+pub type SpanArgs = Vec<(&'static str, u64)>;
+
+/// One span as recorded at an instrumentation site, before placement on the
+/// virtual-time tracks.
+///
+/// Components record spans *relatively*: `depth` gives the nesting level
+/// (0 = a root span on the component's track) and `rel_start` the offset in
+/// nanoseconds from the start of the enclosing depth-0 span. The
+/// [`Tracer`](crate::Tracer) turns these into absolute virtual-time
+/// intervals when the batch is fed, clamping children into their parents so
+/// nesting is correct by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Track discriminator within the emitting component (the kernel log
+    /// uses 0; heap logs use the owning pid).
+    pub pid: u32,
+    /// Span name from the taxonomy, e.g. `"fault_service"`, `"gc_mark"`.
+    pub name: &'static str,
+    /// Category, e.g. `"kernel"`, `"gc"`, `"launch"`.
+    pub cat: &'static str,
+    /// Nesting depth: 0 for root spans, 1 for their children, and so on.
+    pub depth: u8,
+    /// Start offset in nanos from the enclosing depth-0 span's start.
+    pub rel_start: u64,
+    /// Duration in nanos.
+    pub dur: u64,
+    /// Key:value attributes.
+    pub args: SpanArgs,
+}
+
+/// One record in an [`ObsLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsRecord {
+    /// A virtual-time span.
+    Span(SpanRec),
+    /// Add `delta` to the named monotonic counter.
+    Counter {
+        /// Metric name, e.g. `"kernel.kswapd_reclaimed_pages"`.
+        name: &'static str,
+        /// Increment.
+        delta: u64,
+    },
+    /// Set the named gauge to `value`.
+    Gauge {
+        /// Metric name.
+        name: &'static str,
+        /// New value.
+        value: u64,
+    },
+    /// Record one observation in the named latency histogram.
+    Latency {
+        /// Metric name, e.g. `"kernel.fault_service_ns"`.
+        name: &'static str,
+        /// Observed latency in nanos.
+        nanos: u64,
+    },
+}
+
+/// A component-owned record log, disabled (and free) by default.
+#[derive(Debug, Clone, Default)]
+pub struct ObsLog {
+    enabled: bool,
+    pid: u32,
+    records: Vec<ObsRecord>,
+}
+
+impl ObsLog {
+    /// A new, disabled log.
+    pub fn new() -> Self {
+        ObsLog::default()
+    }
+
+    /// Enables recording, stamping records with `pid`.
+    pub fn enable(&mut self, pid: u32) {
+        self.enabled = true;
+        self.pid = pid;
+    }
+
+    /// Disables recording; buffered records stay until drained.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether the log is currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Changes the stamped pid without toggling recording.
+    pub fn set_pid(&mut self, pid: u32) {
+        self.pid = pid;
+    }
+
+    /// Records the result of `build` if enabled; `build` receives the
+    /// stamped pid and is not invoked on a disabled log.
+    #[inline]
+    pub fn push(&mut self, build: impl FnOnce(u32) -> ObsRecord) {
+        if self.enabled {
+            let rec = build(self.pid);
+            self.records.push(rec);
+        }
+    }
+
+    /// Takes all buffered records, leaving the log empty.
+    pub fn drain(&mut self) -> Vec<ObsRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(pid: u32) -> ObsRecord {
+        ObsRecord::Counter { name: "t", delta: u64::from(pid) }
+    }
+
+    #[test]
+    fn disabled_log_never_builds() {
+        let mut log = ObsLog::new();
+        let mut built = false;
+        log.push(|_| {
+            built = true;
+            counter(0)
+        });
+        assert!(!built);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_stamps_pid() {
+        let mut log = ObsLog::new();
+        log.enable(7);
+        log.push(counter);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.drain(), vec![ObsRecord::Counter { name: "t", delta: 7 }]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn disable_keeps_buffer_until_drain() {
+        let mut log = ObsLog::new();
+        log.enable(1);
+        log.push(counter);
+        log.disable();
+        log.push(counter);
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Named counters, gauges, log-bucketed latency histograms and sampled
+//! time series, exported as a schema-stable `metrics.json` per experiment.
+//!
+//! Metric names are dotted `component.metric` paths (DESIGN.md §10);
+//! latency metrics end in `_ns`. Histograms bucket by `floor(log2(nanos))`
+//! — 64 buckets cover the full u64 range — and report p50/p90/p99/p999 by
+//! cumulative rank with linear interpolation inside the matched bucket,
+//! which is accurate to within the bucket's 2× width, plenty for
+//! order-of-magnitude latency attribution.
+
+use std::collections::BTreeMap;
+
+use serde::{Number, Value};
+
+/// Version stamped into every exported `metrics.json`.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// A log2-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[Self::bucket(nanos)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, nanos.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation, nanos.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in [0, 1], interpolated inside the matched
+    /// log2 bucket; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if b == 0 { 0u64 } else { 1u64 << b };
+                let hi = if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                let frac = (rank - seen) as f64 / n as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+}
+
+/// The run-wide registry of named metrics, fed by the pipeline as
+/// component logs drain.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, LatencyHistogram>,
+    series: BTreeMap<&'static str, Vec<(u64, u64)>>,
+}
+
+impl MetricRegistry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Records one observation in the named latency histogram.
+    pub fn latency(&mut self, name: &'static str, nanos: u64) {
+        self.hists.entry(name).or_default().record(nanos);
+    }
+
+    /// Appends a `(virtual-time nanos, value)` point to the named series —
+    /// how `KernelStats` totals become time series on the device timeline.
+    pub fn sample(&mut self, name: &'static str, at_nanos: u64, value: u64) {
+        self.series.entry(name).or_default().push((at_nanos, value));
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.hists.get(name)
+    }
+
+    /// The named time series.
+    pub fn series(&self, name: &str) -> Option<&[(u64, u64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of all recorded series.
+    pub fn series_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Serializes the registry as the schema-stable `metrics.json`
+    /// document (pretty-printed; keys in sorted order).
+    pub fn to_json(&self) -> String {
+        fn n(v: u64) -> Value {
+            Value::Number(Number::PosInt(v))
+        }
+        let counters: Vec<(String, Value)> =
+            self.counters.iter().map(|(&k, &v)| (k.to_string(), n(v))).collect();
+        let gauges: Vec<(String, Value)> =
+            self.gauges.iter().map(|(&k, &v)| (k.to_string(), n(v))).collect();
+        let hists: Vec<(String, Value)> = self
+            .hists
+            .iter()
+            .map(|(&k, h)| {
+                (
+                    k.to_string(),
+                    Value::Object(vec![
+                        ("count".into(), n(h.count())),
+                        ("sum_ns".into(), n(h.sum())),
+                        ("max_ns".into(), n(h.max())),
+                        ("p50_ns".into(), n(h.quantile(0.50))),
+                        ("p90_ns".into(), n(h.quantile(0.90))),
+                        ("p99_ns".into(), n(h.quantile(0.99))),
+                        ("p999_ns".into(), n(h.quantile(0.999))),
+                    ]),
+                )
+            })
+            .collect();
+        let series: Vec<(String, Value)> = self
+            .series
+            .iter()
+            .map(|(&k, points)| {
+                (
+                    k.to_string(),
+                    Value::Array(
+                        points.iter().map(|&(t, v)| Value::Array(vec![n(t), n(v)])).collect(),
+                    ),
+                )
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("schema_version".into(), n(u64::from(METRICS_SCHEMA_VERSION))),
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("histograms".into(), Value::Object(hists)),
+            ("series".into(), Value::Object(series)),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("metrics serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_data() {
+        let mut h = LatencyHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs..1ms uniform
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1_000_000);
+        let p50 = h.quantile(0.5);
+        // True median 500_500; log2 buckets are 2x wide, so allow that.
+        assert!((250_000..=1_000_000).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.999) <= h.max());
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut m = MetricRegistry::new();
+        m.counter_add("a.b", 2);
+        m.counter_add("a.b", 3);
+        m.gauge_set("g", 7);
+        m.latency("l_ns", 1500);
+        m.sample("s", 10, 1);
+        m.sample("s", 20, 2);
+        assert_eq!(m.counter("a.b"), 5);
+        assert_eq!(m.gauge("g"), Some(7));
+        assert_eq!(m.histogram("l_ns").unwrap().count(), 1);
+        assert_eq!(m.series("s").unwrap(), &[(10, 1), (20, 2)]);
+        let json = m.to_json();
+        let doc = serde::json::parse(&json).expect("valid json");
+        let serde::Value::Object(root) = doc else { panic!("object") };
+        assert!(root.iter().any(|(k, _)| k == "schema_version"));
+        assert!(root.iter().any(|(k, _)| k == "histograms"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Span placement on virtual-time tracks and Chrome trace-event export.
+//!
+//! Components record spans relatively ([`SpanRec`]: depth + offset from the
+//! enclosing root span). The tracer places each batch on an absolute
+//! virtual-time track with two structural guarantees, enforced by
+//! construction rather than by trusting instrumentation sites:
+//!
+//! 1. **Nesting** — a child span's interval is contained in its parent's.
+//! 2. **Sibling order** — spans at one depth under one parent (and root
+//!    spans on one track) never overlap; each starts no earlier than its
+//!    previous sibling ended.
+//!
+//! The exporter emits Chrome trace-event JSON (`ph:"X"` complete events,
+//! microsecond timestamps) that loads in Perfetto and `chrome://tracing`;
+//! [`validate_chrome_trace`] re-parses an exported document and re-checks
+//! both guarantees, which is what the CI `obs-smoke` job runs.
+
+use std::collections::BTreeMap;
+
+use crate::log::{SpanArgs, SpanRec};
+
+/// A span with its absolute virtual-time interval assigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedSpan {
+    /// Track (exported as Chrome `tid`).
+    pub track: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Category.
+    pub cat: &'static str,
+    /// Nesting depth (0 = root on its track).
+    pub depth: u8,
+    /// Absolute start, simulated nanos.
+    pub start: u64,
+    /// Duration, simulated nanos (children are clamped into parents).
+    pub dur: u64,
+    /// Key:value attributes.
+    pub args: SpanArgs,
+}
+
+impl PlacedSpan {
+    /// Absolute end, simulated nanos.
+    pub fn end(&self) -> u64 {
+        self.start + self.dur
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    start: u64,
+    end: u64,
+    /// Earliest start the next child of this frame may take.
+    next_child: u64,
+}
+
+/// Collects placed spans across all tracks of one run.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    spans: Vec<PlacedSpan>,
+    track_names: BTreeMap<u64, String>,
+    /// Per-track earliest start for the next root span.
+    cursors: BTreeMap<u64, u64>,
+}
+
+impl Tracer {
+    /// A new, empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Names a track (exported as a Chrome `thread_name` metadata event).
+    pub fn set_track_name(&mut self, track: u64, name: String) {
+        self.track_names.insert(track, name);
+    }
+
+    /// Places one batch of spans recorded by a single component onto
+    /// `track`, anchored at `anchor` nanos (the virtual time at which the
+    /// batch's first root span begins). Spans must arrive in recording
+    /// order: each root span followed by its descendants, depth-first.
+    pub fn place_batch(
+        &mut self,
+        track: u64,
+        anchor: u64,
+        batch: impl IntoIterator<Item = SpanRec>,
+    ) {
+        let mut stack: Vec<Frame> = Vec::new();
+        for rec in batch {
+            let depth = usize::from(rec.depth);
+            stack.truncate(depth.min(stack.len()));
+            let (start, dur) = if let Some(parent) = stack.last().copied() {
+                // Child: clamp into the parent and behind prior siblings.
+                let want = parent.start.saturating_add(rec.rel_start);
+                let start = want.max(parent.next_child).min(parent.end);
+                let dur = rec.dur.min(parent.end - start);
+                stack.last_mut().expect("parent frame").next_child = start + dur;
+                (start, dur)
+            } else {
+                // Root: behind the previous root on this track.
+                let cursor = self.cursors.entry(track).or_insert(0);
+                let start = anchor.max(*cursor);
+                *cursor = start + rec.dur;
+                (start, rec.dur)
+            };
+            stack.push(Frame { start, end: start + dur, next_child: start });
+            self.spans.push(PlacedSpan {
+                track,
+                name: rec.name,
+                cat: rec.cat,
+                depth: stack.len() as u8 - 1,
+                start,
+                dur,
+                args: rec.args,
+            });
+        }
+    }
+
+    /// All placed spans, in placement order.
+    pub fn spans(&self) -> &[PlacedSpan] {
+        &self.spans
+    }
+
+    /// Serializes the trace as a Chrome trace-event JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        use serde::{Number, Value};
+        let mut events: Vec<Value> = Vec::with_capacity(self.spans.len() + self.track_names.len());
+        for (&track, name) in &self.track_names {
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String("thread_name".into())),
+                ("ph".into(), Value::String("M".into())),
+                ("pid".into(), Value::Number(Number::PosInt(1))),
+                ("tid".into(), Value::Number(Number::PosInt(track))),
+                ("args".into(), Value::Object(vec![("name".into(), Value::String(name.clone()))])),
+            ]));
+        }
+        for span in &self.spans {
+            let args: Vec<(String, Value)> = span
+                .args
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Value::Number(Number::PosInt(v))))
+                .collect();
+            events.push(Value::Object(vec![
+                ("name".into(), Value::String(span.name.into())),
+                ("cat".into(), Value::String(span.cat.into())),
+                ("ph".into(), Value::String("X".into())),
+                ("ts".into(), Value::Number(Number::Float(span.start as f64 / 1000.0))),
+                ("dur".into(), Value::Number(Number::Float(span.dur as f64 / 1000.0))),
+                ("pid".into(), Value::Number(Number::PosInt(1))),
+                ("tid".into(), Value::Number(Number::PosInt(span.track))),
+                ("args".into(), Value::Object(args)),
+            ]));
+        }
+        let doc = Value::Object(vec![
+            ("displayTimeUnit".into(), Value::String("ms".into())),
+            ("traceEvents".into(), Value::Array(events)),
+        ]);
+        serde_json::to_string(&doc).expect("trace serializes")
+    }
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of `ph:"X"` complete events.
+    pub spans: usize,
+    /// Number of distinct `tid` tracks carrying spans.
+    pub tracks: usize,
+}
+
+fn field<'v>(obj: &'v [(String, serde::Value)], key: &str) -> Option<&'v serde::Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn num(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Number(n) => Some(n.as_f64()),
+        _ => None,
+    }
+}
+
+/// Validates an exported Chrome trace-event JSON document: well-formed
+/// JSON, a `traceEvents` array whose events carry the required fields, and
+/// the structural span guarantees (children inside parents, no sibling
+/// overlap) re-checked per track with a small epsilon for the
+/// nanos→micros float conversion.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    use serde::Value;
+    const EPS: f64 = 2e-3; // μs; covers ns→μs float rounding
+    let doc = serde::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Value::Object(root) = &doc else {
+        return Err("root is not an object".into());
+    };
+    let Some(Value::Array(events)) = field(root, "traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    // Per track: stack of (start, end) open intervals + last sibling end per
+    // depth, replayed in event order (placement order is time order per
+    // track and depth-first, so a simple stack replay suffices).
+    let mut stacks: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Value::Object(ev) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let ph = match field(ev, "ph") {
+            Some(Value::String(s)) => s.as_str(),
+            _ => return Err(format!("event {i} missing ph")),
+        };
+        if field(ev, "name").is_none() {
+            return Err(format!("event {i} missing name"));
+        }
+        let tid = field(ev, "tid").and_then(num).ok_or_else(|| format!("event {i} missing tid"))?;
+        if field(ev, "pid").and_then(num).is_none() {
+            return Err(format!("event {i} missing pid"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        if ph != "X" {
+            return Err(format!("event {i} has unsupported ph {ph:?}"));
+        }
+        let ts = field(ev, "ts").and_then(num).ok_or_else(|| format!("event {i} missing ts"))?;
+        let dur = field(ev, "dur").and_then(num).ok_or_else(|| format!("event {i} missing dur"))?;
+        if dur < 0.0 || ts < 0.0 {
+            return Err(format!("event {i} has negative ts/dur"));
+        }
+        let end = ts + dur;
+        let stack = stacks.entry(tid as u64).or_default();
+        // Pop completed ancestors: anything this span does not fall inside.
+        while let Some(&(ps, pe)) = stack.last() {
+            if ts + EPS >= ps && end <= pe + EPS {
+                break; // nested in the top-of-stack span
+            }
+            if ts + EPS >= pe {
+                stack.pop(); // strictly after: a sibling/uncle boundary
+            } else {
+                return Err(format!(
+                    "event {i} [{ts:.3},{end:.3}] overlaps open span [{ps:.3},{pe:.3}] on tid {tid}"
+                ));
+            }
+        }
+        stack.push((ts, end));
+        spans += 1;
+    }
+    Ok(TraceSummary { spans, tracks: stacks.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(depth: u8, rel_start: u64, dur: u64) -> SpanRec {
+        SpanRec { pid: 0, name: "s", cat: "t", depth, rel_start, dur, args: Vec::new() }
+    }
+
+    #[test]
+    fn roots_never_overlap_on_a_track() {
+        let mut tr = Tracer::new();
+        tr.place_batch(1, 100, [rec(0, 0, 50)]);
+        tr.place_batch(1, 120, [rec(0, 0, 30)]); // anchor inside prior span
+        let s = tr.spans();
+        assert_eq!((s[0].start, s[0].end()), (100, 150));
+        assert_eq!((s[1].start, s[1].end()), (150, 180)); // pushed behind
+    }
+
+    #[test]
+    fn children_clamp_into_parent() {
+        let mut tr = Tracer::new();
+        tr.place_batch(
+            1,
+            0,
+            [
+                rec(0, 0, 100),
+                rec(1, 10, 40),
+                rec(1, 20, 1000), // overlaps sibling + overflows parent
+            ],
+        );
+        let s = tr.spans();
+        assert_eq!((s[1].start, s[1].end()), (10, 50));
+        assert_eq!(s[2].start, 50); // pushed behind sibling
+        assert_eq!(s[2].end(), 100); // clamped to parent end
+    }
+
+    #[test]
+    fn grandchildren_nest_in_children() {
+        let mut tr = Tracer::new();
+        tr.place_batch(1, 0, [rec(0, 0, 100), rec(1, 10, 50), rec(2, 15, 20), rec(1, 70, 20)]);
+        let s = tr.spans();
+        assert!(s[2].start >= s[1].start && s[2].end() <= s[1].end());
+        assert!(s[3].start >= s[1].end());
+    }
+
+    #[test]
+    fn orphan_depth_is_reparented() {
+        // A depth-2 span with no open depth-1 parent attaches to the root.
+        let mut tr = Tracer::new();
+        tr.place_batch(1, 0, [rec(0, 0, 100), rec(2, 5, 10)]);
+        let s = tr.spans();
+        assert_eq!(s[1].depth, 1);
+        assert!(s[1].start >= s[0].start && s[1].end() <= s[0].end());
+    }
+
+    #[test]
+    fn export_validates() {
+        let mut tr = Tracer::new();
+        tr.set_track_name(1, "kernel".into());
+        tr.place_batch(1, 0, [rec(0, 0, 100), rec(1, 10, 40)]);
+        tr.place_batch(2, 50, [rec(0, 0, 10)]);
+        let json = tr.to_chrome_json();
+        let summary = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(summary, TraceSummary { spans: 3, tracks: 2 });
+    }
+
+    #[test]
+    fn validator_rejects_overlap_and_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        let overlapping = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},
+            {"name":"b","ph":"X","ts":50,"dur":100,"pid":1,"tid":1}]}"#;
+        let err = validate_chrome_trace(overlapping).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+        let missing = r#"{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(missing).is_err());
+    }
+}
