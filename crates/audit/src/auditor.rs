@@ -1,7 +1,7 @@
 //! The online invariant auditor: shadow state rebuilt from events, checked
 //! at every step.
 //!
-//! Four invariant families (see DESIGN.md §"Flight recorder"):
+//! Six invariant families (see DESIGN.md §"Flight recorder"):
 //!
 //! 1. **Page conservation** — the event-derived resident and swapped page
 //!    counts must equal what the kernel itself reports at every
@@ -26,6 +26,12 @@
 //!    evacuation abort names a region that actually exists. Page
 //!    conservation (family 1) keeps holding under faults, so a lost or
 //!    duplicated page still trips the `Counters` cross-check.
+//! 6. **Tier slot conservation** — on a hybrid (zram + flash) stack every
+//!    swapped anonymous page sits in exactly one tier: each swap-out is
+//!    followed by exactly one [`AuditEvent::SwapTierStore`] naming a known
+//!    tier, a [`AuditEvent::SwapWriteback`] *moves* a slot from zram to
+//!    flash (never duplicates it, never targets a flash or resident page),
+//!    and faulting/prefetching/unmapping the page retires its slot.
 
 use crate::event::AuditEvent;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -92,6 +98,9 @@ struct DeviceShadow {
     pid_pages: HashMap<u32, u64>,
     resident: u64,
     swapped_anon: u64,
+    /// Which tier each swapped page's slot lives in, on hybrid stacks.
+    /// Flash-only stacks never emit tier events, so this stays empty.
+    tiers: HashMap<(u32, u64), &'static str>,
     heaps: HashMap<u32, HeapShadow>,
     /// Open hot-launch windows: pid -> launch-kind faults seen so far.
     launches: HashMap<u32, u64>,
@@ -174,6 +183,7 @@ impl Auditor {
                 } else if !shadow.file {
                     dev.swapped_anon -= 1;
                 }
+                dev.tiers.remove(&(*pid, *page));
                 let count = dev.pid_pages.entry(*pid).or_default();
                 *count -= 1;
             }
@@ -192,6 +202,7 @@ impl Auditor {
                 if !*file {
                     dev.swapped_anon -= 1;
                 }
+                dev.tiers.remove(&(*pid, *page));
                 if *kind == "launch" {
                     if let Some(faults) = dev.launches.get_mut(pid) {
                         *faults += 1;
@@ -232,6 +243,7 @@ impl Auditor {
                 if !*file {
                     dev.swapped_anon -= 1;
                 }
+                dev.tiers.remove(&(*pid, *page));
             }
             LruPromote { pid, page } => {
                 let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
@@ -584,6 +596,65 @@ impl Auditor {
                     ));
                 }
             }
+
+            // --------------------------------------------------- tiered swap
+            SwapTierStore { pid, page, tier } => {
+                let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
+                    return Err(format!(
+                        "tier conservation: tier store for unmapped pid {pid} page {page}"
+                    ));
+                };
+                if shadow.resident {
+                    return Err(format!(
+                        "tier conservation: tier store for resident pid {pid} page {page} \
+                         (no swap-out to place)"
+                    ));
+                }
+                if shadow.file {
+                    return Err(format!(
+                        "tier conservation: tier store for file pid {pid} page {page} \
+                         (file pages are dropped, not stored)"
+                    ));
+                }
+                if *tier != "zram" && *tier != "flash" {
+                    return Err(format!(
+                        "tier conservation: unknown tier `{tier}` for pid {pid} page {page}"
+                    ));
+                }
+                if let Some(prev) = dev.tiers.insert((*pid, *page), tier) {
+                    return Err(format!(
+                        "tier conservation: pid {pid} page {page} stored in {tier} while its \
+                         slot still lives in {prev} (a swapped page sits in exactly one tier)"
+                    ));
+                }
+            }
+            SwapWriteback { pid, page } => {
+                let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
+                    return Err(format!(
+                        "tier conservation: writeback of unmapped pid {pid} page {page}"
+                    ));
+                };
+                if shadow.resident {
+                    return Err(format!(
+                        "tier conservation: writeback of resident pid {pid} page {page}"
+                    ));
+                }
+                match dev.tiers.get_mut(&(*pid, *page)) {
+                    Some(tier) if *tier == "zram" => *tier = "flash",
+                    Some(tier) => {
+                        return Err(format!(
+                            "tier conservation: writeback of pid {pid} page {page} whose slot \
+                             lives in {tier}, not zram (writeback moves zram slots to flash)"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "tier conservation: writeback of pid {pid} page {page} that holds \
+                             no tier slot"
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -849,6 +920,104 @@ mod tests {
         let mut a = Auditor::new();
         let err = feed(&mut a, &[EvacAbort { pid: 1, region: 9, objects_left: 1 }]).unwrap_err();
         assert!(err.contains("unmapped"), "{err}");
+    }
+
+    #[test]
+    fn tier_slot_lifecycle_passes() {
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "zram" },
+                SwapWriteback { pid: 1, page: 0 },
+                PageFault { pid: 1, page: 0, file: false, kind: "mutator" },
+                // After the fault retired the slot, a fresh swap-out may
+                // place the page again.
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "flash" },
+                PageUnmapped { pid: 1, page: 0, resident: false, file: false },
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn duplicate_tier_store_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "zram" },
+                SwapTierStore { pid: 1, page: 0, tier: "flash" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("exactly one tier"), "{err}");
+    }
+
+    #[test]
+    fn tier_store_for_resident_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapTierStore { pid: 1, page: 0, tier: "zram" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("resident"), "{err}");
+    }
+
+    #[test]
+    fn writeback_of_flash_slot_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "flash" },
+                SwapWriteback { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("not zram"), "{err}");
+        // Double writeback is the same violation: the first move landed the
+        // slot in flash.
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "zram" },
+                SwapWriteback { pid: 1, page: 0 },
+                SwapWriteback { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("not zram"), "{err}");
+    }
+
+    #[test]
+    fn writeback_without_a_tier_slot_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapWriteback { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("no tier slot"), "{err}");
     }
 
     #[test]

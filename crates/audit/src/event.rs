@@ -308,6 +308,29 @@ pub enum AuditEvent {
         /// Live objects left in place instead of being copied.
         objects_left: u64,
     },
+
+    // -------------------------------------------------------- tiered swap
+    /// A swap-out landed in a specific tier of a hybrid stack. Emitted
+    /// immediately after the matching [`AuditEvent::SwapOut`], and only on
+    /// devices with a zram front tier — flash-only stacks stay silent so
+    /// their golden traces are unchanged.
+    SwapTierStore {
+        /// Owning process.
+        pid: u32,
+        /// Page index.
+        page: u64,
+        /// Tier the slot lives in: `zram` or `flash`.
+        tier: &'static str,
+    },
+    /// The writeback daemon demoted an aging zram slot to flash. The page
+    /// must currently hold a zram slot; afterwards it holds a flash slot —
+    /// a move, never a duplicate.
+    SwapWriteback {
+        /// Owning process.
+        pid: u32,
+        /// Page index.
+        page: u64,
+    },
 }
 
 impl std::fmt::Display for AuditEvent {
@@ -394,6 +417,12 @@ impl std::fmt::Display for AuditEvent {
             EvacAbort { pid, region, objects_left } => {
                 write!(f, "evac_abort pid={pid} region={region} objects_left={objects_left}")
             }
+            SwapTierStore { pid, page, tier } => {
+                write!(f, "swap_tier_store pid={pid} page={page} tier={tier}")
+            }
+            SwapWriteback { pid, page } => {
+                write!(f, "swap_writeback pid={pid} page={page}")
+            }
         }
     }
 }
@@ -433,6 +462,11 @@ mod tests {
                 AuditEvent::EvacAbort { pid: 5, region: 7, objects_left: 19 },
                 "evac_abort pid=5 region=7 objects_left=19",
             ),
+            (
+                AuditEvent::SwapTierStore { pid: 1, page: 33, tier: "zram" },
+                "swap_tier_store pid=1 page=33 tier=zram",
+            ),
+            (AuditEvent::SwapWriteback { pid: 1, page: 33 }, "swap_writeback pid=1 page=33"),
         ];
         for (event, expect) in cases {
             assert_eq!(event.to_string(), expect);

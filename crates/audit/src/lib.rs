@@ -16,9 +16,10 @@
 //! * [`Recorder`] — canonical serialization + streaming FNV-1a hash of the
 //!   whole event stream, with periodic checkpoints and a ring buffer of
 //!   the most recent events (the "flight recorder"),
-//! * [`Auditor`] — shadow state rebuilt purely from events, checking four
+//! * [`Auditor`] — shadow state rebuilt purely from events, checking six
 //!   invariant families *online*: page conservation, LRU/residency
-//!   membership, GC soundness and launch accounting,
+//!   membership, GC soundness, launch accounting, fault/degradation
+//!   consistency, and swap-tier slot conservation,
 //! * [`AuditPipeline`] — recorder + auditor behind one `feed` call;
 //!   violations panic with the last events as context.
 //!

@@ -17,7 +17,9 @@
 //!   a `HashMap<PageKey, _>` model of the old layout. Both ops/sec numbers
 //!   and the speedup are recorded; the rewrite's acceptance bar is ≥2×.
 //! * **kernel** — end-to-end page ops through `MemoryManager`: resident
-//!   access (table lookup + LRU touch) and the cold→fault swap round-trip.
+//!   access (table lookup + LRU touch), the cold→fault swap round-trip on
+//!   the flash backend, and the same script split into store/load halves
+//!   against a zram device (compression cost model, DRAM-charged slots).
 //! * **gc** — a full tracing collection over a deterministic object graph.
 //! * **figures** — wall-clock for the fig2 / fig5 / fig11 experiment
 //!   drivers, end to end through the registry harness.
@@ -79,6 +81,10 @@ struct Comparison {
 struct KernelBench {
     access_resident_ops_per_sec: f64,
     swap_roundtrip_pages_per_sec: f64,
+    /// Swap-out throughput against a zram device (compress + store).
+    zram_write_pages_per_sec: f64,
+    /// Fault-in throughput against a zram device (load + decompress).
+    zram_read_pages_per_sec: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -297,11 +303,19 @@ fn page_table_script_baseline(n: u64) -> u64 {
 // ------------------------------------------------- kernel + GC end-to-end
 
 fn loaded_mm() -> MemoryManager {
-    let mut mm = MemoryManager::new(MmConfig {
-        dram_bytes: 32 * 1024 * 1024,
-        swap: SwapConfig { capacity_bytes: 32 * 1024 * 1024, ..SwapConfig::default() },
-        ..MmConfig::default()
-    });
+    loaded_mm_with(SwapConfig { capacity_bytes: 32 * 1024 * 1024, ..SwapConfig::default() })
+}
+
+/// `loaded_mm`, but swapping to compressed DRAM instead of flash. The
+/// compressed slots charge against the frame pool, so the working set is
+/// sized to leave headroom for them.
+fn zram_mm() -> MemoryManager {
+    loaded_mm_with(SwapConfig::try_zram(32 * 1024 * 1024, 2.5).expect("valid zram config"))
+}
+
+fn loaded_mm_with(swap: SwapConfig) -> MemoryManager {
+    let mut mm =
+        MemoryManager::new(MmConfig { dram_bytes: 32 * 1024 * 1024, swap, ..MmConfig::default() });
     for pid in 1..=8u32 {
         mm.map_range(Pid(pid), 0, 2 * 1024 * 1024).expect("fits");
     }
@@ -419,6 +433,27 @@ fn run(quick: bool) -> Report {
             pages
         })
     };
+    let (zram_write, zram_read) = {
+        // The same round-trip script, but the two halves timed apart:
+        // madvise compresses+stores, the launch access loads+decompresses.
+        let mut mm = zram_mm();
+        let pages = 256u64;
+        mm.madvise(Pid(1), 0, pages * PAGE_SIZE, Advice::ColdRuntime);
+        mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch);
+        let (mut write_secs, mut read_secs, mut ops, mut rounds) = (0.0, 0.0, 0u64, 0u32);
+        while write_secs + read_secs < 2.0 * min_secs || rounds < 2 {
+            let start = Instant::now();
+            mm.madvise(Pid(1), 0, pages * PAGE_SIZE, Advice::ColdRuntime);
+            write_secs += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let out = mm.access(Pid(1), 0, pages * PAGE_SIZE, AccessKind::Launch);
+            read_secs += start.elapsed().as_secs_f64();
+            assert!(!out.oom);
+            ops += pages;
+            rounds += 1;
+        }
+        (ops as f64 / write_secs, ops as f64 / read_secs)
+    };
 
     eprintln!("gc: full trace over {gc_objects} objects…");
     let full_gc_ms = best_ms(if quick { 2 } else { 5 }, || {
@@ -433,12 +468,14 @@ fn run(quick: bool) -> Report {
     let obs_overhead = run_obs_overhead(quick);
 
     let mut report = Report {
-        schema_version: 2,
+        schema_version: 3,
         quick,
         microbench: Microbench { lru, page_table },
         kernel: KernelBench {
             access_resident_ops_per_sec: access_resident,
             swap_roundtrip_pages_per_sec: swap_roundtrip,
+            zram_write_pages_per_sec: zram_write,
+            zram_read_pages_per_sec: zram_read,
         },
         gc: GcBench { trace_objects: gc_objects, full_gc_ms },
         figures,
@@ -528,6 +565,10 @@ fn main() {
     println!(
         "Kernel:     {:>12.0} resident accesses/s  {:>12.0} swap round-trip pages/s",
         report.kernel.access_resident_ops_per_sec, report.kernel.swap_roundtrip_pages_per_sec
+    );
+    println!(
+        "Zram:       {:>12.0} store pages/s        {:>12.0} fault-in pages/s",
+        report.kernel.zram_write_pages_per_sec, report.kernel.zram_read_pages_per_sec
     );
     println!(
         "GC:         full trace of {} objects in {:.1} ms",

@@ -6,6 +6,23 @@ use fleet_kernel::{FaultConfig, MmConfig, SwapConfig, SwapMedium, PAGE_SIZE};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// A zram front tier placed ahead of the flash swap partition.
+///
+/// Vendors ship exactly this hybrid (Ariadne and most Android devices run
+/// zram writeback): warm swap victims land in compressed DRAM where a
+/// refault costs microseconds, while a background writeback daemon demotes
+/// aging slots to flash. The front tier's *capacity* is what it can hold
+/// uncompressed; the DRAM it pins is that divided by the compression ratio,
+/// charged against the device's app DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZramFront {
+    /// Uncompressed capacity of the zram tier in MiB (real scale).
+    pub mib: u32,
+    /// Compression ratio (stored bytes shrink by this factor; must be a
+    /// finite value above 1.0).
+    pub compression_ratio: f64,
+}
+
 /// The simulated device and run parameters.
 ///
 /// The experiment platform of §6: a Pixel 3 with 4 GB LPDDR4X and a 2 GB
@@ -61,6 +78,12 @@ pub struct DeviceConfig {
     /// What backs the swap space: the paper's flash partition, or a
     /// vendor-style compressed-RAM (zram) device.
     pub swap_medium: SwapMedium,
+    /// Optional zram front tier ahead of the flash partition. `None` (the
+    /// default) reproduces the paper's flash-only device bit-for-bit;
+    /// `Some` enables hotness-aware tiered placement with writeback.
+    /// Requires `swap_medium` to be flash — a zram front of a zram back
+    /// would model nothing.
+    pub zram_front: Option<ZramFront>,
     /// Kernel reclaim balance (`vm.swappiness`-style, 0–200; default 50).
     pub swappiness: u32,
     /// Fault-injection rates for the swap device (DESIGN.md §9). The
@@ -113,6 +136,7 @@ impl DeviceConfig {
             fleet_disable_cold_madvise: false,
             prefetch_on_launch: false,
             swap_medium: SwapMedium::Flash,
+            zram_front: None,
             swappiness: 50,
             fault: FaultConfig::default(),
             seed: 0xF1EE7,
@@ -149,7 +173,8 @@ impl DeviceConfig {
                 medium: SwapMedium::Flash,
             },
             SwapMedium::Zram { compression_ratio } => {
-                let base = SwapConfig::zram(self.swap_bytes(), compression_ratio);
+                let base = SwapConfig::try_zram(self.swap_bytes(), compression_ratio)
+                    .expect("zram swap medium validated by DeviceConfig::validate");
                 SwapConfig {
                     read_bw: base.read_bw / self.scale as f64,
                     write_bw: base.write_bw / self.scale as f64,
@@ -158,9 +183,23 @@ impl DeviceConfig {
                 }
             }
         };
+        let zram = self.zram_front.map(|front| {
+            let base = SwapConfig::try_zram(
+                front.mib as u64 * 1024 * 1024 / self.scale as u64,
+                front.compression_ratio,
+            )
+            .expect("zram front validated by DeviceConfig::validate");
+            SwapConfig {
+                read_bw: base.read_bw / self.scale as f64,
+                write_bw: base.write_bw / self.scale as f64,
+                op_latency: base.op_latency * self.scale as u64,
+                ..base
+            }
+        });
         MmConfig {
             dram_bytes: self.app_dram_bytes(),
             swap,
+            zram,
             file_read_bw: 300.0e6 / self.scale as f64,
             swappiness: self.swappiness,
             low_watermark_frames: frames / 24,
@@ -186,6 +225,25 @@ impl DeviceConfig {
         }
         if self.marvin_threshold == 0 {
             return Err("marvin threshold must be positive".into());
+        }
+        if let SwapMedium::Zram { compression_ratio } = self.swap_medium {
+            if !compression_ratio.is_finite() || compression_ratio <= 1.0 {
+                return Err("zram compression ratio must be a finite value above 1.0".into());
+            }
+        }
+        if let Some(front) = self.zram_front {
+            if front.mib == 0 {
+                return Err("zram front tier must have a positive capacity".into());
+            }
+            if !front.compression_ratio.is_finite() || front.compression_ratio <= 1.0 {
+                return Err("zram front compression ratio must be a finite value above 1.0".into());
+            }
+            if !matches!(self.swap_medium, SwapMedium::Flash) {
+                return Err("a zram front tier requires a flash-backed swap partition".into());
+            }
+            if self.swap_bytes() == 0 {
+                return Err("a zram front tier requires a swap partition behind it".into());
+            }
         }
         self.fault.validate()?;
         Ok(())
@@ -250,6 +308,14 @@ impl DeviceConfigBuilder {
     /// Any [`SwapMedium`], for cases the [`Self::zram`] shorthand can't say.
     pub fn swap_medium(mut self, medium: SwapMedium) -> Self {
         self.config.swap_medium = medium;
+        self
+    }
+
+    /// Places a zram front tier of `mib` MiB (uncompressed capacity, real
+    /// scale) at the given compression ratio ahead of the flash partition,
+    /// enabling hotness-aware tiered placement with writeback.
+    pub fn zram_front(mut self, mib: u32, compression_ratio: f64) -> Self {
+        self.config.zram_front = Some(ZramFront { mib, compression_ratio });
         self
     }
 
@@ -356,6 +422,35 @@ mod tests {
         let mut cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
         cfg.heap_growth_background = 0.9;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zram_front_maps_to_a_hybrid_mm_config() {
+        let cfg = DeviceConfig::builder(SchemeKind::Fleet).zram_front(512, 2.5).build().unwrap();
+        let mm = cfg.mm_config();
+        let front = mm.zram.expect("hybrid config must carry a front tier");
+        // 512 MiB / 16 scale = 32 MiB of uncompressed front capacity.
+        assert_eq!(front.capacity_bytes, 32 * 1024 * 1024);
+        assert_eq!(front.medium, SwapMedium::Zram { compression_ratio: 2.5 });
+        // The flash partition behind it is untouched.
+        assert_eq!(mm.swap.capacity_bytes, 128 * 1024 * 1024);
+        assert_eq!(mm.swap.medium, SwapMedium::Flash);
+        // And the default device carries no front at all.
+        assert!(DeviceConfig::pixel3(SchemeKind::Fleet).mm_config().zram.is_none());
+    }
+
+    #[test]
+    fn zram_front_validation_rejects_nonsense() {
+        let err = DeviceConfig::builder(SchemeKind::Fleet).zram_front(0, 2.5).build();
+        assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
+        let err = DeviceConfig::builder(SchemeKind::Fleet).zram_front(512, 1.0).build();
+        assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
+        // Front of a zram back tier models nothing.
+        let err = DeviceConfig::builder(SchemeKind::Fleet).zram(2.5).zram_front(512, 2.5).build();
+        assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
+        // No-swap scheme leaves the front tier nothing to write back to.
+        let err = DeviceConfig::builder(SchemeKind::AndroidNoSwap).zram_front(512, 2.5).build();
+        assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
     }
 
     #[test]

@@ -491,7 +491,11 @@ impl Device {
     /// Emits the hot-launch span family: a root `launch` span of the full
     /// time-to-first-frame with `cpu` / `fault_in` / `gc_pause` children
     /// laid end to end — their durations sum *exactly* to the root's, which
-    /// is what the `launch_attribution` experiment decomposes.
+    /// is what the `launch_attribution` experiment decomposes. On hybrid
+    /// swap stacks the `fault_in` child additionally nests a `decompress`
+    /// span covering the portion of the stall spent inflating zram slots;
+    /// flash-only devices emit no such span, keeping their traces
+    /// unchanged.
     #[cfg(feature = "obs")]
     fn obs_launch_span(
         &mut self,
@@ -521,9 +525,21 @@ impl Device {
                 })
             };
         let mut records = vec![span(root_name, 0, 0, total, vec![("faulted_pages", faulted)])];
+        let decompress = report.decompress;
         if total > 0 {
             records.push(span("cpu", 1, 0, cpu.as_nanos(), Vec::new()));
             records.push(span("fault_in", 1, cpu.as_nanos(), fault_in.as_nanos(), Vec::new()));
+            if decompress > SimDuration::ZERO {
+                // The decompression stall sits at the front of the fault
+                // window: zram reads are served before the flash batch.
+                records.push(span(
+                    "decompress",
+                    2,
+                    cpu.as_nanos(),
+                    decompress.as_nanos(),
+                    Vec::new(),
+                ));
+            }
             records.push(span(
                 "gc_pause",
                 1,
@@ -538,6 +554,9 @@ impl Device {
         pipeline.latency("launch.total_ns", total);
         pipeline.latency("launch.fault_in_ns", fault_in.as_nanos());
         pipeline.latency("launch.gc_ns", gc_pause.as_nanos());
+        if decompress > SimDuration::ZERO {
+            pipeline.latency("launch.decompress_ns", decompress.as_nanos());
+        }
         pipeline.counter_add("launch.hot", 1);
     }
 
@@ -748,6 +767,7 @@ impl Device {
             at: self.now(),
             total,
             fault_stall: SimDuration::ZERO,
+            decompress: SimDuration::ZERO,
             faulted_pages: 0,
             gc_stw: SimDuration::ZERO,
         };
@@ -790,6 +810,7 @@ impl Device {
                 at: self.now(),
                 total: SimDuration::ZERO,
                 fault_stall: SimDuration::ZERO,
+                decompress: SimDuration::ZERO,
                 faulted_pages: 0,
                 gc_stw: SimDuration::ZERO,
             });
@@ -925,6 +946,7 @@ impl Device {
             at: now,
             total,
             fault_stall: outcome.latency + gc_stall + prefetch_stall,
+            decompress: outcome.decompress_latency,
             faulted_pages: outcome.faulted_pages,
             gc_stw: gc_stw + marvin_resume,
         };
@@ -1008,6 +1030,9 @@ impl Device {
                 self.step_process(pid, 1.0);
             }
             self.mm.kswapd();
+            // Hybrid stacks age their zram tier once per slice, like the
+            // kernel's zram writeback daemon; a no-op on flash-only devices.
+            self.mm.zram_writeback();
             self.update_psi(1.0);
             self.pressure_kill();
             device_audit!(
@@ -1709,6 +1734,7 @@ impl Device {
             if since_kswapd >= 60 {
                 since_kswapd = 0;
                 self.mm.kswapd();
+                self.mm.zram_writeback();
                 self.pressure_kill();
                 device_audit!(
                     self,

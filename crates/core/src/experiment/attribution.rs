@@ -30,6 +30,9 @@ pub struct AttributionRow {
     pub total_ms: f64,
     /// Mean page-fault stall share, ms (launch faults + prefetch excess).
     pub fault_in_ms: f64,
+    /// Mean zram decompression share, ms — a *subset* of `fault_in_ms`,
+    /// nonzero only on hybrid swap stacks.
+    pub decompress_ms: f64,
     /// Mean GC share, ms (launch-GC pause + stalls + stub reconciliation).
     pub gc_ms: f64,
     /// Mean CPU render share, ms (the remainder; always `total - fault_in
@@ -57,16 +60,21 @@ pub fn attribute_launches(
             let n = reports.len().max(1) as f64;
             let mut total = 0.0;
             let mut fault_in = 0.0;
+            let mut decompress = 0.0;
             let mut gc = 0.0;
             for r in &reports {
                 let t = r.total.as_millis_f64();
                 let f = r.fault_stall.as_millis_f64();
+                let d = r.decompress.as_millis_f64();
                 let g = r.gc_stw.as_millis_f64();
                 // The reconciliation the trace spans rely on: the launch
-                // children must tile the root span exactly.
+                // children must tile the root span exactly, and the
+                // decompress sub-span must nest inside fault-in.
                 debug_assert!(f + g <= t + 1e-9, "launch components exceed the total");
+                debug_assert!(d <= f + 1e-9, "decompression exceeds the fault stall");
                 total += t;
                 fault_in += f;
+                decompress += d;
                 gc += g;
             }
             let (total, fault_in, gc) = (total / n, fault_in / n, gc / n);
@@ -76,6 +84,7 @@ pub fn attribute_launches(
                 launches: reports.len(),
                 total_ms: total,
                 fault_in_ms: fault_in,
+                decompress_ms: decompress / n,
                 gc_ms: gc,
                 cpu_ms: total - fault_in - gc,
             });

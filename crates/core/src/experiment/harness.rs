@@ -182,6 +182,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::ablation::Ablation,
     &crate::experiment::resilience::Resilience,
     &crate::experiment::attribution::LaunchAttribution,
+    &crate::experiment::swap_tiers::SwapTiers,
 ];
 
 /// Derives an experiment's RNG seed from the master seed and its id.
@@ -332,6 +333,7 @@ mod tests {
         "runtime",
         "scenario",
         "sensitivity",
+        "swap_tiers",
         "tables",
     ];
 

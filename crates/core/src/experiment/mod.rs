@@ -23,6 +23,7 @@ pub mod resilience;
 pub mod runtime;
 pub mod scenario;
 pub mod sensitivity;
+pub mod swap_tiers;
 pub mod tables;
 
 pub use harness::{Experiment, ExperimentCtx, ExperimentOutput, RenderBlock, REGISTRY};

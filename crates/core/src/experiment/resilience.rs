@@ -50,6 +50,10 @@ pub struct ResilienceRow {
     pub oom_touch_skips: u64,
     /// Mappings abandoned with nothing left to kill.
     pub map_failures: u64,
+    /// The swap stack's schema-stable per-tier counters (flash-only here,
+    /// so `front` is `None`; the I/O-error counts complement the kernel's
+    /// retry/loss counters above).
+    pub swap: fleet_kernel::SwapStats,
 }
 
 /// Runs the §7.2 pressure protocol under each fault intensity and collects
@@ -115,6 +119,7 @@ pub fn resilience(
             evac_aborts: device.evac_aborts(),
             oom_touch_skips: device.oom_touch_skips(),
             map_failures: device.map_failures(),
+            swap: device.mm().swap_stats(),
         });
     }
     Ok(rows)

@@ -43,7 +43,7 @@ pub mod params;
 pub mod process;
 pub mod timeline;
 
-pub use config::{DeviceConfig, DeviceConfigBuilder};
+pub use config::{DeviceConfig, DeviceConfigBuilder, ZramFront};
 pub use device::{Device, DeviceTrace, KillRecord, TraceSample, TraceSource};
 pub use error::FleetError;
 pub use params::{FleetParams, SchemeKind};
@@ -59,7 +59,7 @@ pub use timeline::{Timeline, TimelineEvent};
 /// reference LRU model) is crate plumbing and may change without notice;
 /// such items are marked `#[doc(hidden)]` at their definition sites.
 pub mod prelude {
-    pub use crate::config::{DeviceConfig, DeviceConfigBuilder};
+    pub use crate::config::{DeviceConfig, DeviceConfigBuilder, ZramFront};
     pub use crate::device::{Device, DeviceTrace, KillRecord};
     pub use crate::error::FleetError;
     pub use crate::experiment::harness::{

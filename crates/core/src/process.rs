@@ -46,6 +46,9 @@ pub struct LaunchReport {
     pub total: SimDuration,
     /// Portion spent stalled on page faults.
     pub fault_stall: SimDuration,
+    /// Portion of the fault stall spent decompressing zram slots (a subset
+    /// of `fault_stall`; zero on flash-only devices).
+    pub decompress: SimDuration,
     /// Pages faulted in from swap on the critical path.
     pub faulted_pages: u64,
     /// Stop-the-world pause of a launch-time GC, if one triggered.

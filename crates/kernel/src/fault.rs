@@ -230,6 +230,14 @@ impl FaultPlan {
         &self.config
     }
 
+    /// Derives an independent plan with the same rates for another device
+    /// in a tier stack. The child stream is seeded from this plan's current
+    /// state xor `salt`, so two tiers never replay correlated schedules; a
+    /// quiet parent forks a quiet child (no draws either way).
+    pub fn fork(&self, salt: u64) -> FaultPlan {
+        FaultPlan::new(self.state ^ salt, self.config)
+    }
+
     /// True when the plan can never inject anything. The quiet fast path in
     /// every decision method returns before touching the stream, so a quiet
     /// plan is behaviourally identical to no plan at all.
@@ -389,6 +397,27 @@ mod tests {
         config.read_transient_rate = f64::NAN;
         assert!(config.validate().is_err());
         assert!(FaultConfig::flaky_flash(0.2).validate().is_ok());
+    }
+
+    #[test]
+    fn forked_plans_are_uncorrelated_but_deterministic() {
+        let config = FaultConfig::flaky_flash(0.5);
+        let parent = FaultPlan::new(42, config);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(1);
+        let mut c = parent.fork(2);
+        let mut same = 0;
+        for _ in 0..256 {
+            let fa = a.read_fault();
+            assert_eq!(fa, b.read_fault(), "same salt must replay the same schedule");
+            if fa == c.read_fault() {
+                same += 1;
+            }
+        }
+        assert!(same < 256, "different salts must diverge");
+        // A quiet parent forks a quiet child.
+        let quiet = FaultPlan::default().fork(7);
+        assert!(quiet.is_quiet());
     }
 
     #[test]

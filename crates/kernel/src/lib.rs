@@ -13,6 +13,8 @@
 //! * [`page`] — process ids, page keys and access kinds,
 //! * [`lru`] — a second-chance LRU over all mapped pages,
 //! * [`swap`] — the swap device with the paper's measured bandwidths,
+//! * [`tier`] — the tiered swap stack (an optional zram front tier with
+//!   hotness-aware placement, in front of the flash tier),
 //! * [`mm`] — the memory manager tying frames, LRU, swap, reclaim and
 //!   the madvise extensions together,
 //! * [`lmk`] — the low-memory-killer victim policy and the stateful
@@ -41,6 +43,7 @@ pub mod lru;
 pub mod mm;
 pub mod page;
 pub mod swap;
+pub mod tier;
 
 pub use fault::{retry_backoff, FaultConfig, FaultPlan, ReadFault, FAULT_RETRY_MAX};
 pub use lmk::{choose_victim, LmkCandidate, LmkOutcome, Lmkd};
@@ -49,4 +52,7 @@ pub use mm::{AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmCo
 #[doc(hidden)]
 pub use mm::{PageEntry, PageTable};
 pub use page::{PageKey, PageKind, PageState, Pid, PAGE_SIZE};
-pub use swap::{SwapConfig, SwapDevice, SwapError, SwapMedium, SwapOp};
+pub use swap::{
+    SwapConfig, SwapConfigBuilder, SwapDevice, SwapError, SwapMedium, SwapOp, TierStats,
+};
+pub use tier::{SwapStack, SwapStats, SwapTier};

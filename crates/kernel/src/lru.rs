@@ -58,6 +58,10 @@ struct Node {
     prev: u32,
     next: u32,
     active: bool,
+    /// Sticky referenced-history bit: set the first time the node survives a
+    /// reclaim scan via second-chance rotation, never cleared while tracked.
+    /// Eviction reads it to classify the victim hot/cold for tier placement.
+    rotated: bool,
     in_use: bool,
 }
 
@@ -112,12 +116,19 @@ impl LruQueue {
             let idx = self.free;
             self.free = self.nodes[idx as usize].next;
             self.nodes[idx as usize] =
-                Node { key, prev: NIL, next: NIL, active: false, in_use: true };
+                Node { key, prev: NIL, next: NIL, active: false, rotated: false, in_use: true };
             idx
         } else {
             let idx = self.nodes.len() as u32;
             assert!(idx != NIL, "LRU slab full");
-            self.nodes.push(Node { key, prev: NIL, next: NIL, active: false, in_use: true });
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+                active: false,
+                rotated: false,
+                in_use: true,
+            });
             idx
         }
     }
@@ -292,6 +303,14 @@ impl LruQueue {
     /// Terminates without a scan budget: every rotation clears a bit, so at
     /// most `len` rotations precede the pop.
     pub fn pop_coldest(&mut self) -> Option<PageKey> {
+        self.pop_coldest_classified().map(|(key, _)| key)
+    }
+
+    /// [`LruQueue::pop_coldest`] plus the victim's hotness class: `true`
+    /// when the page ever earned a second chance (its referenced bit was
+    /// seen by a reclaim scan), `false` for never-referenced cold pages.
+    /// Pop order is identical to `pop_coldest`.
+    pub fn pop_coldest_classified(&mut self) -> Option<(PageKey, bool)> {
         loop {
             let idx = self.head;
             if idx == NIL {
@@ -302,8 +321,10 @@ impl LruQueue {
                 self.unlink(idx);
                 self.link_tail(idx);
                 self.nodes[idx as usize].active = false;
+                self.nodes[idx as usize].rotated = true;
             } else {
-                return Some(self.remove_handle(LruHandle(idx)));
+                let warm = self.nodes[idx as usize].rotated;
+                return Some((self.remove_handle(LruHandle(idx)), warm));
             }
         }
     }
@@ -617,6 +638,18 @@ mod tests {
         assert_eq!(lru.pop_coldest(), Some(key(4)));
         assert_eq!(lru.pop_coldest(), Some(key(3)));
         assert_eq!(lru.pop_coldest(), Some(key(1)));
+    }
+
+    #[test]
+    fn classified_pop_reports_second_chance_history() {
+        let mut lru = LruQueue::new();
+        lru.insert(key(0));
+        lru.insert(key(1));
+        lru.touch(key(0)); // 0 referenced; order: 1, 0*
+        assert_eq!(lru.pop_coldest_classified(), Some((key(1), false)));
+        // key(0)'s bit is consumed by a rotation, marking it warm.
+        assert_eq!(lru.pop_coldest_classified(), Some((key(0), true)));
+        assert_eq!(lru.pop_coldest_classified(), None);
     }
 
     #[test]

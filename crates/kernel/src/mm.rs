@@ -31,6 +31,7 @@ use crate::fault::{retry_backoff, FaultPlan, ReadFault, FAULT_RETRY_MAX};
 use crate::lru::{LruHandle, LruQueue};
 use crate::page::{pages_in_range, PageKey, PageKind, PageState, Pid, PAGE_SIZE};
 use crate::swap::{SwapConfig, SwapDevice, SwapError};
+use crate::tier::{SwapStack, SwapStats, SwapTier};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -130,6 +131,11 @@ pub struct AccessOutcome {
     /// process. The page's data is gone; the access stopped early and the
     /// caller must kill the process (the SIGBUS path) rather than retry.
     pub killed: bool,
+    /// The zram-decompression share of `latency`: stall spent reading pages
+    /// back from the compressed front tier. Already included in `latency`;
+    /// reported separately so launch attribution can show where hybrid swap
+    /// wins come from. Always zero without a zram front tier.
+    pub decompress_latency: SimDuration,
 }
 
 impl AccessOutcome {
@@ -142,6 +148,7 @@ impl AccessOutcome {
         self.retries += other.retries;
         self.degraded_latency += other.degraded_latency;
         self.killed |= other.killed;
+        self.decompress_latency += other.decompress_latency;
     }
 }
 
@@ -169,8 +176,14 @@ pub struct MmConfig {
     /// DRAM available for app pages, in bytes (Pixel 3: 4 GB minus the
     /// system reserve; the device layer decides the exact figure).
     pub dram_bytes: u64,
-    /// Swap device parameters.
+    /// Back-tier swap device parameters (flash by default; a zram-only
+    /// configuration makes this the zram device).
     pub swap: SwapConfig,
+    /// Optional zram front tier placed in front of `swap`, forming a hybrid
+    /// [`SwapStack`]: warm victims are compressed into DRAM, cold ones go
+    /// to the back tier, and a writeback daemon demotes aging zram slots.
+    /// `None` (the default) keeps the single-device behaviour bit-for-bit.
+    pub zram: Option<SwapConfig>,
     /// kswapd wakes below this many free frames…
     pub low_watermark_frames: u64,
     /// …and reclaims until this many frames are free.
@@ -193,6 +206,7 @@ impl Default for MmConfig {
         MmConfig {
             dram_bytes,
             swap: SwapConfig::default(),
+            zram: None,
             low_watermark_frames: frames / 32,
             high_watermark_frames: frames / 16,
             dram_page_cost: SimDuration::from_nanos(450),
@@ -209,6 +223,7 @@ impl MmConfig {
         MmConfig {
             dram_bytes: 1024 * 1024,
             swap: SwapConfig { capacity_bytes: 1024 * 1024, ..SwapConfig::default() },
+            zram: None,
             low_watermark_frames: 8,
             high_watermark_frames: 16,
             dram_page_cost: SimDuration::from_nanos(450),
@@ -247,6 +262,18 @@ pub struct KernelStats {
     pub swap_write_errors: u64,
     /// Anonymous pages lost to permanent read errors (owner killed).
     pub pages_lost: u64,
+    /// Faults served from the zram front tier (hybrid swap only).
+    pub faults_zram: u64,
+    /// Pages placed into the zram front tier on swap-out (hybrid only).
+    pub pages_swapped_zram: u64,
+    /// Pages the writeback daemon demoted zram → flash (hybrid only).
+    pub zram_writeback_pages: u64,
+    /// Warm victims that proved incompressible and fell through to the
+    /// flash tier instead of pinning a full DRAM frame (hybrid only).
+    pub zram_fallthrough_pages: u64,
+    /// Decompression share of fault stall: nanos spent reading pages back
+    /// from the zram front tier (hybrid only).
+    pub decompress_stall_nanos: u64,
 }
 
 /// Per-process residency snapshot.
@@ -268,6 +295,10 @@ const PE_RESIDENT: u8 = 1 << 1;
 const PE_FILE: u8 = 1 << 2;
 /// Page-entry flag: the page is excluded from LRU eviction.
 const PE_PINNED: u8 = 1 << 3;
+/// Page-entry flag: the (swapped, anonymous) page lives in the zram front
+/// tier rather than the back tier. For zram pages the entry's `node` holds
+/// the page's handle in the writeback FIFO instead of an LRU handle.
+const PE_ZRAM: u8 = 1 << 4;
 
 /// "No LRU node": the page is not on any queue (swapped or pinned).
 const NO_NODE: u32 = u32::MAX;
@@ -300,6 +331,9 @@ impl PageEntry {
     }
     pub fn is_pinned(self) -> bool {
         self.flags & PE_PINNED != 0
+    }
+    pub fn is_zram(self) -> bool {
+        self.flags & PE_ZRAM != 0
     }
 }
 
@@ -608,7 +642,12 @@ pub struct MemoryManager {
     /// Monotonic eviction counter driving the anon/file balance and the
     /// proportional cgroup pick.
     eviction_seq: u64,
-    swap: SwapDevice,
+    swap: SwapStack,
+    /// Writeback FIFO over zram-resident pages, in store order: nothing
+    /// touches entries after insertion, so `pop_coldest` yields the oldest
+    /// zram slot — the writeback daemon's demotion order. Empty without a
+    /// front tier. A zram page's entry stores its FIFO handle in `node`.
+    zram_fifo: LruQueue,
     stats: KernelStats,
     /// Flight-recorder buffer (see `crates/audit`); disabled by default.
     #[cfg(feature = "audit")]
@@ -630,7 +669,11 @@ impl MemoryManager {
             anon_lrus: PidMap::default(),
             file_lru: LruQueue::new(),
             eviction_seq: 0,
-            swap: SwapDevice::new(config.swap),
+            swap: match config.zram {
+                Some(front) => SwapStack::with_front(front, config.swap),
+                None => SwapStack::new(config.swap),
+            },
+            zram_fifo: LruQueue::new(),
             stats: KernelStats::default(),
             #[cfg(feature = "audit")]
             audit: fleet_audit::EventLog::default(),
@@ -686,15 +729,23 @@ impl MemoryManager {
         self.resident_count
     }
 
-    /// The swap device.
-    pub fn swap(&self) -> &SwapDevice {
+    /// The swap stack (single back device by default, zram + flash when a
+    /// front tier is configured).
+    pub fn swap(&self) -> &SwapStack {
         &self.swap
     }
 
-    /// Installs a fault plan on the swap device. With the default (quiet)
-    /// plan every operation behaves exactly as before; an armed plan
-    /// activates the degradation paths (bounded retries, discard-and-
-    /// refault, write-back fallback, loss reporting).
+    /// The consolidated per-tier swap counter snapshot.
+    pub fn swap_stats(&self) -> SwapStats {
+        self.swap.stats()
+    }
+
+    /// Installs a fault plan on the swap stack: the back tier gets `plan`
+    /// exactly as a single device would, the front tier (if any) an
+    /// independent fork. With the default (quiet) plan every operation
+    /// behaves exactly as before; an armed plan activates the degradation
+    /// paths (bounded retries, discard-and-refault, write-back fallback,
+    /// loss reporting).
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.swap.install_fault_plan(plan);
     }
@@ -834,6 +885,48 @@ impl MemoryManager {
         self.anon_lrus.iter().map(|(_, q)| q.len() as u64).sum()
     }
 
+    /// The front (zram) tier that *must* exist: the caller holds a page
+    /// entry with the zram flag set, so a missing front tier is a
+    /// structural bug, never a recoverable condition.
+    #[track_caller]
+    fn front_expect(&mut self, op: &'static str) -> &mut SwapDevice {
+        match self.swap.front_mut() {
+            Some(f) => f,
+            None => {
+                panic!("mm invariant violated during {op}: zram-tagged page but no front tier")
+            }
+        }
+    }
+
+    /// Tags a freshly swapped-out page as zram-resident and enrolls it in
+    /// the writeback FIFO (its entry's `node` stores the FIFO handle).
+    fn note_zram_store(&mut self, victim: PageKey) {
+        let raw = self.zram_fifo.push_hot(victim).raw();
+        let em = self.entry_expect(victim.pid, victim.index, "zram store");
+        em.flags |= PE_ZRAM;
+        em.node = raw;
+    }
+
+    /// Releases a zram page's front-tier slot and FIFO node (fault-in,
+    /// prefetch). The entry goes back to plain swapped state; the caller
+    /// flips it resident afterwards.
+    fn release_zram_slot(&mut self, key: PageKey, node_raw: u32) {
+        self.zram_fifo.remove_handle(LruHandle::from_raw(node_raw));
+        self.front_expect("zram slot release").release_page();
+        let em = self.entry_expect(key.pid, key.index, "zram slot release");
+        em.flags &= !PE_ZRAM;
+        em.node = NO_NODE;
+    }
+
+    /// Which tier a swapped page's slot lives in.
+    fn tier_of(e: PageEntry) -> SwapTier {
+        if e.is_zram() {
+            SwapTier::Zram
+        } else {
+            SwapTier::Flash
+        }
+    }
+
     /// Latency of re-reading `n` dropped file-backed pages (readahead).
     fn file_read_cost(&mut self, n: u64) -> SimDuration {
         if n == 0 {
@@ -915,7 +1008,12 @@ impl MemoryManager {
             self.queue_remove_entry(key, e);
         } else if !e.is_file() {
             // Only anonymous pages hold swap slots; file pages were dropped.
-            self.swap.release_page();
+            if e.is_zram() {
+                self.zram_fifo.remove_handle(LruHandle::from_raw(e.node));
+                self.front_expect("unmap of a zram page").release_page();
+            } else {
+                self.swap.back_mut().release_page();
+            }
         }
     }
 
@@ -948,6 +1046,7 @@ impl MemoryManager {
     pub fn access(&mut self, pid: Pid, addr: u64, len: u64, kind: AccessKind) -> AccessOutcome {
         let mut outcome = AccessOutcome::default();
         let mut anon_faults = 0u64;
+        let mut zram_faults = 0u64;
         let mut file_faults = 0u64;
         // Degradation events inside this access become children of one
         // "fault_service" span; buffered here because the parent's duration
@@ -977,7 +1076,7 @@ impl MemoryManager {
                 if self.swap.fault_active() {
                     #[cfg(feature = "obs")]
                     let obs_rel = outcome.latency.as_nanos();
-                    match self.roll_read_fault(pid, index) {
+                    match self.roll_read_fault(pid, index, Self::tier_of(e)) {
                         ReadRoll::Ok { retries, extra } => {
                             outcome.retries += retries as u64;
                             outcome.degraded_latency += extra;
@@ -1045,8 +1144,11 @@ impl MemoryManager {
                 }
                 if file {
                     file_faults += 1;
+                } else if e.is_zram() {
+                    self.release_zram_slot(key, e.node);
+                    zram_faults += 1;
                 } else {
-                    self.swap.release_page();
+                    self.swap.back_mut().release_page();
                     anon_faults += 1;
                 }
                 let node = if e.is_pinned() {
@@ -1076,16 +1178,30 @@ impl MemoryManager {
                 );
             }
         }
-        if anon_faults + file_faults > 0 {
-            let stall = self.swap.read_pages(anon_faults) + self.file_read_cost(file_faults);
+        if anon_faults + zram_faults + file_faults > 0 {
+            let faults = anon_faults + zram_faults + file_faults;
+            // One batched read per tier touched: the zram share is pure
+            // memcpy-plus-decompress and reported separately so launch
+            // attribution can show it.
+            let decompress = if zram_faults > 0 {
+                self.front_expect("zram fault read").read_pages(zram_faults)
+            } else {
+                SimDuration::ZERO
+            };
+            let stall = decompress
+                + self.swap.back_mut().read_pages(anon_faults)
+                + self.file_read_cost(file_faults);
             outcome.latency += stall;
-            outcome.faulted_pages = anon_faults + file_faults;
-            self.stats.faults += anon_faults + file_faults;
+            outcome.faulted_pages = faults;
+            outcome.decompress_latency += decompress;
+            self.stats.faults += faults;
+            self.stats.faults_zram += zram_faults;
             self.stats.fault_stall_nanos += stall.as_nanos();
+            self.stats.decompress_stall_nanos += decompress.as_nanos();
             match kind {
-                AccessKind::Mutator => self.stats.faults_mutator += anon_faults + file_faults,
-                AccessKind::Gc => self.stats.faults_gc += anon_faults + file_faults,
-                AccessKind::Launch => self.stats.faults_launch += anon_faults + file_faults,
+                AccessKind::Mutator => self.stats.faults_mutator += faults,
+                AccessKind::Gc => self.stats.faults_gc += faults,
+                AccessKind::Launch => self.stats.faults_launch += faults,
             }
         }
         #[cfg(feature = "obs")]
@@ -1125,12 +1241,16 @@ impl MemoryManager {
             return Ok(());
         }
         self.evict_one()?;
-        // Under an armed fault plan an eviction may not net a frame: a zram
-        // store of an incompressible page consumes a full raw frame, making
-        // the swap-out net-zero. Keep evicting until a frame is actually
-        // free. Quiet devices never take this loop (single-eviction legacy
+        // An eviction may not net a frame: a zram store of an
+        // incompressible page (armed fault plan) consumes a full raw frame,
+        // and any zram tier (front or back) charges a fraction of a frame
+        // per compressed page. Keep evicting until a frame is actually
+        // free. Quiet flash-only devices never take this loop (their
+        // frames_consumed is always zero — single-eviction legacy
         // behaviour, bit-identical golden traces).
-        while self.swap.fault_active() && self.free_frames() == 0 {
+        while (self.swap.has_front() || self.swap.frames_consumed() > 0 || self.swap.fault_active())
+            && self.free_frames() == 0
+        {
             self.evict_one()?;
         }
         Ok(())
@@ -1191,8 +1311,8 @@ impl MemoryManager {
                     if self.swap.is_full() {
                         continue;
                     }
-                    if let Some(victim) = self.pop_anon_proportional() {
-                        match self.swap_out_anon(victim) {
+                    if let Some((victim, warm)) = self.pop_anon_proportional() {
+                        match self.swap_out_anon(victim, warm) {
                             Ok(()) => return Ok(victim),
                             // Write-back failed (injected): the victim was
                             // re-queued resident; fall through to the file
@@ -1206,18 +1326,41 @@ impl MemoryManager {
         Err(MmError::OutOfMemory)
     }
 
-    /// Reserves a slot and writes one anon victim back to swap. On an
-    /// injected write error or slot-exhaustion window the victim is
-    /// re-queued at the hot end (the failed write-back touched it) and the
-    /// caller falls back to the file list — at most one failed roll per
+    /// Reserves a slot and writes one anon victim back to swap, placing it
+    /// by hotness on a hybrid stack: warm victims (pages that earned a
+    /// second chance in the LRU) go to the zram front tier, cold ones to
+    /// the back tier, and warm-but-incompressible pages fall through to
+    /// the back tier instead of pinning a full DRAM frame. On an injected
+    /// write error or slot-exhaustion window the victim is re-queued at
+    /// the hot end (the failed write-back touched it) and the caller falls
+    /// back to the file list — at most one failed roll per
     /// [`MemoryManager::evict_one`] call, so reclaim cannot spin. Quiet
-    /// devices always take the success path, byte-identical to the legacy
-    /// `reserve_page` + `write_cost` sequence.
-    fn swap_out_anon(&mut self, victim: PageKey) -> Result<(), ()> {
-        let written = self.swap.try_reserve().and_then(|()| match self.swap.try_write(1) {
+    /// single-tier devices always take the success path, byte-identical to
+    /// the legacy `reserve_page` + `write_cost` sequence.
+    fn swap_out_anon(&mut self, victim: PageKey, warm: bool) -> Result<(), ()> {
+        let mut tier = SwapTier::Flash;
+        if warm && self.swap.has_front() {
+            let front = self.front_expect("tier placement");
+            if front.is_full() {
+                // Warm but no room up front: the writeback daemon is behind.
+            } else if front.next_store_incompressible() {
+                self.stats.zram_fallthrough_pages += 1;
+            } else {
+                tier = SwapTier::Zram;
+            }
+        }
+        let dev = self.swap.tier_mut(tier);
+        // The zram placement already drew the page's compressibility fate
+        // via the probe above, so the front tier reserves with the decided
+        // fate; the back tier draws its own (legacy single-device order).
+        let reserved = match tier {
+            SwapTier::Zram => dev.try_reserve_decided(false),
+            SwapTier::Flash => dev.try_reserve(),
+        };
+        let written = reserved.and_then(|()| match dev.try_write(1) {
             Ok(op) => Ok(op),
             Err(e) => {
-                self.swap.release_page();
+                dev.release_page();
                 Err(e)
             }
         });
@@ -1235,6 +1378,22 @@ impl MemoryManager {
                         advised: false,
                     }
                 );
+                if tier == SwapTier::Zram {
+                    self.note_zram_store(victim);
+                    self.stats.pages_swapped_zram += 1;
+                }
+                // Tier placement is only recorded on hybrid stacks, so the
+                // single-tier (golden) event stream is untouched.
+                if self.swap.has_front() {
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::SwapTierStore {
+                            pid: victim.pid.0,
+                            page: victim.index,
+                            tier: tier.as_str(),
+                        }
+                    );
+                }
                 Ok(())
             }
             Err(err) => {
@@ -1264,12 +1423,15 @@ impl MemoryManager {
     /// times; an error that persists past the budget (or a permanent one)
     /// is reported as `Failed` and the caller decides the disposition
     /// (discard-and-refault, skip, or kill). Device-internal GC pauses
-    /// surface as extra latency on the `Ok` path.
-    fn roll_read_fault(&mut self, _pid: Pid, _index: u64) -> ReadRoll {
+    /// surface as extra latency on the `Ok` path. The roll draws from the
+    /// fault plan of the tier holding the page, so hybrid tiers degrade
+    /// independently (flash-only stacks draw from the back plan, exactly
+    /// the legacy stream).
+    fn roll_read_fault(&mut self, _pid: Pid, _index: u64, tier: SwapTier) -> ReadRoll {
         let mut retries = 0u32;
         let mut extra = SimDuration::ZERO;
         loop {
-            match self.swap.fault_plan_mut().read_fault() {
+            match self.swap.tier_mut(tier).fault_plan_mut().read_fault() {
                 None => return ReadRoll::Ok { retries, extra },
                 Some(ReadFault::Spike(d)) => return ReadRoll::Ok { retries, extra: extra + d },
                 Some(ReadFault::Transient) if retries < FAULT_RETRY_MAX => {
@@ -1305,8 +1467,11 @@ impl MemoryManager {
 
     /// Picks an anon victim: a process chosen proportionally to its
     /// resident anon size (deterministic: driven by the eviction counter),
-    /// then that process's coldest page.
-    fn pop_anon_proportional(&mut self) -> Option<PageKey> {
+    /// then that process's coldest page. The returned flag is the victim's
+    /// second-chance history — true means the page was referenced while on
+    /// the inactive end (warm), the signal hotness-aware tier placement
+    /// keys on.
+    fn pop_anon_proportional(&mut self) -> Option<(PageKey, bool)> {
         let total = self.anon_resident_total();
         if total == 0 {
             return None;
@@ -1331,7 +1496,7 @@ impl MemoryManager {
         for offset in 0..pids.len() {
             let pid = pids[(start_idx + offset) % pids.len()];
             if let Some(q) = self.anon_lrus.get_mut(pid) {
-                if let Some(victim) = q.pop_coldest() {
+                if let Some(victim) = q.pop_coldest_classified() {
                     return Some(victim);
                 }
             }
@@ -1384,6 +1549,81 @@ impl MemoryManager {
     /// has run — the signal the device layer uses to consider an LMK kill.
     pub fn under_pressure(&self) -> bool {
         self.free_frames() < self.config.low_watermark_frames
+    }
+
+    /// The zram writeback daemon: demotes the oldest zram slots to the back
+    /// tier when the front tier runs hot, so the compressed pool keeps
+    /// tracking the warm set instead of filling with aging pages. Ticked by
+    /// the device layer alongside kswapd; a strict no-op (zero cost, zero
+    /// events) without a front tier. Returns pages demoted this tick.
+    ///
+    /// Policy: when the front tier is above 7/8 of its capacity, demote
+    /// FIFO-oldest slots until it is back under 3/4, bounded per tick so
+    /// one tick never monopolises kswapd. A back-tier reservation or write
+    /// failure (genuine fullness or an injected fault) stops the tick; the
+    /// page stays in zram, at the cold end of the FIFO, and is retried on a
+    /// later tick.
+    pub fn zram_writeback(&mut self) -> u64 {
+        /// Upper bound on demotions per tick (one flash write burst).
+        const WRITEBACK_BATCH: u64 = 64;
+        let Some(front) = self.swap.front() else { return 0 };
+        let capacity = front.capacity_pages();
+        let high = capacity - capacity / 8;
+        let target = capacity - capacity / 4;
+        if front.used_pages() < high {
+            return 0;
+        }
+        let mut moved = 0u64;
+        while moved < WRITEBACK_BATCH && self.swap.front().is_some_and(|f| f.used_pages() > target)
+        {
+            if self.swap.back().is_full() {
+                break; // nowhere to demote to; not an error
+            }
+            let Some(victim) = self.zram_fifo.pop_coldest() else { break };
+            let back = self.swap.back_mut();
+            let written = back.try_reserve().and_then(|()| match back.try_write(1) {
+                Ok(op) => Ok(op),
+                Err(e) => {
+                    back.release_page();
+                    Err(e)
+                }
+            });
+            match written {
+                Ok(op) => {
+                    // Demotion decompresses the page out of the front tier
+                    // and writes it to the back tier; both costs are
+                    // kswapd's, not any mutator's.
+                    let read = self.front_expect("writeback demotion").read_pages(1);
+                    self.front_expect("writeback demotion").release_page();
+                    self.stats.kswapd_cpu_nanos += (read + op.latency).as_nanos();
+                    self.stats.zram_writeback_pages += 1;
+                    let em = self.entry_expect(victim.pid, victim.index, "writeback demotion");
+                    em.flags &= !PE_ZRAM;
+                    em.node = NO_NODE;
+                    moved += 1;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::SwapWriteback {
+                            pid: victim.pid.0,
+                            page: victim.index,
+                        }
+                    );
+                }
+                Err(_) => {
+                    // Back tier refused (full or injected): the page stays
+                    // in zram. Re-enroll it at the cold end so FIFO order
+                    // is preserved for the retry.
+                    self.stats.swap_write_errors += 1;
+                    let raw = self.zram_fifo.push_cold(victim).raw();
+                    self.entry_expect(victim.pid, victim.index, "failed writeback").node = raw;
+                    break;
+                }
+            }
+        }
+        if moved > 0 {
+            self.swap.note_writeback(moved);
+        }
+        moved
     }
 
     // ------------------------------------------------------------- pinning
@@ -1466,11 +1706,15 @@ impl MemoryManager {
             if file {
                 self.stats.pages_dropped_file += 1;
             } else {
-                if self.swap.is_full() || !self.swap.reserve_page() {
+                // Advised-cold pages are cold by definition: always the
+                // back tier, never zram (identical to the single-device
+                // path on a flash-only stack).
+                let back = self.swap.back_mut();
+                if back.is_full() || !back.reserve_page() {
                     break;
                 }
                 self.stats.pages_swapped_out += 1;
-                self.stats.kswapd_cpu_nanos += self.swap.write_cost(1).as_nanos();
+                self.stats.kswapd_cpu_nanos += self.swap.back().write_cost(1).as_nanos();
             }
             self.queue_remove_entry(key, e);
             self.table_expect(pid, index, "madvise(COLD_RUNTIME)").set_swapped(index);
@@ -1512,6 +1756,7 @@ impl MemoryManager {
     /// `(pages, latency)`; stops early (without error) when memory runs out.
     pub fn prefetch_many(&mut self, pid: Pid, ranges: &[(u64, u64)]) -> (u64, SimDuration) {
         let mut anon = 0u64;
+        let mut zram = 0u64;
         let mut file = 0u64;
         let mut degraded = SimDuration::ZERO;
         'outer: for &(base, len) in ranges {
@@ -1522,7 +1767,7 @@ impl MemoryManager {
                     continue;
                 }
                 if self.swap.fault_active() {
-                    match self.roll_read_fault(pid, index) {
+                    match self.roll_read_fault(pid, index, Self::tier_of(e)) {
                         ReadRoll::Ok { extra, .. } => degraded += extra,
                         // Prefetch is advisory: an unreadable page is simply
                         // skipped (it stays swapped and will be handled by
@@ -1539,8 +1784,11 @@ impl MemoryManager {
                 let is_file = e.is_file();
                 if is_file {
                     file += 1;
+                } else if e.is_zram() {
+                    self.release_zram_slot(key, e.node);
+                    zram += 1;
                 } else {
-                    self.swap.release_page();
+                    self.swap.back_mut().release_page();
                     anon += 1;
                 }
                 let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, is_file) };
@@ -1556,7 +1804,18 @@ impl MemoryManager {
                 );
             }
         }
-        let latency = self.swap.read_pages(anon) + self.file_read_cost(file) + degraded;
+        let decompress = if zram > 0 {
+            self.front_expect("zram prefetch read").read_pages(zram)
+        } else {
+            SimDuration::ZERO
+        };
+        self.stats.faults_zram += zram;
+        self.stats.decompress_stall_nanos += decompress.as_nanos();
+        let latency = decompress
+            + self.swap.back_mut().read_pages(anon)
+            + self.file_read_cost(file)
+            + degraded;
+        let anon = anon + zram;
         #[cfg(feature = "obs")]
         if self.obs.is_enabled() && anon + file > 0 {
             let (pages, dur) = (anon + file, latency.as_nanos());
@@ -1588,6 +1847,7 @@ impl MemoryManager {
         len: u64,
     ) -> Result<(u64, SimDuration), MmError> {
         let mut batch = 0;
+        let mut zram = 0u64;
         let mut degraded = SimDuration::ZERO;
         for index in pages_in_range(base, len) {
             let key = PageKey { pid, index };
@@ -1596,7 +1856,7 @@ impl MemoryManager {
                 continue;
             }
             if self.swap.fault_active() {
-                match self.roll_read_fault(pid, index) {
+                match self.roll_read_fault(pid, index, Self::tier_of(e)) {
                     ReadRoll::Ok { extra, .. } => degraded += extra,
                     // Advisory: skip unreadable pages, never fail the batch.
                     ReadRoll::Failed { extra, .. } => {
@@ -1608,7 +1868,12 @@ impl MemoryManager {
             self.take_frame()?;
             let file = e.is_file();
             if !file {
-                self.swap.release_page();
+                if e.is_zram() {
+                    self.release_zram_slot(key, e.node);
+                    zram += 1;
+                } else {
+                    self.swap.back_mut().release_page();
+                }
             }
             let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, file) };
             self.table_expect(pid, index, "prefetch").set_resident(index, node);
@@ -1616,7 +1881,14 @@ impl MemoryManager {
             batch += 1;
             audit!(self, fleet_audit::AuditEvent::PagePrefetched { pid: pid.0, page: index, file });
         }
-        let latency = self.swap.read_pages(batch) + degraded;
+        let decompress = if zram > 0 {
+            self.front_expect("zram prefetch read").read_pages(zram)
+        } else {
+            SimDuration::ZERO
+        };
+        self.stats.faults_zram += zram;
+        self.stats.decompress_stall_nanos += decompress.as_nanos();
+        let latency = decompress + self.swap.back_mut().read_pages(batch - zram) + degraded;
         Ok((batch, latency))
     }
 
@@ -1631,16 +1903,21 @@ impl MemoryManager {
     ///
     /// * `resident_count` and the per-table resident/swapped/mapped
     ///   counters equal recounts over the page tables,
-    /// * swap slot usage equals the number of swapped *anonymous* pages
-    ///   (file pages are dropped, not swapped),
-    /// * resident pages plus the zram store fit in DRAM,
+    /// * tier slot conservation: every swapped anonymous page holds exactly
+    ///   one slot in exactly one tier — zram-tagged pages account for the
+    ///   front tier's slots one-for-one, the rest for the back tier's
+    ///   (file pages are dropped, not swapped, and hold no slot),
+    /// * every zram-tagged page is enrolled in the writeback FIFO (via the
+    ///   handle in its entry) and the FIFO holds nothing else,
+    /// * resident pages plus the compressed zram store fit in DRAM,
     /// * every resident non-pinned page holds an LRU handle that resolves
     ///   back to it in exactly its proper queue, and the queues hold
     ///   nothing else,
-    /// * pinned and swapped pages are on no queue.
+    /// * pinned and flash-swapped pages are on no queue.
     pub fn validate(&self) {
         let mut resident = 0u64;
-        let mut swapped_anon = 0u64;
+        let mut swapped_back = 0u64;
+        let mut swapped_zram = 0u64;
         let mut queued = 0u64;
         for (pid, table) in self.tables.iter() {
             let (mut t_mapped, mut t_res, mut t_swap) = (0u64, 0u64, 0u64);
@@ -1648,13 +1925,28 @@ impl MemoryManager {
                 let key = PageKey { pid, index };
                 t_mapped += 1;
                 if e.is_resident() {
+                    assert!(!e.is_zram(), "resident page {key:?} still carries the zram tag");
                     resident += 1;
                     t_res += 1;
                 } else {
                     t_swap += 1;
-                    if !e.is_file() {
-                        swapped_anon += 1;
+                    if e.is_zram() {
+                        assert!(!e.is_file(), "file page {key:?} tagged zram");
+                        swapped_zram += 1;
+                    } else if !e.is_file() {
+                        swapped_back += 1;
                     }
+                }
+                if !e.is_resident() && e.is_zram() {
+                    // Zram pages park their writeback-FIFO handle in `node`.
+                    assert_ne!(e.node, NO_NODE, "zram page {key:?} missing its FIFO handle");
+                    let q_key = self.zram_fifo.key_of(LruHandle::from_raw(e.node));
+                    assert_eq!(
+                        q_key,
+                        Some(key),
+                        "zram page {key:?} FIFO handle does not resolve to it"
+                    );
+                    continue;
                 }
                 let should_queue = e.is_resident() && !e.is_pinned();
                 let in_queue = e.node != NO_NODE;
@@ -1686,10 +1978,21 @@ impl MemoryManager {
             self.resident_count
         );
         assert_eq!(
-            swapped_anon,
-            self.swap.used_pages(),
-            "swap device uses {} slots but {swapped_anon} anon pages are swapped",
-            self.swap.used_pages()
+            swapped_back,
+            self.swap.back().used_pages(),
+            "back tier uses {} slots but {swapped_back} anon pages are swapped there",
+            self.swap.back().used_pages()
+        );
+        let front_used = self.swap.front().map_or(0, |f| f.used_pages());
+        assert_eq!(
+            swapped_zram, front_used,
+            "zram tier uses {front_used} slots but {swapped_zram} pages carry the zram tag"
+        );
+        assert_eq!(
+            swapped_zram,
+            self.zram_fifo.len() as u64,
+            "writeback FIFO holds {} pages but {swapped_zram} pages carry the zram tag",
+            self.zram_fifo.len()
         );
         assert!(
             self.resident_count + self.swap.frames_consumed() <= self.frames_capacity,
@@ -1714,6 +2017,7 @@ mod tests {
         MemoryManager::new(MmConfig {
             dram_bytes: frames * PAGE_SIZE,
             swap: SwapConfig { capacity_bytes: swap_pages * PAGE_SIZE, ..SwapConfig::default() },
+            zram: None,
             low_watermark_frames: 0,
             high_watermark_frames: 0,
             dram_page_cost: SimDuration::from_nanos(450),
@@ -1828,6 +2132,7 @@ mod tests {
         let mut mm = MemoryManager::new(MmConfig {
             dram_bytes: 10 * PAGE_SIZE,
             swap: SwapConfig { capacity_bytes: 20 * PAGE_SIZE, ..SwapConfig::default() },
+            zram: None,
             low_watermark_frames: 2,
             high_watermark_frames: 4,
             dram_page_cost: SimDuration::from_nanos(450),
@@ -2061,7 +2366,8 @@ mod tests {
     fn incompressible_zram_pressure_stays_consistent() {
         let mut mm = MemoryManager::new(MmConfig {
             dram_bytes: 4 * PAGE_SIZE,
-            swap: SwapConfig::zram(16 * PAGE_SIZE, 2.0),
+            swap: SwapConfig::try_zram(16 * PAGE_SIZE, 2.0).unwrap(),
+            zram: None,
             low_watermark_frames: 0,
             high_watermark_frames: 0,
             dram_page_cost: SimDuration::from_nanos(450),
@@ -2089,6 +2395,128 @@ mod tests {
         assert_eq!(pages, 0);
         assert_eq!(mm.process_mem(Pid(1)).swapped, 2);
         assert_eq!(mm.stats().swap_read_errors, 2);
+        mm.validate();
+    }
+
+    // ------------------------------------------------------- hybrid tiers
+
+    /// A hybrid stack: `zram_pages` of front tier (2:1) ahead of
+    /// `flash_pages` of back tier.
+    fn hybrid_mm(frames: u64, zram_pages: u64, flash_pages: u64) -> MemoryManager {
+        MemoryManager::new(MmConfig {
+            dram_bytes: frames * PAGE_SIZE,
+            swap: SwapConfig { capacity_bytes: flash_pages * PAGE_SIZE, ..SwapConfig::default() },
+            zram: Some(SwapConfig::try_zram(zram_pages * PAGE_SIZE, 2.0).unwrap()),
+            low_watermark_frames: 0,
+            high_watermark_frames: 0,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+        })
+    }
+
+    #[test]
+    fn warm_victims_go_to_zram_cold_to_flash() {
+        // Warm case: pages referenced before eviction earn a second chance,
+        // so their eventual eviction places them in the zram front tier.
+        let mut mm = hybrid_mm(4, 8, 16);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator); // referenced
+        mm.map_range(Pid(1), 4 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap(); // forces evictions
+        assert!(mm.stats().pages_swapped_zram > 0, "warm victims must land in zram");
+        assert_eq!(mm.swap().back().used_pages(), 0, "no warm victim may hit flash");
+        mm.validate();
+
+        // Cold case: never-referenced pages are evicted on their first pop
+        // and go straight to the back tier.
+        let mut cold = hybrid_mm(4, 8, 16);
+        cold.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        cold.map_range(Pid(1), 4 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(cold.stats().pages_swapped_zram, 0, "cold victims must skip zram");
+        assert!(cold.swap().back().used_pages() > 0);
+        assert_eq!(cold.swap().front().unwrap().used_pages(), 0);
+        cold.validate();
+    }
+
+    #[test]
+    fn zram_fault_in_is_fast_and_attributed() {
+        let mut mm = hybrid_mm(4, 8, 16);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator);
+        mm.map_range(Pid(1), 4 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        let zram_used = mm.swap().front().unwrap().used_pages();
+        assert!(zram_used > 0);
+        // Fault the first evicted page back in: served by zram, slot freed,
+        // and the stall is attributed to decompression.
+        let out = mm.access(Pid(1), 0, 1, AccessKind::Launch);
+        assert_eq!(out.faulted_pages, 1);
+        assert!(out.decompress_latency > SimDuration::ZERO);
+        assert_eq!(out.decompress_latency, out.latency, "the whole stall is decompression");
+        assert!(
+            out.latency < SimDuration::from_micros(100),
+            "zram fault must be far below flash latency: {}",
+            out.latency
+        );
+        assert_eq!(mm.stats().faults_zram, 1);
+        assert_eq!(mm.swap().front().unwrap().used_pages(), zram_used - 1);
+        mm.validate();
+    }
+
+    #[test]
+    fn writeback_daemon_demotes_oldest_zram_slots() {
+        let mut mm = hybrid_mm(8, 8, 16);
+        mm.map_range(Pid(1), 0, 8 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 8 * PAGE_SIZE, AccessKind::Mutator); // all warm
+        mm.map_range(Pid(1), 8 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap(); // fills zram
+        let front_used = mm.swap().front().unwrap().used_pages();
+        assert_eq!(front_used, 8, "the eight warm victims fill the front tier");
+        // Above the 7/8 high mark: the daemon demotes down to 3/4.
+        let moved = mm.zram_writeback();
+        assert_eq!(moved, 2);
+        assert_eq!(mm.swap().front().unwrap().used_pages(), 6);
+        assert_eq!(mm.swap().back().used_pages(), 2);
+        assert_eq!(mm.swap().writeback_pages(), 2);
+        assert_eq!(mm.stats().zram_writeback_pages, 2);
+        mm.validate();
+        // FIFO order: the demoted pages are the oldest stores (pages 0, 1);
+        // they now fault from flash (no decompression), while a still-zram
+        // page decompresses.
+        let demoted = mm.access(Pid(1), 0, 1, AccessKind::Mutator);
+        assert_eq!(demoted.faulted_pages, 1);
+        assert_eq!(demoted.decompress_latency, SimDuration::ZERO);
+        let kept = mm.access(Pid(1), 4 * PAGE_SIZE, 1, AccessKind::Mutator);
+        assert_eq!(kept.faulted_pages, 1);
+        assert!(kept.decompress_latency > SimDuration::ZERO);
+        mm.validate();
+        // Below the high mark nothing moves.
+        assert_eq!(mm.zram_writeback(), 0);
+    }
+
+    #[test]
+    fn flash_only_stack_never_ticks_writeback() {
+        let mut mm = mm_with_frames(2, 8);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.zram_writeback(), 0);
+        assert_eq!(mm.stats().zram_writeback_pages, 0);
+        assert_eq!(mm.stats().pages_swapped_zram, 0);
+        assert_eq!(mm.stats().faults_zram, 0);
+        assert!(mm.swap_stats().front.is_none());
+        mm.validate();
+    }
+
+    #[test]
+    fn incompressible_warm_pages_fall_through_to_flash() {
+        let mut mm = hybrid_mm(4, 8, 16);
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator); // all warm
+        arm(&mut mm, 29, FaultConfig { compress_fail_rate: 1.0, ..FaultConfig::default() });
+        mm.map_range(Pid(1), 4 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap();
+        // Every warm victim probes incompressible and falls through: the
+        // front tier stays empty instead of pinning raw frames.
+        assert!(mm.stats().zram_fallthrough_pages > 0);
+        assert_eq!(mm.swap().front().unwrap().used_pages(), 0);
+        assert!(mm.swap().back().used_pages() > 0);
+        assert_eq!(mm.swap().front().unwrap().raw_pages(), 0);
         mm.validate();
     }
 

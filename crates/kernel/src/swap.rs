@@ -60,18 +60,126 @@ impl SwapConfig {
     /// A zram device: `capacity_bytes` of logical space at LZ4-class speed,
     /// consuming DRAM at `1/compression_ratio` per stored page.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `compression_ratio` is not greater than 1.
-    pub fn zram(capacity_bytes: u64, compression_ratio: f64) -> Self {
-        assert!(compression_ratio > 1.0, "zram below 1:1 compression is pointless");
-        SwapConfig {
-            capacity_bytes,
-            read_bw: 1.2e9,
-            write_bw: 0.8e9,
-            op_latency: SimDuration::from_micros(4),
-            medium: SwapMedium::Zram { compression_ratio },
+    /// Returns a message when `compression_ratio` is not greater than 1
+    /// (zram below 1:1 compression is pointless) or the config is otherwise
+    /// invalid.
+    pub fn try_zram(capacity_bytes: u64, compression_ratio: f64) -> Result<Self, String> {
+        SwapConfig::builder().capacity_bytes(capacity_bytes).zram(compression_ratio).build()
+    }
+
+    /// Starts a builder with the flash defaults, consistent with
+    /// `DeviceConfig::builder()`.
+    pub fn builder() -> SwapConfigBuilder {
+        SwapConfigBuilder { config: SwapConfig::default() }
+    }
+
+    /// Checks the configuration is physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid field: a zram compression
+    /// ratio not above 1, a non-positive bandwidth, or zero capacity.
+    pub fn validate(&self) -> Result<(), String> {
+        if let SwapMedium::Zram { compression_ratio } = self.medium {
+            if !compression_ratio.is_finite() || compression_ratio <= 1.0 {
+                return Err(format!(
+                    "zram compression_ratio {compression_ratio} must be > 1 \
+                     (below 1:1 compression is pointless)"
+                ));
+            }
         }
+        if !self.read_bw.is_finite() || self.read_bw <= 0.0 {
+            return Err(format!("swap read_bw {} must be positive", self.read_bw));
+        }
+        if !self.write_bw.is_finite() || self.write_bw <= 0.0 {
+            return Err(format!("swap write_bw {} must be positive", self.write_bw));
+        }
+        if self.capacity_bytes == 0 {
+            return Err("swap capacity_bytes must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SwapConfig`], consistent with `DeviceConfig::builder()`:
+/// starts from the flash defaults, validates on [`SwapConfigBuilder::build`]
+/// instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_kernel::SwapConfig;
+///
+/// let zram = SwapConfig::builder()
+///     .capacity_bytes(512 * 1024 * 1024)
+///     .zram(2.8)
+///     .build()
+///     .expect("valid zram tier");
+/// assert!(SwapConfig::builder().zram(0.9).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapConfigBuilder {
+    config: SwapConfig,
+}
+
+impl SwapConfigBuilder {
+    /// Device capacity in bytes.
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.config.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sequential read bandwidth in bytes/second.
+    pub fn read_bw(mut self, bw: f64) -> Self {
+        self.config.read_bw = bw;
+        self
+    }
+
+    /// Write bandwidth in bytes/second.
+    pub fn write_bw(mut self, bw: f64) -> Self {
+        self.config.write_bw = bw;
+        self
+    }
+
+    /// Fixed per-operation latency.
+    pub fn op_latency(mut self, latency: SimDuration) -> Self {
+        self.config.op_latency = latency;
+        self
+    }
+
+    /// Backs the space with flash (the default).
+    pub fn flash(mut self) -> Self {
+        self.config.medium = SwapMedium::Flash;
+        self
+    }
+
+    /// Backs the space with compressed RAM at the given ratio, switching
+    /// the speed constants to LZ4-class defaults (override with the
+    /// bandwidth/latency setters afterwards if needed).
+    pub fn zram(mut self, compression_ratio: f64) -> Self {
+        self.config.medium = SwapMedium::Zram { compression_ratio };
+        self.config.read_bw = 1.2e9;
+        self.config.write_bw = 0.8e9;
+        self.config.op_latency = SimDuration::from_micros(4);
+        self
+    }
+
+    /// Sets the backing medium directly.
+    pub fn medium(mut self, medium: SwapMedium) -> Self {
+        self.config.medium = medium;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SwapConfig::validate`] failure.
+    pub fn build(self) -> Result<SwapConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -138,6 +246,27 @@ pub struct SwapDevice {
     /// Zram only: stored pages that failed compression and occupy a full
     /// frame each. Always `<= used_pages`.
     raw_pages: u64,
+    /// Failed fallible operations (injected read/write errors and injected
+    /// reservation refusals; genuine capacity exhaustion is not an error).
+    io_errors: u64,
+}
+
+/// Schema-stable per-tier counters, returned by [`SwapDevice::tier_stats`]
+/// and aggregated into `SwapStats` by the tier stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Pages currently stored in the tier.
+    pub stored_pages: u64,
+    /// Stored pages held raw after a compression failure (zram only).
+    pub incompressible_pages: u64,
+    /// Total pages ever written to the tier.
+    pub pages_written: u64,
+    /// Total pages ever read back from the tier.
+    pub pages_read: u64,
+    /// Failed fallible operations (injected I/O errors and refusals).
+    pub io_errors: u64,
+    /// DRAM frames the stored pages consume (zero for flash).
+    pub frames_consumed: u64,
 }
 
 impl SwapDevice {
@@ -150,6 +279,7 @@ impl SwapDevice {
             total_pages_read: 0,
             fault: FaultPlan::default(),
             raw_pages: 0,
+            io_errors: 0,
         }
     }
 
@@ -221,10 +351,44 @@ impl SwapDevice {
             return Err(SwapError::Full);
         }
         if self.fault.reserve_fault() {
+            self.io_errors += 1;
             return Err(SwapError::Full);
         }
         let raw =
             matches!(self.config.medium, SwapMedium::Zram { .. }) && self.fault.compress_fault();
+        let reserved = self.reserve_page();
+        debug_assert!(reserved, "fullness checked above");
+        if raw {
+            self.raw_pages += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether the next page stored on this device would fail compression
+    /// and sit raw (draws the fate from the fault plan; always false for
+    /// flash media and quiet plans). The tier stack calls this *before*
+    /// reserving so incompressible pages can fall through to the flash tier
+    /// instead of pinning a full DRAM frame.
+    pub fn next_store_incompressible(&mut self) -> bool {
+        matches!(self.config.medium, SwapMedium::Zram { .. }) && self.fault.compress_fault()
+    }
+
+    /// Reserves a slot with an externally-decided compressibility fate
+    /// (tier-stack use: the stack draws the fate once via
+    /// [`SwapDevice::next_store_incompressible`] and routes the page).
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::Full`] when no slot is free or the reservation was
+    /// refused by an injected exhaustion window.
+    pub fn try_reserve_decided(&mut self, raw: bool) -> Result<(), SwapError> {
+        if self.is_full() {
+            return Err(SwapError::Full);
+        }
+        if self.fault.reserve_fault() {
+            self.io_errors += 1;
+            return Err(SwapError::Full);
+        }
         let reserved = self.reserve_page();
         debug_assert!(reserved, "fullness checked above");
         if raw {
@@ -242,6 +406,7 @@ impl SwapDevice {
     /// [`SwapError::TransientIo`] when the injected write-back fails.
     pub fn try_write(&mut self, n: u64) -> Result<SwapOp, SwapError> {
         if self.fault.write_fault() {
+            self.io_errors += 1;
             return Err(SwapError::TransientIo);
         }
         Ok(SwapOp { pages: n, latency: self.write_cost(n), degraded: SimDuration::ZERO })
@@ -259,8 +424,14 @@ impl SwapDevice {
             return Ok(SwapOp::default());
         }
         match self.fault.read_fault() {
-            Some(ReadFault::Permanent) => Err(SwapError::PermanentIo),
-            Some(ReadFault::Transient) => Err(SwapError::TransientIo),
+            Some(ReadFault::Permanent) => {
+                self.io_errors += 1;
+                Err(SwapError::PermanentIo)
+            }
+            Some(ReadFault::Transient) => {
+                self.io_errors += 1;
+                Err(SwapError::TransientIo)
+            }
             Some(ReadFault::Spike(extra)) => {
                 Ok(SwapOp { pages: n, latency: self.read_pages(n) + extra, degraded: extra })
             }
@@ -324,6 +495,24 @@ impl SwapDevice {
     /// frame each.
     pub fn raw_pages(&self) -> u64 {
         self.raw_pages
+    }
+
+    /// Failed fallible operations so far (injected I/O errors and injected
+    /// reservation refusals).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// The schema-stable counter snapshot for this device as one tier.
+    pub fn tier_stats(&self) -> TierStats {
+        TierStats {
+            stored_pages: self.used_pages,
+            incompressible_pages: self.raw_pages,
+            pages_written: self.total_pages_written,
+            pages_read: self.total_pages_read,
+            io_errors: self.io_errors,
+            frames_consumed: self.frames_consumed(),
+        }
     }
 
     /// DRAM frames consumed by the stored pages: zero for flash, the
@@ -395,7 +584,7 @@ mod tests {
     #[test]
     fn zram_reads_are_orders_of_magnitude_faster() {
         let mut flash = SwapDevice::new(SwapConfig::default());
-        let mut zram = SwapDevice::new(SwapConfig::zram(1024 * 1024 * 1024, 2.8));
+        let mut zram = SwapDevice::new(SwapConfig::try_zram(1024 * 1024 * 1024, 2.8).unwrap());
         let f = flash.read_pages(100);
         let z = zram.read_pages(100);
         assert!(f.as_nanos() > 50 * z.as_nanos(), "flash {f} vs zram {z}");
@@ -404,7 +593,7 @@ mod tests {
     #[test]
     fn zram_consumes_dram_flash_does_not() {
         let mut flash = SwapDevice::new(SwapConfig::default());
-        let mut zram = SwapDevice::new(SwapConfig::zram(1024 * 1024 * 1024, 2.0));
+        let mut zram = SwapDevice::new(SwapConfig::try_zram(1024 * 1024 * 1024, 2.0).unwrap());
         for _ in 0..100 {
             assert!(flash.reserve_page());
             assert!(zram.reserve_page());
@@ -416,9 +605,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pointless")]
     fn zram_ratio_must_exceed_one() {
-        SwapConfig::zram(1024, 0.9);
+        let err = SwapConfig::try_zram(1024, 0.9).unwrap_err();
+        assert!(err.contains("pointless"), "{err}");
+        assert!(SwapConfig::try_zram(1024, 1.0).is_err());
+        assert!(SwapConfig::try_zram(1024, f64::NAN).is_err());
+        assert!(SwapConfig::try_zram(1024, 2.8).is_ok());
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        let cfg = SwapConfig::builder()
+            .capacity_bytes(8 * PAGE_SIZE)
+            .zram(2.0)
+            .build()
+            .expect("valid zram config");
+        assert_eq!(cfg.capacity_bytes, 8 * PAGE_SIZE);
+        assert_eq!(cfg.medium, SwapMedium::Zram { compression_ratio: 2.0 });
+        assert_eq!(cfg.op_latency, SimDuration::from_micros(4));
+        assert!(SwapConfig::builder().capacity_bytes(0).build().is_err());
+        assert!(SwapConfig::builder().read_bw(0.0).build().is_err());
+        assert!(SwapConfig::builder().write_bw(-1.0).build().is_err());
+        // Defaults alone are valid flash.
+        let flash = SwapConfig::builder().build().unwrap();
+        assert_eq!(flash, SwapConfig::default());
+    }
+
+    #[test]
+    fn tier_stats_snapshot_counters() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut swap = SwapDevice::new(SwapConfig::default());
+        assert!(swap.try_reserve().is_ok());
+        let _ = swap.read_pages(3);
+        swap.install_fault_plan(FaultPlan::new(
+            5,
+            FaultConfig { write_error_rate: 1.0, ..FaultConfig::default() },
+        ));
+        assert!(swap.try_write(1).is_err());
+        let stats = swap.tier_stats();
+        assert_eq!(stats.stored_pages, 1);
+        assert_eq!(stats.pages_written, 1);
+        assert_eq!(stats.pages_read, 3);
+        assert_eq!(stats.io_errors, 1);
+        assert_eq!(stats.frames_consumed, 0);
+        assert_eq!(stats.incompressible_pages, 0);
+    }
+
+    #[test]
+    fn decided_reservation_routes_raw_externally() {
+        let mut zram = SwapDevice::new(SwapConfig::try_zram(1024 * 1024, 2.0).unwrap());
+        // Quiet plan: the probe never marks a page incompressible.
+        assert!(!zram.next_store_incompressible());
+        zram.try_reserve_decided(false).unwrap();
+        assert_eq!(zram.raw_pages(), 0);
+        zram.try_reserve_decided(true).unwrap();
+        assert_eq!(zram.raw_pages(), 1);
+        assert_eq!(zram.used_pages(), 2);
     }
 
     #[test]
@@ -472,7 +714,7 @@ mod tests {
     #[test]
     fn incompressible_pages_consume_full_frames() {
         use crate::fault::{FaultConfig, FaultPlan};
-        let mut zram = SwapDevice::new(SwapConfig::zram(1024 * 1024 * 1024, 2.0));
+        let mut zram = SwapDevice::new(SwapConfig::try_zram(1024 * 1024 * 1024, 2.0).unwrap());
         zram.install_fault_plan(FaultPlan::new(
             3,
             FaultConfig { compress_fail_rate: 1.0, ..FaultConfig::default() },

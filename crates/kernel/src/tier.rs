@@ -1,0 +1,317 @@
+//! The tiered swap stack: an optional zram tier in front of flash.
+//!
+//! Mainstream vendors ship compressed-RAM swap in front of the flash
+//! partition, and Ariadne-style co-design places pages across that
+//! hierarchy by hotness: warm pages that will likely refault soon go to
+//! zram (memcpy-plus-decompress speed, but each stored page pins
+//! `1/compression_ratio` of a DRAM frame), cold pages go straight to flash,
+//! and aging zram slots are written back to flash by a background daemon so
+//! the compressed pool tracks the warm set instead of filling with garbage.
+//!
+//! [`SwapStack`] composes two [`SwapDevice`]s — a front (zram) tier and a
+//! back (flash) tier — behind the aggregate accessors the rest of the
+//! system already uses (`used_pages`, `frames_consumed`, …). A stack
+//! without a front tier behaves bit-identically to the bare back device:
+//! every aggregate is a pass-through and no tier-routing code draws from
+//! any fault stream, which is what keeps the default flash-only
+//! configuration on the golden traces.
+//!
+//! Placement policy itself lives in the memory manager (it owns the LRU
+//! second-chance state that classifies victims); this module owns the
+//! capacity/counter accounting and the per-tier fault-plan arming.
+
+use crate::fault::FaultPlan;
+use crate::swap::{SwapConfig, SwapDevice, TierStats};
+use serde::{Deserialize, Serialize};
+
+/// Stream salt for the front tier's forked fault plan, so the two tiers
+/// never replay correlated schedules.
+const FRONT_PLAN_SALT: u64 = 0x5A4A_F207_7132_A001;
+
+/// Which tier of the stack a page lives in (its placement role).
+///
+/// In a hybrid stack the front tier is zram and the back tier is flash; a
+/// single-device configuration (flash-only, or the whole swap space backed
+/// by zram) has only a back tier and never reports placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapTier {
+    /// The DRAM-resident compressed front tier.
+    Zram,
+    /// The flash back tier.
+    Flash,
+}
+
+impl SwapTier {
+    /// Stable lowercase name (used in audit events and exports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwapTier::Zram => "zram",
+            SwapTier::Flash => "flash",
+        }
+    }
+}
+
+/// Schema-stable snapshot of every swap counter, per tier, from one
+/// accessor ([`SwapStack::stats`]). Replaces the ad-hoc per-counter getters
+/// as the export surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapStats {
+    /// The zram front tier, when configured.
+    pub front: Option<TierStats>,
+    /// The back tier (flash, or zram in a zram-only configuration).
+    pub back: TierStats,
+    /// Pages the writeback daemon has demoted front → back.
+    pub writeback_pages: u64,
+}
+
+/// A two-tier swap hierarchy: an optional zram front in front of the
+/// backing device.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_kernel::{SwapConfig, SwapStack};
+///
+/// let front = SwapConfig::try_zram(64 * 4096, 2.0).unwrap();
+/// let mut stack = SwapStack::with_front(front, SwapConfig::default());
+/// assert!(stack.has_front());
+/// stack.front_mut().unwrap().reserve_page();
+/// assert_eq!(stack.used_pages(), 1);
+/// assert_eq!(stack.frames_consumed(), 1); // ceil(1 / 2.0)
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapStack {
+    front: Option<SwapDevice>,
+    back: SwapDevice,
+    writeback_pages: u64,
+}
+
+impl SwapStack {
+    /// A single-tier stack over the backing device (flash-only default, or
+    /// a zram-only configuration where the whole space is compressed RAM).
+    pub fn new(back: SwapConfig) -> Self {
+        SwapStack { front: None, back: SwapDevice::new(back), writeback_pages: 0 }
+    }
+
+    /// A hybrid stack: a zram front tier in front of the backing device.
+    pub fn with_front(front: SwapConfig, back: SwapConfig) -> Self {
+        SwapStack {
+            front: Some(SwapDevice::new(front)),
+            back: SwapDevice::new(back),
+            writeback_pages: 0,
+        }
+    }
+
+    /// True when a zram front tier is configured.
+    pub fn has_front(&self) -> bool {
+        self.front.is_some()
+    }
+
+    /// The front (zram) tier, when configured.
+    pub fn front(&self) -> Option<&SwapDevice> {
+        self.front.as_ref()
+    }
+
+    /// Mutable access to the front tier.
+    pub fn front_mut(&mut self) -> Option<&mut SwapDevice> {
+        self.front.as_mut()
+    }
+
+    /// The back tier.
+    pub fn back(&self) -> &SwapDevice {
+        &self.back
+    }
+
+    /// Mutable access to the back tier.
+    pub fn back_mut(&mut self) -> &mut SwapDevice {
+        &mut self.back
+    }
+
+    /// Mutable access to the device holding `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked for the zram tier of a stack without one.
+    pub fn tier_mut(&mut self, tier: SwapTier) -> &mut SwapDevice {
+        match tier {
+            SwapTier::Zram => self.front.as_mut().expect("stack has no zram tier"),
+            SwapTier::Flash => &mut self.back,
+        }
+    }
+
+    /// Arms the stack: the back tier gets `plan` exactly as a single device
+    /// would, and the front tier (if any) gets an independent fork of it so
+    /// the hybrid schedules stay uncorrelated but deterministic.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(front) = self.front.as_mut() {
+            front.install_fault_plan(plan.fork(FRONT_PLAN_SALT));
+        }
+        self.back.install_fault_plan(plan);
+    }
+
+    /// True when any tier has an armed (non-quiet) fault plan.
+    pub fn fault_active(&self) -> bool {
+        self.back.fault_active() || self.front.as_ref().is_some_and(|f| f.fault_active())
+    }
+
+    /// Records `n` pages demoted front → back by the writeback daemon.
+    pub fn note_writeback(&mut self, n: u64) {
+        self.writeback_pages += n;
+    }
+
+    /// Pages the writeback daemon has demoted front → back so far.
+    pub fn writeback_pages(&self) -> u64 {
+        self.writeback_pages
+    }
+
+    // ------------------------------------------------------------ aggregates
+
+    /// Pages currently stored across all tiers.
+    pub fn used_pages(&self) -> u64 {
+        self.back.used_pages() + self.front.as_ref().map_or(0, |f| f.used_pages())
+    }
+
+    /// Total capacity in pages across all tiers.
+    pub fn capacity_pages(&self) -> u64 {
+        self.back.capacity_pages() + self.front.as_ref().map_or(0, |f| f.capacity_pages())
+    }
+
+    /// Free page slots across all tiers.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity_pages() - self.used_pages()
+    }
+
+    /// True when no tier has a free slot.
+    pub fn is_full(&self) -> bool {
+        self.back.is_full() && self.front.as_ref().is_none_or(|f| f.is_full())
+    }
+
+    /// DRAM frames consumed by stored pages across all tiers (the zram
+    /// tier's compressed footprint; zero for flash).
+    pub fn frames_consumed(&self) -> u64 {
+        self.back.frames_consumed() + self.front.as_ref().map_or(0, |f| f.frames_consumed())
+    }
+
+    /// Total pages ever written across all tiers (writeback demotions count
+    /// once per tier touched, as on real hardware).
+    pub fn total_pages_written(&self) -> u64 {
+        self.back.total_pages_written() + self.front.as_ref().map_or(0, |f| f.total_pages_written())
+    }
+
+    /// Total pages ever read across all tiers.
+    pub fn total_pages_read(&self) -> u64 {
+        self.back.total_pages_read() + self.front.as_ref().map_or(0, |f| f.total_pages_read())
+    }
+
+    /// Total bytes moved in either direction across all tiers (for the
+    /// power model).
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.back.total_bytes_moved() + self.front.as_ref().map_or(0, |f| f.total_bytes_moved())
+    }
+
+    /// The consolidated schema-stable counter snapshot.
+    pub fn stats(&self) -> SwapStats {
+        SwapStats {
+            front: self.front.as_ref().map(|f| f.tier_stats()),
+            back: self.back.tier_stats(),
+            writeback_pages: self.writeback_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::page::PAGE_SIZE;
+
+    fn hybrid() -> SwapStack {
+        let front = SwapConfig::try_zram(16 * PAGE_SIZE, 2.0).unwrap();
+        let back = SwapConfig { capacity_bytes: 64 * PAGE_SIZE, ..SwapConfig::default() };
+        SwapStack::with_front(front, back)
+    }
+
+    #[test]
+    fn single_tier_stack_passes_through() {
+        let mut stack = SwapStack::new(SwapConfig::default());
+        assert!(!stack.has_front());
+        assert!(stack.back_mut().reserve_page());
+        assert_eq!(stack.used_pages(), 1);
+        assert_eq!(stack.frames_consumed(), 0);
+        assert_eq!(stack.capacity_pages(), stack.back().capacity_pages());
+        let stats = stack.stats();
+        assert!(stats.front.is_none());
+        assert_eq!(stats.back.stored_pages, 1);
+        assert_eq!(stats.writeback_pages, 0);
+    }
+
+    #[test]
+    fn aggregates_sum_both_tiers() {
+        let mut stack = hybrid();
+        assert_eq!(stack.capacity_pages(), 80);
+        stack.front_mut().unwrap().reserve_page();
+        stack.front_mut().unwrap().reserve_page();
+        stack.back_mut().reserve_page();
+        assert_eq!(stack.used_pages(), 3);
+        assert_eq!(stack.free_pages(), 77);
+        assert_eq!(stack.frames_consumed(), 1); // ceil(2 / 2.0) + 0
+        assert!(!stack.is_full());
+        let stats = stack.stats();
+        assert_eq!(stats.front.unwrap().stored_pages, 2);
+        assert_eq!(stats.back.stored_pages, 1);
+    }
+
+    #[test]
+    fn full_requires_every_tier_full() {
+        let mut stack = hybrid();
+        for _ in 0..16 {
+            assert!(stack.front_mut().unwrap().reserve_page());
+        }
+        assert!(!stack.is_full(), "back tier still has slots");
+        for _ in 0..64 {
+            assert!(stack.back_mut().reserve_page());
+        }
+        assert!(stack.is_full());
+    }
+
+    #[test]
+    fn arming_forks_an_independent_front_plan() {
+        let mut stack = hybrid();
+        let plan = FaultPlan::new(9, FaultConfig::flaky_flash(0.5));
+        stack.install_fault_plan(plan.clone());
+        assert!(stack.fault_active());
+        let mut front_faults = 0;
+        let mut agree = 0;
+        for _ in 0..256 {
+            let f = stack.front_mut().unwrap().fault_plan_mut().read_fault();
+            let b = stack.back_mut().fault_plan_mut().read_fault();
+            if f.is_some() {
+                front_faults += 1;
+            }
+            if f == b {
+                agree += 1;
+            }
+        }
+        assert!(front_faults > 0, "front plan must be armed");
+        assert!(agree < 256, "tiers must not replay the same schedule");
+        // Quiet plans stay quiet on both tiers.
+        let mut quiet = hybrid();
+        quiet.install_fault_plan(FaultPlan::default());
+        assert!(!quiet.fault_active());
+    }
+
+    #[test]
+    fn writeback_counter_accumulates() {
+        let mut stack = hybrid();
+        stack.note_writeback(3);
+        stack.note_writeback(2);
+        assert_eq!(stack.writeback_pages(), 5);
+        assert_eq!(stack.stats().writeback_pages, 5);
+    }
+
+    #[test]
+    fn tier_names_are_stable() {
+        assert_eq!(SwapTier::Zram.as_str(), "zram");
+        assert_eq!(SwapTier::Flash.as_str(), "flash");
+    }
+}

@@ -20,7 +20,8 @@ fn fault_mm(frames: u64, swap_pages: u64, medium: SwapMedium, plan: FaultPlan) -
             SwapConfig { capacity_bytes: swap_pages * PAGE_SIZE, ..SwapConfig::default() }
         }
         SwapMedium::Zram { compression_ratio } => {
-            SwapConfig::zram(swap_pages * PAGE_SIZE, compression_ratio)
+            SwapConfig::try_zram(swap_pages * PAGE_SIZE, compression_ratio)
+                .expect("valid zram config")
         }
     };
     let mut mm = MemoryManager::new(MmConfig {

@@ -12,12 +12,25 @@ fn small_mm(frames: u64, swap_pages: u64, medium: SwapMedium) -> MemoryManager {
             SwapConfig { capacity_bytes: swap_pages * PAGE_SIZE, ..SwapConfig::default() }
         }
         SwapMedium::Zram { compression_ratio } => {
-            SwapConfig::zram(swap_pages * PAGE_SIZE, compression_ratio)
+            SwapConfig::try_zram(swap_pages * PAGE_SIZE, compression_ratio)
+                .expect("valid zram config")
         }
     };
     MemoryManager::new(MmConfig {
         dram_bytes: frames * PAGE_SIZE,
         swap,
+        low_watermark_frames: 2,
+        high_watermark_frames: 4,
+        ..MmConfig::default()
+    })
+}
+
+/// A hybrid tier stack: a small zram front tier ahead of a flash back tier.
+fn hybrid_mm(frames: u64, zram_pages: u64, flash_pages: u64) -> MemoryManager {
+    MemoryManager::new(MmConfig {
+        dram_bytes: frames * PAGE_SIZE,
+        swap: SwapConfig { capacity_bytes: flash_pages * PAGE_SIZE, ..SwapConfig::default() },
+        zram: Some(SwapConfig::try_zram(zram_pages * PAGE_SIZE, 2.5).expect("valid front tier")),
         low_watermark_frames: 2,
         high_watermark_frames: 4,
         ..MmConfig::default()
@@ -35,6 +48,7 @@ enum MmOp {
     Unpin { pid: u8, page: u16 },
     Prefetch { pid: u8, page: u16 },
     Kswapd,
+    Writeback,
     KillProcess { pid: u8 },
 }
 
@@ -57,6 +71,7 @@ fn op_strategy() -> impl Strategy<Value = MmOp> {
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Unpin { pid, page }),
         (0u8..4, 0u16..96).prop_map(|(pid, page)| MmOp::Prefetch { pid, page }),
         Just(MmOp::Kswapd),
+        Just(MmOp::Writeback),
         (0u8..4).prop_map(|pid| MmOp::KillProcess { pid }),
     ]
 }
@@ -115,6 +130,9 @@ fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError
             MmOp::Kswapd => {
                 mm.kswapd();
             }
+            MmOp::Writeback => {
+                mm.zram_writeback();
+            }
             MmOp::KillProcess { pid } => {
                 mm.unmap_process(Pid(pid as u32));
                 mapped.retain(|&(p, _), _| p != pid);
@@ -154,12 +172,94 @@ fn run_script(mut mm: MemoryManager, ops: Vec<MmOp>) -> Result<(), TestCaseError
     Ok(())
 }
 
+/// Replays a script for its event stream only (no shadow bookkeeping);
+/// returns the canonical `Display` rendering of every audit event emitted.
+#[cfg(feature = "audit")]
+fn event_stream(mut mm: MemoryManager, ops: &[MmOp]) -> Vec<String> {
+    mm.audit_log_mut().enable(0);
+    for &op in ops {
+        match op {
+            MmOp::Map { pid, page, file } => {
+                let kind = if file { PageKind::File } else { PageKind::Anon };
+                let _ =
+                    mm.map_range_kind(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE, kind);
+            }
+            MmOp::Unmap { pid, page } => {
+                mm.unmap_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Access { pid, page, gc } => {
+                let kind = if gc { AccessKind::Gc } else { AccessKind::Mutator };
+                let _ = mm.access(Pid(pid as u32), page as u64 * PAGE_SIZE, 64, kind);
+            }
+            MmOp::Cold { pid, page } => {
+                mm.madvise(
+                    Pid(pid as u32),
+                    page as u64 * PAGE_SIZE,
+                    PAGE_SIZE,
+                    Advice::ColdRuntime,
+                );
+            }
+            MmOp::Hot { pid, page } => {
+                mm.madvise(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE, Advice::HotRuntime);
+            }
+            MmOp::Pin { pid, page } => {
+                mm.pin_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Unpin { pid, page } => {
+                mm.unpin_range(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Prefetch { pid, page } => {
+                let _ = mm.prefetch(Pid(pid as u32), page as u64 * PAGE_SIZE, PAGE_SIZE);
+            }
+            MmOp::Kswapd => {
+                mm.kswapd();
+            }
+            MmOp::Writeback => {
+                mm.zram_writeback();
+            }
+            MmOp::KillProcess { pid } => {
+                mm.unmap_process(Pid(pid as u32));
+            }
+        }
+    }
+    mm.audit_log_mut().drain().into_iter().map(|e| e.to_string()).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
     fn flash_scripts_conserve_pages(ops in proptest::collection::vec(op_strategy(), 1..150)) {
         run_script(small_mm(48, 64, SwapMedium::Flash), ops)?;
+    }
+
+    /// Tentpole invariant: random scripts over random hybrid tier
+    /// configurations uphold tier slot conservation (every swapped page in
+    /// exactly one tier, the writeback FIFO exactly tracking the front
+    /// tier) — `MemoryManager::validate` checks it after every op inside
+    /// `run_script`.
+    #[test]
+    fn hybrid_scripts_conserve_tier_slots(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        zram_pages in 4u64..24,
+        flash_pages in 16u64..64,
+    ) {
+        run_script(hybrid_mm(48, zram_pages, flash_pages), ops)?;
+    }
+
+    /// Replaying the same script on the same hybrid tier config yields a
+    /// byte-identical audit event stream: tier placement and writeback are
+    /// fully deterministic.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn hybrid_event_streams_are_byte_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        zram_pages in 4u64..24,
+        flash_pages in 16u64..64,
+    ) {
+        let a = event_stream(hybrid_mm(48, zram_pages, flash_pages), &ops);
+        let b = event_stream(hybrid_mm(48, zram_pages, flash_pages), &ops);
+        prop_assert_eq!(a, b);
     }
 
     #[test]
