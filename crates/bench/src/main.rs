@@ -26,16 +26,26 @@
 //! * **obs_overhead** — the fig2 driver inline with and without an
 //!   installed observability pipeline; the zero-cost-when-idle contract's
 //!   acceptance bar is <10% overhead with tracing live.
+//! * **population** — the headline cohort-throughput row: a sampled
+//!   heterogeneous cohort streamed through the parallel device-day runner
+//!   (`fleet::population`), reported as simulated device-hours per
+//!   wall-second.
 //!
 //! `--quick` shrinks workloads for CI smoke runs; `--check` validates an
 //! existing report against the schema (exit 1 on mismatch) instead of
-//! benchmarking. The default output path is the repo root's
-//! `BENCH_kernel.json` regardless of the working directory.
+//! benchmarking. Checking is strict: the file must parse back into the
+//! report type, carry this binary's schema version, *and* have exactly the
+//! expected key tree — the vendored deserialiser ignores unknown fields,
+//! so drift is caught by comparing key skeletons, not just by parsing.
+//! The default output path is the repo root's `BENCH_kernel.json`
+//! regardless of the working directory.
 
+use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::time::Instant;
 
 use fleet::experiment::harness;
+use fleet::population::{run_population, PopulationSpec};
 use fleet_gc::{Collector, FullCopyingGc, GcCostModel, NoTouch};
 use fleet_heap::{Heap, HeapConfig};
 use fleet_kernel::lru::reference::MapLruQueue;
@@ -46,6 +56,9 @@ use fleet_kernel::{
 use serde::{Deserialize, Serialize};
 
 // ------------------------------------------------------------ JSON schema
+
+/// The report schema this binary writes and `--check` enforces.
+const SCHEMA_VERSION: u32 = 4;
 
 /// The full report; field order is the (stable) key order in the file.
 #[derive(Serialize, Deserialize)]
@@ -58,6 +71,7 @@ struct Report {
     gc: GcBench,
     figures: Figures,
     obs_overhead: ObsOverhead,
+    population: PopulationBench,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -109,6 +123,22 @@ struct ObsOverhead {
     /// `(enabled - disabled) / disabled`, percent. May go slightly
     /// negative from timer noise on a quiet path.
     overhead_pct: f64,
+}
+
+/// Cohort-simulation throughput: a `PopulationSpec::default_mix` cohort
+/// through `fleet::population::run_population` on all cores.
+#[derive(Serialize, Deserialize)]
+struct PopulationBench {
+    /// Device-days streamed.
+    devices: u64,
+    /// Worker threads the cohort runner used.
+    threads: u64,
+    /// Simulated device-hours the cohort covered.
+    sim_device_hours: f64,
+    /// Wall-clock seconds the run took.
+    wall_secs: f64,
+    /// The headline: simulated device-hours per wall-second.
+    device_hours_per_wall_sec: f64,
 }
 
 // ------------------------------------------------------------- timing core
@@ -385,6 +415,24 @@ fn run_obs_overhead(quick: bool) -> ObsOverhead {
     }
 }
 
+/// Streams a sampled cohort through the population runner and reports the
+/// device-hours-per-wall-second headline.
+fn run_population_bench(quick: bool) -> PopulationBench {
+    let devices = if quick { 24 } else { 160 };
+    let spec = PopulationSpec::default_mix(0xF1EE7, devices);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Warmup: fault in code paths and the allocator on a few device-days.
+    run_population(&PopulationSpec::default_mix(0xF1EE7, 4), threads).expect("cohort runs");
+    let run = run_population(&spec, threads).expect("cohort runs");
+    PopulationBench {
+        devices: run.aggregate.devices,
+        threads: run.threads as u64,
+        sim_device_hours: run.aggregate.device_hours(),
+        wall_secs: run.wall.as_secs_f64(),
+        device_hours_per_wall_sec: run.device_hours_per_wall_sec(),
+    }
+}
+
 // ---------------------------------------------------------------- driver
 
 fn run(quick: bool) -> Report {
@@ -467,8 +515,11 @@ fn run(quick: bool) -> Report {
     eprintln!("obs overhead: fig2 with tracing off / on…");
     let obs_overhead = run_obs_overhead(quick);
 
+    eprintln!("population: cohort device-days on all cores…");
+    let population = run_population_bench(quick);
+
     let mut report = Report {
-        schema_version: 3,
+        schema_version: SCHEMA_VERSION,
         quick,
         microbench: Microbench { lru, page_table },
         kernel: KernelBench {
@@ -480,12 +531,67 @@ fn run(quick: bool) -> Report {
         gc: GcBench { trace_objects: gc_objects, full_gc_ms },
         figures,
         obs_overhead,
+        population,
     };
     report.microbench.lru.speedup =
         report.microbench.lru.new_ops_per_sec / report.microbench.lru.baseline_ops_per_sec;
     report.microbench.page_table.speedup = report.microbench.page_table.new_ops_per_sec
         / report.microbench.page_table.baseline_ops_per_sec;
     report
+}
+
+// ---------------------------------------------------------- schema check
+
+/// Collects every object key path in `value` (arrays descend as `[]`).
+fn key_skeleton(value: &serde::Value, path: &str, out: &mut BTreeSet<String>) {
+    match value {
+        serde::Value::Object(fields) => {
+            for (key, child) in fields {
+                let child_path =
+                    if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                out.insert(child_path.clone());
+                key_skeleton(child, &child_path, out);
+            }
+        }
+        serde::Value::Array(items) => {
+            let child_path = format!("{path}[]");
+            for item in items {
+                key_skeleton(item, &child_path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Strict schema validation: parse, version match, and exact key-tree
+/// equality against a round-trip through the report type (the vendored
+/// deserialiser ignores unknown fields, so parsing alone misses drift).
+fn check_report(text: &str) -> Result<Report, String> {
+    let raw: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let report: Report =
+        serde_json::from_str(text).map_err(|e| format!("does not parse as a report: {e}"))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema version {} does not match this binary's v{SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    let mut found = BTreeSet::new();
+    key_skeleton(&raw, "", &mut found);
+    let mut expected = BTreeSet::new();
+    key_skeleton(&serde::Serialize::to_value(&report), "", &mut expected);
+    if found != expected {
+        let mut why = String::from("key tree drifted from the schema:");
+        for extra in found.difference(&expected) {
+            why.push_str(&format!("\n  unexpected key `{extra}`"));
+        }
+        for missing in expected.difference(&found) {
+            why.push_str(&format!("\n  missing key `{missing}`"));
+        }
+        return Err(why);
+    }
+    Ok(report)
 }
 
 fn default_out() -> std::path::PathBuf {
@@ -518,7 +624,7 @@ fn main() {
     }
 
     if check {
-        // Schema validation only: the file must parse back into `Report`.
+        // Schema validation only: parse + version + exact key tree.
         let text = match std::fs::read_to_string(&out) {
             Ok(text) => text,
             Err(e) => {
@@ -526,18 +632,19 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match serde_json::from_str::<Report>(&text) {
+        match check_report(&text) {
             Ok(report) => {
                 println!(
-                    "{} ok (schema v{}, lru ×{:.2}, page table ×{:.2})",
+                    "{} ok (schema v{}, lru ×{:.2}, page table ×{:.2}, {:.1} device-h/s)",
                     out.display(),
                     report.schema_version,
                     report.microbench.lru.speedup,
                     report.microbench.page_table.speedup,
+                    report.population.device_hours_per_wall_sec,
                 );
             }
-            Err(e) => {
-                eprintln!("{} does not match the report schema: {e}", out.display());
+            Err(why) => {
+                eprintln!("{} does not match the report schema: {why}", out.display());
                 std::process::exit(1);
             }
         }
@@ -583,6 +690,15 @@ fn main() {
         report.obs_overhead.fig2_disabled_ms,
         report.obs_overhead.fig2_enabled_ms,
         report.obs_overhead.overhead_pct
+    );
+    println!(
+        "Population: {} device-days on {} threads — {:.1} simulated device-hours \
+         in {:.1} s  ({:.1} device-hours/wall-sec)",
+        report.population.devices,
+        report.population.threads,
+        report.population.sim_device_hours,
+        report.population.wall_secs,
+        report.population.device_hours_per_wall_sec
     );
     println!("wrote {}", out.display());
 }

@@ -183,6 +183,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::resilience::Resilience,
     &crate::experiment::attribution::LaunchAttribution,
     &crate::experiment::swap_tiers::SwapTiers,
+    &crate::experiment::population::Population,
 ];
 
 /// Derives an experiment's RNG seed from the master seed and its id.
@@ -328,6 +329,7 @@ mod tests {
         "launch_basics",
         "lifetimes",
         "object_sizes",
+        "population",
         "reaccess",
         "resilience",
         "runtime",

@@ -18,6 +18,7 @@ pub mod hot_launch;
 pub mod launch_basics;
 pub mod lifetimes;
 pub mod object_sizes;
+pub mod population;
 pub mod reaccess;
 pub mod resilience;
 pub mod runtime;

@@ -40,6 +40,7 @@ pub mod experiment;
 #[cfg(feature = "obs")]
 pub mod obs;
 pub mod params;
+pub mod population;
 pub mod process;
 pub mod timeline;
 
@@ -47,6 +48,10 @@ pub use config::{DeviceConfig, DeviceConfigBuilder, ZramFront};
 pub use device::{Device, DeviceTrace, KillRecord, TraceSample, TraceSource};
 pub use error::FleetError;
 pub use params::{FleetParams, SchemeKind};
+pub use population::{
+    run_device_day, run_population, sample_device, DeviceClass, DeviceDayRow, DevicePlan, Persona,
+    PopulationAggregate, PopulationRun, PopulationSpec,
+};
 pub use process::{AppState, FleetProcState, GcRecord, LaunchKind, LaunchReport, Process};
 pub use timeline::{Timeline, TimelineEvent};
 
@@ -67,6 +72,10 @@ pub mod prelude {
     };
     pub use crate::experiment::scenario::AppPool;
     pub use crate::params::{FleetParams, SchemeKind};
+    pub use crate::population::{
+        run_device_day, run_population, sample_device, DeviceDayRow, DevicePlan,
+        PopulationAggregate, PopulationRun, PopulationSpec,
+    };
     pub use crate::process::{LaunchKind, LaunchReport};
-    pub use fleet_metrics::{Histogram, Summary, Table};
+    pub use fleet_metrics::{Histogram, LogHistogram, Summary, Table};
 }

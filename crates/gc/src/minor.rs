@@ -167,11 +167,19 @@ impl Collector for MinorGc {
         // objects that reference background objects keep their cards (BGC's
         // remembered set), and boundary objects in *cold* regions keep
         // theirs unconditionally (the incremental re-grouping remembered
-        // set — see `GroupingGc::with_incremental`).
+        // set — see `GroupingGc::with_incremental`). Young survivors need
+        // the same BGC rule: a young FGO holding the only edge to a BGO had
+        // a dirty card from the write barrier, and dropping it here would
+        // let the next BGC free a reachable BGO.
         heap.cards_mut().clear();
         let bg_regions: RegionSet =
             heap.regions().filter(|r| r.kind() == RegionKind::Bg).map(|r| r.id()).collect();
-        for obj in seeded.iter() {
+        let survivors: Vec<ObjectId> = order
+            .iter()
+            .copied()
+            .filter(|&o| heap.contains(o) && !bg_regions.contains(heap.object(o).region()))
+            .collect();
+        for obj in seeded.iter().chain(survivors) {
             if !heap.contains(obj) {
                 continue;
             }

@@ -181,3 +181,36 @@ proptest! {
         prop_assert_eq!(bfs.objects_traced, expected.len() as u64);
     }
 }
+
+/// Regression: a *young* FGO holding the only edge to a BGO. The write
+/// barrier dirties the young object's card; the minor GC's card aging must
+/// preserve it for the surviving object (BGC's remembered set), or the next
+/// BGC frees a reachable BGO and leaves a dangling reference — found by the
+/// 10k-device population sweep, where the following grouping GC panicked on
+/// the dangle.
+#[test]
+fn minor_gc_preserves_young_fgo_to_bgo_cards() {
+    let mut heap = Heap::new(HeapConfig::default());
+    let root = heap.alloc(64);
+    heap.add_root(root);
+
+    // A background object, reachable only through a young FGO.
+    heap.set_context(AllocContext::Background);
+    let bgo = heap.alloc(64);
+    heap.set_context(AllocContext::Foreground);
+
+    // Flush newly-allocated state so the next alloc opens a fresh young
+    // region, then create the young FGO with the only edge to the BGO.
+    heap.clear_newly_allocated_flags();
+    let young = heap.alloc(64);
+    heap.add_ref(root, young);
+    heap.add_ref(young, bgo);
+
+    MinorGc::new(GcCostModel::default()).collect(&mut heap, &mut NoTouch);
+    assert!(heap.contains(young));
+    assert!(heap.contains(bgo), "minor GC must not free the BGO");
+
+    BackgroundObjectGc::new(GcCostModel::default()).collect(&mut heap, &mut NoTouch);
+    assert!(heap.contains(bgo), "BGC freed a BGO still referenced by a live young FGO");
+    assert!(heap.validate_refs().is_ok(), "{:?}", heap.validate_refs());
+}

@@ -56,3 +56,21 @@ pub use swap::{
     SwapConfig, SwapConfigBuilder, SwapDevice, SwapError, SwapMedium, SwapOp, TierStats,
 };
 pub use tier::{SwapStack, SwapStats, SwapTier};
+
+// Send audit: population-scale cohort runs (fleet::population) move whole
+// per-device kernel states onto worker threads, each worker owning its
+// devices outright. Every stateful type in the mm stack must therefore be
+// `Send`; these compile-time assertions turn an accidental Rc/RefCell (or a
+// raw pointer without an explicit impl) anywhere in the state into a build
+// error instead of a runtime surprise.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<MemoryManager>();
+    assert_send::<SwapStack>();
+    assert_send::<SwapDevice>();
+    assert_send::<FaultPlan>();
+    assert_send::<PageTable>();
+    assert_send::<LruQueue>();
+    assert_send::<Lmkd>();
+    assert_send::<KernelStats>();
+};

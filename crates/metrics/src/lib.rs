@@ -24,6 +24,7 @@ pub mod cdf;
 pub mod cpu;
 pub mod frames;
 pub mod histogram;
+pub mod loghist;
 pub mod power;
 pub mod series;
 pub mod stats;
@@ -34,6 +35,7 @@ pub use cdf::Cdf;
 pub use cpu::{CpuAccounting, ThreadClass};
 pub use frames::{FrameRecorder, FrameReport};
 pub use histogram::Histogram;
+pub use loghist::LogHistogram;
 pub use power::{PowerModel, PowerReport};
 pub use series::TimeSeries;
 pub use stats::{correlation, geometric_mean};

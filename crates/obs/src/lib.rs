@@ -116,6 +116,12 @@ impl ObsPipeline {
         self.metrics.latency(name, nanos);
     }
 
+    /// Records `n` identical latency observations (bulk absorption from a
+    /// pre-aggregated histogram, e.g. a population cohort).
+    pub fn latency_n(&mut self, name: &'static str, nanos: u64, n: u64) {
+        self.metrics.latency_n(name, nanos, n);
+    }
+
     /// The placed spans (for tests and attribution).
     pub fn spans(&self) -> &[PlacedSpan] {
         self.tracer.spans()

@@ -41,9 +41,18 @@ impl LatencyHistogram {
 
     /// Records one observation.
     pub fn record(&mut self, nanos: u64) {
-        self.buckets[Self::bucket(nanos)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(nanos);
+        self.record_n(nanos, 1);
+    }
+
+    /// Records `n` observations of the same value — bulk absorption from a
+    /// pre-aggregated source such as a population cohort histogram.
+    pub fn record_n(&mut self, nanos: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket(nanos)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(nanos.saturating_mul(n));
         self.max = self.max.max(nanos);
     }
 
@@ -116,6 +125,11 @@ impl MetricRegistry {
     /// Records one observation in the named latency histogram.
     pub fn latency(&mut self, name: &'static str, nanos: u64) {
         self.hists.entry(name).or_default().record(nanos);
+    }
+
+    /// Records `n` identical observations into the named latency histogram.
+    pub fn latency_n(&mut self, name: &'static str, nanos: u64, n: u64) {
+        self.hists.entry(name).or_default().record_n(nanos, n);
     }
 
     /// Appends a `(virtual-time nanos, value)` point to the named series —
