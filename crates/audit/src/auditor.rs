@@ -1,7 +1,7 @@
 //! The online invariant auditor: shadow state rebuilt from events, checked
 //! at every step.
 //!
-//! Six invariant families (see DESIGN.md §"Flight recorder"):
+//! Seven invariant families (see DESIGN.md §"Flight recorder"):
 //!
 //! 1. **Page conservation** — the event-derived resident and swapped page
 //!    counts must equal what the kernel itself reports at every
@@ -32,6 +32,14 @@
 //!    tier, a [`AuditEvent::SwapWriteback`] *moves* a slot from zram to
 //!    flash (never duplicates it, never targets a flash or resident page),
 //!    and faulting/prefetching/unmapping the page retires its slot.
+//! 7. **Proactive reclaim discipline** — the Swam daemon only touches
+//!    background state: an [`AuditEvent::ProactiveSwapOut`] must name a
+//!    mapped, resident, anonymous, unpinned page of a process that is not
+//!    the current foreground app (tracked from [`AuditEvent::AppState`]),
+//!    and it conserves frames exactly like an unadvised anonymous swap-out
+//!    (resident goes down, the anon swap count goes up, so the family-1
+//!    `Counters` cross-check keeps holding). An [`AuditEvent::WssSample`]
+//!    estimate never exceeds the process's mapped page count.
 
 use crate::event::AuditEvent;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -104,10 +112,13 @@ struct DeviceShadow {
     heaps: HashMap<u32, HeapShadow>,
     /// Open hot-launch windows: pid -> launch-kind faults seen so far.
     launches: HashMap<u32, u64>,
+    /// The current foreground pid, tracked from [`AuditEvent::AppState`]
+    /// transitions — the process proactive reclaim must never touch.
+    foreground: Option<u32>,
 }
 
 /// Rebuilds kernel and heap state purely from the event stream and checks
-/// the four invariant families online. See the module docs for the list.
+/// the invariant families online. See the module docs for the list.
 #[derive(Debug, Default)]
 pub struct Auditor {
     devices: HashMap<u32, DeviceShadow>,
@@ -504,6 +515,9 @@ impl Auditor {
             ProcessKill { pid } => {
                 dev.heaps.remove(pid);
                 dev.launches.remove(pid);
+                if dev.foreground == Some(*pid) {
+                    dev.foreground = None;
+                }
                 let remaining = dev.pid_pages.get(pid).copied().unwrap_or(0);
                 if remaining > 0 {
                     return Err(format!(
@@ -511,7 +525,13 @@ impl Auditor {
                     ));
                 }
             }
-            AppState { .. } => {}
+            AppState { pid, foreground } => {
+                if *foreground {
+                    dev.foreground = Some(*pid);
+                } else if dev.foreground == Some(*pid) {
+                    dev.foreground = None;
+                }
+            }
             LaunchStart { pid } => {
                 if dev.launches.insert(*pid, 0).is_some() {
                     return Err(format!("pid {pid}: nested launch window"));
@@ -653,6 +673,51 @@ impl Auditor {
                              no tier slot"
                         ));
                     }
+                }
+            }
+
+            // ---------------------------------------------- proactive reclaim
+            ProactiveSwapOut { pid, page } => {
+                if dev.foreground == Some(*pid) {
+                    return Err(format!(
+                        "proactive reclaim: daemon swapped out pid {pid} page {page} while \
+                         that process is the foreground app"
+                    ));
+                }
+                let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
+                    return Err(format!(
+                        "proactive reclaim: swap-out of unmapped pid {pid} page {page}"
+                    ));
+                };
+                if !shadow.resident {
+                    return Err(format!(
+                        "proactive reclaim: swap-out of non-resident pid {pid} page {page}"
+                    ));
+                }
+                if shadow.file {
+                    return Err(format!(
+                        "proactive reclaim: daemon touched file-backed pid {pid} page {page} \
+                         (only anonymous pages are proactively swapped)"
+                    ));
+                }
+                if shadow.pinned {
+                    return Err(format!(
+                        "proactive reclaim: daemon evicted pinned pid {pid} page {page}"
+                    ));
+                }
+                // Frame conservation: the same transition as an unadvised
+                // anonymous swap-out, so the `Counters` cross-check holds.
+                shadow.resident = false;
+                dev.resident -= 1;
+                dev.swapped_anon += 1;
+            }
+            WssSample { pid, pages } => {
+                let mapped = dev.pid_pages.get(pid).copied().unwrap_or(0);
+                if *pages > mapped {
+                    return Err(format!(
+                        "proactive reclaim: WSS sample of {pages} pages for pid {pid} exceeds \
+                         its {mapped} mapped pages (estimates are capped at the mapped count)"
+                    ));
                 }
             }
         }
@@ -1018,6 +1083,101 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("no tier slot"), "{err}");
+    }
+
+    #[test]
+    fn proactive_swap_out_lifecycle_passes() {
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                PageMapped { pid: 2, page: 0, file: false },
+                AppState { pid: 2, foreground: true },
+                WssSample { pid: 1, pages: 1 },
+                ProactiveSwapOut { pid: 1, page: 0 },
+                Counters { used_frames: 1, swap_used: 1 },
+                PageFault { pid: 1, page: 0, file: false, kind: "launch" },
+                Counters { used_frames: 2, swap_used: 0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn proactive_swap_out_of_foreground_app_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                AppState { pid: 1, foreground: true },
+                ProactiveSwapOut { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("foreground"), "{err}");
+        // Once the app moves to the background the daemon may take it.
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                AppState { pid: 1, foreground: true },
+                AppState { pid: 1, foreground: false },
+                ProactiveSwapOut { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn proactive_swap_out_of_pinned_or_file_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                PagePinned { pid: 1, page: 0 },
+                ProactiveSwapOut { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("pinned"), "{err}");
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[PageMapped { pid: 1, page: 0, file: true }, ProactiveSwapOut { pid: 1, page: 0 }],
+        )
+        .unwrap_err();
+        assert!(err.contains("file-backed"), "{err}");
+    }
+
+    #[test]
+    fn proactive_swap_out_of_non_resident_page_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                ProactiveSwapOut { pid: 1, page: 0 },
+                ProactiveSwapOut { pid: 1, page: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("non-resident"), "{err}");
+    }
+
+    #[test]
+    fn wss_sample_above_mapped_count_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[PageMapped { pid: 1, page: 0, file: false }, WssSample { pid: 1, pages: 2 }],
+        )
+        .unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
     }
 
     #[test]

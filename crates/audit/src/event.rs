@@ -331,6 +331,29 @@ pub enum AuditEvent {
         /// Page index.
         page: u64,
     },
+
+    // -------------------------------------------------- proactive reclaim
+    /// The proactive reclaim daemon (Swam policy) swapped an idle
+    /// background app's cold anonymous page out ahead of pressure. The
+    /// page must be mapped, resident, anonymous and unpinned, and the pid
+    /// must not be the current foreground app; afterwards the page holds a
+    /// back-tier swap slot exactly like an unadvised anon
+    /// [`AuditEvent::SwapOut`]. Never emitted under the Reactive policy.
+    ProactiveSwapOut {
+        /// The idle background process.
+        pid: u32,
+        /// Page index.
+        page: u64,
+    },
+    /// A working-set epoch sampled one process's decayed estimate (Swam
+    /// policy). The estimate is capped at the process's mapped page count,
+    /// which the auditor cross-checks against its shadow tables.
+    WssSample {
+        /// The sampled process.
+        pid: u32,
+        /// Decayed working-set estimate in pages.
+        pages: u64,
+    },
 }
 
 impl std::fmt::Display for AuditEvent {
@@ -423,6 +446,12 @@ impl std::fmt::Display for AuditEvent {
             SwapWriteback { pid, page } => {
                 write!(f, "swap_writeback pid={pid} page={page}")
             }
+            ProactiveSwapOut { pid, page } => {
+                write!(f, "proactive_swap_out pid={pid} page={page}")
+            }
+            WssSample { pid, pages } => {
+                write!(f, "wss_sample pid={pid} pages={pages}")
+            }
         }
     }
 }
@@ -467,6 +496,8 @@ mod tests {
                 "swap_tier_store pid=1 page=33 tier=zram",
             ),
             (AuditEvent::SwapWriteback { pid: 1, page: 33 }, "swap_writeback pid=1 page=33"),
+            (AuditEvent::ProactiveSwapOut { pid: 8, page: 21 }, "proactive_swap_out pid=8 page=21"),
+            (AuditEvent::WssSample { pid: 8, pages: 640 }, "wss_sample pid=8 pages=640"),
         ];
         for (event, expect) in cases {
             assert_eq!(event.to_string(), expect);

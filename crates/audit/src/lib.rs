@@ -16,10 +16,12 @@
 //! * [`Recorder`] — canonical serialization + streaming FNV-1a hash of the
 //!   whole event stream, with periodic checkpoints and a ring buffer of
 //!   the most recent events (the "flight recorder"),
-//! * [`Auditor`] — shadow state rebuilt purely from events, checking six
+//! * [`Auditor`] — shadow state rebuilt purely from events, checking seven
 //!   invariant families *online*: page conservation, LRU/residency
 //!   membership, GC soundness, launch accounting, fault/degradation
-//!   consistency, and swap-tier slot conservation,
+//!   consistency, swap-tier slot conservation, and proactive-reclaim
+//!   discipline (the Swam daemon only touches background, unpinned,
+//!   anonymous pages and conserves frames),
 //! * [`AuditPipeline`] — recorder + auditor behind one `feed` call;
 //!   violations panic with the last events as context.
 //!

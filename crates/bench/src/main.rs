@@ -26,6 +26,10 @@
 //! * **obs_overhead** — the fig2 driver inline with and without an
 //!   installed observability pipeline; the zero-cost-when-idle contract's
 //!   acceptance bar is <10% overhead with tracing live.
+//! * **wss_overhead** — the fig2 driver under the legacy `Reactive`
+//!   reclaim policy vs a `Swam` variant whose proactive daemon never
+//!   fires, isolating the cost of always-on working-set-size tracking on
+//!   the hot-launch path (the observe-only contract of DESIGN.md §13).
 //! * **population** — the headline cohort-throughput row: a sampled
 //!   heterogeneous cohort streamed through the parallel device-day runner
 //!   (`fleet::population`), reported as simulated device-hours per
@@ -58,7 +62,7 @@ use serde::{Deserialize, Serialize};
 // ------------------------------------------------------------ JSON schema
 
 /// The report schema this binary writes and `--check` enforces.
-const SCHEMA_VERSION: u32 = 4;
+const SCHEMA_VERSION: u32 = 5;
 
 /// The full report; field order is the (stable) key order in the file.
 #[derive(Serialize, Deserialize)]
@@ -71,6 +75,7 @@ struct Report {
     gc: GcBench,
     figures: Figures,
     obs_overhead: ObsOverhead,
+    wss_overhead: WssOverhead,
     population: PopulationBench,
 }
 
@@ -122,6 +127,18 @@ struct ObsOverhead {
     fig2_enabled_ms: f64,
     /// `(enabled - disabled) / disabled`, percent. May go slightly
     /// negative from timer noise on a quiet path.
+    overhead_pct: f64,
+}
+
+/// Cost of working-set-size tracking on the fig2 hot-launch path: the
+/// same driver under `Reactive` (tracking off) and under a `Swam` whose
+/// daemon never fires (tracking on, no reclaim behaviour change).
+#[derive(Serialize, Deserialize)]
+struct WssOverhead {
+    fig2_reactive_ms: f64,
+    fig2_wss_ms: f64,
+    /// `(wss - reactive) / reactive`, percent. May go slightly negative
+    /// from timer noise — the access hook is one branch and one counter.
     overhead_pct: f64,
 }
 
@@ -415,6 +432,44 @@ fn run_obs_overhead(quick: bool) -> ObsOverhead {
     }
 }
 
+/// Times the fig2 workload with WSS tracking off (`Reactive`) and on (a
+/// `Swam` whose `idle_epochs = u32::MAX` keeps the proactive daemon from
+/// ever granting a drain quota, so only the tracking machinery runs).
+/// Rounds interleave and each side keeps its best, as in
+/// [`run_obs_overhead`].
+fn run_wss_overhead(quick: bool) -> WssOverhead {
+    use fleet::experiment::launch_basics::{fig2, fig2_with_policy};
+    use fleet::{ReclaimPolicy, SwamParams};
+    let launches = if quick { 4 } else { 10 };
+    let seed = harness::derive_seed(0xF1EE7, "fig2");
+    let tracked =
+        ReclaimPolicy::Swam(SwamParams { idle_epochs: u32::MAX, ..SwamParams::default() });
+    let reactive_round = || {
+        fig2(seed, launches).expect("fig2 runs");
+    };
+    let wss_round = || {
+        fig2_with_policy(seed, launches, tracked).expect("fig2 runs");
+    };
+    reactive_round();
+    wss_round();
+    let rounds = if quick { 2 } else { 5 };
+    let mut reactive = f64::INFINITY;
+    let mut wss = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        reactive_round();
+        reactive = reactive.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        wss_round();
+        wss = wss.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    WssOverhead {
+        fig2_reactive_ms: reactive,
+        fig2_wss_ms: wss,
+        overhead_pct: (wss - reactive) / reactive * 100.0,
+    }
+}
+
 /// Streams a sampled cohort through the population runner and reports the
 /// device-hours-per-wall-second headline.
 fn run_population_bench(quick: bool) -> PopulationBench {
@@ -515,6 +570,9 @@ fn run(quick: bool) -> Report {
     eprintln!("obs overhead: fig2 with tracing off / on…");
     let obs_overhead = run_obs_overhead(quick);
 
+    eprintln!("wss overhead: fig2 with working-set tracking off / on…");
+    let wss_overhead = run_wss_overhead(quick);
+
     eprintln!("population: cohort device-days on all cores…");
     let population = run_population_bench(quick);
 
@@ -531,6 +589,7 @@ fn run(quick: bool) -> Report {
         gc: GcBench { trace_objects: gc_objects, full_gc_ms },
         figures,
         obs_overhead,
+        wss_overhead,
         population,
     };
     report.microbench.lru.speedup =
@@ -690,6 +749,12 @@ fn main() {
         report.obs_overhead.fig2_disabled_ms,
         report.obs_overhead.fig2_enabled_ms,
         report.obs_overhead.overhead_pct
+    );
+    println!(
+        "WSS:        fig2 {:.0} ms untracked   {:.0} ms tracked   ({:+.1}% overhead)",
+        report.wss_overhead.fig2_reactive_ms,
+        report.wss_overhead.fig2_wss_ms,
+        report.wss_overhead.overhead_pct
     );
     println!(
         "Population: {} device-days on {} threads — {:.1} simulated device-hours \

@@ -2,7 +2,9 @@
 
 use crate::error::FleetError;
 use crate::params::{FleetParams, SchemeKind};
-use fleet_kernel::{FaultConfig, MmConfig, SwapConfig, SwapMedium, PAGE_SIZE};
+use fleet_kernel::{
+    FaultConfig, KillPolicy, MmConfig, ReclaimPolicy, SwapConfig, SwapMedium, PAGE_SIZE,
+};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +92,16 @@ pub struct DeviceConfig {
     /// default is quiet — nothing is injected and the kernel behaves
     /// bit-identically to a build without the fault module.
     pub fault: FaultConfig,
+    /// How reclaim daemons run (DESIGN.md §13). The default `Reactive`
+    /// reproduces the pressure-driven kswapd/lmkd stack bit-for-bit;
+    /// `Swam` adds working-set tracking and a proactive swap-out daemon
+    /// that drains idle background apps ahead of pressure.
+    pub reclaim_policy: ReclaimPolicy,
+    /// How the low-memory killer picks victims. The default
+    /// `ColdestFirst` is the legacy staleness order; `WssWeighted`
+    /// scores candidates by reclaimable (resident minus working-set)
+    /// pages.
+    pub kill_policy: KillPolicy,
     /// Master seed for the run.
     pub seed: u64,
 }
@@ -139,6 +151,8 @@ impl DeviceConfig {
             zram_front: None,
             swappiness: 50,
             fault: FaultConfig::default(),
+            reclaim_policy: ReclaimPolicy::Reactive,
+            kill_policy: KillPolicy::ColdestFirst,
             seed: 0xF1EE7,
         }
     }
@@ -246,6 +260,7 @@ impl DeviceConfig {
             }
         }
         self.fault.validate()?;
+        self.reclaim_policy.validate()?;
         Ok(())
     }
 }
@@ -340,6 +355,20 @@ impl DeviceConfigBuilder {
     /// Fault-injection rates for the swap device (default: quiet).
     pub fn fault(mut self, fault: FaultConfig) -> Self {
         self.config.fault = fault;
+        self
+    }
+
+    /// How reclaim daemons run (default: `Reactive`, the legacy
+    /// pressure-driven stack). `ReclaimPolicy::swam()` enables SWAM-style
+    /// proactive reclaim with working-set tracking.
+    pub fn reclaim_policy(mut self, policy: ReclaimPolicy) -> Self {
+        self.config.reclaim_policy = policy;
+        self
+    }
+
+    /// How the low-memory killer picks victims (default: `ColdestFirst`).
+    pub fn kill_policy(mut self, policy: KillPolicy) -> Self {
+        self.config.kill_policy = policy;
         self
     }
 
@@ -450,6 +479,27 @@ mod tests {
         assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
         // No-swap scheme leaves the front tier nothing to write back to.
         let err = DeviceConfig::builder(SchemeKind::AndroidNoSwap).zram_front(512, 2.5).build();
+        assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn reclaim_policy_defaults_reactive_and_validates() {
+        let cfg = DeviceConfig::pixel3(SchemeKind::Fleet);
+        assert_eq!(cfg.reclaim_policy, ReclaimPolicy::Reactive);
+        assert_eq!(cfg.kill_policy, KillPolicy::ColdestFirst);
+
+        let cfg = DeviceConfig::builder(SchemeKind::Fleet)
+            .reclaim_policy(ReclaimPolicy::swam())
+            .kill_policy(KillPolicy::WssWeighted)
+            .build()
+            .unwrap();
+        assert!(cfg.reclaim_policy.is_swam());
+        assert_eq!(cfg.kill_policy, KillPolicy::WssWeighted);
+
+        let params = fleet_kernel::SwamParams { batch_pages: 0, ..Default::default() };
+        let err = DeviceConfig::builder(SchemeKind::Fleet)
+            .reclaim_policy(ReclaimPolicy::Swam(params))
+            .build();
         assert!(matches!(err, Err(FleetError::InvalidConfig(_))));
     }
 

@@ -29,7 +29,8 @@ use fleet_gc::{
 };
 use fleet_heap::{AllocContext, Heap, HeapConfig, HeapEvent, ObjectId, RegionKind, PAGE_SIZE};
 use fleet_kernel::{
-    AccessKind, AccessOutcome, Advice, FaultPlan, LmkCandidate, Lmkd, MemoryManager, PageKind, Pid,
+    AccessKind, AccessOutcome, Advice, FaultPlan, LmkCandidate, MemoryManager, PageKind, Pid,
+    ReclaimDriver,
 };
 use fleet_metrics::ThreadClass;
 use fleet_sim::{Clock, SimDuration, SimRng, SimTime};
@@ -120,9 +121,10 @@ pub struct Device {
     next_pid: u32,
     rng: SimRng,
     kills: Vec<KillRecord>,
-    /// The stateful low-memory-killer driver: executes kills against the
-    /// kernel and escalates under an armed fault plan.
-    lmkd: Lmkd,
+    /// The reclaim daemon: owns the per-slice tick (kswapd scan, zram
+    /// writeback, proactive swap-out under Swam) and executes kills against
+    /// the kernel under the configured kill policy.
+    reclaim: ReclaimDriver,
     oom_touch_skips: u64,
     /// Processes killed because an anonymous page was lost to a permanent
     /// swap I/O error (the SIGBUS analog); fault injection only.
@@ -255,7 +257,7 @@ impl Device {
             next_pid: 1,
             rng: SimRng::seed_from(config.seed),
             kills: Vec::new(),
-            lmkd: Lmkd::new(),
+            reclaim: ReclaimDriver::new(config.reclaim_policy, config.kill_policy),
             oom_touch_skips: 0,
             sigbus_kills: 0,
             map_failures: 0,
@@ -277,6 +279,9 @@ impl Device {
             let plan = FaultPlan::new(device.config.seed, device.config.fault);
             device.mm.install_fault_plan(plan);
         }
+        // Swam enables the kernel's observe-only working-set tracker;
+        // Reactive leaves the kernel untouched (bit-identical streams).
+        device.reclaim.attach(&mut device.mm);
         #[cfg(feature = "audit")]
         device.attach_audit();
         #[cfg(feature = "obs")]
@@ -671,9 +676,10 @@ impl Device {
         self.evac_aborts
     }
 
-    /// The low-memory-killer driver (kill counters, escalation stats).
-    pub fn lmkd(&self) -> &Lmkd {
-        &self.lmkd
+    /// The reclaim driver (kill counters, escalation stats, proactive
+    /// reclaim totals).
+    pub fn reclaim(&self) -> &ReclaimDriver {
+        &self.reclaim
     }
 
     /// Enables 1-in-`every` object-access tracing for `pid`.
@@ -1029,10 +1035,11 @@ impl Device {
                 }
                 self.step_process(pid, 1.0);
             }
-            self.mm.kswapd();
-            // Hybrid stacks age their zram tier once per slice, like the
-            // kernel's zram writeback daemon; a no-op on flash-only devices.
-            self.mm.zram_writeback();
+            // One reclaim-daemon tick: the kswapd watermark scan and zram
+            // writeback (hybrid stacks age their zram tier once per slice; a
+            // no-op on flash-only devices), plus the proactive swap-out pass
+            // when the Swam policy is active.
+            self.reclaim_tick();
             self.update_psi(1.0);
             self.pressure_kill();
             device_audit!(
@@ -1481,6 +1488,16 @@ impl Device {
         }
     }
 
+    // ------------------------------------------------------------- reclaim
+
+    /// One reclaim-daemon tick via the [`ReclaimDriver`]: kswapd scan, zram
+    /// writeback, and (under Swam) the working-set epoch advance plus the
+    /// proactive swap-out of idle background apps.
+    fn reclaim_tick(&mut self) {
+        let candidates = self.lmk_candidates(None);
+        self.reclaim.tick(&mut self.mm, &candidates);
+    }
+
     // ---------------------------------------------------------------- LMK
 
     /// Snapshots the current process set as LMK candidates. `protect`
@@ -1506,7 +1523,7 @@ impl Device {
         // precede its unmap/kill events in the audit stream.
         #[cfg(feature = "audit")]
         self.audit_flush();
-        match self.lmkd.kill_one(&mut self.mm, &candidates) {
+        match self.reclaim.kill_one(&mut self.mm, &candidates) {
             Some(_) => {
                 self.reap_lmk_kills();
                 true
@@ -1519,7 +1536,7 @@ impl Device {
     /// removes their process records, emits the device-level kill events,
     /// and records the kills.
     fn reap_lmk_kills(&mut self) {
-        for victim in self.lmkd.drain_kills() {
+        for victim in self.reclaim.drain_kills() {
             let Some(proc) = self.procs.remove(&victim) else { continue };
             device_audit!(self, fleet_audit::AuditEvent::ProcessKill { pid: victim.0 });
             if self.foreground == Some(victim) {
@@ -1549,7 +1566,7 @@ impl Device {
                 let candidates = self.lmk_candidates(None);
                 #[cfg(feature = "audit")]
                 self.audit_flush();
-                let _ = self.lmkd.escalate(&mut self.mm, &candidates, target);
+                let _ = self.reclaim.escalate(&mut self.mm, &candidates, target);
                 self.reap_lmk_kills();
                 // Mark the escalation on the kernel track (drained by the
                 // next obs_flush) and count it.
@@ -1733,8 +1750,7 @@ impl Device {
             since_kswapd += 1;
             if since_kswapd >= 60 {
                 since_kswapd = 0;
-                self.mm.kswapd();
-                self.mm.zram_writeback();
+                self.reclaim_tick();
                 self.pressure_kill();
                 device_audit!(
                     self,

@@ -183,6 +183,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::resilience::Resilience,
     &crate::experiment::attribution::LaunchAttribution,
     &crate::experiment::swap_tiers::SwapTiers,
+    &crate::experiment::proactive_reclaim::ProactiveReclaim,
     &crate::experiment::population::Population,
 ];
 
@@ -330,6 +331,7 @@ mod tests {
         "lifetimes",
         "object_sizes",
         "population",
+        "proactive_reclaim",
         "reaccess",
         "resilience",
         "runtime",

@@ -9,6 +9,7 @@ use crate::device::Device;
 use crate::error::FleetError;
 use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
+use crate::ReclaimPolicy;
 use fleet_apps::catalog;
 use fleet_metrics::{Summary, Table};
 use serde::Serialize;
@@ -31,10 +32,23 @@ pub struct Fig2Row {
 /// Runs Figure 2: `launches` hot and cold launches per app on an idle
 /// device (default Android, no memory pressure).
 pub fn fig2(seed: u64, launches: usize) -> Result<Vec<Fig2Row>, FleetError> {
+    fig2_with_policy(seed, launches, ReclaimPolicy::Reactive)
+}
+
+/// [`fig2`] with an explicit [`ReclaimPolicy`]. The bench harness times
+/// the same workload under `Reactive` and under a `Swam` variant whose
+/// daemon never fires (`idle_epochs = u32::MAX`), isolating the cost of
+/// the always-on working-set tracking on the hot-launch path.
+pub fn fig2_with_policy(
+    seed: u64,
+    launches: usize,
+    policy: ReclaimPolicy,
+) -> Result<Vec<Fig2Row>, FleetError> {
     let mut rows = Vec::new();
     for profile in catalog() {
         let mut config = DeviceConfig::pixel3(SchemeKind::Android);
         config.seed = seed ^ profile.name.len() as u64;
+        config.reclaim_policy = policy;
         let mut device = Device::try_new(config)?;
 
         // Cold samples: terminate and recreate each time (§2.1: "obtained

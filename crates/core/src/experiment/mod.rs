@@ -19,6 +19,7 @@ pub mod launch_basics;
 pub mod lifetimes;
 pub mod object_sizes;
 pub mod population;
+pub mod proactive_reclaim;
 pub mod reaccess;
 pub mod resilience;
 pub mod runtime;

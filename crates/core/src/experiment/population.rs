@@ -19,6 +19,7 @@ use crate::error::FleetError;
 use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
 use crate::population::{run_population, PopulationAggregate, PopulationSpec};
+use fleet_kernel::{KillPolicy, ReclaimPolicy};
 use fleet_metrics::Table;
 use serde::Serialize;
 
@@ -48,9 +49,62 @@ pub struct PopulationExport {
     pub hot_p999_ms: f64,
     /// LMK kills per device-day.
     pub lmk_kills_per_device_day: f64,
-    /// The full merged aggregate (counters, histograms, slice rows,
-    /// cohort hash).
+    /// Reclaim-policy A/B over the same sampled cohort: the default
+    /// Reactive deployment versus the SWAM-style proactive co-design.
+    pub policies: Vec<PolicyCohortSummary>,
+    /// The full merged aggregate of the default (Reactive) cohort
+    /// (counters, histograms, slice rows, cohort hash).
     pub aggregate: PopulationAggregate,
+}
+
+/// One reclaim-policy arm of the cohort A/B.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyCohortSummary {
+    /// Policy label (`reactive` / `swam`).
+    pub policy: String,
+    /// Hot-launch p50, ms.
+    pub hot_p50_ms: f64,
+    /// Hot-launch p99, ms.
+    pub hot_p99_ms: f64,
+    /// LMK kills per device-day.
+    pub lmk_kills_per_device_day: f64,
+    /// Cold relaunches forced by kills.
+    pub cold_relaunches: u64,
+    /// Pages the proactive daemon swapped out ahead of pressure.
+    pub proactive_swapout_pages: u64,
+}
+
+fn policy_summary(label: &str, agg: &PopulationAggregate) -> PolicyCohortSummary {
+    PolicyCohortSummary {
+        policy: label.to_string(),
+        hot_p50_ms: agg.hot_launch_quantile_ms(0.5),
+        hot_p99_ms: agg.hot_launch_quantile_ms(0.99),
+        lmk_kills_per_device_day: agg.lmk_kills_per_device_day(),
+        cold_relaunches: agg.cold_relaunches,
+        proactive_swapout_pages: agg.proactive_swapout_pages,
+    }
+}
+
+fn policy_table(arms: &[PolicyCohortSummary]) -> Table {
+    let mut t = Table::new([
+        "Reclaim policy",
+        "p50 (ms)",
+        "p99 (ms)",
+        "LMK/day",
+        "Cold relaunches",
+        "Proactive pages",
+    ]);
+    for arm in arms {
+        t.row([
+            arm.policy.clone(),
+            format!("{:.0}", arm.hot_p50_ms),
+            format!("{:.0}", arm.hot_p99_ms),
+            format!("{:.2}", arm.lmk_kills_per_device_day),
+            arm.cold_relaunches.to_string(),
+            arm.proactive_swapout_pages.to_string(),
+        ]);
+    }
+    t
 }
 
 fn dashboard(agg: &PopulationAggregate) -> Table {
@@ -138,15 +192,29 @@ impl Experiment for Population {
     fn run(&self, ctx: &ExperimentCtx) -> Result<ExperimentOutput, FleetError> {
         let devices = cohort_devices(ctx.quick);
         let spec = PopulationSpec::default_mix(ctx.seed, devices);
+        // The A/B arm: same seed, same sampled hardware and day scripts
+        // (the policy knobs are applied, never sampled), Swam co-design on.
+        let mut swam_spec = spec.clone();
+        swam_spec.reclaim_policy = ReclaimPolicy::swam();
+        swam_spec.kill_policy = KillPolicy::WssWeighted;
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let run = run_population(&spec, threads)?;
         let agg = &run.aggregate;
+        let swam_run = run_population(&swam_spec, threads)?;
+        let policies =
+            vec![policy_summary("reactive", agg), policy_summary("swam", &swam_run.aggregate)];
         #[cfg(feature = "obs")]
         publish_obs(agg);
 
         let mut out = ExperimentOutput::new();
         out.section(self.title());
         out.table(dashboard(agg));
+        out.text(
+            "Reclaim-policy A/B over the same sampled cohort (Swam arm: proactive \
+             reclaim + WSS-weighted oom scoring):"
+                .to_string(),
+        );
+        out.table(policy_table(&policies));
         out.text(format!(
             "{} device-days sampled from {} classes x {} personas x {} schemes \
              (seed {:#x}); {} zram devices; cohort hash {:016x}",
@@ -175,6 +243,7 @@ impl Experiment for Population {
                 hot_p99_ms: agg.hot_launch_quantile_ms(0.99),
                 hot_p999_ms: agg.hot_launch_quantile_ms(0.999),
                 lmk_kills_per_device_day: agg.lmk_kills_per_device_day(),
+                policies,
                 aggregate: agg.clone(),
             },
         );

@@ -115,7 +115,7 @@ pub fn resilience(
             swap_write_errors: stats.swap_write_errors,
             pages_lost: stats.pages_lost,
             sigbus_kills: device.sigbus_kills(),
-            lmk_kills: device.lmkd().total_kills(),
+            lmk_kills: device.reclaim().total_kills(),
             evac_aborts: device.evac_aborts(),
             oom_touch_skips: device.oom_touch_skips(),
             map_failures: device.map_failures(),

@@ -47,6 +47,7 @@ pub mod timeline;
 pub use config::{DeviceConfig, DeviceConfigBuilder, ZramFront};
 pub use device::{Device, DeviceTrace, KillRecord, TraceSample, TraceSource};
 pub use error::FleetError;
+pub use fleet_kernel::{KillPolicy, ReclaimPolicy, SwamParams};
 pub use params::{FleetParams, SchemeKind};
 pub use population::{
     run_device_day, run_population, sample_device, DeviceClass, DeviceDayRow, DevicePlan, Persona,
@@ -77,5 +78,6 @@ pub mod prelude {
         PopulationAggregate, PopulationRun, PopulationSpec,
     };
     pub use crate::process::{LaunchKind, LaunchReport};
+    pub use fleet_kernel::{KillPolicy, ReclaimPolicy, SwamParams};
     pub use fleet_metrics::{Histogram, LogHistogram, Summary, Table};
 }

@@ -34,6 +34,7 @@ use crate::error::FleetError;
 use crate::experiment::scenario::AppPool;
 use crate::params::SchemeKind;
 use crate::process::{LaunchKind, LaunchReport};
+use fleet_kernel::{KillPolicy, ReclaimPolicy};
 use fleet_metrics::LogHistogram;
 use fleet_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -159,6 +160,13 @@ pub struct PopulationSpec {
     pub personas: Vec<Persona>,
     /// Scheme mix, sampled uniformly (at least one).
     pub schemes: Vec<SchemeKind>,
+    /// Reclaim policy applied to every sampled device (not sampled — a
+    /// cohort-wide deployment knob, so A/B cohorts differ only here and
+    /// consume identical RNG streams).
+    pub reclaim_policy: ReclaimPolicy,
+    /// Kill policy applied to every sampled device (not sampled, like
+    /// [`Self::reclaim_policy`]).
+    pub kill_policy: KillPolicy,
 }
 
 impl PopulationSpec {
@@ -227,6 +235,8 @@ impl PopulationSpec {
                 ),
             ],
             schemes: SchemeKind::ALL.to_vec(),
+            reclaim_policy: ReclaimPolicy::Reactive,
+            kill_policy: KillPolicy::ColdestFirst,
         }
     }
 
@@ -258,6 +268,8 @@ impl PopulationSpec {
                 usage_gap_secs: RangeU32::fixed(30),
             }],
             schemes: vec![scheme],
+            reclaim_policy: ReclaimPolicy::Reactive,
+            kill_policy: KillPolicy::ColdestFirst,
         }
     }
 
@@ -332,6 +344,7 @@ impl PopulationSpec {
                 return Err(format!("persona {}: working set exceeds its app list", persona.name));
             }
         }
+        self.reclaim_policy.validate()?;
         Ok(())
     }
 }
@@ -425,10 +438,15 @@ pub fn sample_device(spec: &PopulationSpec, index: u32) -> Result<DevicePlan, Fl
         None
     };
 
+    // Cohort-wide deployment knobs: applied, never sampled, so turning
+    // Swam on leaves every RNG draw (and thus the sampled hardware and
+    // day script) identical to the Reactive cohort.
     let mut builder = DeviceConfig::builder(scheme)
         .dram_mib(dram_mib)
         .swap_mib(swap_mib)
         .swappiness(swappiness)
+        .reclaim_policy(spec.reclaim_policy)
+        .kill_policy(spec.kill_policy)
         .seed(seed);
     if let Some(front) = zram_front {
         builder = builder.zram_front(front.mib, front.compression_ratio);
@@ -536,6 +554,9 @@ pub struct DeviceDayRow {
     pub swapped_out_pages: u64,
     /// Pages the zram writeback daemon demoted to flash.
     pub zram_writeback_pages: u64,
+    /// Pages the proactive reclaim daemon swapped out ahead of pressure
+    /// (zero under the Reactive policy).
+    pub proactive_swapout_pages: u64,
     /// Simulated seconds the day covered.
     pub sim_secs: u64,
     /// FNV-1a fingerprint of the day's event stream (launch reports and
@@ -594,12 +615,13 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
         hot_launches: hot,
         cold_relaunches: cold,
         hot_launch_us,
-        lmk_kills: dev.lmkd().total_kills(),
+        lmk_kills: dev.reclaim().total_kills(),
         sigbus_kills: dev.sigbus_kills(),
         kills: dev.kills().len() as u64,
         faults: stats.faults,
         swapped_out_pages: stats.pages_swapped_out,
         zram_writeback_pages: stats.zram_writeback_pages,
+        proactive_swapout_pages: stats.proactive_swapout_pages,
         sim_secs: dev.now().as_nanos() / 1_000_000_000,
         fingerprint: 0,
     };
@@ -609,6 +631,7 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
     fp.mix(row.faults);
     fp.mix(row.swapped_out_pages);
     fp.mix(row.zram_writeback_pages);
+    fp.mix(row.proactive_swapout_pages);
     fp.mix(row.sim_secs);
     Ok(DeviceDayRow { fingerprint: fp.0, ..row })
 }
@@ -669,6 +692,8 @@ pub struct PopulationAggregate {
     pub swapped_out_pages: u64,
     /// Zram writeback pages.
     pub zram_writeback_pages: u64,
+    /// Pages the proactive reclaim daemon swapped out ahead of pressure.
+    pub proactive_swapout_pages: u64,
     /// Total simulated seconds.
     pub sim_secs: u64,
     /// Population hot-launch distribution, microseconds.
@@ -709,6 +734,7 @@ impl PopulationAggregate {
             faults: 0,
             swapped_out_pages: 0,
             zram_writeback_pages: 0,
+            proactive_swapout_pages: 0,
             sim_secs: 0,
             hot_launch_us: LogHistogram::new(),
             scheme_hot_launch_us: vec![LogHistogram::new(); SchemeKind::ALL.len()],
@@ -744,6 +770,7 @@ impl PopulationAggregate {
         self.faults += row.faults;
         self.swapped_out_pages += row.swapped_out_pages;
         self.zram_writeback_pages += row.zram_writeback_pages;
+        self.proactive_swapout_pages += row.proactive_swapout_pages;
         self.sim_secs += row.sim_secs;
         let si = scheme_index(row.scheme);
         self.scheme_devices[si] += 1;
@@ -785,6 +812,7 @@ impl PopulationAggregate {
         self.faults += other.faults;
         self.swapped_out_pages += other.swapped_out_pages;
         self.zram_writeback_pages += other.zram_writeback_pages;
+        self.proactive_swapout_pages += other.proactive_swapout_pages;
         self.sim_secs += other.sim_secs;
         self.hot_launch_us.merge(&other.hot_launch_us);
         for (a, b) in self.scheme_hot_launch_us.iter_mut().zip(&other.scheme_hot_launch_us) {

@@ -18,7 +18,11 @@
 //! * [`mm`] — the memory manager tying frames, LRU, swap, reclaim and
 //!   the madvise extensions together,
 //! * [`lmk`] — the low-memory-killer victim policy and the stateful
-//!   [`Lmkd`] escalation driver,
+//!   [`Lmkd`] escalation driver (deprecated in favour of [`reclaim`]),
+//! * [`reclaim`] — the unified reclaim surface: [`ReclaimPolicy`]
+//!   (reactive vs SWAM-style proactive), [`KillPolicy`] (coldest-first vs
+//!   WSS-weighted oom scoring) and the [`ReclaimDriver`] that owns the
+//!   daemon tick,
 //! * [`fault`] — deterministic fault injection (I/O errors, latency
 //!   spikes, slot exhaustion, zram compression failures) for the
 //!   degradation paths; quiet by default.
@@ -42,16 +46,22 @@ pub mod lmk;
 pub mod lru;
 pub mod mm;
 pub mod page;
+pub mod reclaim;
 pub mod swap;
 pub mod tier;
 
 pub use fault::{retry_backoff, FaultConfig, FaultPlan, ReadFault, FAULT_RETRY_MAX};
-pub use lmk::{choose_victim, LmkCandidate, LmkOutcome, Lmkd};
+#[allow(deprecated)]
+pub use lmk::choose_victim;
+pub use lmk::{LmkCandidate, LmkOutcome, Lmkd};
 pub use lru::{LruHandle, LruQueue};
-pub use mm::{AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmConfig, MmError};
+pub use mm::{
+    AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmConfig, MmError, WssSnapshot,
+};
 #[doc(hidden)]
 pub use mm::{PageEntry, PageTable};
 pub use page::{PageKey, PageKind, PageState, Pid, PAGE_SIZE};
+pub use reclaim::{KillPolicy, ReclaimDriver, ReclaimPolicy, SwamParams};
 pub use swap::{
     SwapConfig, SwapConfigBuilder, SwapDevice, SwapError, SwapMedium, SwapOp, TierStats,
 };
@@ -72,5 +82,6 @@ const _: () = {
     assert_send::<PageTable>();
     assert_send::<LruQueue>();
     assert_send::<Lmkd>();
+    assert_send::<ReclaimDriver>();
     assert_send::<KernelStats>();
 };

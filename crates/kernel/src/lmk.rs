@@ -6,6 +6,14 @@
 //! granularity the experiments need: the foreground app is never killed;
 //! among background apps, the one least recently in the foreground dies
 //! first; pinned system processes are exempt.
+//!
+//! The execution surface of this module is deprecated: kill ordering is
+//! now a [`crate::reclaim::KillPolicy`] variant and kill execution lives
+//! in [`crate::reclaim::ReclaimDriver`], which also owns the reclaim
+//! daemon tick. [`choose_victim`], [`Lmkd::kill_one`] and
+//! [`Lmkd::escalate`] remain as one-release shims over the same logic
+//! (`KillPolicy::ColdestFirst` is bit-identical); [`LmkCandidate`] and
+//! [`LmkOutcome`] stay as the shared vocabulary types.
 
 use crate::mm::{MemoryManager, MmError};
 use crate::page::Pid;
@@ -32,6 +40,7 @@ pub struct LmkCandidate {
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use fleet_kernel::{choose_victim, LmkCandidate, Pid};
 /// use fleet_sim::SimTime;
 ///
@@ -42,7 +51,15 @@ pub struct LmkCandidate {
 /// ];
 /// assert_eq!(choose_victim(&procs), Some(Pid(2)));
 /// ```
+#[deprecated(note = "use `KillPolicy::ColdestFirst.choose(..)` via `ReclaimDriver` instead")]
 pub fn choose_victim(candidates: &[LmkCandidate]) -> Option<Pid> {
+    coldest_victim(candidates)
+}
+
+/// The coldest-first oom-score order shared by the deprecated
+/// [`choose_victim`] shim and `KillPolicy::ColdestFirst`: the background,
+/// unpinned process least recently in the foreground, ties on lower pid.
+pub(crate) fn coldest_victim(candidates: &[LmkCandidate]) -> Option<Pid> {
     candidates
         .iter()
         .filter(|c| !c.foreground && !c.pinned)
@@ -73,6 +90,7 @@ pub struct LmkOutcome {
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use fleet_kernel::{Lmkd, LmkCandidate, MemoryManager, MmConfig, Pid};
 /// use fleet_sim::SimTime;
 ///
@@ -109,12 +127,13 @@ impl Lmkd {
     /// pages. Returns the victim and the frames freed, or `None` when
     /// nothing is killable. This is the legacy one-kill-per-stall policy;
     /// reclaim-stall paths use [`Lmkd::escalate`] instead.
+    #[deprecated(note = "use `ReclaimDriver::kill_one` (with `KillPolicy::ColdestFirst`) instead")]
     pub fn kill_one(
         &mut self,
         mm: &mut MemoryManager,
         candidates: &[LmkCandidate],
     ) -> Option<(Pid, u64)> {
-        let victim = choose_victim(candidates)?;
+        let victim = coldest_victim(candidates)?;
         let freed = self.execute(mm, victim);
         Some((victim, freed))
     }
@@ -132,6 +151,7 @@ impl Lmkd {
     ///
     /// [`MmError::OutOfMemory`] when no killable candidate remains and the
     /// target is still unmet.
+    #[deprecated(note = "use `ReclaimDriver::escalate` (with `KillPolicy::ColdestFirst`) instead")]
     pub fn escalate(
         &mut self,
         mm: &mut MemoryManager,
@@ -142,7 +162,7 @@ impl Lmkd {
         let mut remaining: Vec<LmkCandidate> = candidates.to_vec();
         let mut out = LmkOutcome::default();
         while mm.free_frames() < target_free_frames {
-            let Some(victim) = choose_victim(&remaining) else {
+            let Some(victim) = coldest_victim(&remaining) else {
                 return Err(MmError::OutOfMemory);
             };
             remaining.retain(|c| c.pid != victim);
@@ -181,6 +201,9 @@ impl Lmkd {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims must keep their exact legacy behaviour for one
+    // release; these tests exercise them on purpose.
+    #![allow(deprecated)]
     use super::*;
 
     fn cand(pid: u32, fg: bool, last: u64) -> LmkCandidate {

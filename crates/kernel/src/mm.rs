@@ -274,6 +274,11 @@ pub struct KernelStats {
     /// Decompression share of fault stall: nanos spent reading pages back
     /// from the zram front tier (hybrid only).
     pub decompress_stall_nanos: u64,
+    /// Pages the proactive reclaim daemon swapped out of idle background
+    /// apps ahead of pressure (Swam reclaim policy only).
+    pub proactive_swapout_pages: u64,
+    /// Working-set epochs advanced by the proactive daemon (Swam only).
+    pub wss_epochs: u64,
 }
 
 /// Per-process residency snapshot.
@@ -598,6 +603,33 @@ impl<T> PidMap<T> {
     }
 }
 
+/// Decayed per-process working-set estimate, fed by the access path when
+/// tracking is enabled (the Swam reclaim policy). Observe-only by
+/// construction: updating it draws no RNG, writes no clock and perturbs no
+/// LRU state, so enabling it cannot move any event stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct WssEntry {
+    /// Page touches recorded since the last epoch advance (an upper bound
+    /// on unique pages: repeated touches across access calls count again).
+    touched: u64,
+    /// Decayed estimate, capped at the process's mapped page count.
+    estimate: u64,
+    /// Consecutive epochs with zero touches.
+    idle_epochs: u32,
+}
+
+/// One process's working-set sample at an epoch advance (see
+/// [`MemoryManager::wss_epoch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WssSnapshot {
+    /// The sampled process.
+    pub pid: Pid,
+    /// Decayed working-set estimate in pages, capped at the mapped count.
+    pub estimate: u64,
+    /// Consecutive epochs the process has gone without touching a page.
+    pub idle_epochs: u32,
+}
+
 /// Outcome of one fault-injection roll on the swap-read path (see
 /// [`MemoryManager::access`] and the prefetch paths). `Ok` may still carry
 /// degradation: retry backoff and injected latency spikes.
@@ -648,6 +680,10 @@ pub struct MemoryManager {
     /// zram slot — the writeback daemon's demotion order. Empty without a
     /// front tier. A zram page's entry stores its FIFO handle in `node`.
     zram_fifo: LruQueue,
+    /// Per-process working-set estimates; populated only when
+    /// [`MemoryManager::enable_wss_tracking`] has armed the tracker.
+    wss: PidMap<WssEntry>,
+    wss_enabled: bool,
     stats: KernelStats,
     /// Flight-recorder buffer (see `crates/audit`); disabled by default.
     #[cfg(feature = "audit")]
@@ -674,6 +710,8 @@ impl MemoryManager {
                 None => SwapStack::new(config.swap),
             },
             zram_fifo: LruQueue::new(),
+            wss: PidMap::default(),
+            wss_enabled: false,
             stats: KernelStats::default(),
             #[cfg(feature = "audit")]
             audit: fleet_audit::EventLog::default(),
@@ -1029,6 +1067,7 @@ impl MemoryManager {
         }
         self.tables.remove(pid);
         self.anon_lrus.remove(pid);
+        self.wss.remove(pid);
         self.free_frames() - before
     }
 
@@ -1231,6 +1270,15 @@ impl MemoryManager {
                 name: "kernel.fault_service_ns",
                 nanos: dur,
             });
+        }
+        // Feed the working-set tracker (Swam reclaim policy): a pure counter
+        // bump, so it cannot perturb any event stream. GC traversal is
+        // excluded — a collector touching the whole heap is exactly the
+        // working-set inflation the paper's co-design exists to discount,
+        // and counting it would hide every app's cold bulk from the
+        // proactive daemon.
+        if self.wss_enabled && outcome.touched_pages > 0 && kind != AccessKind::Gc {
+            self.wss.get_or_insert_with(pid, WssEntry::default).touched += outcome.touched_pages;
         }
         outcome
     }
@@ -1622,6 +1670,108 @@ impl MemoryManager {
         }
         if moved > 0 {
             self.swap.note_writeback(moved);
+        }
+        moved
+    }
+
+    /// One kernel reclaim-daemon tick: the kswapd watermark scan followed
+    /// by the zram writeback pass — the exact pair (and order) the device
+    /// layer used to hand-tick, collapsed behind one entry point. Policy
+    /// extensions (the Swam proactive pass) layer on top in
+    /// `ReclaimDriver::tick`, which calls this first; kill escalation stays
+    /// with the caller so its audit ordering barrier is preserved. Returns
+    /// the pages kswapd reclaimed.
+    pub fn reclaim_tick(&mut self) -> u64 {
+        let reclaimed = self.kswapd();
+        self.zram_writeback();
+        reclaimed
+    }
+
+    // -------------------------------------------------- working-set tracking
+
+    /// Arms the observe-only per-process working-set tracker (the Swam
+    /// reclaim policy). Tracking draws no RNG, writes no clock and perturbs
+    /// no LRU state; while it stays disarmed every access takes a single
+    /// always-false branch, keeping legacy event streams bit-identical.
+    pub fn enable_wss_tracking(&mut self) {
+        self.wss_enabled = true;
+    }
+
+    /// True when working-set tracking is armed.
+    pub fn wss_tracking_enabled(&self) -> bool {
+        self.wss_enabled
+    }
+
+    /// The decayed working-set estimate of `pid` in pages (zero when the
+    /// tracker is disarmed or the process has never been sampled).
+    pub fn wss_estimate(&self, pid: Pid) -> u64 {
+        self.wss.get(pid).map_or(0, |e| e.estimate)
+    }
+
+    /// Advances the working-set epoch: folds each process's touches since
+    /// the last epoch into its decayed estimate
+    /// (`estimate = touched + estimate / 2`, capped at the mapped page
+    /// count), updates idle-epoch counters and returns the snapshots in
+    /// ascending-pid order. Emits a `WssSample` audit event per process
+    /// with a non-zero estimate. No-op (empty vec) while the tracker is
+    /// disarmed.
+    pub fn wss_epoch(&mut self) -> Vec<WssSnapshot> {
+        if !self.wss_enabled {
+            return Vec::new();
+        }
+        self.stats.wss_epochs += 1;
+        let mut out = Vec::new();
+        // Every process with a page table is sampled — a fully idle app
+        // (zero touches, so no tracker entry of its own yet) is precisely
+        // the proactive daemon's target and must still age its idle count.
+        let pids: Vec<(Pid, u64)> = self.tables.iter().map(|(p, t)| (p, t.mapped)).collect();
+        for (pid, mapped) in pids {
+            let e = self.wss.get_or_insert_with(pid, WssEntry::default);
+            e.estimate = (e.touched + e.estimate / 2).min(mapped);
+            if e.touched == 0 {
+                e.idle_epochs = e.idle_epochs.saturating_add(1);
+            } else {
+                e.idle_epochs = 0;
+            }
+            e.touched = 0;
+            if e.estimate > 0 {
+                audit!(self, fleet_audit::AuditEvent::WssSample { pid: pid.0, pages: e.estimate });
+            }
+            out.push(WssSnapshot { pid, estimate: e.estimate, idle_epochs: e.idle_epochs });
+        }
+        out
+    }
+
+    /// Proactively swaps up to `max_pages` of `pid`'s coldest resident
+    /// anonymous pages out to the back tier, ahead of any watermark
+    /// pressure (the Swam daemon's idle-app pass). Pinned pages are never
+    /// taken (they are not enrolled in the anon LRU), file pages live on
+    /// the file LRU and are untouched, and the write cost is charged to
+    /// kswapd like any reclaim. Stops early when the back tier has no free
+    /// slot. Returns the pages moved.
+    pub fn proactive_swap_out(&mut self, pid: Pid, max_pages: u64) -> u64 {
+        let mut moved = 0u64;
+        while moved < max_pages {
+            let Some(victim) = self.anon_lrus.get_mut(pid).and_then(|q| q.pop_coldest()) else {
+                break;
+            };
+            let back = self.swap.back_mut();
+            if back.is_full() || !back.reserve_page() {
+                // No slot: re-enroll the victim at the cold end (it stays
+                // the next candidate) and stop this pass.
+                let raw = self.anon_queue_existing(pid).push_cold(victim).raw();
+                self.entry_expect(pid, victim.index, "proactive swap-out").node = raw;
+                break;
+            }
+            self.stats.pages_swapped_out += 1;
+            self.stats.proactive_swapout_pages += 1;
+            self.stats.kswapd_cpu_nanos += self.swap.back().write_cost(1).as_nanos();
+            self.mark_swapped_out(victim);
+            moved += 1;
+            audit!(
+                self,
+                fleet_audit::AuditEvent::ProactiveSwapOut { pid: pid.0, page: victim.index }
+            );
         }
         moved
     }

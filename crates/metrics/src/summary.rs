@@ -111,6 +111,12 @@ impl Summary {
         self.percentile(10.0)
     }
 
+    /// The 99th-percentile deep-tail value (the reclaim-policy tradeoff
+    /// curves report it next to kill rate).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
     /// The sorted samples.
     pub fn values(&self) -> &[f64] {
         &self.sorted

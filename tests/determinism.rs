@@ -81,8 +81,8 @@ fn faulty_fingerprint(scheme: SchemeKind, seed: u64, intensity: f64) -> String {
         mm.stats().swap_write_errors,
         mm.stats().pages_lost,
         dev.sigbus_kills(),
-        dev.lmkd().total_kills(),
-        dev.lmkd().escalations(),
+        dev.reclaim().total_kills(),
+        dev.reclaim().escalations(),
         dev.map_failures(),
         mm.used_frames(),
         dev.kills().len(),
@@ -157,8 +157,14 @@ fn harness_fingerprint(threads: usize) -> String {
     use fleet::experiment::export::ExportRecord;
     use fleet::experiment::harness::{run_experiments, select};
 
-    let selected =
-        select(&["table1".into(), "table2".into(), "table3".into(), "fig4".into()]).unwrap();
+    let selected = select(&[
+        "table1".into(),
+        "table2".into(),
+        "table3".into(),
+        "fig4".into(),
+        "proactive_reclaim".into(),
+    ])
+    .unwrap();
     let reports = run_experiments(&selected, 0xF1EE7, true, threads, false);
     let mut fp = String::new();
     for report in reports {

@@ -124,3 +124,50 @@ fn uninstalled_runs_record_nothing() {
     assert!(pipe.spans().is_empty());
     assert_eq!(pipe.metrics().counter("launch.hot"), 0);
 }
+
+#[test]
+fn swam_daemon_emits_proactive_reclaim_spans() {
+    // The proactive daemon's drains surface on the kernel track: one
+    // `proactive_reclaim` root per firing tick, plus the matching pages
+    // counter — and only when the policy is Swam (the goldens pin the
+    // default-off silence).
+    use fleet::{Device, DeviceConfig, KillPolicy, ReclaimPolicy, SwamParams};
+    use fleet_apps::profile_by_name;
+    let pipeline = shared_pipeline();
+    let pages = {
+        let _guard = install(pipeline.clone());
+        let swam = ReclaimPolicy::Swam(SwamParams { idle_epochs: 1, ..SwamParams::default() });
+        let config = DeviceConfig::builder(SchemeKind::Fleet)
+            .seed(9)
+            .reclaim_policy(swam)
+            .kill_policy(KillPolicy::WssWeighted)
+            .build()
+            .unwrap();
+        let mut dev = Device::new(config);
+        for name in pool_apps() {
+            dev.launch_cold(&profile_by_name(&name).unwrap());
+            dev.run(10);
+        }
+        dev.run(120);
+        dev.mm().stats().proactive_swapout_pages
+    };
+    assert!(pages > 0, "the single-epoch daemon must have drained an idle app");
+    let pipe = pipeline.lock().unwrap();
+    let drains: Vec<&PlacedSpan> =
+        pipe.spans().iter().filter(|s| s.name == "proactive_reclaim").collect();
+    assert!(!drains.is_empty(), "every firing tick must leave a span");
+    let reclaimed: u64 = drains
+        .iter()
+        .map(|s| {
+            assert_eq!(s.cat, "kernel");
+            assert_eq!(s.depth, 0, "proactive_reclaim is a kernel-track root");
+            s.args
+                .iter()
+                .find(|(k, _)| *k == "reclaimed")
+                .map(|(_, v)| *v)
+                .expect("span carries the reclaimed page count")
+        })
+        .sum();
+    assert_eq!(reclaimed, pages, "span args must reconcile with the kernel counter");
+    assert_eq!(pipe.metrics().counter("kernel.proactive_swapout_pages"), pages);
+}
