@@ -1,7 +1,7 @@
 //! The online invariant auditor: shadow state rebuilt from events, checked
 //! at every step.
 //!
-//! Seven invariant families (see DESIGN.md §"Flight recorder"):
+//! Eight invariant families (see DESIGN.md §"Flight recorder"):
 //!
 //! 1. **Page conservation** — the event-derived resident and swapped page
 //!    counts must equal what the kernel itself reports at every
@@ -40,6 +40,20 @@
 //!    (resident goes down, the anon swap count goes up, so the family-1
 //!    `Counters` cross-check keeps holding). An [`AuditEvent::WssSample`]
 //!    estimate never exceeds the process's mapped page count.
+//! 8. **Data integrity** — every [`AuditEvent::CorruptionDetected`] is
+//!    structurally sound: it names a swapped copy (a non-resident
+//!    anonymous page, a file page's flash read at fault time, or the slot
+//!    the immediately-preceding unmap discarded) and fires at most once
+//!    per slot; a detected-corrupt slot is never served by a fault or
+//!    prefetch and is quarantined before its address is remapped; every
+//!    [`AuditEvent::SlotQuarantined`] pairs with exactly one prior
+//!    detection on the same tier; a tier is retired at most once, with
+//!    the [`AuditEvent::TierRetired`] count matching the observed
+//!    quarantines, and no store targets a retired tier (a retired flash
+//!    back tier means device degraded mode: no anonymous swap-outs,
+//!    proactive or advised or otherwise, and no further writebacks); a
+//!    scrub pass never reports more detections than slots scanned, nor
+//!    scans more slots than there are swapped anonymous pages.
 
 use crate::event::AuditEvent;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -115,6 +129,19 @@ struct DeviceShadow {
     /// The current foreground pid, tracked from [`AuditEvent::AppState`]
     /// transitions — the process proactive reclaim must never touch.
     foreground: Option<u32>,
+    /// Detected-but-unresolved corrupt slots (family 8): page -> the tier
+    /// its detection named. Cleared by the matching quarantine; a page in
+    /// here may never fault, prefetch or remap.
+    corrupt: HashMap<(u32, u64), &'static str>,
+    /// Quarantined slot count per tier (family 8), cross-checked against
+    /// the count each [`AuditEvent::TierRetired`] reports.
+    quarantined: HashMap<&'static str, u64>,
+    /// Tiers retired by quarantine saturation (family 8) — at most once
+    /// each, and no store may target a retired tier afterwards.
+    retired: HashSet<&'static str>,
+    /// The most recent swapped-anon unmap, to validate the unmap-path
+    /// detection that trails its own [`AuditEvent::PageUnmapped`].
+    last_unmapped: Option<(u32, u64)>,
 }
 
 /// Rebuilds kernel and heap state purely from the event stream and checks
@@ -157,6 +184,12 @@ impl Auditor {
         match event {
             // ------------------------------------------------------ kernel
             PageMapped { pid, page, file } => {
+                if dev.corrupt.contains_key(&(*pid, *page)) {
+                    return Err(format!(
+                        "data integrity: pid {pid} page {page} remapped while its \
+                         detected-corrupt slot was never quarantined"
+                    ));
+                }
                 if dev
                     .pages
                     .insert(
@@ -193,12 +226,21 @@ impl Auditor {
                     dev.resident -= 1;
                 } else if !shadow.file {
                     dev.swapped_anon -= 1;
+                    // The unmap path may report the discarded slot corrupt
+                    // right after this event; remember which page it was.
+                    dev.last_unmapped = Some((*pid, *page));
                 }
                 dev.tiers.remove(&(*pid, *page));
                 let count = dev.pid_pages.entry(*pid).or_default();
                 *count -= 1;
             }
             PageFault { pid, page, file, kind } => {
+                if dev.corrupt.contains_key(&(*pid, *page)) {
+                    return Err(format!(
+                        "data integrity: fault served pid {pid} page {page} from a \
+                         detected-corrupt slot"
+                    ));
+                }
                 let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
                     return Err(format!("fault on unmapped pid {pid} page {page}"));
                 };
@@ -221,6 +263,12 @@ impl Auditor {
                 }
             }
             SwapOut { pid, page, file, advised } => {
+                if !*file && dev.retired.contains("flash") {
+                    return Err(format!(
+                        "data integrity: anon swap-out of pid {pid} page {page} after the \
+                         flash tier was retired (degraded devices stop swapping)"
+                    ));
+                }
                 let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
                     return Err(format!("swap-out of unmapped pid {pid} page {page}"));
                 };
@@ -240,6 +288,12 @@ impl Auditor {
                 }
             }
             PagePrefetched { pid, page, file } => {
+                if dev.corrupt.contains_key(&(*pid, *page)) {
+                    return Err(format!(
+                        "data integrity: prefetch served pid {pid} page {page} from a \
+                         detected-corrupt slot"
+                    ));
+                }
                 let Some(shadow) = dev.pages.get_mut(&(*pid, *page)) else {
                     return Err(format!("prefetch of unmapped pid {pid} page {page}"));
                 };
@@ -641,6 +695,12 @@ impl Auditor {
                         "tier conservation: unknown tier `{tier}` for pid {pid} page {page}"
                     ));
                 }
+                if dev.retired.contains(tier) {
+                    return Err(format!(
+                        "data integrity: pid {pid} page {page} stored into the retired \
+                         {tier} tier"
+                    ));
+                }
                 if let Some(prev) = dev.tiers.insert((*pid, *page), tier) {
                     return Err(format!(
                         "tier conservation: pid {pid} page {page} stored in {tier} while its \
@@ -649,6 +709,12 @@ impl Auditor {
                 }
             }
             SwapWriteback { pid, page } => {
+                if dev.retired.contains("flash") {
+                    return Err(format!(
+                        "data integrity: writeback of pid {pid} page {page} after the flash \
+                         tier was retired"
+                    ));
+                }
                 let Some(shadow) = dev.pages.get(&(*pid, *page)) else {
                     return Err(format!(
                         "tier conservation: writeback of unmapped pid {pid} page {page}"
@@ -676,8 +742,130 @@ impl Auditor {
                 }
             }
 
+            // ------------------------------------------------ data integrity
+            CorruptionDetected { pid, page, tier, source } => {
+                if *tier != "zram" && *tier != "flash" {
+                    return Err(format!(
+                        "data integrity: unknown tier `{tier}` in detection for pid {pid} \
+                         page {page}"
+                    ));
+                }
+                match *source {
+                    "fault" | "writeback" | "scrub" | "unmap" => {}
+                    other => {
+                        return Err(format!(
+                            "data integrity: unknown detection source `{other}` for \
+                             pid {pid} page {page}"
+                        ));
+                    }
+                }
+                let key = (*pid, *page);
+                match dev.pages.get(&key) {
+                    Some(shadow) if shadow.resident => {
+                        return Err(format!(
+                            "data integrity: detection against resident pid {pid} \
+                             page {page} (checksums only cover swapped copies)"
+                        ));
+                    }
+                    Some(shadow) if shadow.file => {
+                        // A corrupt file copy is only caught by the demand
+                        // fault's flash read; recovery is discard-and-refault,
+                        // so no quarantine state to track.
+                        if *source != "fault" || *tier != "flash" {
+                            return Err(format!(
+                                "data integrity: file-page detection for pid {pid} \
+                                 page {page} outside the flash fault path \
+                                 (tier={tier} source={source})"
+                            ));
+                        }
+                    }
+                    Some(_) => {
+                        if dev.corrupt.insert(key, tier).is_some() {
+                            return Err(format!(
+                                "data integrity: pid {pid} page {page} detected corrupt \
+                                 twice (detection is exactly-once per slot)"
+                            ));
+                        }
+                    }
+                    None => {
+                        // Only the unmap path reports after its own
+                        // `PageUnmapped`, and only for the slot that event
+                        // just discarded.
+                        if *source != "unmap" || dev.last_unmapped != Some(key) {
+                            return Err(format!(
+                                "data integrity: detection against unmapped pid {pid} \
+                                 page {page} (source={source})"
+                            ));
+                        }
+                        if dev.corrupt.insert(key, tier).is_some() {
+                            return Err(format!(
+                                "data integrity: pid {pid} page {page} detected corrupt \
+                                 twice (detection is exactly-once per slot)"
+                            ));
+                        }
+                    }
+                }
+            }
+            SlotQuarantined { pid, page, tier } => {
+                if *tier != "zram" && *tier != "flash" {
+                    return Err(format!(
+                        "data integrity: unknown tier `{tier}` in quarantine for \
+                         pid {pid} page {page}"
+                    ));
+                }
+                let Some(detected_tier) = dev.corrupt.remove(&(*pid, *page)) else {
+                    return Err(format!(
+                        "data integrity: pid {pid} page {page} quarantined without a \
+                         prior corruption detection"
+                    ));
+                };
+                if detected_tier != *tier {
+                    return Err(format!(
+                        "data integrity: pid {pid} page {page} quarantined in {tier} but \
+                         its detection named {detected_tier}"
+                    ));
+                }
+                *dev.quarantined.entry(tier).or_default() += 1;
+            }
+            TierRetired { tier, quarantined } => {
+                if *tier != "zram" && *tier != "flash" {
+                    return Err(format!("data integrity: retirement of unknown tier `{tier}`"));
+                }
+                if !dev.retired.insert(tier) {
+                    return Err(format!("data integrity: {tier} tier retired twice"));
+                }
+                let seen = dev.quarantined.get(tier).copied().unwrap_or(0);
+                if seen != *quarantined {
+                    return Err(format!(
+                        "data integrity: {tier} retirement reports {quarantined} \
+                         quarantined slots but events account for {seen}"
+                    ));
+                }
+            }
+            ScrubPass { scanned, detected } => {
+                if *detected > *scanned {
+                    return Err(format!(
+                        "data integrity: scrub pass reports {detected} detections in only \
+                         {scanned} scanned slots"
+                    ));
+                }
+                if *scanned > dev.swapped_anon {
+                    return Err(format!(
+                        "data integrity: scrub pass scanned {scanned} slots but only {} \
+                         anonymous pages are swapped",
+                        dev.swapped_anon
+                    ));
+                }
+            }
+
             // ---------------------------------------------- proactive reclaim
             ProactiveSwapOut { pid, page } => {
+                if dev.retired.contains("flash") {
+                    return Err(format!(
+                        "data integrity: proactive swap-out of pid {pid} page {page} after \
+                         the flash tier was retired"
+                    ));
+                }
                 if dev.foreground == Some(*pid) {
                     return Err(format!(
                         "proactive reclaim: daemon swapped out pid {pid} page {page} while \
@@ -1178,6 +1366,156 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn corruption_ladder_lifecycle_passes() {
+        // Detection at fault time, quarantine at unmap, retirement once the
+        // count saturates — the clean degradation ladder.
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "zram" },
+                CorruptionDetected { pid: 1, page: 0, tier: "zram", source: "scrub" },
+                PageUnmapped { pid: 1, page: 0, resident: false, file: false },
+                SlotQuarantined { pid: 1, page: 0, tier: "zram" },
+                TierRetired { tier: "zram", quarantined: 1 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.violations(), 0);
+    }
+
+    #[test]
+    fn unmap_path_detection_trails_its_own_unmap() {
+        let mut a = Auditor::new();
+        feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 7, file: false },
+                SwapOut { pid: 1, page: 7, file: false, advised: false },
+                PageUnmapped { pid: 1, page: 7, resident: false, file: false },
+                CorruptionDetected { pid: 1, page: 7, tier: "flash", source: "unmap" },
+                SlotQuarantined { pid: 1, page: 7, tier: "flash" },
+            ],
+        )
+        .unwrap();
+        // But any other source against an unmapped page is a violation.
+        let mut a = Auditor::new();
+        let err =
+            feed(&mut a, &[CorruptionDetected { pid: 1, page: 7, tier: "flash", source: "scrub" }])
+                .unwrap_err();
+        assert!(err.contains("unmapped"), "{err}");
+    }
+
+    #[test]
+    fn double_detection_of_one_slot_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                CorruptionDetected { pid: 1, page: 0, tier: "flash", source: "scrub" },
+                CorruptionDetected { pid: 1, page: 0, tier: "flash", source: "fault" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn serving_a_detected_corrupt_slot_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                CorruptionDetected { pid: 1, page: 0, tier: "flash", source: "scrub" },
+                PageFault { pid: 1, page: 0, file: false, kind: "mutator" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("detected-corrupt"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_without_detection_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                PageUnmapped { pid: 1, page: 0, resident: false, file: false },
+                SlotQuarantined { pid: 1, page: 0, tier: "flash" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("without a prior"), "{err}");
+    }
+
+    #[test]
+    fn double_tier_retirement_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                TierRetired { tier: "zram", quarantined: 0 },
+                TierRetired { tier: "zram", quarantined: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("retired twice"), "{err}");
+    }
+
+    #[test]
+    fn retirement_count_mismatch_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(&mut a, &[TierRetired { tier: "flash", quarantined: 3 }]).unwrap_err();
+        assert!(err.contains("events account for 0"), "{err}");
+    }
+
+    #[test]
+    fn store_into_a_retired_tier_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                TierRetired { tier: "zram", quarantined: 0 },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+                SwapTierStore { pid: 1, page: 0, tier: "zram" },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("retired zram tier"), "{err}");
+        // A retired flash back tier bans anon swap-outs outright.
+        let mut a = Auditor::new();
+        let err = feed(
+            &mut a,
+            &[
+                PageMapped { pid: 1, page: 0, file: false },
+                TierRetired { tier: "flash", quarantined: 0 },
+                SwapOut { pid: 1, page: 0, file: false, advised: false },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("degraded"), "{err}");
+    }
+
+    #[test]
+    fn scrub_detecting_more_than_it_scanned_is_caught() {
+        let mut a = Auditor::new();
+        let err = feed(&mut a, &[ScrubPass { scanned: 1, detected: 2 }]).unwrap_err();
+        assert!(err.contains("in only"), "{err}");
+        let mut a = Auditor::new();
+        let err = feed(&mut a, &[ScrubPass { scanned: 5, detected: 0 }]).unwrap_err();
+        assert!(err.contains("swapped"), "{err}");
     }
 
     #[test]

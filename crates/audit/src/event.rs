@@ -332,6 +332,53 @@ pub enum AuditEvent {
         page: u64,
     },
 
+    // ------------------------------------------------------ data integrity
+    /// A checksum verification found a silently-corrupted copy (DESIGN.md
+    /// §14). Only emitted on devices with the integrity layer armed, and
+    /// only for *injected* corruptions — the auditor proves zero false
+    /// positives by pairing every detection with exactly one injection.
+    CorruptionDetected {
+        /// Process owning the page.
+        pid: u32,
+        /// Page index.
+        page: u64,
+        /// Tier holding the bad copy: `zram` or `flash`.
+        tier: &'static str,
+        /// Verification point: `fault` (demand fault-in), `writeback`
+        /// (verify-before-retire on zram→flash demotion), `scrub`
+        /// (background scrubber) or `unmap` (slot discarded unread).
+        source: &'static str,
+    },
+    /// A corrupt slot was permanently removed from its tier's capacity.
+    /// The page must have a prior [`AuditEvent::CorruptionDetected`]; a
+    /// quarantined slot is never handed out again.
+    SlotQuarantined {
+        /// Process that owned the page.
+        pid: u32,
+        /// Page index.
+        page: u64,
+        /// Tier losing the slot: `zram` or `flash`.
+        tier: &'static str,
+    },
+    /// Quarantine saturation retired a tier at runtime: a retired zram
+    /// front stops accepting stores and drains via writeback; a retired
+    /// flash back tier puts the device in degraded mode (no further swap
+    /// stores at all). Emitted at most once per tier.
+    TierRetired {
+        /// The retired tier: `zram` or `flash`.
+        tier: &'static str,
+        /// Quarantined slots at retirement time.
+        quarantined: u64,
+    },
+    /// The background scrubber verified a batch of cold slots.
+    ScrubPass {
+        /// Slots verified this pass.
+        scanned: u64,
+        /// Corruptions found this pass (each also emits its own
+        /// [`AuditEvent::CorruptionDetected`]).
+        detected: u64,
+    },
+
     // -------------------------------------------------- proactive reclaim
     /// The proactive reclaim daemon (Swam policy) swapped an idle
     /// background app's cold anonymous page out ahead of pressure. The
@@ -446,6 +493,18 @@ impl std::fmt::Display for AuditEvent {
             SwapWriteback { pid, page } => {
                 write!(f, "swap_writeback pid={pid} page={page}")
             }
+            CorruptionDetected { pid, page, tier, source } => {
+                write!(f, "corruption_detected pid={pid} page={page} tier={tier} source={source}")
+            }
+            SlotQuarantined { pid, page, tier } => {
+                write!(f, "slot_quarantined pid={pid} page={page} tier={tier}")
+            }
+            TierRetired { tier, quarantined } => {
+                write!(f, "tier_retired tier={tier} quarantined={quarantined}")
+            }
+            ScrubPass { scanned, detected } => {
+                write!(f, "scrub_pass scanned={scanned} detected={detected}")
+            }
             ProactiveSwapOut { pid, page } => {
                 write!(f, "proactive_swap_out pid={pid} page={page}")
             }
@@ -498,6 +557,22 @@ mod tests {
             (AuditEvent::SwapWriteback { pid: 1, page: 33 }, "swap_writeback pid=1 page=33"),
             (AuditEvent::ProactiveSwapOut { pid: 8, page: 21 }, "proactive_swap_out pid=8 page=21"),
             (AuditEvent::WssSample { pid: 8, pages: 640 }, "wss_sample pid=8 pages=640"),
+            (
+                AuditEvent::CorruptionDetected { pid: 4, page: 99, tier: "flash", source: "fault" },
+                "corruption_detected pid=4 page=99 tier=flash source=fault",
+            ),
+            (
+                AuditEvent::SlotQuarantined { pid: 4, page: 99, tier: "flash" },
+                "slot_quarantined pid=4 page=99 tier=flash",
+            ),
+            (
+                AuditEvent::TierRetired { tier: "zram", quarantined: 16 },
+                "tier_retired tier=zram quarantined=16",
+            ),
+            (
+                AuditEvent::ScrubPass { scanned: 64, detected: 2 },
+                "scrub_pass scanned=64 detected=2",
+            ),
         ];
         for (event, expect) in cases {
             assert_eq!(event.to_string(), expect);

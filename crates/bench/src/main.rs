@@ -30,6 +30,10 @@
 //!   reclaim policy vs a `Swam` variant whose proactive daemon never
 //!   fires, isolating the cost of always-on working-set-size tracking on
 //!   the hot-launch path (the observe-only contract of DESIGN.md §13).
+//! * **integrity_overhead** — the fig2 driver with the swap data-integrity
+//!   layer off vs armed (`checked()`) over a quiet fault plan, isolating
+//!   the per-slot checksum bookkeeping cost on the hot-launch path
+//!   (DESIGN.md §14).
 //! * **population** — the headline cohort-throughput row: a sampled
 //!   heterogeneous cohort streamed through the parallel device-day runner
 //!   (`fleet::population`), reported as simulated device-hours per
@@ -62,7 +66,7 @@ use serde::{Deserialize, Serialize};
 // ------------------------------------------------------------ JSON schema
 
 /// The report schema this binary writes and `--check` enforces.
-const SCHEMA_VERSION: u32 = 5;
+const SCHEMA_VERSION: u32 = 6;
 
 /// The full report; field order is the (stable) key order in the file.
 #[derive(Serialize, Deserialize)]
@@ -76,6 +80,7 @@ struct Report {
     figures: Figures,
     obs_overhead: ObsOverhead,
     wss_overhead: WssOverhead,
+    integrity_overhead: IntegrityOverhead,
     population: PopulationBench,
 }
 
@@ -139,6 +144,18 @@ struct WssOverhead {
     fig2_wss_ms: f64,
     /// `(wss - reactive) / reactive`, percent. May go slightly negative
     /// from timer noise — the access hook is one branch and one counter.
+    overhead_pct: f64,
+}
+
+/// Cost of the swap data-integrity layer on the fig2 hot-launch path: the
+/// same driver with the layer off and with `checked()` armed over a quiet
+/// fault plan — per-slot checksums, scrub bookkeeping, no injected faults.
+#[derive(Serialize, Deserialize)]
+struct IntegrityOverhead {
+    fig2_off_ms: f64,
+    fig2_on_ms: f64,
+    /// `(on - off) / off`, percent. May go slightly negative from timer
+    /// noise — the store hook is one hash and one map insert.
     overhead_pct: f64,
 }
 
@@ -470,6 +487,37 @@ fn run_wss_overhead(quick: bool) -> WssOverhead {
     }
 }
 
+/// Times the fig2 workload with the integrity layer off and armed
+/// (`checked()`, quiet plan: checksums and scrub bookkeeping run, nothing
+/// is ever corrupt). Rounds interleave and each side keeps its best, as in
+/// [`run_obs_overhead`].
+fn run_integrity_overhead(quick: bool) -> IntegrityOverhead {
+    use fleet::experiment::launch_basics::{fig2, fig2_with_integrity};
+    use fleet_kernel::IntegrityConfig;
+    let launches = if quick { 4 } else { 10 };
+    let seed = harness::derive_seed(0xF1EE7, "fig2");
+    let off_round = || {
+        fig2(seed, launches).expect("fig2 runs");
+    };
+    let on_round = || {
+        fig2_with_integrity(seed, launches, IntegrityConfig::checked()).expect("fig2 runs");
+    };
+    off_round();
+    on_round();
+    let rounds = if quick { 2 } else { 5 };
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        off_round();
+        off = off.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        on_round();
+        on = on.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    IntegrityOverhead { fig2_off_ms: off, fig2_on_ms: on, overhead_pct: (on - off) / off * 100.0 }
+}
+
 /// Streams a sampled cohort through the population runner and reports the
 /// device-hours-per-wall-second headline.
 fn run_population_bench(quick: bool) -> PopulationBench {
@@ -573,6 +621,9 @@ fn run(quick: bool) -> Report {
     eprintln!("wss overhead: fig2 with working-set tracking off / on…");
     let wss_overhead = run_wss_overhead(quick);
 
+    eprintln!("integrity overhead: fig2 with the checksum layer off / on…");
+    let integrity_overhead = run_integrity_overhead(quick);
+
     eprintln!("population: cohort device-days on all cores…");
     let population = run_population_bench(quick);
 
@@ -590,6 +641,7 @@ fn run(quick: bool) -> Report {
         figures,
         obs_overhead,
         wss_overhead,
+        integrity_overhead,
         population,
     };
     report.microbench.lru.speedup =
@@ -755,6 +807,12 @@ fn main() {
         report.wss_overhead.fig2_reactive_ms,
         report.wss_overhead.fig2_wss_ms,
         report.wss_overhead.overhead_pct
+    );
+    println!(
+        "Integrity:  fig2 {:.0} ms off   {:.0} ms armed   ({:+.1}% overhead)",
+        report.integrity_overhead.fig2_off_ms,
+        report.integrity_overhead.fig2_on_ms,
+        report.integrity_overhead.overhead_pct
     );
     println!(
         "Population: {} device-days on {} threads — {:.1} simulated device-hours \

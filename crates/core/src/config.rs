@@ -3,7 +3,8 @@
 use crate::error::FleetError;
 use crate::params::{FleetParams, SchemeKind};
 use fleet_kernel::{
-    FaultConfig, KillPolicy, MmConfig, ReclaimPolicy, SwapConfig, SwapMedium, PAGE_SIZE,
+    FaultConfig, IntegrityConfig, KillPolicy, MmConfig, ReclaimPolicy, SwapConfig, SwapMedium,
+    PAGE_SIZE,
 };
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -102,6 +103,11 @@ pub struct DeviceConfig {
     /// scores candidates by reclaimable (resident minus working-set)
     /// pages.
     pub kill_policy: KillPolicy,
+    /// Swap data-integrity layer (DESIGN.md §14). The default is disabled —
+    /// no checksums are kept, no corruption is drawn, and the kernel
+    /// behaves bit-identically to a build without the layer. Enabling it
+    /// arms per-slot checksums with the quarantine/retirement ladder.
+    pub integrity: IntegrityConfig,
     /// Master seed for the run.
     pub seed: u64,
 }
@@ -153,6 +159,7 @@ impl DeviceConfig {
             fault: FaultConfig::default(),
             reclaim_policy: ReclaimPolicy::Reactive,
             kill_policy: KillPolicy::ColdestFirst,
+            integrity: IntegrityConfig::default(),
             seed: 0xF1EE7,
         }
     }
@@ -219,6 +226,7 @@ impl DeviceConfig {
             low_watermark_frames: frames / 24,
             high_watermark_frames: frames / 12,
             dram_page_cost: SimDuration::from_nanos(450 * self.scale as u64),
+            integrity: self.integrity,
         }
     }
 
@@ -261,6 +269,7 @@ impl DeviceConfig {
         }
         self.fault.validate()?;
         self.reclaim_policy.validate()?;
+        self.integrity.validate()?;
         Ok(())
     }
 }
@@ -369,6 +378,14 @@ impl DeviceConfigBuilder {
     /// How the low-memory killer picks victims (default: `ColdestFirst`).
     pub fn kill_policy(mut self, policy: KillPolicy) -> Self {
         self.config.kill_policy = policy;
+        self
+    }
+
+    /// Swap data-integrity layer (default: disabled).
+    /// `IntegrityConfig::checked()` arms per-slot checksums with the
+    /// quarantine/retirement ladder and background scrubber.
+    pub fn integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.config.integrity = integrity;
         self
     }
 

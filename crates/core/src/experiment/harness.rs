@@ -181,6 +181,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::scenario::Scenario,
     &crate::experiment::ablation::Ablation,
     &crate::experiment::resilience::Resilience,
+    &crate::experiment::chaos::Chaos,
     &crate::experiment::attribution::LaunchAttribution,
     &crate::experiment::swap_tiers::SwapTiers,
     &crate::experiment::proactive_reclaim::ProactiveReclaim,
@@ -324,6 +325,7 @@ mod tests {
         "access_trace",
         "attribution",
         "caching",
+        "chaos",
         "frames",
         "gc_working_set",
         "hot_launch",

@@ -11,6 +11,7 @@ use crate::experiment::harness::{Experiment, ExperimentCtx, ExperimentOutput};
 use crate::params::SchemeKind;
 use crate::ReclaimPolicy;
 use fleet_apps::catalog;
+use fleet_kernel::IntegrityConfig;
 use fleet_metrics::{Summary, Table};
 use serde::Serialize;
 
@@ -32,7 +33,7 @@ pub struct Fig2Row {
 /// Runs Figure 2: `launches` hot and cold launches per app on an idle
 /// device (default Android, no memory pressure).
 pub fn fig2(seed: u64, launches: usize) -> Result<Vec<Fig2Row>, FleetError> {
-    fig2_with_policy(seed, launches, ReclaimPolicy::Reactive)
+    fig2_configured(seed, launches, ReclaimPolicy::Reactive, IntegrityConfig::default())
 }
 
 /// [`fig2`] with an explicit [`ReclaimPolicy`]. The bench harness times
@@ -44,11 +45,33 @@ pub fn fig2_with_policy(
     launches: usize,
     policy: ReclaimPolicy,
 ) -> Result<Vec<Fig2Row>, FleetError> {
+    fig2_configured(seed, launches, policy, IntegrityConfig::default())
+}
+
+/// [`fig2`] with an explicit [`IntegrityConfig`]. The bench harness times
+/// the same workload with the layer off and with `checked()` armed over a
+/// quiet fault plan, isolating the per-slot checksum bookkeeping cost on
+/// the launch path.
+pub fn fig2_with_integrity(
+    seed: u64,
+    launches: usize,
+    integrity: IntegrityConfig,
+) -> Result<Vec<Fig2Row>, FleetError> {
+    fig2_configured(seed, launches, ReclaimPolicy::Reactive, integrity)
+}
+
+fn fig2_configured(
+    seed: u64,
+    launches: usize,
+    policy: ReclaimPolicy,
+    integrity: IntegrityConfig,
+) -> Result<Vec<Fig2Row>, FleetError> {
     let mut rows = Vec::new();
     for profile in catalog() {
         let mut config = DeviceConfig::pixel3(SchemeKind::Android);
         config.seed = seed ^ profile.name.len() as u64;
         config.reclaim_policy = policy;
+        config.integrity = integrity;
         let mut device = Device::try_new(config)?;
 
         // Cold samples: terminate and recreate each time (§2.1: "obtained

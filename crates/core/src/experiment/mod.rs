@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod access_trace;
 pub mod attribution;
 pub mod caching;
+pub mod chaos;
 pub mod export;
 pub mod frames;
 pub mod gc_working_set;

@@ -34,7 +34,7 @@ use crate::error::FleetError;
 use crate::experiment::scenario::AppPool;
 use crate::params::SchemeKind;
 use crate::process::{LaunchKind, LaunchReport};
-use fleet_kernel::{KillPolicy, ReclaimPolicy};
+use fleet_kernel::{FaultConfig, IntegrityConfig, KillPolicy, ReclaimPolicy};
 use fleet_metrics::LogHistogram;
 use fleet_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -167,6 +167,15 @@ pub struct PopulationSpec {
     /// Kill policy applied to every sampled device (not sampled, like
     /// [`Self::reclaim_policy`]).
     pub kill_policy: KillPolicy,
+    /// Fault-injection rates applied to every sampled device (not sampled,
+    /// like [`Self::reclaim_policy`] — a cohort-wide chaos knob). The
+    /// default quiet config draws no fates, so arming a hazard leaves the
+    /// sampling stream and day scripts of the quiet cohort untouched.
+    pub fault: FaultConfig,
+    /// Swap data-integrity layer applied to every sampled device (not
+    /// sampled; default disabled, which is bit-identical to a cohort that
+    /// predates the layer).
+    pub integrity: IntegrityConfig,
 }
 
 impl PopulationSpec {
@@ -237,6 +246,8 @@ impl PopulationSpec {
             schemes: SchemeKind::ALL.to_vec(),
             reclaim_policy: ReclaimPolicy::Reactive,
             kill_policy: KillPolicy::ColdestFirst,
+            fault: FaultConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -270,6 +281,8 @@ impl PopulationSpec {
             schemes: vec![scheme],
             reclaim_policy: ReclaimPolicy::Reactive,
             kill_policy: KillPolicy::ColdestFirst,
+            fault: FaultConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -345,6 +358,8 @@ impl PopulationSpec {
             }
         }
         self.reclaim_policy.validate()?;
+        self.fault.validate()?;
+        self.integrity.validate()?;
         Ok(())
     }
 }
@@ -447,6 +462,8 @@ pub fn sample_device(spec: &PopulationSpec, index: u32) -> Result<DevicePlan, Fl
         .swappiness(swappiness)
         .reclaim_policy(spec.reclaim_policy)
         .kill_policy(spec.kill_policy)
+        .fault(spec.fault)
+        .integrity(spec.integrity)
         .seed(seed);
     if let Some(front) = zram_front {
         builder = builder.zram_front(front.mib, front.compression_ratio);
@@ -540,6 +557,9 @@ pub struct DeviceDayRow {
     pub hot_launches: u64,
     /// Launches that had to cold-relaunch after a kill.
     pub cold_relaunches: u64,
+    /// Scripted launches that died mid-launch (SIGBUS under injected
+    /// corruption; always zero on quiet cohorts).
+    pub failed_launches: u64,
     /// Hot-launch times, microseconds, in script order.
     pub hot_launch_us: Vec<u64>,
     /// LMK kills over the day.
@@ -557,10 +577,22 @@ pub struct DeviceDayRow {
     /// Pages the proactive reclaim daemon swapped out ahead of pressure
     /// (zero under the Reactive policy).
     pub proactive_swapout_pages: u64,
+    /// Silent corruptions injected into this device's swap stores (zero
+    /// unless [`PopulationSpec::fault`] arms a corruption hazard *and*
+    /// [`PopulationSpec::integrity`] is enabled).
+    pub corruptions_injected: u64,
+    /// Corruptions the integrity layer caught (fault/writeback/scrub/unmap).
+    pub corruptions_detected: u64,
+    /// Swap slots permanently quarantined.
+    pub slots_quarantined: u64,
+    /// Tiers retired at runtime by quarantine saturation.
+    pub tiers_retired: u64,
     /// Simulated seconds the day covered.
     pub sim_secs: u64,
     /// FNV-1a fingerprint of the day's event stream (launch reports and
-    /// closing device statistics).
+    /// closing device statistics). The integrity counters above are *not*
+    /// mixed in: quiet cohorts must keep the fingerprints they had before
+    /// the layer existed.
     pub fingerprint: u64,
 }
 
@@ -584,17 +616,29 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
     fp.mix(plan.seed);
 
     let mut hot_launch_us = Vec::new();
-    let (mut hot, mut cold) = (0u64, 0u64);
+    let (mut hot, mut cold, mut failed) = (0u64, 0u64, 0u64);
     for cycle in 0..plan.cycles {
         let target = &plan.apps[script.index(plan.apps.len())];
-        let report = pool.launch(target)?;
-        fp.mix_report(cycle, &report);
-        match report.kind {
-            LaunchKind::Hot => {
-                hot += 1;
-                hot_launch_us.push(report.total.as_micros());
+        match pool.launch(target) {
+            Ok(report) => {
+                fp.mix_report(cycle, &report);
+                match report.kind {
+                    LaunchKind::Hot => {
+                        hot += 1;
+                        hot_launch_us.push(report.total.as_micros());
+                    }
+                    LaunchKind::Cold => cold += 1,
+                }
             }
-            LaunchKind::Cold => cold += 1,
+            Err(FleetError::ProcessNotAlive(_)) => {
+                // The target died mid-launch (SIGBUS under injected
+                // corruption); the day goes on. The sentinel keeps armed
+                // reruns bit-identical; quiet cohorts never branch here.
+                failed += 1;
+                fp.mix(cycle as u64);
+                fp.mix(0xDEAD_FA11);
+            }
+            Err(e) => return Err(e),
         }
         pool.device_mut().run(plan.usage_gap_secs as u64);
     }
@@ -614,6 +658,7 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
         launches: hot + cold,
         hot_launches: hot,
         cold_relaunches: cold,
+        failed_launches: failed,
         hot_launch_us,
         lmk_kills: dev.reclaim().total_kills(),
         sigbus_kills: dev.sigbus_kills(),
@@ -622,6 +667,10 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
         swapped_out_pages: stats.pages_swapped_out,
         zram_writeback_pages: stats.zram_writeback_pages,
         proactive_swapout_pages: stats.proactive_swapout_pages,
+        corruptions_injected: stats.corruptions_injected,
+        corruptions_detected: stats.corruptions_detected,
+        slots_quarantined: stats.slots_quarantined,
+        tiers_retired: stats.tiers_retired,
         sim_secs: dev.now().as_nanos() / 1_000_000_000,
         fingerprint: 0,
     };
@@ -680,6 +729,9 @@ pub struct PopulationAggregate {
     pub hot_launches: u64,
     /// Cold relaunches after kills.
     pub cold_relaunches: u64,
+    /// Scripted launches that died mid-launch (SIGBUS under injected
+    /// corruption).
+    pub failed_launches: u64,
     /// LMK kills.
     pub lmk_kills: u64,
     /// SIGBUS kills.
@@ -694,6 +746,14 @@ pub struct PopulationAggregate {
     pub zram_writeback_pages: u64,
     /// Pages the proactive reclaim daemon swapped out ahead of pressure.
     pub proactive_swapout_pages: u64,
+    /// Silent corruptions injected cohort-wide.
+    pub corruptions_injected: u64,
+    /// Corruptions the integrity layer caught cohort-wide.
+    pub corruptions_detected: u64,
+    /// Swap slots permanently quarantined cohort-wide.
+    pub slots_quarantined: u64,
+    /// Tier retirements across the cohort.
+    pub tiers_retired: u64,
     /// Total simulated seconds.
     pub sim_secs: u64,
     /// Population hot-launch distribution, microseconds.
@@ -728,6 +788,7 @@ impl PopulationAggregate {
             launches: 0,
             hot_launches: 0,
             cold_relaunches: 0,
+            failed_launches: 0,
             lmk_kills: 0,
             sigbus_kills: 0,
             kills: 0,
@@ -735,6 +796,10 @@ impl PopulationAggregate {
             swapped_out_pages: 0,
             zram_writeback_pages: 0,
             proactive_swapout_pages: 0,
+            corruptions_injected: 0,
+            corruptions_detected: 0,
+            slots_quarantined: 0,
+            tiers_retired: 0,
             sim_secs: 0,
             hot_launch_us: LogHistogram::new(),
             scheme_hot_launch_us: vec![LogHistogram::new(); SchemeKind::ALL.len()],
@@ -764,6 +829,7 @@ impl PopulationAggregate {
         self.launches += row.launches;
         self.hot_launches += row.hot_launches;
         self.cold_relaunches += row.cold_relaunches;
+        self.failed_launches += row.failed_launches;
         self.lmk_kills += row.lmk_kills;
         self.sigbus_kills += row.sigbus_kills;
         self.kills += row.kills;
@@ -771,6 +837,10 @@ impl PopulationAggregate {
         self.swapped_out_pages += row.swapped_out_pages;
         self.zram_writeback_pages += row.zram_writeback_pages;
         self.proactive_swapout_pages += row.proactive_swapout_pages;
+        self.corruptions_injected += row.corruptions_injected;
+        self.corruptions_detected += row.corruptions_detected;
+        self.slots_quarantined += row.slots_quarantined;
+        self.tiers_retired += row.tiers_retired;
         self.sim_secs += row.sim_secs;
         let si = scheme_index(row.scheme);
         self.scheme_devices[si] += 1;
@@ -806,6 +876,7 @@ impl PopulationAggregate {
         self.launches += other.launches;
         self.hot_launches += other.hot_launches;
         self.cold_relaunches += other.cold_relaunches;
+        self.failed_launches += other.failed_launches;
         self.lmk_kills += other.lmk_kills;
         self.sigbus_kills += other.sigbus_kills;
         self.kills += other.kills;
@@ -813,6 +884,10 @@ impl PopulationAggregate {
         self.swapped_out_pages += other.swapped_out_pages;
         self.zram_writeback_pages += other.zram_writeback_pages;
         self.proactive_swapout_pages += other.proactive_swapout_pages;
+        self.corruptions_injected += other.corruptions_injected;
+        self.corruptions_detected += other.corruptions_detected;
+        self.slots_quarantined += other.slots_quarantined;
+        self.tiers_retired += other.tiers_retired;
         self.sim_secs += other.sim_secs;
         self.hot_launch_us.merge(&other.hot_launch_us);
         for (a, b) in self.scheme_hot_launch_us.iter_mut().zip(&other.scheme_hot_launch_us) {
@@ -987,6 +1062,36 @@ mod tests {
         spec.personas[0].working_set =
             RangeU32 { lo: 1, hi: spec.personas[0].apps.len() as u32 + 1 };
         assert!(spec.validate().is_err());
+
+        let mut spec = PopulationSpec::default_mix(7, 10);
+        spec.fault.corruption_rate = 1.5;
+        assert!(spec.validate().is_err(), "out-of-range fault rates must be rejected");
+
+        let mut spec = PopulationSpec::default_mix(7, 10);
+        spec.integrity = IntegrityConfig { quarantine_threshold: 0, ..IntegrityConfig::checked() };
+        assert!(spec.validate().is_err(), "armed integrity with a zero threshold is nonsense");
+    }
+
+    #[test]
+    fn chaos_knobs_apply_cohort_wide_without_disturbing_sampling() {
+        // Arming fault injection + the integrity layer is a deployment
+        // knob like the reclaim policy: every sampled device gets it, and
+        // the sampled hardware/persona/script stays identical to the
+        // quiet cohort's (no extra RNG draws at sampling time).
+        let quiet = tiny_spec(13, 4);
+        let mut armed = quiet.clone();
+        armed.fault = FaultConfig::silent_corruption(0.05);
+        armed.integrity = IntegrityConfig::checked();
+        for index in 0..quiet.devices {
+            let q = sample_device(&quiet, index).unwrap();
+            let a = sample_device(&armed, index).unwrap();
+            assert_eq!(a.config.fault, armed.fault);
+            assert_eq!(a.config.integrity, armed.integrity);
+            let mut neutral = a.clone();
+            neutral.config.fault = q.config.fault;
+            neutral.config.integrity = q.config.integrity;
+            assert_eq!(neutral, q, "chaos knobs must not perturb the sampling stream");
+        }
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! | write-back I/O error       | `write_error_rate`      | victim stays resident; reclaim escalates    |
 //! | swap-slot exhaustion       | `slot_exhaustion_rate`  | eviction falls to file pages; LMK escalates |
 //! | zram compression failure   | `compress_fail_rate`    | page stored raw (full frame consumed)       |
+//! | silent slot corruption     | `corruption_rate`       | checksum mismatch at fault-in/scrub; file: discard-and-refault, anon: SIGBUS + quarantine (DESIGN.md §14) |
+//! | torn zram→flash writeback  | `torn_writeback_rate`   | verify-before-retire: flash slot quarantined, page stays in zram |
+//!
+//! The last two are *silent* faults: the device reports success and returns
+//! wrong bytes. They are only observable through the integrity layer's
+//! checksums (DESIGN.md §14), so their draws happen at store/writeback time
+//! and detection is a deterministic checksum comparison — never a second
+//! random draw.
 
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -67,6 +75,14 @@ pub struct FaultConfig {
     /// Zram only: probability that a page is incompressible and is stored
     /// raw, consuming a full DRAM frame instead of `1/ratio`.
     pub compress_fail_rate: f64,
+    /// Probability that a stored slot is silently corrupted (the device
+    /// reports success but returns wrong bytes). Only observable when the
+    /// integrity layer's checksums are enabled.
+    pub corruption_rate: f64,
+    /// Probability that a zram→flash writeback is torn (the flash copy is
+    /// wrong even though the write reported success). Caught by
+    /// verify-before-retire when integrity is enabled.
+    pub torn_writeback_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -79,6 +95,8 @@ impl Default for FaultConfig {
             latency_spike: Self::default_spike(),
             slot_exhaustion_rate: 0.0,
             compress_fail_rate: 0.0,
+            corruption_rate: 0.0,
+            torn_writeback_rate: 0.0,
         }
     }
 }
@@ -89,14 +107,27 @@ impl FaultConfig {
         SimDuration::from_millis(30)
     }
 
+    /// Every injection rate as a `(field name, value)` pair, in declaration
+    /// order. This is the single enumeration [`Self::is_quiet`] and
+    /// [`Self::validate`] iterate, so a new hazard knob cannot be silently
+    /// skipped by either — adding a field here makes a mis-typed value fail
+    /// validation loudly and makes a nonzero value arm the plan.
+    pub fn rates(&self) -> [(&'static str, f64); 8] {
+        [
+            ("read_transient_rate", self.read_transient_rate),
+            ("read_permanent_rate", self.read_permanent_rate),
+            ("write_error_rate", self.write_error_rate),
+            ("latency_spike_rate", self.latency_spike_rate),
+            ("slot_exhaustion_rate", self.slot_exhaustion_rate),
+            ("compress_fail_rate", self.compress_fail_rate),
+            ("corruption_rate", self.corruption_rate),
+            ("torn_writeback_rate", self.torn_writeback_rate),
+        ]
+    }
+
     /// True when every rate is zero — the plan will never inject anything.
     pub fn is_quiet(&self) -> bool {
-        self.read_transient_rate == 0.0
-            && self.read_permanent_rate == 0.0
-            && self.write_error_rate == 0.0
-            && self.latency_spike_rate == 0.0
-            && self.slot_exhaustion_rate == 0.0
-            && self.compress_fail_rate == 0.0
+        self.rates().iter().all(|&(_, rate)| rate == 0.0)
     }
 
     /// Checks every rate is a probability.
@@ -105,14 +136,7 @@ impl FaultConfig {
     ///
     /// Returns a message naming the first out-of-range rate.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, rate) in [
-            ("read_transient_rate", self.read_transient_rate),
-            ("read_permanent_rate", self.read_permanent_rate),
-            ("write_error_rate", self.write_error_rate),
-            ("latency_spike_rate", self.latency_spike_rate),
-            ("slot_exhaustion_rate", self.slot_exhaustion_rate),
-            ("compress_fail_rate", self.compress_fail_rate),
-        ] {
+        for (name, rate) in self.rates() {
             if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
                 return Err(format!("fault rate {name} = {rate} is not in [0, 1]"));
             }
@@ -120,9 +144,12 @@ impl FaultConfig {
         Ok(())
     }
 
-    /// A convenience preset: a flaky flash device where every hazard fires
-    /// at a rate proportional to `intensity` (itself a probability). Used
-    /// by the `resilience` experiment sweep.
+    /// A convenience preset: a flaky flash device where every *detected*
+    /// hazard fires at a rate proportional to `intensity` (itself a
+    /// probability). Used by the `resilience` experiment sweep. The silent
+    /// hazards default to zero so armed resilience sweeps replay the exact
+    /// schedules they did before the integrity layer existed; arm them with
+    /// [`Self::silent_corruption`] or by setting the fields directly.
     pub fn flaky_flash(intensity: f64) -> Self {
         FaultConfig {
             read_transient_rate: intensity,
@@ -132,6 +159,20 @@ impl FaultConfig {
             latency_spike: Self::default_spike(),
             slot_exhaustion_rate: intensity / 4.0,
             compress_fail_rate: intensity,
+            corruption_rate: 0.0,
+            torn_writeback_rate: 0.0,
+        }
+    }
+
+    /// A convenience preset: a device that fails *silently* — stores
+    /// corrupt at `intensity` and writebacks tear at half that — with every
+    /// detected hazard quiet, so the chaos sweep attributes all damage to
+    /// the integrity layer's detection ladder.
+    pub fn silent_corruption(intensity: f64) -> Self {
+        FaultConfig {
+            corruption_rate: intensity,
+            torn_writeback_rate: intensity / 2.0,
+            ..FaultConfig::default()
         }
     }
 }
@@ -200,6 +241,8 @@ pub struct FaultPlan {
     t_write: u64,
     t_exhaust: u64,
     t_compress: u64,
+    t_corrupt: u64,
+    t_torn: u64,
 }
 
 impl FaultPlan {
@@ -222,6 +265,8 @@ impl FaultPlan {
             t_write: threshold(config.write_error_rate),
             t_exhaust: threshold(config.slot_exhaustion_rate),
             t_compress: threshold(config.compress_fail_rate),
+            t_corrupt: threshold(config.corruption_rate),
+            t_torn: threshold(config.torn_writeback_rate),
         }
     }
 
@@ -300,6 +345,29 @@ impl FaultPlan {
         let r = self.draw();
         r < self.t_compress
     }
+
+    /// Decides whether one stored slot is silently corrupted. Gated on its
+    /// *own* rate (not the whole-plan quiet check) so armed plans with a
+    /// zero corruption rate — every pre-integrity preset — consume exactly
+    /// the draws they always did.
+    pub fn store_corrupt_fault(&mut self) -> bool {
+        if self.config.corruption_rate == 0.0 {
+            return false;
+        }
+        let r = self.draw();
+        r < self.t_corrupt
+    }
+
+    /// Decides whether one zram→flash writeback is torn. Gated on its own
+    /// rate for the same schedule-stability reason as
+    /// [`Self::store_corrupt_fault`].
+    pub fn torn_writeback_fault(&mut self) -> bool {
+        if self.config.torn_writeback_rate == 0.0 {
+            return false;
+        }
+        let r = self.draw();
+        r < self.t_torn
+    }
 }
 
 impl Default for FaultPlan {
@@ -321,9 +389,93 @@ mod tests {
             assert!(!plan.write_fault());
             assert!(!plan.reserve_fault());
             assert!(!plan.compress_fault());
+            assert!(!plan.store_corrupt_fault());
+            assert!(!plan.torn_writeback_fault());
         }
         // The quiet fast path never advances the stream.
         assert_eq!(plan.draws(), 0);
+    }
+
+    #[test]
+    fn rates_enumerates_every_field() {
+        // `rates()` is the one list validate/is_quiet iterate; it must name
+        // every probability knob the struct carries (all fields except the
+        // spike duration).
+        let config = FaultConfig::default();
+        let names: Vec<&str> = config.rates().iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "read_transient_rate",
+                "read_permanent_rate",
+                "write_error_rate",
+                "latency_spike_rate",
+                "slot_exhaustion_rate",
+                "compress_fail_rate",
+                "corruption_rate",
+                "torn_writeback_rate",
+            ]
+        );
+        // A nonzero value in *any* listed field arms the plan and is range
+        // checked — the new silent-fault knobs cannot be silently ignored.
+        let armed = FaultConfig { corruption_rate: 0.1, ..FaultConfig::default() };
+        assert!(!armed.is_quiet());
+        let bad = FaultConfig { corruption_rate: 7.0, ..FaultConfig::default() };
+        assert!(bad.validate().unwrap_err().contains("corruption_rate"));
+        let torn = FaultConfig { torn_writeback_rate: f64::NAN, ..FaultConfig::default() };
+        assert!(torn.validate().unwrap_err().contains("torn_writeback_rate"));
+    }
+
+    #[test]
+    fn flaky_flash_leaves_silent_hazards_quiet() {
+        // The zero-default contract: pre-integrity armed sweeps draw the
+        // exact schedules they always did.
+        let config = FaultConfig::flaky_flash(0.3);
+        assert_eq!(config.corruption_rate, 0.0);
+        assert_eq!(config.torn_writeback_rate, 0.0);
+        let mut plan = FaultPlan::new(5, config);
+        let before = plan.draws();
+        for _ in 0..256 {
+            assert!(!plan.store_corrupt_fault());
+            assert!(!plan.torn_writeback_fault());
+        }
+        assert_eq!(plan.draws(), before, "zero-rate silent hazards must not draw");
+    }
+
+    #[test]
+    fn silent_corruption_preset_arms_only_silent_hazards() {
+        let config = FaultConfig::silent_corruption(0.4);
+        assert!(!config.is_quiet());
+        assert_eq!(config.read_transient_rate, 0.0);
+        assert_eq!(config.write_error_rate, 0.0);
+        assert_eq!(config.corruption_rate, 0.4);
+        assert_eq!(config.torn_writeback_rate, 0.2);
+        assert!(config.validate().is_ok());
+        let mut plan = FaultPlan::new(9, config);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| plan.store_corrupt_fault()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.02, "observed corruption rate {rate}");
+        // Detected hazards stay quiet — but note the plan is armed, so the
+        // whole-plan fast path does not short-circuit reads.
+        let mut certain =
+            FaultPlan::new(9, FaultConfig { corruption_rate: 1.0, ..FaultConfig::default() });
+        for _ in 0..64 {
+            assert!(certain.store_corrupt_fault());
+        }
+    }
+
+    #[test]
+    fn silent_fault_schedules_are_seed_deterministic() {
+        let config =
+            FaultConfig { corruption_rate: 0.3, torn_writeback_rate: 0.3, ..Default::default() };
+        let mut a = FaultPlan::new(77, config);
+        let mut b = FaultPlan::new(77, config);
+        for _ in 0..4096 {
+            assert_eq!(a.store_corrupt_fault(), b.store_corrupt_fault());
+            assert_eq!(a.torn_writeback_fault(), b.torn_writeback_fault());
+        }
+        assert_eq!(a.draws(), b.draws());
     }
 
     #[test]

@@ -17,15 +17,18 @@
 //!   hotness-aware placement, in front of the flash tier),
 //! * [`mm`] — the memory manager tying frames, LRU, swap, reclaim and
 //!   the madvise extensions together,
-//! * [`lmk`] — the low-memory-killer victim policy and the stateful
-//!   [`Lmkd`] escalation driver (deprecated in favour of [`reclaim`]),
+//! * [`lmk`] — the low-memory-killer victim policy and vocabulary types
+//!   (kill execution lives in [`reclaim`]),
 //! * [`reclaim`] — the unified reclaim surface: [`ReclaimPolicy`]
 //!   (reactive vs SWAM-style proactive), [`KillPolicy`] (coldest-first vs
 //!   WSS-weighted oom scoring) and the [`ReclaimDriver`] that owns the
 //!   daemon tick,
 //! * [`fault`] — deterministic fault injection (I/O errors, latency
-//!   spikes, slot exhaustion, zram compression failures) for the
-//!   degradation paths; quiet by default.
+//!   spikes, slot exhaustion, zram compression failures, silent slot
+//!   corruption, torn writebacks) for the degradation paths; quiet by
+//!   default,
+//! * [`integrity`] — the data-integrity layer: per-slot FNV-1a checksums,
+//!   slot quarantine and runtime tier retirement policy; off by default.
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod integrity;
 pub mod lmk;
 pub mod lru;
 pub mod mm;
@@ -51,12 +55,12 @@ pub mod swap;
 pub mod tier;
 
 pub use fault::{retry_backoff, FaultConfig, FaultPlan, ReadFault, FAULT_RETRY_MAX};
-#[allow(deprecated)]
-pub use lmk::choose_victim;
-pub use lmk::{LmkCandidate, LmkOutcome, Lmkd};
+pub use integrity::IntegrityConfig;
+pub use lmk::{LmkCandidate, LmkOutcome};
 pub use lru::{LruHandle, LruQueue};
 pub use mm::{
-    AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmConfig, MmError, WssSnapshot,
+    AccessKind, AccessOutcome, Advice, KernelStats, MemoryManager, MmConfig, MmError, ScrubReport,
+    WssSnapshot,
 };
 #[doc(hidden)]
 pub use mm::{PageEntry, PageTable};
@@ -81,7 +85,6 @@ const _: () = {
     assert_send::<FaultPlan>();
     assert_send::<PageTable>();
     assert_send::<LruQueue>();
-    assert_send::<Lmkd>();
     assert_send::<ReclaimDriver>();
     assert_send::<KernelStats>();
 };

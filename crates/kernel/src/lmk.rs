@@ -7,15 +7,14 @@
 //! among background apps, the one least recently in the foreground dies
 //! first; pinned system processes are exempt.
 //!
-//! The execution surface of this module is deprecated: kill ordering is
-//! now a [`crate::reclaim::KillPolicy`] variant and kill execution lives
-//! in [`crate::reclaim::ReclaimDriver`], which also owns the reclaim
-//! daemon tick. [`choose_victim`], [`Lmkd::kill_one`] and
-//! [`Lmkd::escalate`] remain as one-release shims over the same logic
-//! (`KillPolicy::ColdestFirst` is bit-identical); [`LmkCandidate`] and
-//! [`LmkOutcome`] stay as the shared vocabulary types.
+//! Kill *ordering* is a [`crate::reclaim::KillPolicy`] variant
+//! (`ColdestFirst` wraps [`coldest_victim`]) and kill *execution* lives in
+//! [`crate::reclaim::ReclaimDriver`], which also owns the reclaim daemon
+//! tick. The deprecated one-release shims this module used to carry
+//! (`choose_victim`, `Lmkd::kill_one`, `Lmkd::escalate`) have been removed;
+//! [`LmkCandidate`] and [`LmkOutcome`] remain as the shared vocabulary
+//! types.
 
-use crate::mm::{MemoryManager, MmError};
 use crate::page::Pid;
 use fleet_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -33,32 +32,9 @@ pub struct LmkCandidate {
     pub pinned: bool,
 }
 
-/// Picks the kill victim: the background, unpinned process that has been out
-/// of the foreground the longest. Ties break on the lower pid for
-/// determinism. Returns `None` when no process is killable.
-///
-/// # Examples
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use fleet_kernel::{choose_victim, LmkCandidate, Pid};
-/// use fleet_sim::SimTime;
-///
-/// let procs = [
-///     LmkCandidate { pid: Pid(1), foreground: true, last_foreground: SimTime::from_secs(90), pinned: false },
-///     LmkCandidate { pid: Pid(2), foreground: false, last_foreground: SimTime::from_secs(10), pinned: false },
-///     LmkCandidate { pid: Pid(3), foreground: false, last_foreground: SimTime::from_secs(50), pinned: false },
-/// ];
-/// assert_eq!(choose_victim(&procs), Some(Pid(2)));
-/// ```
-#[deprecated(note = "use `KillPolicy::ColdestFirst.choose(..)` via `ReclaimDriver` instead")]
-pub fn choose_victim(candidates: &[LmkCandidate]) -> Option<Pid> {
-    coldest_victim(candidates)
-}
-
-/// The coldest-first oom-score order shared by the deprecated
-/// [`choose_victim`] shim and `KillPolicy::ColdestFirst`: the background,
-/// unpinned process least recently in the foreground, ties on lower pid.
+/// The coldest-first oom-score order behind `KillPolicy::ColdestFirst`: the
+/// background, unpinned process least recently in the foreground, ties on
+/// lower pid. Returns `None` when no process is killable.
 pub(crate) fn coldest_victim(candidates: &[LmkCandidate]) -> Option<Pid> {
     candidates
         .iter()
@@ -67,7 +43,7 @@ pub(crate) fn coldest_victim(candidates: &[LmkCandidate]) -> Option<Pid> {
         .map(|c| c.pid)
 }
 
-/// What one [`Lmkd::escalate`] round freed.
+/// What one `ReclaimDriver::escalate` round freed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LmkOutcome {
     /// Victims killed, in kill order (coldest first).
@@ -76,134 +52,8 @@ pub struct LmkOutcome {
     pub freed_frames: u64,
 }
 
-/// The stateful low-memory-killer driver.
-///
-/// [`choose_victim`] is the pure policy; `Lmkd` is the daemon around it: it
-/// executes kills against the [`MemoryManager`] (unmapping every page of
-/// the victim), keeps a log of kills for the device layer to reap, and —
-/// the part the stateless function could not do — *escalates*: one victim
-/// may free too little, so [`Lmkd::escalate`] keeps killing in oom-score
-/// order until the free-frame target is met or nothing killable remains,
-/// at which point it surfaces [`MmError::OutOfMemory`] instead of looping
-/// forever.
-///
-/// # Examples
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use fleet_kernel::{Lmkd, LmkCandidate, MemoryManager, MmConfig, Pid};
-/// use fleet_sim::SimTime;
-///
-/// let mut mm = MemoryManager::new(MmConfig::small_test());
-/// mm.map_range(Pid(2), 0, 32 * 4096).unwrap();
-/// let mut lmkd = Lmkd::new();
-/// let candidates = [LmkCandidate {
-///     pid: Pid(2),
-///     foreground: false,
-///     last_foreground: SimTime::ZERO,
-///     pinned: false,
-/// }];
-/// let target = mm.frames_capacity();
-/// let out = lmkd.escalate(&mut mm, &candidates, target).unwrap();
-/// assert_eq!(out.killed, vec![Pid(2)]);
-/// assert_eq!(out.freed_frames, 32);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct Lmkd {
-    /// Kills not yet reaped by the device layer (which owns the process
-    /// table and must drop its side of each victim).
-    kill_log: Vec<Pid>,
-    total_kills: u64,
-    escalations: u64,
-}
-
-impl Lmkd {
-    /// A fresh driver with an empty kill log.
-    pub fn new() -> Self {
-        Lmkd::default()
-    }
-
-    /// Kills the single coldest killable candidate, unmapping all its
-    /// pages. Returns the victim and the frames freed, or `None` when
-    /// nothing is killable. This is the legacy one-kill-per-stall policy;
-    /// reclaim-stall paths use [`Lmkd::escalate`] instead.
-    #[deprecated(note = "use `ReclaimDriver::kill_one` (with `KillPolicy::ColdestFirst`) instead")]
-    pub fn kill_one(
-        &mut self,
-        mm: &mut MemoryManager,
-        candidates: &[LmkCandidate],
-    ) -> Option<(Pid, u64)> {
-        let victim = coldest_victim(candidates)?;
-        let freed = self.execute(mm, victim);
-        Some((victim, freed))
-    }
-
-    /// Escalating kill round: terminates candidates in oom-score order
-    /// (coldest `last_foreground` first) until `mm.free_frames()` reaches
-    /// `target_free_frames`. A single victim freeing too little does not
-    /// end the round — the next victim dies — so the watermark is either
-    /// met or every killable process is gone.
-    ///
-    /// Kills performed before a failure stay in the kill log (see
-    /// [`Lmkd::drain_kills`]); the caller must still reap them.
-    ///
-    /// # Errors
-    ///
-    /// [`MmError::OutOfMemory`] when no killable candidate remains and the
-    /// target is still unmet.
-    #[deprecated(note = "use `ReclaimDriver::escalate` (with `KillPolicy::ColdestFirst`) instead")]
-    pub fn escalate(
-        &mut self,
-        mm: &mut MemoryManager,
-        candidates: &[LmkCandidate],
-        target_free_frames: u64,
-    ) -> Result<LmkOutcome, MmError> {
-        self.escalations += 1;
-        let mut remaining: Vec<LmkCandidate> = candidates.to_vec();
-        let mut out = LmkOutcome::default();
-        while mm.free_frames() < target_free_frames {
-            let Some(victim) = coldest_victim(&remaining) else {
-                return Err(MmError::OutOfMemory);
-            };
-            remaining.retain(|c| c.pid != victim);
-            let freed = self.execute(mm, victim);
-            out.killed.push(victim);
-            out.freed_frames += freed;
-        }
-        Ok(out)
-    }
-
-    /// Unmaps the victim and records the kill.
-    fn execute(&mut self, mm: &mut MemoryManager, victim: Pid) -> u64 {
-        let freed = mm.unmap_process(victim);
-        mm.note_lmk_kill(victim, freed);
-        self.kill_log.push(victim);
-        self.total_kills += 1;
-        freed
-    }
-
-    /// Takes the kills the device layer has not yet reaped (process-table
-    /// removal, kill records, audit `ProcessKill`).
-    pub fn drain_kills(&mut self) -> Vec<Pid> {
-        std::mem::take(&mut self.kill_log)
-    }
-
-    /// Total kills executed over the driver's lifetime.
-    pub fn total_kills(&self) -> u64 {
-        self.total_kills
-    }
-
-    /// Escalation rounds started over the driver's lifetime.
-    pub fn escalations(&self) -> u64 {
-        self.escalations
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // The deprecated shims must keep their exact legacy behaviour for one
-    // release; these tests exercise them on purpose.
-    #![allow(deprecated)]
     use super::*;
 
     fn cand(pid: u32, fg: bool, last: u64) -> LmkCandidate {
@@ -218,15 +68,15 @@ mod tests {
     #[test]
     fn picks_coldest_background_app() {
         let procs = [cand(1, false, 30), cand(2, false, 5), cand(3, false, 60)];
-        assert_eq!(choose_victim(&procs), Some(Pid(2)));
+        assert_eq!(coldest_victim(&procs), Some(Pid(2)));
     }
 
     #[test]
     fn never_kills_foreground() {
         let procs = [cand(1, true, 0), cand(2, false, 100)];
-        assert_eq!(choose_victim(&procs), Some(Pid(2)));
+        assert_eq!(coldest_victim(&procs), Some(Pid(2)));
         let only_fg = [cand(1, true, 0)];
-        assert_eq!(choose_victim(&only_fg), None);
+        assert_eq!(coldest_victim(&only_fg), None);
     }
 
     #[test]
@@ -234,98 +84,17 @@ mod tests {
         let mut system = cand(1, false, 0);
         system.pinned = true;
         let procs = [system, cand(2, false, 50)];
-        assert_eq!(choose_victim(&procs), Some(Pid(2)));
+        assert_eq!(coldest_victim(&procs), Some(Pid(2)));
     }
 
     #[test]
     fn ties_break_on_pid() {
         let procs = [cand(9, false, 10), cand(3, false, 10)];
-        assert_eq!(choose_victim(&procs), Some(Pid(3)));
+        assert_eq!(coldest_victim(&procs), Some(Pid(3)));
     }
 
     #[test]
     fn empty_list_has_no_victim() {
-        assert_eq!(choose_victim(&[]), None);
-    }
-
-    use crate::mm::{MemoryManager, MmConfig};
-    use crate::page::PAGE_SIZE;
-    use crate::swap::SwapConfig;
-
-    fn small_mm(frames: u64) -> MemoryManager {
-        MemoryManager::new(MmConfig {
-            dram_bytes: frames * PAGE_SIZE,
-            swap: SwapConfig { capacity_bytes: 0, ..SwapConfig::default() },
-            low_watermark_frames: 0,
-            high_watermark_frames: 0,
-            ..MmConfig::small_test()
-        })
-    }
-
-    #[test]
-    fn escalate_kills_until_watermark_met() {
-        let mut mm = small_mm(16);
-        mm.map_range(Pid(1), 0, 6 * PAGE_SIZE).unwrap();
-        mm.map_range(Pid(2), 0, 6 * PAGE_SIZE).unwrap();
-        mm.map_range(Pid(3), 0, 4 * PAGE_SIZE).unwrap();
-        let candidates = [cand(1, false, 10), cand(2, false, 20), cand(3, false, 30)];
-        let mut lmkd = Lmkd::new();
-        // free = 0; target 10 needs two victims (6 + 6 >= 10): the coldest
-        // two die, the third survives.
-        let out = lmkd.escalate(&mut mm, &candidates, 10).unwrap();
-        assert_eq!(out.killed, vec![Pid(1), Pid(2)]);
-        assert_eq!(out.freed_frames, 12);
-        assert!(mm.free_frames() >= 10);
-        assert_eq!(mm.process_mem(Pid(3)).resident, 4);
-        assert_eq!(lmkd.drain_kills(), vec![Pid(1), Pid(2)]);
-        assert_eq!(lmkd.total_kills(), 2);
-        mm.validate();
-    }
-
-    /// Regression: a single small victim used to satisfy the old
-    /// one-kill-per-stall policy even when it freed almost nothing, leaving
-    /// the caller to loop (or panic) forever. Escalation must keep going and
-    /// surface `OutOfMemory` once nothing killable remains.
-    #[test]
-    fn escalate_single_small_victim_surfaces_oom() {
-        let mut mm = small_mm(16);
-        mm.map_range(Pid(1), 0, 15 * PAGE_SIZE).unwrap(); // the hog (protected)
-        mm.map_range(Pid(2), 0, PAGE_SIZE).unwrap(); // one tiny cached app
-        let candidates = [cand(1, true, 100), cand(2, false, 5)];
-        let mut lmkd = Lmkd::new();
-        let err = lmkd.escalate(&mut mm, &candidates, 8);
-        assert_eq!(err, Err(MmError::OutOfMemory));
-        // The small victim did die (and must still be reaped)…
-        assert_eq!(lmkd.drain_kills(), vec![Pid(2)]);
-        assert_eq!(mm.process_mem(Pid(2)).resident, 0);
-        // …but the hog survived and the target is honestly unmet.
-        assert_eq!(mm.process_mem(Pid(1)).resident, 15);
-        assert!(mm.free_frames() < 8);
-        mm.validate();
-    }
-
-    #[test]
-    fn escalate_is_a_no_op_above_target() {
-        let mut mm = small_mm(16);
-        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
-        let candidates = [cand(1, false, 5)];
-        let mut lmkd = Lmkd::new();
-        let out = lmkd.escalate(&mut mm, &candidates, 4).unwrap();
-        assert!(out.killed.is_empty());
-        assert_eq!(lmkd.drain_kills(), Vec::<Pid>::new());
-        assert_eq!(mm.process_mem(Pid(1)).resident, 2);
-    }
-
-    #[test]
-    fn kill_one_matches_choose_victim_order() {
-        let mut mm = small_mm(8);
-        mm.map_range(Pid(4), 0, 2 * PAGE_SIZE).unwrap();
-        mm.map_range(Pid(7), 0, 3 * PAGE_SIZE).unwrap();
-        let candidates = [cand(4, false, 40), cand(7, false, 4)];
-        let mut lmkd = Lmkd::new();
-        let (victim, freed) = lmkd.kill_one(&mut mm, &candidates).unwrap();
-        assert_eq!(victim, Pid(7)); // colder last_foreground dies first
-        assert_eq!(freed, 3);
-        assert_eq!(lmkd.kill_one(&mut mm, &[]), None);
+        assert_eq!(coldest_victim(&[]), None);
     }
 }

@@ -28,12 +28,15 @@
 //! [`LruQueue`] slab.
 
 use crate::fault::{retry_backoff, FaultPlan, ReadFault, FAULT_RETRY_MAX};
+use crate::integrity::{slot_checksum, IntegrityConfig, CORRUPTION_FLIP};
 use crate::lru::{LruHandle, LruQueue};
 use crate::page::{pages_in_range, PageKey, PageKind, PageState, Pid, PAGE_SIZE};
 use crate::swap::{SwapConfig, SwapDevice, SwapError};
 use crate::tier::{SwapStack, SwapStats, SwapTier};
 use fleet_sim::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 /// Emits a flight-recorder event; compiled to nothing without the `audit`
 /// feature, so emission sites cost zero in normal builds.
@@ -197,6 +200,10 @@ pub struct MmConfig {
     /// share of evictions that target anonymous memory while the file cache
     /// is above its floor. 50 ⇒ one eviction in four goes to anon.
     pub swappiness: u32,
+    /// Swap data-integrity layer (per-slot checksums, quarantine, tier
+    /// retirement — DESIGN.md §14). Off by default and bit-invisible when
+    /// off: no checksum, no draw, no event.
+    pub integrity: IntegrityConfig,
 }
 
 impl Default for MmConfig {
@@ -212,6 +219,7 @@ impl Default for MmConfig {
             dram_page_cost: SimDuration::from_nanos(450),
             file_read_bw: 300.0e6,
             swappiness: 50,
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -229,6 +237,7 @@ impl MmConfig {
             dram_page_cost: SimDuration::from_nanos(450),
             file_read_bw: 300.0e6,
             swappiness: 50,
+            integrity: IntegrityConfig::default(),
         }
     }
 }
@@ -279,6 +288,20 @@ pub struct KernelStats {
     pub proactive_swapout_pages: u64,
     /// Working-set epochs advanced by the proactive daemon (Swam only).
     pub wss_epochs: u64,
+    /// Silent corruptions injected into stored slots (integrity layer
+    /// armed with a corruption plan only).
+    pub corruptions_injected: u64,
+    /// Corruptions found by checksum verification (fault-in, writeback,
+    /// scrub or unmap). Each injected corruption is detected at most once.
+    pub corruptions_detected: u64,
+    /// Slots permanently quarantined after a detection.
+    pub slots_quarantined: u64,
+    /// Tiers retired at runtime by quarantine saturation (0, 1 or 2).
+    pub tiers_retired: u64,
+    /// Background scrubber passes completed.
+    pub scrub_passes: u64,
+    /// Cold slots the scrubber has verified, total.
+    pub scrub_pages_scanned: u64,
 }
 
 /// Per-process residency snapshot.
@@ -630,6 +653,70 @@ pub struct WssSnapshot {
     pub idle_epochs: u32,
 }
 
+/// One stored slot's integrity record: the checksum computed (and possibly
+/// silently flipped by an injected corruption) at store time, plus the
+/// store sequence number it was computed over. The copy is corrupt iff
+/// `stored != slot_checksum(pid, index, seq)` — a deterministic comparison,
+/// so detection can never fire on a clean slot (zero false positives).
+#[derive(Debug, Clone, Copy)]
+struct SlotRecord {
+    /// Store sequence number the checksum covers.
+    seq: u64,
+    /// The checksum as stored (clean, or clean ^ [`CORRUPTION_FLIP`]).
+    stored: u64,
+    /// The corruption has been detected (and reported) already; repeat
+    /// verifications stay silent so every injection is detected exactly
+    /// once.
+    detected: bool,
+}
+
+impl SlotRecord {
+    fn corrupt(&self, key: PageKey) -> bool {
+        self.stored != slot_checksum(key.pid.0, key.index, self.seq)
+    }
+}
+
+/// Runtime state of the integrity layer (DESIGN.md §14). Empty and inert
+/// when the layer is disabled.
+#[derive(Debug, Clone)]
+struct IntegrityState {
+    config: IntegrityConfig,
+    /// One record per swapped anonymous page (both tiers), keyed by page.
+    slots: BTreeMap<PageKey, SlotRecord>,
+    /// Monotonic store counter feeding [`slot_checksum`].
+    store_seq: u64,
+    /// Resume point of the background scrubber's cyclic scan.
+    scrub_cursor: Option<PageKey>,
+    /// Reclaim ticks since the last scrub pass.
+    ticks_since_scrub: u32,
+    /// The back tier was retired (quarantine saturation): device degraded
+    /// mode — no further swap stores at all.
+    degraded: bool,
+}
+
+impl IntegrityState {
+    fn new(config: IntegrityConfig) -> Self {
+        IntegrityState {
+            config,
+            slots: BTreeMap::new(),
+            store_seq: 0,
+            scrub_cursor: None,
+            ticks_since_scrub: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// What one background scrub pass covered (see
+/// [`MemoryManager::scrub_tick`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Cold slots verified this pass.
+    pub scanned: u64,
+    /// Corruptions found (each reported via its own detection event).
+    pub detected: u64,
+}
+
 /// Outcome of one fault-injection roll on the swap-read path (see
 /// [`MemoryManager::access`] and the prefetch paths). `Ok` may still carry
 /// degradation: retry backoff and injected latency spikes.
@@ -684,6 +771,10 @@ pub struct MemoryManager {
     /// [`MemoryManager::enable_wss_tracking`] has armed the tracker.
     wss: PidMap<WssEntry>,
     wss_enabled: bool,
+    /// Swap data-integrity layer: slot checksums, quarantine and tier
+    /// retirement. Inert (empty, no draws, no events) unless enabled in
+    /// [`MmConfig::integrity`].
+    integrity: IntegrityState,
     stats: KernelStats,
     /// Flight-recorder buffer (see `crates/audit`); disabled by default.
     #[cfg(feature = "audit")]
@@ -712,6 +803,7 @@ impl MemoryManager {
             zram_fifo: LruQueue::new(),
             wss: PidMap::default(),
             wss_enabled: false,
+            integrity: IntegrityState::new(config.integrity),
             stats: KernelStats::default(),
             #[cfg(feature = "audit")]
             audit: fleet_audit::EventLog::default(),
@@ -793,7 +885,7 @@ impl MemoryManager {
         self.swap.fault_active()
     }
 
-    /// Records an LMK kill executed by the [`crate::Lmkd`] driver. Only
+    /// Records an LMK kill executed by the [`crate::ReclaimDriver`]. Only
     /// emits an audit event on fault-active devices so quiet golden traces
     /// are untouched (their kills are recorded by the device layer).
     pub(crate) fn note_lmk_kill(&mut self, _pid: Pid, _freed_pages: u64) {
@@ -965,6 +1057,203 @@ impl MemoryManager {
         }
     }
 
+    // -------------------------------------------------------- data integrity
+
+    /// True when the integrity layer (checksums, quarantine, retirement) is
+    /// armed on this device.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity.config.enabled
+    }
+
+    /// True once quarantine saturation has retired the back tier: device
+    /// degraded mode — no further swap stores at all; pressure falls back
+    /// to file drops and LMK kills.
+    pub fn degraded(&self) -> bool {
+        self.integrity.degraded
+    }
+
+    /// Store-time checksum bookkeeping for one anon page entering `tier`:
+    /// computes the slot checksum and rolls the tier's silent-corruption
+    /// fate (a corrupt store records a checksum that can never verify).
+    /// No-op unless the integrity layer is enabled.
+    fn integrity_note_store(&mut self, key: PageKey, tier: SwapTier) {
+        if !self.integrity.config.enabled {
+            return;
+        }
+        self.integrity.store_seq += 1;
+        let seq = self.integrity.store_seq;
+        let clean = slot_checksum(key.pid.0, key.index, seq);
+        let corrupt = self.swap.tier_mut(tier).fault_plan_mut().store_corrupt_fault();
+        let stored = if corrupt {
+            self.stats.corruptions_injected += 1;
+            clean ^ CORRUPTION_FLIP
+        } else {
+            clean
+        };
+        self.integrity.slots.insert(key, SlotRecord { seq, stored, detected: false });
+    }
+
+    /// Drops the slot record of a page leaving swap through a clean path
+    /// (successful fault-in, prefetch). No-op when the layer is disabled.
+    fn integrity_note_release(&mut self, key: PageKey) {
+        if self.integrity.config.enabled {
+            self.integrity.slots.remove(&key);
+        }
+    }
+
+    /// Fault-in verification: true when `key`'s stored copy is corrupt, in
+    /// which case the detection is reported (once per slot — repeats stay
+    /// silent) and the caller must take the SIGBUS path. Detection is a
+    /// checksum comparison, never a draw, so it cannot move any schedule.
+    fn integrity_verify_fault(&mut self, key: PageKey, _tier: SwapTier) -> bool {
+        if !self.integrity.config.enabled {
+            return false;
+        }
+        let Some(rec) = self.integrity.slots.get_mut(&key) else {
+            return false;
+        };
+        if !rec.corrupt(key) {
+            return false;
+        }
+        if !rec.detected {
+            rec.detected = true;
+            self.stats.corruptions_detected += 1;
+            self.stats.pages_lost += 1;
+            audit!(
+                self,
+                fleet_audit::AuditEvent::CorruptionDetected {
+                    pid: key.pid.0,
+                    page: key.index,
+                    tier: _tier.as_str(),
+                    source: "fault",
+                }
+            );
+        }
+        true
+    }
+
+    /// Reports a corruption found outside the fault path (`scrub` or
+    /// `unmap`) exactly once. Returns true when this call was the first
+    /// detection.
+    fn integrity_detect(&mut self, key: PageKey, _tier: SwapTier, _source: &'static str) -> bool {
+        let Some(rec) = self.integrity.slots.get_mut(&key) else {
+            return false;
+        };
+        if !rec.corrupt(key) || rec.detected {
+            return false;
+        }
+        rec.detected = true;
+        self.stats.corruptions_detected += 1;
+        audit!(
+            self,
+            fleet_audit::AuditEvent::CorruptionDetected {
+                pid: key.pid.0,
+                page: key.index,
+                tier: _tier.as_str(),
+                source: _source,
+            }
+        );
+        true
+    }
+
+    /// Quarantines one slot of `tier` (the device must have released it via
+    /// [`SwapDevice::release_page_quarantined`] already, or the caller does
+    /// so right before): reports the quarantine and retires the tier when
+    /// its quarantine count saturates the threshold.
+    fn integrity_note_quarantine(&mut self, _key: PageKey, tier: SwapTier) {
+        self.stats.slots_quarantined += 1;
+        audit!(
+            self,
+            fleet_audit::AuditEvent::SlotQuarantined {
+                pid: _key.pid.0,
+                page: _key.index,
+                tier: tier.as_str(),
+            }
+        );
+        let threshold = u64::from(self.integrity.config.quarantine_threshold);
+        match tier {
+            SwapTier::Zram => {
+                if !self.swap.front_retired()
+                    && self.swap.front().is_some_and(|f| f.quarantined_pages() >= threshold)
+                {
+                    let _q = self.swap.front().map_or(0, |f| f.quarantined_pages());
+                    self.swap.retire_front();
+                    self.stats.tiers_retired += 1;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::TierRetired { tier: "zram", quarantined: _q }
+                    );
+                }
+            }
+            SwapTier::Flash => {
+                if !self.integrity.degraded && self.swap.back().quarantined_pages() >= threshold {
+                    let _q = self.swap.back().quarantined_pages();
+                    self.integrity.degraded = true;
+                    self.stats.tiers_retired += 1;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::TierRetired { tier: "flash", quarantined: _q }
+                    );
+                }
+            }
+        }
+    }
+
+    /// One background scrubber step, ticked by the reclaim driver: every
+    /// [`IntegrityConfig::scrub_interval_ticks`] reclaim ticks, verifies up
+    /// to [`IntegrityConfig::scrub_batch_pages`] cold slots in cyclic page
+    /// order. A corruption found here is reported immediately (`scrub`
+    /// source); recovery happens at the page's next access or unmap, with
+    /// no second report. Returns `None` on ticks where no pass is due (or
+    /// the layer/scrubber is off).
+    pub fn scrub_tick(&mut self) -> Option<ScrubReport> {
+        if !self.integrity.config.enabled || self.integrity.config.scrub_batch_pages == 0 {
+            return None;
+        }
+        self.integrity.ticks_since_scrub += 1;
+        if self.integrity.ticks_since_scrub < self.integrity.config.scrub_interval_ticks {
+            return None;
+        }
+        self.integrity.ticks_since_scrub = 0;
+        let batch = self.integrity.config.scrub_batch_pages as usize;
+        let mut keys: Vec<PageKey> = match self.integrity.scrub_cursor {
+            Some(cursor) => self
+                .integrity
+                .slots
+                .range((Bound::Excluded(cursor), Bound::Unbounded))
+                .map(|(k, _)| *k)
+                .take(batch)
+                .collect(),
+            None => self.integrity.slots.keys().copied().take(batch).collect(),
+        };
+        if keys.len() < batch {
+            // Wrap around to the start of the slot map (without re-scanning
+            // a slot twice in one pass).
+            let missing = batch - keys.len();
+            for k in self.integrity.slots.keys().copied().take(missing) {
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+        }
+        self.integrity.scrub_cursor = keys.last().copied().or(self.integrity.scrub_cursor);
+        let scanned = keys.len() as u64;
+        let mut detected = 0u64;
+        for key in keys {
+            let tier = match self.entry(key) {
+                Some(e) if !e.is_resident() => Self::tier_of(e),
+                _ => continue,
+            };
+            if self.integrity_detect(key, tier, "scrub") {
+                detected += 1;
+            }
+        }
+        self.stats.scrub_passes += 1;
+        self.stats.scrub_pages_scanned += scanned;
+        audit!(self, fleet_audit::AuditEvent::ScrubPass { scanned, detected });
+        Some(ScrubReport { scanned, detected })
+    }
+
     /// Latency of re-reading `n` dropped file-backed pages (readahead).
     fn file_read_cost(&mut self, n: u64) -> SimDuration {
         if n == 0 {
@@ -1046,12 +1335,31 @@ impl MemoryManager {
             self.queue_remove_entry(key, e);
         } else if !e.is_file() {
             // Only anonymous pages hold swap slots; file pages were dropped.
+            let tier = Self::tier_of(e);
+            let quarantine = self.integrity.config.enabled
+                && self.integrity.slots.get(&key).is_some_and(|r| r.corrupt(key));
+            if quarantine {
+                // Slot discarded with a bad copy inside: last chance to
+                // catch a corruption the run never read back.
+                self.integrity_detect(key, tier, "unmap");
+            }
             if e.is_zram() {
                 self.zram_fifo.remove_handle(LruHandle::from_raw(e.node));
-                self.front_expect("unmap of a zram page").release_page();
+                let front = self.front_expect("unmap of a zram page");
+                if quarantine {
+                    front.release_page_quarantined();
+                } else {
+                    front.release_page();
+                }
+            } else if quarantine {
+                self.swap.back_mut().release_page_quarantined();
             } else {
                 self.swap.back_mut().release_page();
             }
+            if quarantine {
+                self.integrity_note_quarantine(key, tier);
+            }
+            self.integrity_note_release(key);
         }
     }
 
@@ -1112,6 +1420,36 @@ impl MemoryManager {
                 outcome.latency += self.config.dram_page_cost;
             } else {
                 let file = e.is_file();
+                if !file && self.integrity_verify_fault(key, Self::tier_of(e)) {
+                    // Checksum mismatch on the stored copy: the data is
+                    // gone. SIGBUS-analog — stop the access; the caller
+                    // kills the process, and the poisoned slot is
+                    // quarantined by `unmap_process`.
+                    outcome.killed = true;
+                    break;
+                }
+                if file
+                    && self.integrity.config.enabled
+                    && self.swap.back_mut().fault_plan_mut().store_corrupt_fault()
+                {
+                    // A corrupted file read caught by its checksum: discard
+                    // the bad copy and re-read from the file — one wasted
+                    // read, never data loss.
+                    let penalty = self.file_read_cost(1);
+                    self.stats.corruptions_injected += 1;
+                    self.stats.corruptions_detected += 1;
+                    outcome.degraded_latency += penalty;
+                    outcome.latency += penalty;
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::CorruptionDetected {
+                            pid: pid.0,
+                            page: index,
+                            tier: "flash",
+                            source: "fault",
+                        }
+                    );
+                }
                 if self.swap.fault_active() {
                     #[cfg(feature = "obs")]
                     let obs_rel = outcome.latency.as_nanos();
@@ -1185,9 +1523,11 @@ impl MemoryManager {
                     file_faults += 1;
                 } else if e.is_zram() {
                     self.release_zram_slot(key, e.node);
+                    self.integrity_note_release(key);
                     zram_faults += 1;
                 } else {
                     self.swap.back_mut().release_page();
+                    self.integrity_note_release(key);
                     anon_faults += 1;
                 }
                 let node = if e.is_pinned() {
@@ -1324,7 +1664,8 @@ impl MemoryManager {
         self.eviction_seq += 1;
         let file_floor = self.frames_capacity / 8;
         let file_resident = self.file_lru.len() as u64;
-        let anon_possible = !self.swap.is_full() && self.anon_resident_total() > 0;
+        let anon_possible =
+            !self.swap.is_full() && !self.integrity.degraded && self.anon_resident_total() > 0;
         // swappiness / 200 of evictions go to anon (default 50 ⇒ 1 in 4),
         // spread evenly over the eviction sequence.
         let sw = self.config.swappiness.clamp(0, 200) as u64;
@@ -1356,7 +1697,7 @@ impl MemoryManager {
                     }
                 }
                 PageKind::Anon => {
-                    if self.swap.is_full() {
+                    if self.swap.is_full() || self.integrity.degraded {
                         continue;
                     }
                     if let Some((victim, warm)) = self.pop_anon_proportional() {
@@ -1387,7 +1728,7 @@ impl MemoryManager {
     /// the legacy `reserve_page` + `write_cost` sequence.
     fn swap_out_anon(&mut self, victim: PageKey, warm: bool) -> Result<(), ()> {
         let mut tier = SwapTier::Flash;
-        if warm && self.swap.has_front() {
+        if warm && self.swap.has_active_front() {
             let front = self.front_expect("tier placement");
             if front.is_full() {
                 // Warm but no room up front: the writeback daemon is behind.
@@ -1442,6 +1783,7 @@ impl MemoryManager {
                         }
                     );
                 }
+                self.integrity_note_store(victim, tier);
                 Ok(())
             }
             Err(err) => {
@@ -1624,10 +1966,22 @@ impl MemoryManager {
         let mut moved = 0u64;
         while moved < WRITEBACK_BATCH && self.swap.front().is_some_and(|f| f.used_pages() > target)
         {
-            if self.swap.back().is_full() {
+            if self.swap.back().is_full() || self.integrity.degraded {
                 break; // nowhere to demote to; not an error
             }
             let Some(victim) = self.zram_fifo.pop_coldest() else { break };
+            // Verify-before-retire, read side: a corrupt zram copy must not
+            // be propagated to flash. Detect it, park it back at the cold
+            // end (recovery happens at the next access or unmap) and stop
+            // this tick — the daemon must not spin on a poisoned slot.
+            if self.integrity.config.enabled
+                && self.integrity.slots.get(&victim).is_some_and(|r| r.corrupt(victim))
+            {
+                self.integrity_detect(victim, SwapTier::Zram, "writeback");
+                let raw = self.zram_fifo.push_cold(victim).raw();
+                self.entry_expect(victim.pid, victim.index, "corrupt writeback").node = raw;
+                break;
+            }
             let back = self.swap.back_mut();
             let written = back.try_reserve().and_then(|()| match back.try_write(1) {
                 Ok(op) => Ok(op),
@@ -1637,6 +1991,33 @@ impl MemoryManager {
                 }
             });
             match written {
+                Ok(op)
+                    if self.integrity.config.enabled
+                        && self.swap.back_mut().fault_plan_mut().torn_writeback_fault() =>
+                {
+                    // Verify-before-retire, write side: the flash copy came
+                    // back torn, so the new slot is quarantined on the spot
+                    // and the intact zram copy stays where it was (cold end,
+                    // retried next tick). The write was issued, so its cost
+                    // is still kswapd's.
+                    self.stats.corruptions_injected += 1;
+                    self.stats.corruptions_detected += 1;
+                    self.stats.kswapd_cpu_nanos += op.latency.as_nanos();
+                    audit!(
+                        self,
+                        fleet_audit::AuditEvent::CorruptionDetected {
+                            pid: victim.pid.0,
+                            page: victim.index,
+                            tier: "flash",
+                            source: "writeback",
+                        }
+                    );
+                    self.swap.back_mut().release_page_quarantined();
+                    self.integrity_note_quarantine(victim, SwapTier::Flash);
+                    let raw = self.zram_fifo.push_cold(victim).raw();
+                    self.entry_expect(victim.pid, victim.index, "torn writeback").node = raw;
+                    break;
+                }
                 Ok(op) => {
                     // Demotion decompresses the page out of the front tier
                     // and writes it to the back tier; both costs are
@@ -1750,6 +2131,9 @@ impl MemoryManager {
     /// kswapd like any reclaim. Stops early when the back tier has no free
     /// slot. Returns the pages moved.
     pub fn proactive_swap_out(&mut self, pid: Pid, max_pages: u64) -> u64 {
+        if self.integrity.degraded {
+            return 0; // the back tier is retired; nothing to store to
+        }
         let mut moved = 0u64;
         while moved < max_pages {
             let Some(victim) = self.anon_lrus.get_mut(pid).and_then(|q| q.pop_coldest()) else {
@@ -1772,6 +2156,7 @@ impl MemoryManager {
                 self,
                 fleet_audit::AuditEvent::ProactiveSwapOut { pid: pid.0, page: victim.index }
             );
+            self.integrity_note_store(victim, SwapTier::Flash);
         }
         moved
     }
@@ -1859,6 +2244,9 @@ impl MemoryManager {
                 // Advised-cold pages are cold by definition: always the
                 // back tier, never zram (identical to the single-device
                 // path on a flash-only stack).
+                if self.integrity.degraded {
+                    break; // back tier retired: same disposition as full
+                }
                 let back = self.swap.back_mut();
                 if back.is_full() || !back.reserve_page() {
                     break;
@@ -1874,6 +2262,9 @@ impl MemoryManager {
                 self,
                 fleet_audit::AuditEvent::SwapOut { pid: pid.0, page: index, file, advised: true }
             );
+            if !file {
+                self.integrity_note_store(key, SwapTier::Flash);
+            }
         }
         moved
     }
@@ -1916,6 +2307,16 @@ impl MemoryManager {
                 if e.is_resident() {
                     continue;
                 }
+                if !e.is_file()
+                    && self.integrity.config.enabled
+                    && self.integrity.slots.get(&key).is_some_and(|r| r.corrupt(key))
+                {
+                    // Advisory read: the checksum catches the bad copy
+                    // before it lands in DRAM. Skip the page; the SIGBUS
+                    // disposition waits for a demand fault.
+                    self.integrity_detect(key, Self::tier_of(e), "fault");
+                    continue;
+                }
                 if self.swap.fault_active() {
                     match self.roll_read_fault(pid, index, Self::tier_of(e)) {
                         ReadRoll::Ok { extra, .. } => degraded += extra,
@@ -1941,6 +2342,7 @@ impl MemoryManager {
                     self.swap.back_mut().release_page();
                     anon += 1;
                 }
+                self.integrity_note_release(key);
                 let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, is_file) };
                 self.table_expect(pid, index, "prefetch").set_resident(index, node);
                 self.resident_count += 1;
@@ -2005,6 +2407,15 @@ impl MemoryManager {
             if e.is_resident() {
                 continue;
             }
+            if !e.is_file()
+                && self.integrity.config.enabled
+                && self.integrity.slots.get(&key).is_some_and(|r| r.corrupt(key))
+            {
+                // Advisory: skip the corrupt copy, leave recovery to the
+                // demand-fault path.
+                self.integrity_detect(key, Self::tier_of(e), "fault");
+                continue;
+            }
             if self.swap.fault_active() {
                 match self.roll_read_fault(pid, index, Self::tier_of(e)) {
                     ReadRoll::Ok { extra, .. } => degraded += extra,
@@ -2024,6 +2435,7 @@ impl MemoryManager {
                 } else {
                     self.swap.back_mut().release_page();
                 }
+                self.integrity_note_release(key);
             }
             let node = if e.is_pinned() { NO_NODE } else { self.queue_push(key, file) };
             self.table_expect(pid, index, "prefetch").set_resident(index, node);
@@ -2156,6 +2568,29 @@ impl MemoryManager {
             queue_total, queued,
             "LRU queues hold {queue_total} pages but only {queued} mapped pages belong there"
         );
+        if self.integrity.config.enabled {
+            // Checksum bookkeeping conserves pages: exactly one slot record
+            // per swapped anon page, each resolving to a live swapped entry.
+            assert_eq!(
+                self.integrity.slots.len() as u64,
+                swapped_back + swapped_zram,
+                "integrity records {} but {} anon pages are swapped",
+                self.integrity.slots.len(),
+                swapped_back + swapped_zram
+            );
+            for &key in self.integrity.slots.keys() {
+                let e = self.entry(key).expect("slot record for an unmapped page");
+                assert!(
+                    !e.is_resident() && !e.is_file(),
+                    "slot record for {key:?}, which is not a swapped anon page"
+                );
+            }
+        } else {
+            assert!(
+                self.integrity.slots.is_empty(),
+                "the disabled integrity layer must keep no slot records"
+            );
+        }
     }
 }
 
@@ -2173,6 +2608,7 @@ mod tests {
             dram_page_cost: SimDuration::from_nanos(450),
             file_read_bw: 300.0e6,
             swappiness: 50,
+            integrity: IntegrityConfig::default(),
         })
     }
 
@@ -2288,6 +2724,7 @@ mod tests {
             dram_page_cost: SimDuration::from_nanos(450),
             file_read_bw: 300.0e6,
             swappiness: 50,
+            integrity: IntegrityConfig::default(),
         });
         mm.map_range(Pid(1), 0, 9 * PAGE_SIZE).unwrap(); // 1 free < low
         assert!(mm.under_pressure());
@@ -2523,6 +2960,7 @@ mod tests {
             dram_page_cost: SimDuration::from_nanos(450),
             file_read_bw: 300.0e6,
             swappiness: 200, // always prefer anon so zram is exercised
+            integrity: IntegrityConfig::default(),
         });
         mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
         arm(&mut mm, 19, FaultConfig { compress_fail_rate: 1.0, ..FaultConfig::default() });
@@ -2562,6 +3000,7 @@ mod tests {
             dram_page_cost: SimDuration::from_nanos(450),
             file_read_bw: 300.0e6,
             swappiness: 50,
+            integrity: IntegrityConfig::default(),
         })
     }
 
@@ -2686,5 +3125,207 @@ mod tests {
             table.segs.iter().map(|s| s.chunks.iter().filter(|c| c.is_some()).count()).sum();
         assert_eq!(live_chunks, 0, "fully unmapped chunks must be freed");
         assert_eq!(mm.process_mem(Pid(1)), ProcessMem::default());
+    }
+
+    // --------------------------------------------------------- data integrity
+
+    fn mm_with_integrity(
+        frames: u64,
+        swap_pages: u64,
+        integrity: IntegrityConfig,
+    ) -> MemoryManager {
+        MemoryManager::new(MmConfig {
+            dram_bytes: frames * PAGE_SIZE,
+            swap: SwapConfig { capacity_bytes: swap_pages * PAGE_SIZE, ..SwapConfig::default() },
+            zram: None,
+            low_watermark_frames: 0,
+            high_watermark_frames: 0,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+            integrity,
+        })
+    }
+
+    #[test]
+    fn corrupt_anon_store_kills_at_fault_and_quarantines_at_unmap() {
+        let mut mm = mm_with_integrity(2, 8, IntegrityConfig::checked());
+        arm(&mut mm, 31, FaultConfig { corruption_rate: 1.0, ..FaultConfig::default() });
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        mm.map_range(Pid(1), 2 * PAGE_SIZE, PAGE_SIZE).unwrap(); // evicts one page, corruptly
+        assert_eq!(mm.stats().corruptions_injected, 1);
+        let out = mm.access(Pid(1), 0, PAGE_SIZE, AccessKind::Mutator);
+        assert!(out.killed, "a corrupt anon slot is a SIGBUS");
+        assert_eq!(mm.stats().corruptions_detected, 1);
+        assert_eq!(mm.stats().pages_lost, 1);
+        // Repeat access still dies but detects nothing new (exactly once).
+        assert!(mm.access(Pid(1), 0, PAGE_SIZE, AccessKind::Mutator).killed);
+        assert_eq!(mm.stats().corruptions_detected, 1);
+        // The kill path unmaps the process; the poisoned slot is quarantined
+        // and its capacity is permanently gone.
+        mm.unmap_process(Pid(1));
+        assert_eq!(mm.stats().slots_quarantined, 1);
+        assert_eq!(mm.swap().back().quarantined_pages(), 1);
+        assert_eq!(mm.swap().back().used_pages(), 0);
+        mm.validate();
+    }
+
+    #[test]
+    fn integrity_off_ignores_armed_corruption_plans() {
+        let scenario = |mm: &mut MemoryManager| {
+            mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+            mm.map_range(Pid(1), 2 * PAGE_SIZE, PAGE_SIZE).unwrap();
+            let out = mm.access(Pid(1), 0, 2 * PAGE_SIZE, AccessKind::Launch);
+            assert!(!out.killed, "without checksums a silent corruption stays silent");
+            out.latency
+        };
+        let mut plain = mm_with_frames(2, 8);
+        let base_latency = scenario(&mut plain);
+        let mut armed = mm_with_frames(2, 8);
+        arm(&mut armed, 41, FaultConfig::silent_corruption(1.0));
+        let armed_latency = scenario(&mut armed);
+        assert_eq!(armed.stats().corruptions_injected, 0, "disabled layer must not draw");
+        assert_eq!(base_latency, armed_latency);
+        assert_eq!(format!("{:?}", plain.stats()), format!("{:?}", armed.stats()));
+        armed.validate();
+    }
+
+    #[test]
+    fn quarantine_saturation_retires_the_back_tier() {
+        let integrity = IntegrityConfig { quarantine_threshold: 1, ..IntegrityConfig::checked() };
+        let mut mm = mm_with_integrity(2, 8, integrity);
+        arm(&mut mm, 33, FaultConfig { corruption_rate: 1.0, ..FaultConfig::default() });
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        mm.map_range(Pid(1), 2 * PAGE_SIZE, PAGE_SIZE).unwrap();
+        assert!(mm.access(Pid(1), 0, 3 * PAGE_SIZE, AccessKind::Mutator).killed);
+        mm.unmap_process(Pid(1));
+        assert!(mm.degraded(), "one quarantined slot saturates a threshold of 1");
+        assert_eq!(mm.stats().tiers_retired, 1);
+        // Degraded mode: no further anon swap stores through any path.
+        mm.map_range(Pid(2), 0, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(mm.proactive_swap_out(Pid(2), 8), 0);
+        assert_eq!(mm.madvise(Pid(2), 0, PAGE_SIZE, Advice::ColdRuntime), 0);
+        assert!(
+            mm.map_range(Pid(2), 2 * PAGE_SIZE, PAGE_SIZE).is_err(),
+            "no file pages and no usable swap must report an honest OOM"
+        );
+        mm.validate();
+    }
+
+    #[test]
+    fn scrubber_detects_cold_corruption_and_defers_recovery() {
+        let integrity = IntegrityConfig {
+            scrub_interval_ticks: 1,
+            scrub_batch_pages: 8,
+            ..IntegrityConfig::checked()
+        };
+        let mut mm = mm_with_integrity(2, 8, integrity);
+        arm(&mut mm, 57, FaultConfig { corruption_rate: 1.0, ..FaultConfig::default() });
+        mm.map_range(Pid(1), 0, 2 * PAGE_SIZE).unwrap();
+        mm.map_range(Pid(1), 2 * PAGE_SIZE, PAGE_SIZE).unwrap(); // one corrupt store
+        let report = mm.scrub_tick().expect("due after one tick at interval 1");
+        assert_eq!(report.scanned, 1);
+        assert_eq!(report.detected, 1);
+        assert_eq!(mm.stats().scrub_passes, 1);
+        assert_eq!(mm.stats().scrub_pages_scanned, 1);
+        // Recovery is deferred to the next access, with no second detection.
+        assert!(mm.access(Pid(1), 0, 3 * PAGE_SIZE, AccessKind::Mutator).killed);
+        assert_eq!(mm.stats().corruptions_detected, 1);
+        mm.validate();
+    }
+
+    #[test]
+    fn corrupt_file_read_discards_and_refaults() {
+        let mut mm = mm_with_integrity(4, 8, IntegrityConfig::checked());
+        arm(&mut mm, 63, FaultConfig { corruption_rate: 1.0, ..FaultConfig::default() });
+        mm.map_range_kind(Pid(1), 0, 2 * PAGE_SIZE, PageKind::File).unwrap();
+        mm.madvise(Pid(1), 0, 2 * PAGE_SIZE, Advice::ColdRuntime); // drop both
+        let out = mm.access(Pid(1), 0, 2 * PAGE_SIZE, AccessKind::Mutator);
+        // File pages never die: each corrupt read is discarded and re-read
+        // at one extra file read's cost.
+        assert!(!out.killed);
+        assert_eq!(out.faulted_pages, 2);
+        assert_eq!(mm.stats().corruptions_injected, 2);
+        assert_eq!(mm.stats().corruptions_detected, 2);
+        assert_eq!(mm.stats().pages_lost, 0);
+        assert!(out.degraded_latency > SimDuration::ZERO);
+        mm.validate();
+    }
+
+    #[test]
+    fn front_retirement_falls_back_to_flash_only() {
+        let integrity = IntegrityConfig { quarantine_threshold: 1, ..IntegrityConfig::checked() };
+        let mut mm = MemoryManager::new(MmConfig {
+            dram_bytes: 4 * PAGE_SIZE,
+            swap: SwapConfig { capacity_bytes: 16 * PAGE_SIZE, ..SwapConfig::default() },
+            zram: Some(SwapConfig::try_zram(8 * PAGE_SIZE, 2.0).unwrap()),
+            low_watermark_frames: 0,
+            high_watermark_frames: 0,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+            integrity,
+        });
+        arm(&mut mm, 61, FaultConfig { corruption_rate: 1.0, ..FaultConfig::default() });
+        mm.map_range(Pid(1), 0, 4 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator); // all warm
+                                                                  // One new page needs a whole frame; each zram store only nets half
+                                                                  // a frame back (2:1 compression), so two warm pages are evicted —
+                                                                  // both stored corrupt.
+        mm.map_range(Pid(2), 0, PAGE_SIZE).unwrap();
+        assert_eq!(mm.swap().front().unwrap().used_pages(), 2);
+        assert!(mm.access(Pid(1), 0, 4 * PAGE_SIZE, AccessKind::Mutator).killed);
+        mm.unmap_process(Pid(1));
+        assert!(mm.swap().front_retired(), "one zram quarantine saturates a threshold of 1");
+        assert_eq!(mm.stats().tiers_retired, 1, "retirement happens exactly once");
+        assert!(!mm.degraded(), "the back tier still serves");
+        assert_eq!(mm.swap().front().unwrap().quarantined_pages(), 2);
+        // New warm victims bypass the retired front and land on flash.
+        mm.unmap_process(Pid(2));
+        mm.map_range(Pid(3), 0, 4 * PAGE_SIZE).unwrap();
+        mm.access(Pid(3), 0, 4 * PAGE_SIZE, AccessKind::Mutator); // warm
+        mm.map_range(Pid(3), 4 * PAGE_SIZE, PAGE_SIZE).unwrap(); // forces one eviction
+        assert_eq!(mm.swap().front().unwrap().used_pages(), 0, "retired front takes no stores");
+        assert_eq!(mm.swap().back().used_pages(), 1, "warm victims fall back to flash");
+        mm.validate();
+    }
+
+    #[test]
+    fn torn_writeback_quarantines_the_flash_slot() {
+        let mut mm = MemoryManager::new(MmConfig {
+            dram_bytes: 8 * PAGE_SIZE,
+            swap: SwapConfig { capacity_bytes: 16 * PAGE_SIZE, ..SwapConfig::default() },
+            zram: Some(SwapConfig::try_zram(8 * PAGE_SIZE, 4.0).unwrap()),
+            low_watermark_frames: 0,
+            high_watermark_frames: 0,
+            dram_page_cost: SimDuration::from_nanos(450),
+            file_read_bw: 300.0e6,
+            swappiness: 50,
+            integrity: IntegrityConfig::checked(),
+        });
+        arm(&mut mm, 67, FaultConfig { torn_writeback_rate: 1.0, ..FaultConfig::default() });
+        // Grow the zram front to its writeback high watermark (7 of 8):
+        // keep every page warm so each eviction lands in zram.
+        mm.map_range(Pid(1), 0, 8 * PAGE_SIZE).unwrap();
+        mm.access(Pid(1), 0, 8 * PAGE_SIZE, AccessKind::Mutator);
+        let mut next = 8u64;
+        while mm.swap().front().unwrap().used_pages() < 7 {
+            assert!(next < 64, "front tier never reached its high watermark");
+            mm.map_range(Pid(1), next * PAGE_SIZE, PAGE_SIZE).unwrap();
+            mm.access(Pid(1), next * PAGE_SIZE, PAGE_SIZE, AccessKind::Mutator);
+            next += 1;
+        }
+        let moved = mm.zram_writeback();
+        // Verify-before-retire: the torn flash copy never retires the zram
+        // original — the new slot is quarantined, the page stays put.
+        assert_eq!(moved, 0);
+        assert_eq!(mm.stats().corruptions_injected, 1);
+        assert_eq!(mm.stats().corruptions_detected, 1);
+        assert_eq!(mm.stats().slots_quarantined, 1);
+        assert_eq!(mm.swap().back().quarantined_pages(), 1);
+        assert_eq!(mm.swap().back().used_pages(), 0);
+        assert_eq!(mm.swap().front().unwrap().used_pages(), 7);
+        assert_eq!(mm.stats().zram_writeback_pages, 0);
+        mm.validate();
     }
 }

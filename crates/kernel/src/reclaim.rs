@@ -2,8 +2,8 @@
 //!
 //! Before this module the reclaim surface was scattered: the device layer
 //! hand-ticked [`MemoryManager::kswapd`], [`MemoryManager::zram_writeback`]
-//! and the stateful `Lmkd` escalation separately, and the victim policy was
-//! a free function. SWAM (PAPERS.md) argues the pieces belong together:
+//! and a stateful `Lmkd` escalation driver separately, and the victim
+//! policy was a free function. SWAM (PAPERS.md) argues the pieces belong together:
 //! per-process working-set estimation, *proactive* swap-out of idle
 //! background apps ahead of pressure, dynamic swap-target sizing, and a
 //! kill policy that can weight oom-scores by working-set size. This module
@@ -21,9 +21,10 @@
 //!   (kswapd scan, zram writeback, WSS epoch advance, proactive swap-out)
 //!   and executes kills/escalations under the configured [`KillPolicy`].
 //!
-//! The driver replaces the deprecated [`crate::lmk::choose_victim`] /
-//! [`crate::lmk::Lmkd::kill_one`] / [`crate::lmk::Lmkd::escalate`] split;
-//! those remain as one-release shims with no internal call sites.
+//! The driver replaced the old `choose_victim` / `Lmkd::kill_one` /
+//! `Lmkd::escalate` split; those shims rode one release as deprecated and
+//! are gone — only the victim-order function and the vocabulary types
+//! survive in [`crate::lmk`].
 //!
 //! # Examples
 //!
@@ -237,8 +238,42 @@ impl ReclaimDriver {
     /// ordering barrier before a victim's pages are unmapped.
     pub fn tick(&mut self, mm: &mut MemoryManager, candidates: &[LmkCandidate]) {
         mm.reclaim_tick();
+        self.scrub_pass(mm);
         if let ReclaimPolicy::Swam(params) = self.policy {
             self.proactive_pass(mm, candidates, params);
+        }
+    }
+
+    /// The background integrity scrubber's turn: one
+    /// [`MemoryManager::scrub_tick`] step over cold slots (a no-op unless
+    /// the integrity layer and its scrubber are enabled). Runs after the
+    /// reclaim pair so a freshly-demoted slot is scrubbable the same tick.
+    fn scrub_pass(&mut self, mm: &mut MemoryManager) {
+        #[cfg(feature = "obs")]
+        let cpu_before = mm.stats().kswapd_cpu_nanos;
+        let Some(report) = mm.scrub_tick() else { return };
+        let _ = &report;
+        #[cfg(feature = "obs")]
+        if mm.obs_log_mut().is_enabled() {
+            let dur = mm.stats().kswapd_cpu_nanos - cpu_before;
+            let (scanned, detected) = (report.scanned, report.detected);
+            mm.obs_log_mut().push(move |_| {
+                fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                    pid: 0,
+                    name: "scrub",
+                    cat: "kernel",
+                    depth: 0,
+                    rel_start: 0,
+                    dur,
+                    args: vec![("scanned", scanned), ("detected", detected)],
+                })
+            });
+            if detected > 0 {
+                mm.obs_log_mut().push(move |_| fleet_obs::ObsRecord::Counter {
+                    name: "kernel.corruptions_detected",
+                    delta: detected,
+                });
+            }
         }
     }
 

@@ -249,6 +249,10 @@ pub struct SwapDevice {
     /// Failed fallible operations (injected read/write errors and injected
     /// reservation refusals; genuine capacity exhaustion is not an error).
     io_errors: u64,
+    /// Slots permanently removed from service after a detected corruption
+    /// (DESIGN.md §14). Quarantined slots count against capacity but hold
+    /// no page: `used_pages + quarantined_pages <= capacity_pages`.
+    quarantined_pages: u64,
 }
 
 /// Schema-stable per-tier counters, returned by [`SwapDevice::tier_stats`]
@@ -267,6 +271,10 @@ pub struct TierStats {
     pub io_errors: u64,
     /// DRAM frames the stored pages consume (zero for flash).
     pub frames_consumed: u64,
+    /// Slots quarantined after a detected corruption (removed from
+    /// capacity for the rest of the run; zero unless the integrity layer
+    /// is armed).
+    pub quarantined_pages: u64,
 }
 
 impl SwapDevice {
@@ -280,6 +288,7 @@ impl SwapDevice {
             fault: FaultPlan::default(),
             raw_pages: 0,
             io_errors: 0,
+            quarantined_pages: 0,
         }
     }
 
@@ -317,14 +326,14 @@ impl SwapDevice {
         self.used_pages
     }
 
-    /// Free page slots.
+    /// Free page slots (quarantined slots are permanently out of service).
     pub fn free_pages(&self) -> u64 {
-        self.capacity_pages() - self.used_pages
+        self.capacity_pages() - self.used_pages - self.quarantined_pages
     }
 
     /// True when no slot is free.
     pub fn is_full(&self) -> bool {
-        self.used_pages >= self.capacity_pages()
+        self.used_pages + self.quarantined_pages >= self.capacity_pages()
     }
 
     /// Reserves a slot for one page being swapped out. Returns false when
@@ -455,6 +464,23 @@ impl SwapDevice {
         self.raw_pages = self.raw_pages.min(self.used_pages);
     }
 
+    /// Releases a slot into quarantine: the stored page is gone (corruption
+    /// detected, DESIGN.md §14) and the slot is never handed out again —
+    /// capacity shrinks by one for the rest of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is empty.
+    pub fn release_page_quarantined(&mut self) {
+        self.release_page();
+        self.quarantined_pages += 1;
+    }
+
+    /// Slots quarantined so far (zero unless the integrity layer is armed).
+    pub fn quarantined_pages(&self) -> u64 {
+        self.quarantined_pages
+    }
+
     /// Latency of reading `n` pages back from the device (one operation:
     /// a single setup cost plus bandwidth-limited transfer). This is the
     /// cost a faulting thread stalls for.
@@ -512,6 +538,7 @@ impl SwapDevice {
             pages_read: self.total_pages_read,
             io_errors: self.io_errors,
             frames_consumed: self.frames_consumed(),
+            quarantined_pages: self.quarantined_pages,
         }
     }
 
@@ -709,6 +736,23 @@ mod tests {
         assert_eq!(swap.try_reserve(), Err(SwapError::Full));
         assert_eq!(swap.used_pages(), 0);
         assert!(!swap.is_full());
+    }
+
+    #[test]
+    fn quarantined_slots_shrink_capacity_permanently() {
+        let mut swap =
+            SwapDevice::new(SwapConfig { capacity_bytes: 3 * PAGE_SIZE, ..SwapConfig::default() });
+        assert!(swap.reserve_page());
+        assert!(swap.reserve_page());
+        swap.release_page_quarantined();
+        assert_eq!(swap.quarantined_pages(), 1);
+        assert_eq!(swap.used_pages(), 1);
+        // Capacity 3, one used, one quarantined: exactly one slot left.
+        assert_eq!(swap.free_pages(), 1);
+        assert!(swap.reserve_page());
+        assert!(swap.is_full());
+        assert!(!swap.reserve_page(), "a quarantined slot is never reused");
+        assert_eq!(swap.tier_stats().quarantined_pages, 1);
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct SwapStats {
     pub back: TierStats,
     /// Pages the writeback daemon has demoted front → back.
     pub writeback_pages: u64,
+    /// True once the front tier was retired at runtime (quarantine
+    /// saturation, DESIGN.md §14): no new front stores, existing slots
+    /// drain via writeback.
+    pub front_retired: bool,
 }
 
 /// A two-tier swap hierarchy: an optional zram front in front of the
@@ -84,13 +88,22 @@ pub struct SwapStack {
     front: Option<SwapDevice>,
     back: SwapDevice,
     writeback_pages: u64,
+    /// Set when quarantine saturation retires the front tier mid-run: the
+    /// device object stays (its remaining slots drain through reads and
+    /// writeback) but no new page is ever placed there.
+    front_retired: bool,
 }
 
 impl SwapStack {
     /// A single-tier stack over the backing device (flash-only default, or
     /// a zram-only configuration where the whole space is compressed RAM).
     pub fn new(back: SwapConfig) -> Self {
-        SwapStack { front: None, back: SwapDevice::new(back), writeback_pages: 0 }
+        SwapStack {
+            front: None,
+            back: SwapDevice::new(back),
+            writeback_pages: 0,
+            front_retired: false,
+        }
     }
 
     /// A hybrid stack: a zram front tier in front of the backing device.
@@ -99,12 +112,36 @@ impl SwapStack {
             front: Some(SwapDevice::new(front)),
             back: SwapDevice::new(back),
             writeback_pages: 0,
+            front_retired: false,
         }
     }
 
-    /// True when a zram front tier is configured.
+    /// True when a zram front tier is configured (retired or not).
     pub fn has_front(&self) -> bool {
         self.front.is_some()
+    }
+
+    /// True when the front tier is configured and still accepting stores.
+    /// Placement policy must route new pages through this, not
+    /// [`SwapStack::has_front`], so a retired front drains instead of
+    /// refilling.
+    pub fn has_active_front(&self) -> bool {
+        self.front.is_some() && !self.front_retired
+    }
+
+    /// Retires the front tier at runtime (quarantine saturation): the
+    /// device falls back to flash-only placement mid-run. Remaining front
+    /// slots stay readable and drain through the writeback daemon.
+    /// Idempotent; a no-op on a stack without a front tier.
+    pub fn retire_front(&mut self) {
+        if self.front.is_some() {
+            self.front_retired = true;
+        }
+    }
+
+    /// True once [`SwapStack::retire_front`] has fired.
+    pub fn front_retired(&self) -> bool {
+        self.front_retired
     }
 
     /// The front (zram) tier, when configured.
@@ -215,6 +252,7 @@ impl SwapStack {
             front: self.front.as_ref().map(|f| f.tier_stats()),
             back: self.back.tier_stats(),
             writeback_pages: self.writeback_pages,
+            front_retired: self.front_retired,
         }
     }
 }
@@ -307,6 +345,24 @@ mod tests {
         stack.note_writeback(2);
         assert_eq!(stack.writeback_pages(), 5);
         assert_eq!(stack.stats().writeback_pages, 5);
+    }
+
+    #[test]
+    fn retiring_the_front_stops_new_stores_but_keeps_it_draining() {
+        let mut stack = hybrid();
+        stack.front_mut().unwrap().reserve_page();
+        assert!(stack.has_active_front());
+        stack.retire_front();
+        assert!(stack.front_retired());
+        assert!(!stack.has_active_front());
+        assert!(stack.has_front(), "retired front still drains");
+        assert_eq!(stack.front().unwrap().used_pages(), 1);
+        assert!(stack.stats().front_retired);
+        // Idempotent, and a no-op without a front tier.
+        stack.retire_front();
+        let mut flat = SwapStack::new(SwapConfig::default());
+        flat.retire_front();
+        assert!(!flat.front_retired());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use fleet::audit::{install, shared_pipeline};
 use fleet::population::{run_population, PopulationSpec, RangeU32};
+use fleet_kernel::{FaultConfig, IntegrityConfig};
 use std::fs;
 use std::path::PathBuf;
 
@@ -110,6 +111,51 @@ fn audited_cohort_recording_is_deterministic() {
     let a = record_cohort();
     let b = record_cohort();
     assert_eq!(a, b);
+}
+
+/// Armed fault plans at population scale: the same cohort with silent
+/// corruption + torn writeback injected and the integrity layer armed must
+/// keep every auditor family clean (including the eighth, data integrity)
+/// on every device, and two runs must land on the same recorder hash —
+/// chaos is seeded, not random.
+#[test]
+fn armed_fault_plans_stay_clean_and_deterministic_at_cohort_scale() {
+    let mut spec = audited_spec();
+    // Hybrid stacks everywhere so both the zram and flash corruption paths
+    // (store corruption, torn writeback) are exercised.
+    for class in &mut spec.classes {
+        class.zram_chance = 1.0;
+    }
+    spec.fault = FaultConfig::silent_corruption(0.2);
+    spec.integrity = IntegrityConfig {
+        quarantine_threshold: 2,
+        scrub_interval_ticks: 1,
+        ..IntegrityConfig::checked()
+    };
+
+    let mut fingerprints = Vec::new();
+    let mut detected = 0;
+    for _ in 0..2 {
+        let pipeline = shared_pipeline();
+        let _guard = install(pipeline.clone());
+        let run = run_population(&spec, 1).expect("armed cohort runs");
+        assert_eq!(run.aggregate.devices, COHORT_DEVICES as u64);
+        let pipe = pipeline.lock().unwrap();
+        assert_eq!(
+            pipe.auditor().violations(),
+            0,
+            "auditor must stay clean under armed corruption plans"
+        );
+        let rec = pipe.recorder();
+        fingerprints.push((rec.event_count(), rec.hash()));
+        detected = run.aggregate.corruptions_detected;
+        assert!(
+            run.aggregate.corruptions_detected <= run.aggregate.corruptions_injected,
+            "detection can never outrun injection"
+        );
+    }
+    assert_eq!(fingerprints[0], fingerprints[1], "armed cohort not deterministic across runs");
+    assert!(detected > 0, "an intensity-0.2 cohort must actually inject corruption");
 }
 
 /// The audited inline run aggregates to the same bytes as an unaudited
