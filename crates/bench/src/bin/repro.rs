@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--export DIR] [--trace DIR] [--threads N]
-//!       [--list] [SELECTOR ...]
+//! repro [--quick] [--seed N] [--export DIR] [--trace DIR] [--drilldown DIR]
+//!       [--threads N] [--list] [SELECTOR ...]
 //! ```
 //!
 //! A `SELECTOR` is an experiment id (`fig13`), an alias (`fig15`, `cdf`),
@@ -23,7 +23,15 @@
 //! `<id>.trace.json` (Chrome trace-event JSON; load it at
 //! <https://ui.perfetto.dev>) plus `<id>.metrics.json` (counters, latency
 //! histograms, time series) per experiment. Each trace is schema-validated
-//! before it is written; a validation failure fails the run.
+//! before it is written; a validation failure fails the run. Population
+//! cohorts drop to one inline worker while a pipeline is installed, so
+//! their traces are never silently empty.
+//!
+//! `--drilldown DIR` hands telemetry-style experiments (`fleet_telemetry`)
+//! a directory for outlier drill-down artifacts: the top-K outlier
+//! device-days are re-simulated standalone into `DIR/<id>/` as
+//! `outlier_<n>.row.json` plus, in obs-enabled builds, a validated
+//! `outlier_<n>.trace.json` and `outlier_<n>.metrics.json`.
 //!
 //! Each section prints the simulator's measurement next to the paper's
 //! reported value. Absolute numbers are not expected to match (the
@@ -41,6 +49,7 @@ struct Opts {
     what: Vec<String>,
     export: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
+    drilldown: Option<std::path::PathBuf>,
     threads: usize,
     list: bool,
 }
@@ -52,8 +61,8 @@ fn default_threads() -> usize {
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--export DIR] [--trace DIR] [--threads N] [--list] \
-         [SELECTOR ...]"
+        "usage: repro [--quick] [--seed N] [--export DIR] [--trace DIR] [--drilldown DIR] \
+         [--threads N] [--list] [SELECTOR ...]"
     );
     std::process::exit(2);
 }
@@ -65,6 +74,7 @@ fn parse_args() -> Opts {
         what: Vec::new(),
         export: None,
         trace: None,
+        drilldown: None,
         threads: default_threads(),
         list: false,
     };
@@ -93,6 +103,11 @@ fn parse_args() -> Opts {
             "--trace" => {
                 let dir = args.next().unwrap_or_else(|| usage_error("--trace needs a directory"));
                 opts.trace = Some(std::path::PathBuf::from(dir));
+            }
+            "--drilldown" => {
+                let dir =
+                    args.next().unwrap_or_else(|| usage_error("--drilldown needs a directory"));
+                opts.drilldown = Some(std::path::PathBuf::from(dir));
             }
             other if other.starts_with('-') => usage_error(&format!("unknown flag `{other}`")),
             other => {
@@ -138,6 +153,7 @@ fn run_traced(
             let ctx = harness::ExperimentCtx {
                 seed: harness::derive_seed(opts.seed, exp.id()),
                 quick: opts.quick,
+                drilldown: opts.drilldown.as_ref().map(|d| d.join(exp.id())),
             };
             exp.run(&ctx)
         };
@@ -198,13 +214,25 @@ fn main() {
             usage_error(&format!("cannot create trace dir {}: {e}", dir.display()));
         }
     }
+    if let Some(dir) = &opts.drilldown {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            usage_error(&format!("cannot create drilldown dir {}: {e}", dir.display()));
+        }
+    }
 
     // Tracing installs a thread-local pipeline, so traced runs go inline on
     // this thread; the parallel pool keeps its run_experiments determinism
     // contract either way (seeds derive from --seed and the id alone).
     let reports = match &opts.trace {
         Some(dir) => run_traced(&selected, &opts, dir),
-        None => harness::run_experiments(&selected, opts.seed, opts.quick, opts.threads, true),
+        None => harness::run_experiments(
+            &selected,
+            opts.seed,
+            opts.quick,
+            opts.threads,
+            true,
+            opts.drilldown.as_deref(),
+        ),
     };
 
     let mut failed = false;

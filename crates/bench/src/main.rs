@@ -38,6 +38,10 @@
 //!   heterogeneous cohort streamed through the parallel device-day runner
 //!   (`fleet::population`), reported as simulated device-hours per
 //!   wall-second.
+//! * **telemetry_overhead** — the same cohort with no SLO monitors vs the
+//!   demo monitors armed, isolating the online telemetry/SLO evaluation
+//!   cost on the cohort path (DESIGN.md §15); the always-cheap contract's
+//!   acceptance bar is <10%.
 //!
 //! `--quick` shrinks workloads for CI smoke runs; `--check` validates an
 //! existing report against the schema (exit 1 on mismatch) instead of
@@ -66,7 +70,7 @@ use serde::{Deserialize, Serialize};
 // ------------------------------------------------------------ JSON schema
 
 /// The report schema this binary writes and `--check` enforces.
-const SCHEMA_VERSION: u32 = 6;
+const SCHEMA_VERSION: u32 = 7;
 
 /// The full report; field order is the (stable) key order in the file.
 #[derive(Serialize, Deserialize)]
@@ -82,6 +86,7 @@ struct Report {
     wss_overhead: WssOverhead,
     integrity_overhead: IntegrityOverhead,
     population: PopulationBench,
+    telemetry_overhead: TelemetryOverhead,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -173,6 +178,19 @@ struct PopulationBench {
     wall_secs: f64,
     /// The headline: simulated device-hours per wall-second.
     device_hours_per_wall_sec: f64,
+}
+
+/// Cost of the online telemetry/SLO layer on the cohort path: the same
+/// sampled cohort with `spec.slos` empty vs the demo monitors armed. The
+/// attribution fold itself always runs; this isolates the burn-rate window
+/// evaluation and verdict assembly.
+#[derive(Serialize, Deserialize)]
+struct TelemetryOverhead {
+    cohort_plain_ms: f64,
+    cohort_slo_ms: f64,
+    /// `(slo - plain) / plain`, percent. May go slightly negative from
+    /// timer noise — the evaluation is a post-merge pass over slice rows.
+    overhead_pct: f64,
 }
 
 // ------------------------------------------------------------- timing core
@@ -404,7 +422,7 @@ fn bench_heap(objects: u64) -> Heap {
 fn run_figures(quick: bool) -> Figures {
     let fig_ms = |id: &str| {
         let selected = harness::select(&[id.to_string()]).expect("registry id");
-        let reports = harness::run_experiments(&selected, 0xF1EE7, quick, 1, false);
+        let reports = harness::run_experiments(&selected, 0xF1EE7, quick, 1, false, None);
         let report = reports.into_iter().next().expect("one report");
         report.result.expect("experiment runs");
         report.elapsed.as_secs_f64() * 1e3
@@ -419,7 +437,11 @@ fn run_figures(quick: bool) -> Figures {
 fn run_obs_overhead(quick: bool) -> ObsOverhead {
     let selected = harness::select(&["fig2".to_string()]).expect("registry id");
     let exp = selected[0];
-    let ctx = harness::ExperimentCtx { seed: harness::derive_seed(0xF1EE7, exp.id()), quick };
+    let ctx = harness::ExperimentCtx {
+        seed: harness::derive_seed(0xF1EE7, exp.id()),
+        quick,
+        drilldown: None,
+    };
     let plain = || {
         exp.run(&ctx).expect("fig2 runs");
     };
@@ -536,6 +558,43 @@ fn run_population_bench(quick: bool) -> PopulationBench {
     }
 }
 
+/// Times the cohort runner with no SLO monitors and with the demo pair
+/// armed over the *same* sampled cohort (monitors are a deployment knob:
+/// no RNG impact). Rounds interleave and each side keeps its best, as in
+/// [`run_obs_overhead`].
+fn run_telemetry_overhead(quick: bool) -> TelemetryOverhead {
+    use fleet::experiment::fleet_telemetry::demo_slos;
+    let devices = if quick { 12 } else { 64 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let plain_spec = PopulationSpec::default_mix(0xF1EE7, devices);
+    let mut slo_spec = plain_spec.clone();
+    slo_spec.slos = demo_slos();
+    let plain_round = || {
+        run_population(&plain_spec, threads).expect("cohort runs");
+    };
+    let slo_round = || {
+        run_population(&slo_spec, threads).expect("cohort runs");
+    };
+    plain_round();
+    slo_round();
+    let rounds = if quick { 2 } else { 5 };
+    let mut plain = f64::INFINITY;
+    let mut slo = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        plain_round();
+        plain = plain.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        slo_round();
+        slo = slo.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    TelemetryOverhead {
+        cohort_plain_ms: plain,
+        cohort_slo_ms: slo,
+        overhead_pct: (slo - plain) / plain * 100.0,
+    }
+}
+
 // ---------------------------------------------------------------- driver
 
 fn run(quick: bool) -> Report {
@@ -627,6 +686,9 @@ fn run(quick: bool) -> Report {
     eprintln!("population: cohort device-days on all cores…");
     let population = run_population_bench(quick);
 
+    eprintln!("telemetry overhead: cohort with SLO monitors off / on…");
+    let telemetry_overhead = run_telemetry_overhead(quick);
+
     let mut report = Report {
         schema_version: SCHEMA_VERSION,
         quick,
@@ -643,6 +705,7 @@ fn run(quick: bool) -> Report {
         wss_overhead,
         integrity_overhead,
         population,
+        telemetry_overhead,
     };
     report.microbench.lru.speedup =
         report.microbench.lru.new_ops_per_sec / report.microbench.lru.baseline_ops_per_sec;
@@ -822,6 +885,12 @@ fn main() {
         report.population.sim_device_hours,
         report.population.wall_secs,
         report.population.device_hours_per_wall_sec
+    );
+    println!(
+        "Telemetry:  cohort {:.0} ms plain   {:.0} ms with SLO monitors   ({:+.1}% overhead)",
+        report.telemetry_overhead.cohort_plain_ms,
+        report.telemetry_overhead.cohort_slo_ms,
+        report.telemetry_overhead.overhead_pct
     );
     println!("wrote {}", out.display());
 }

@@ -458,10 +458,17 @@ impl Device {
         if self.obs.is_none() {
             return;
         }
-        let mut records = match self.procs.get_mut(&pid) {
+        let drained = match self.procs.get_mut(&pid) {
             Some(proc) => proc.heap.obs_log_mut().drain(),
             None => Vec::new(),
         };
+        // Slow-path `alloc` spans ("heap" cat, depth 0) ride in the same
+        // buffer as the GC phase spans but are roots of their own: feed them
+        // as a separate batch first, so the collection root inserted below
+        // adopts only the phase spans as children.
+        let (alloc_spans, mut records): (Vec<_>, Vec<_>) = drained
+            .into_iter()
+            .partition(|r| matches!(r, fleet_obs::ObsRecord::Span(s) if s.cat == "heap"));
         let name = match stats.kind {
             GcKind::Full => "gc_full",
             GcKind::Minor => "gc_minor",
@@ -487,6 +494,9 @@ impl Device {
         let anchor = self.clock.now().as_nanos();
         let obs = self.obs.as_ref().expect("checked above");
         let mut pipeline = obs.pipeline.lock().expect("obs pipeline poisoned");
+        if !alloc_spans.is_empty() {
+            pipeline.feed_batch(obs.ordinal, anchor, alloc_spans);
+        }
         pipeline.feed_batch(obs.ordinal, anchor, records);
         pipeline.latency("gc.stw_ns", stats.stw.as_nanos());
         pipeline.latency("gc.duration_ns", stats.duration().as_nanos());

@@ -24,6 +24,9 @@ pub enum FleetError {
     Io(std::io::Error),
     /// JSON encoding/decoding of experiment records failed.
     Serde(String),
+    /// An *enforcing* SLO monitor breached; the message names the failed
+    /// objectives.
+    SloBreached(String),
 }
 
 impl fmt::Display for FleetError {
@@ -39,6 +42,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::Io(e) => write!(f, "I/O error: {e}"),
             FleetError::Serde(why) => write!(f, "serialisation error: {why}"),
+            FleetError::SloBreached(which) => {
+                write!(f, "enforced SLO breached: {which}")
+            }
         }
     }
 }

@@ -22,13 +22,18 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Per-experiment run context.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExperimentCtx {
     /// This experiment's RNG seed, already derived from the master seed
     /// and the experiment id (see [`derive_seed`]).
     pub seed: u64,
     /// Trade fidelity for speed: fewer launches, shorter usage windows.
     pub quick: bool,
+    /// Where this experiment should write outlier drill-down artifacts
+    /// (already suffixed with the experiment id), or `None` when
+    /// `--drilldown` was not given. Only telemetry-style experiments look
+    /// at it.
+    pub drilldown: Option<std::path::PathBuf>,
 }
 
 impl ExperimentCtx {
@@ -186,6 +191,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::experiment::swap_tiers::SwapTiers,
     &crate::experiment::proactive_reclaim::ProactiveReclaim,
     &crate::experiment::population::Population,
+    &crate::experiment::fleet_telemetry::FleetTelemetry,
 ];
 
 /// Derives an experiment's RNG seed from the master seed and its id.
@@ -272,12 +278,15 @@ pub struct RunReport {
 /// returned in `selected` order — are identical whatever `threads` is.
 /// With `progress`, a `done <id> (<secs>)` line goes to stderr as each
 /// experiment finishes (completion order, the one place parallelism shows).
+/// A `drilldown` directory is forwarded to each experiment as
+/// `drilldown/<id>` (only telemetry-style experiments write there).
 pub fn run_experiments(
     selected: &[&'static dyn Experiment],
     master_seed: u64,
     quick: bool,
     threads: usize,
     progress: bool,
+    drilldown: Option<&std::path::Path>,
 ) -> Vec<RunReport> {
     let threads = threads.clamp(1, selected.len().max(1));
     let next = AtomicUsize::new(0);
@@ -288,7 +297,11 @@ pub fn run_experiments(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(exp) = selected.get(i) else { break };
-                let ctx = ExperimentCtx { seed: derive_seed(master_seed, exp.id()), quick };
+                let ctx = ExperimentCtx {
+                    seed: derive_seed(master_seed, exp.id()),
+                    quick,
+                    drilldown: drilldown.map(|d| d.join(exp.id())),
+                };
                 let start = Instant::now();
                 let result = exp.run(&ctx);
                 let elapsed = start.elapsed();
@@ -326,6 +339,7 @@ mod tests {
         "attribution",
         "caching",
         "chaos",
+        "fleet_telemetry",
         "frames",
         "gc_working_set",
         "hot_launch",

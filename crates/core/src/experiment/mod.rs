@@ -12,6 +12,7 @@ pub mod attribution;
 pub mod caching;
 pub mod chaos;
 pub mod export;
+pub mod fleet_telemetry;
 pub mod frames;
 pub mod gc_working_set;
 pub mod harness;

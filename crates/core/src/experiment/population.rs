@@ -197,6 +197,9 @@ impl Experiment for Population {
         let mut swam_spec = spec.clone();
         swam_spec.reclaim_policy = ReclaimPolicy::swam();
         swam_spec.kill_policy = KillPolicy::WssWeighted;
+        // run_population drops to one inline worker by itself when an
+        // audit/obs pipeline is installed (repro --trace), so the trace is
+        // never silently empty under parallelism.
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let run = run_population(&spec, threads)?;
         let agg = &run.aggregate;

@@ -42,6 +42,7 @@ pub mod obs;
 pub mod params;
 pub mod population;
 pub mod process;
+pub mod telemetry;
 pub mod timeline;
 
 pub use config::{DeviceConfig, DeviceConfigBuilder, ZramFront};
@@ -54,6 +55,10 @@ pub use population::{
     PopulationAggregate, PopulationRun, PopulationSpec,
 };
 pub use process::{AppState, FleetProcState, GcRecord, LaunchKind, LaunchReport, Process};
+pub use telemetry::{
+    drill_down, CohortTelemetry, DrilldownRecord, LaunchAttribution, LaunchSpanSample, Outlier,
+    SloBreach, SloMetric, SloReport, SloSpec, SloVerdict,
+};
 pub use timeline::{Timeline, TimelineEvent};
 
 /// The stable, supported surface of the reproduction in one import.
@@ -78,6 +83,10 @@ pub mod prelude {
         PopulationAggregate, PopulationRun, PopulationSpec,
     };
     pub use crate::process::{LaunchKind, LaunchReport};
+    pub use crate::telemetry::{
+        drill_down, CohortTelemetry, DrilldownRecord, LaunchSpanSample, Outlier, SloMetric,
+        SloReport, SloSpec, SloVerdict,
+    };
     pub use fleet_kernel::{KillPolicy, ReclaimPolicy, SwamParams};
     pub use fleet_metrics::{Histogram, LogHistogram, Summary, Table};
 }

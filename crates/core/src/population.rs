@@ -34,6 +34,7 @@ use crate::error::FleetError;
 use crate::experiment::scenario::AppPool;
 use crate::params::SchemeKind;
 use crate::process::{LaunchKind, LaunchReport};
+use crate::telemetry::{CohortTelemetry, LaunchSpanSample, SloSpec, SloVerdict};
 use fleet_kernel::{FaultConfig, IntegrityConfig, KillPolicy, ReclaimPolicy};
 use fleet_metrics::LogHistogram;
 use fleet_sim::SimRng;
@@ -176,6 +177,10 @@ pub struct PopulationSpec {
     /// sampled; default disabled, which is bit-identical to a cohort that
     /// predates the layer).
     pub integrity: IntegrityConfig,
+    /// Declarative SLO monitors evaluated over the merged per-slice
+    /// telemetry after the cohort run (not sampled; empty = no monitors,
+    /// which is bit-identical to a cohort that predates the layer).
+    pub slos: Vec<SloSpec>,
 }
 
 impl PopulationSpec {
@@ -248,6 +253,7 @@ impl PopulationSpec {
             kill_policy: KillPolicy::ColdestFirst,
             fault: FaultConfig::default(),
             integrity: IntegrityConfig::default(),
+            slos: Vec::new(),
         }
     }
 
@@ -283,6 +289,7 @@ impl PopulationSpec {
             kill_policy: KillPolicy::ColdestFirst,
             fault: FaultConfig::default(),
             integrity: IntegrityConfig::default(),
+            slos: Vec::new(),
         }
     }
 
@@ -360,6 +367,9 @@ impl PopulationSpec {
         self.reclaim_policy.validate()?;
         self.fault.validate()?;
         self.integrity.validate()?;
+        for slo in &self.slos {
+            slo.validate()?;
+        }
         Ok(())
     }
 }
@@ -562,6 +572,10 @@ pub struct DeviceDayRow {
     pub failed_launches: u64,
     /// Hot-launch times, microseconds, in script order.
     pub hot_launch_us: Vec<u64>,
+    /// Per-hot-launch latency decomposition (same script order as
+    /// [`Self::hot_launch_us`]): the §10 span taxonomy flattened to
+    /// integers for the cohort attribution fold.
+    pub hot_spans: Vec<LaunchSpanSample>,
     /// LMK kills over the day.
     pub lmk_kills: u64,
     /// SIGBUS kills (lost swap slots under injected faults).
@@ -616,6 +630,7 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
     fp.mix(plan.seed);
 
     let mut hot_launch_us = Vec::new();
+    let mut hot_spans = Vec::new();
     let (mut hot, mut cold, mut failed) = (0u64, 0u64, 0u64);
     for cycle in 0..plan.cycles {
         let target = &plan.apps[script.index(plan.apps.len())];
@@ -626,6 +641,7 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
                     LaunchKind::Hot => {
                         hot += 1;
                         hot_launch_us.push(report.total.as_micros());
+                        hot_spans.push(LaunchSpanSample::from_report(&report));
                     }
                     LaunchKind::Cold => cold += 1,
                 }
@@ -660,6 +676,7 @@ pub fn run_device_day(plan: &DevicePlan) -> Result<DeviceDayRow, FleetError> {
         cold_relaunches: cold,
         failed_launches: failed,
         hot_launch_us,
+        hot_spans,
         lmk_kills: dev.reclaim().total_kills(),
         sigbus_kills: dev.sigbus_kills(),
         kills: dev.kills().len() as u64,
@@ -771,6 +788,13 @@ pub struct PopulationAggregate {
     pub slice_len: u32,
     /// Batched run-slice rows, one per [`Self::slice_len`] device indices.
     pub slices: Vec<SliceRow>,
+    /// Launch attribution, per-slice SLO inputs, moment sums and outlier
+    /// pools (DESIGN.md §15). Folds commutatively like every other field.
+    pub telemetry: CohortTelemetry,
+    /// Verdicts for the spec's SLO monitors, filled post-merge by
+    /// [`Self::evaluate_slos`] (empty on shards and on specs without
+    /// monitors).
+    pub slo_verdicts: Vec<SloVerdict>,
 }
 
 fn scheme_index(scheme: SchemeKind) -> usize {
@@ -819,6 +843,8 @@ impl PopulationAggregate {
                     zram_writeback_pages: 0,
                 })
                 .collect(),
+            telemetry: CohortTelemetry::new(cohort_devices, slice_len),
+            slo_verdicts: Vec::new(),
         }
     }
 
@@ -859,6 +885,7 @@ impl PopulationAggregate {
             slice.hot_launch_us_max.max(row.hot_launch_us.iter().copied().max().unwrap_or(0));
         slice.lmk_kills += row.lmk_kills;
         slice.zram_writeback_pages += row.zram_writeback_pages;
+        self.telemetry.absorb(row);
     }
 
     /// Folds another shard into this one. Commutative with [`Self::absorb`]:
@@ -909,6 +936,20 @@ impl PopulationAggregate {
             a.lmk_kills += b.lmk_kills;
             a.zram_writeback_pages += b.zram_writeback_pages;
         }
+        self.telemetry.merge(&other.telemetry);
+    }
+
+    /// Evaluates `slos` against the merged per-slice telemetry and stores
+    /// the verdicts. Called by [`run_population`] after the shards merge;
+    /// a pure function of the order-free aggregate, so parallel and
+    /// sequential runs verdict identically.
+    pub fn evaluate_slos(&mut self, slos: &[SloSpec]) {
+        self.slo_verdicts = self.telemetry.evaluate(slos);
+    }
+
+    /// The SLO verdicts as a report (breach totals, enforce failures).
+    pub fn slo_report(&self) -> crate::telemetry::SloReport {
+        crate::telemetry::SloReport { verdicts: self.slo_verdicts.clone() }
     }
 
     /// Hot-launch quantile in milliseconds (0 when no hot launch landed).
@@ -960,14 +1001,32 @@ impl PopulationRun {
 /// every device they build, and fold rows into a private shard. The merged
 /// aggregate is byte-identical for every thread count by construction.
 ///
+/// When the calling thread has an audit or obs pipeline installed, the run
+/// drops to one inline worker regardless of `threads`: worker threads have
+/// no access to the caller's thread-local pipelines, so a parallel run
+/// would silently record nothing. (This is how `repro --trace` captures
+/// population experiments without a manual `--threads 1`.)
+///
+/// After the shards merge, any [`PopulationSpec::slos`] are evaluated and
+/// the verdicts stored on the aggregate.
+///
 /// # Errors
 ///
 /// The first sampling or simulation error ([`FleetError`]).
 pub fn run_population(spec: &PopulationSpec, threads: usize) -> Result<PopulationRun, FleetError> {
     spec.validate().map_err(FleetError::InvalidConfig)?;
     let start = Instant::now();
-    let threads = threads.clamp(1, spec.devices.max(1) as usize);
-    let aggregate = if threads == 1 {
+    #[allow(unused_mut)]
+    let mut threads = threads.clamp(1, spec.devices.max(1) as usize);
+    #[cfg(feature = "obs")]
+    if crate::obs::current().is_some() {
+        threads = 1;
+    }
+    #[cfg(feature = "audit")]
+    if crate::audit::current().is_some() {
+        threads = 1;
+    }
+    let mut aggregate = if threads == 1 {
         let mut agg = PopulationAggregate::new(spec.devices, SLICE_LEN);
         for index in 0..spec.devices {
             agg.absorb(&run_device_day(&sample_device(spec, index)?)?);
@@ -1002,6 +1061,7 @@ pub fn run_population(spec: &PopulationSpec, threads: usize) -> Result<Populatio
         }
         agg
     };
+    aggregate.evaluate_slos(&spec.slos);
     Ok(PopulationRun { aggregate, wall: start.elapsed(), threads })
 }
 
@@ -1156,6 +1216,29 @@ mod tests {
         let par = run_population(&spec, 3).unwrap();
         assert_eq!(seq.aggregate, par.aggregate);
         assert_eq!(seq.aggregate.devices, 5);
+    }
+
+    #[test]
+    fn slo_monitors_evaluate_identically_across_thread_counts() {
+        let mut spec = tiny_spec(21, 5);
+        spec.slos = vec![
+            SloSpec::hot_launch_ms("impossible", 5000, 0, 1),
+            SloSpec::hot_launch_ms("generous", 9900, 1 << 30, 1),
+        ];
+        let seq = run_population(&spec, 1).unwrap();
+        let par = run_population(&spec, 3).unwrap();
+        assert_eq!(seq.aggregate, par.aggregate);
+        let v = &seq.aggregate.slo_verdicts;
+        assert_eq!(v.len(), 2);
+        assert!(!v[0].pass, "a 0 ms objective must breach");
+        assert!(v[1].pass, "a ~18-minute objective must hold");
+        assert!(seq.aggregate.slo_report().breaches() >= 1);
+        assert!(seq.aggregate.slo_report().enforce_failures().is_empty());
+        assert_eq!(
+            seq.aggregate.telemetry.overall.launches(),
+            seq.aggregate.hot_launches,
+            "attribution folds exactly the hot launches"
+        );
     }
 
     #[test]

@@ -353,6 +353,21 @@ impl Heap {
         }
         let fresh = self.create_region(kind);
         self.alloc_targets.insert(kind, fresh);
+        // Slow-path allocation opened a fresh region: an instant span on the
+        // app's track ("heap" cat — the device feeds these separately so
+        // they never adopt GC phase spans as children).
+        #[cfg(feature = "obs")]
+        self.obs.push(|pid| {
+            fleet_obs::ObsRecord::Span(fleet_obs::SpanRec {
+                pid,
+                name: "alloc",
+                cat: "heap",
+                depth: 0,
+                rel_start: 0,
+                dur: 0,
+                args: vec![("region", u64::from(fresh.0)), ("size", u64::from(size))],
+            })
+        });
         let offset =
             self.region_mut(fresh).bump(size, id).expect("fresh region can hold any valid object");
         (fresh, offset)

@@ -1567,10 +1567,32 @@ impl MemoryManager {
             } else {
                 SimDuration::ZERO
             };
+            #[cfg(feature = "obs")]
+            let batch_rel = outcome.latency.as_nanos();
             let stall = decompress
                 + self.swap.back_mut().read_pages(anon_faults)
                 + self.file_read_cost(file_faults);
             outcome.latency += stall;
+            // The batched tier reads become one child span under
+            // `fault_service`: this is the fault_in slice of the launch
+            // attribution, broken out by tier.
+            #[cfg(feature = "obs")]
+            if obs_on {
+                obs_children.push(fleet_obs::SpanRec {
+                    pid: 0,
+                    name: "fault_batch",
+                    cat: "kernel",
+                    depth: 1,
+                    rel_start: batch_rel,
+                    dur: stall.as_nanos(),
+                    args: vec![
+                        ("pages", faults),
+                        ("anon", anon_faults),
+                        ("zram", zram_faults),
+                        ("file", file_faults),
+                    ],
+                });
+            }
             outcome.faulted_pages = faults;
             outcome.decompress_latency += decompress;
             self.stats.faults += faults;

@@ -25,6 +25,7 @@ pub mod cpu;
 pub mod frames;
 pub mod histogram;
 pub mod loghist;
+pub mod moments;
 pub mod power;
 pub mod series;
 pub mod stats;
@@ -36,6 +37,7 @@ pub use cpu::{CpuAccounting, ThreadClass};
 pub use frames::{FrameRecorder, FrameReport};
 pub use histogram::Histogram;
 pub use loghist::LogHistogram;
+pub use moments::Moments;
 pub use power::{PowerModel, PowerReport};
 pub use series::TimeSeries;
 pub use stats::{correlation, geometric_mean};

@@ -1,0 +1,163 @@
+//! Commutative integer moment accumulators for outlier scoring.
+//!
+//! The population telemetry layer (DESIGN.md §15) ranks device-days by
+//! z-score against the cohort. Computing a mean/σ online with floats would
+//! make the fold order observable; [`Moments`] instead keeps the integer
+//! power sums `n`, `Σx`, `Σx²` — commutative saturating adds, like every
+//! other field of `PopulationAggregate` — and derives the float statistics
+//! only *after* the shards merge, when the state is already order-free.
+
+use serde::{Deserialize, Serialize};
+
+/// Integer power sums `(n, Σx, Σx²)` over `u64` observations.
+///
+/// Absorbing and merging are commutative saturating integer adds, so a
+/// sharded fold lands on identical state whatever the partition; `mean()`
+/// / `stddev()` / `z_score()` are derived views computed post-merge.
+///
+/// # Examples
+///
+/// ```
+/// use fleet_metrics::Moments;
+///
+/// let mut m = Moments::new();
+/// for v in [10, 20, 30] {
+///     m.record(v);
+/// }
+/// assert_eq!(m.n(), 3);
+/// assert_eq!(m.mean(), 20.0);
+/// assert!(m.z_score(40) > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Moments {
+    /// Number of observations.
+    n: u64,
+    /// Saturating sum of observations.
+    sum: u64,
+    /// Saturating sum of squared observations.
+    sum_sq: u64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Moments::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.n += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.sum_sq = self.sum_sq.saturating_add(value.saturating_mul(value));
+    }
+
+    /// Folds `other` into `self`. Commutative and associative.
+    pub fn merge(&mut self, other: &Moments) {
+        self.n += other.n;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Saturating sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation, or 0 when fewer than two
+    /// observations (or when the saturated sums lose the signal).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let mean = self.sum as f64 / n;
+        let var = (self.sum_sq as f64 / n) - mean * mean;
+        if var > 0.0 {
+            var.sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// The z-score of `value` against the accumulated distribution; 0 when
+    /// the deviation is degenerate (so constant cohorts rank nobody as an
+    /// outlier).
+    pub fn z_score(&self, value: u64) -> f64 {
+        let sd = self.stddev();
+        if sd <= f64::EPSILON {
+            0.0
+        } else {
+            (value as f64 - self.mean()) / sd
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_match_definition() {
+        let mut m = Moments::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            m.record(v);
+        }
+        assert_eq!(m.n(), 8);
+        assert_eq!(m.mean(), 5.0);
+        assert!((m.stddev() - 2.0).abs() < 1e-9);
+        assert!((m.z_score(9) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_single_stream_any_partition() {
+        let values: Vec<u64> = (0..300).map(|i| (i * 2654435761u64) % 10_000).collect();
+        let mut whole = Moments::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut shards = [Moments::new(), Moments::new(), Moments::new()];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 3].record(v);
+        }
+        let mut merged = Moments::new();
+        for idx in [1, 2, 0] {
+            merged.merge(&shards[idx]);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn degenerate_distributions_score_zero() {
+        let mut m = Moments::new();
+        assert_eq!(m.z_score(10), 0.0);
+        m.record(5);
+        assert_eq!(m.z_score(10), 0.0, "one sample has no spread");
+        m.record(5);
+        m.record(5);
+        assert_eq!(m.z_score(500), 0.0, "constant cohort ranks nobody");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = Moments::new();
+        m.record(123);
+        m.record(456);
+        let v = serde::Serialize::to_value(&m);
+        let back: Moments = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -19,10 +19,12 @@
 
 mod log;
 mod metrics;
+pub mod slo;
 mod tracer;
 
 pub use log::{ObsLog, ObsRecord, SpanArgs, SpanRec};
 pub use metrics::{LatencyHistogram, MetricRegistry, METRICS_SCHEMA_VERSION};
+pub use slo::{SloBreach, SloMetric, SloReport, SloSpec, SloVerdict, SloWindowPoint};
 pub use tracer::{validate_chrome_trace, PlacedSpan, TraceSummary, Tracer};
 
 /// The run-wide sink: a tracer plus a metric registry, shared by every

@@ -1,0 +1,266 @@
+//! Declarative SLO monitors over run-slice windows.
+//!
+//! A fleet operator declares objectives — "hot-launch p99 ≤ 250 ms",
+//! "≤ 2 LMK kills per device-day" — as [`SloSpec`]s; the population runner
+//! evaluates them against per-slice telemetry *after* the shards merge, so
+//! the verdicts are a pure function of the already-order-free aggregate
+//! and parallel/sequential cohort runs agree byte for byte.
+//!
+//! Everything here is integer-valued and schema-stable: metric values are
+//! carried in milli-units (`value_milli`) so latency percentiles
+//! (microseconds = milli-milliseconds) and kill rates (kills × 1000 per
+//! device) share one representation without floats in the fold.
+
+use serde::{Deserialize, Serialize};
+
+/// The metric an [`SloSpec`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloMetric {
+    /// Hot-launch latency; the percentile is taken per burn-rate window
+    /// and compared in milliseconds (`value_milli` = microseconds).
+    HotLaunch,
+    /// LMK kills per device-day; `value_milli` = kills × 1000 / devices
+    /// in the window (the percentile field is ignored).
+    LmkKills,
+}
+
+impl SloMetric {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SloMetric::HotLaunch => "hot_launch",
+            SloMetric::LmkKills => "lmk_kills",
+        }
+    }
+}
+
+/// One declarative service-level objective, evaluated over burn-rate
+/// windows of whole run-slices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Operator-facing name, carried verbatim into breach records.
+    pub name: String,
+    /// The targeted metric.
+    pub metric: SloMetric,
+    /// Percentile in basis points (9900 = p99). Ignored by rate metrics.
+    pub percentile_bp: u32,
+    /// Breach threshold in the metric's milli-unit (ms-latency → µs;
+    /// kills/device-day → kills × 1000).
+    pub threshold_milli: u64,
+    /// Burn-rate window length in run-slices (≥ 1): the objective is
+    /// evaluated over each disjoint window of this many slices.
+    pub window_slices: u32,
+    /// When true, any breach turns into a run-failing verdict
+    /// (`SloReport::enforce_failures`); when false the breach is reported
+    /// but the run exits cleanly — the CI-dashboard mode.
+    pub enforce: bool,
+}
+
+impl SloSpec {
+    /// A convenience constructor for a non-enforcing hot-launch latency
+    /// objective: `percentile_bp` over windows of `window_slices` slices
+    /// must stay ≤ `threshold_ms`.
+    pub fn hot_launch_ms(
+        name: &str,
+        percentile_bp: u32,
+        threshold_ms: u64,
+        window_slices: u32,
+    ) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            metric: SloMetric::HotLaunch,
+            percentile_bp,
+            threshold_milli: threshold_ms * 1000,
+            window_slices,
+            enforce: false,
+        }
+    }
+
+    /// A convenience constructor for a non-enforcing kill-rate objective:
+    /// kills per device-day must stay ≤ `threshold_milli`/1000.
+    pub fn lmk_kills_milli(name: &str, threshold_milli: u64, window_slices: u32) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            metric: SloMetric::LmkKills,
+            percentile_bp: 0,
+            threshold_milli,
+            window_slices,
+            enforce: false,
+        }
+    }
+
+    /// Marks the objective as run-failing on breach.
+    pub fn enforced(mut self) -> Self {
+        self.enforce = true;
+        self
+    }
+
+    /// Structural validation (shared by `PopulationSpec::validate`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("slo: name must be non-empty".into());
+        }
+        if self.window_slices == 0 {
+            return Err(format!("slo {}: window_slices must be >= 1", self.name));
+        }
+        if self.percentile_bp > 10_000 {
+            return Err(format!(
+                "slo {}: percentile_bp {} out of range (0..=10000)",
+                self.name, self.percentile_bp
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One evaluated burn-rate window: the metric's observed milli-value over
+/// `[window_start, window_end)` slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloWindowPoint {
+    /// First slice index of the window (inclusive).
+    pub window_start: u32,
+    /// One past the last slice index of the window.
+    pub window_end: u32,
+    /// Observed metric value in milli-units.
+    pub value_milli: u64,
+}
+
+/// A schema-stable record of one breached burn-rate window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloBreach {
+    /// First slice index of the breached window.
+    pub window_start: u32,
+    /// One past the last slice index of the breached window.
+    pub window_end: u32,
+    /// Observed metric value in milli-units.
+    pub value_milli: u64,
+    /// The spec's threshold, copied for self-contained export rows.
+    pub threshold_milli: u64,
+}
+
+/// The verdict for one [`SloSpec`] over a whole run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloVerdict {
+    /// The evaluated spec (copied, so exports are self-describing).
+    pub spec: SloSpec,
+    /// Number of windows evaluated.
+    pub windows: u32,
+    /// True iff no window breached.
+    pub pass: bool,
+    /// Every breached window, in slice order.
+    pub breaches: Vec<SloBreach>,
+}
+
+impl SloVerdict {
+    /// Evaluates `spec` against per-window metric observations. The
+    /// points must arrive in slice order (the aggregate's slice rows are
+    /// index-keyed, so this is free); windows with no data are skipped,
+    /// never counted as breaches.
+    pub fn evaluate(spec: &SloSpec, points: impl IntoIterator<Item = SloWindowPoint>) -> Self {
+        let mut windows = 0;
+        let mut breaches = Vec::new();
+        for point in points {
+            windows += 1;
+            if point.value_milli > spec.threshold_milli {
+                breaches.push(SloBreach {
+                    window_start: point.window_start,
+                    window_end: point.window_end,
+                    value_milli: point.value_milli,
+                    threshold_milli: spec.threshold_milli,
+                });
+            }
+        }
+        SloVerdict { spec: spec.clone(), windows, pass: breaches.is_empty(), breaches }
+    }
+}
+
+/// The aggregate view over every verdict of a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// One verdict per armed spec, in spec order.
+    pub verdicts: Vec<SloVerdict>,
+}
+
+impl SloReport {
+    /// Total breached windows across all specs.
+    pub fn breaches(&self) -> usize {
+        self.verdicts.iter().map(|v| v.breaches.len()).sum()
+    }
+
+    /// Names of *enforcing* specs that failed — non-empty means the run
+    /// should exit non-zero.
+    pub fn enforce_failures(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.spec.enforce && !v.pass)
+            .map(|v| v.spec.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(start: u32, end: u32, value: u64) -> SloWindowPoint {
+        SloWindowPoint { window_start: start, window_end: end, value_milli: value }
+    }
+
+    #[test]
+    fn evaluate_flags_only_exceeding_windows() {
+        let spec = SloSpec::hot_launch_ms("p99-demo", 9900, 250, 4);
+        let verdict = SloVerdict::evaluate(
+            &spec,
+            vec![point(0, 4, 249_000), point(4, 8, 250_000), point(8, 12, 250_001)],
+        );
+        assert_eq!(verdict.windows, 3);
+        assert!(!verdict.pass);
+        assert_eq!(verdict.breaches.len(), 1, "only the strict exceedance breaches");
+        assert_eq!(verdict.breaches[0].window_start, 8);
+        assert_eq!(verdict.breaches[0].threshold_milli, 250_000);
+    }
+
+    #[test]
+    fn empty_point_stream_passes() {
+        let spec = SloSpec::lmk_kills_milli("kills", 2000, 1);
+        let verdict = SloVerdict::evaluate(&spec, Vec::new());
+        assert!(verdict.pass);
+        assert_eq!(verdict.windows, 0);
+    }
+
+    #[test]
+    fn report_separates_enforced_failures() {
+        let soft = SloVerdict::evaluate(
+            &SloSpec::hot_launch_ms("soft", 5000, 1, 1),
+            vec![point(0, 1, 9_999_999)],
+        );
+        let hard = SloVerdict::evaluate(
+            &SloSpec::hot_launch_ms("hard", 5000, 1, 1).enforced(),
+            vec![point(0, 1, 9_999_999)],
+        );
+        let passing =
+            SloVerdict::evaluate(&SloSpec::lmk_kills_milli("ok", 10_000, 1), vec![point(0, 1, 5)]);
+        let report = SloReport { verdicts: vec![soft, hard, passing] };
+        assert_eq!(report.breaches(), 2);
+        assert_eq!(report.enforce_failures(), vec!["hard"]);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        assert!(SloSpec::hot_launch_ms("", 9900, 250, 4).validate().is_err());
+        assert!(SloSpec::hot_launch_ms("w0", 9900, 250, 0).validate().is_err());
+        let mut bad_bp = SloSpec::hot_launch_ms("bp", 9900, 250, 4);
+        bad_bp.percentile_bp = 10_001;
+        assert!(bad_bp.validate().is_err());
+        assert!(SloSpec::lmk_kills_milli("ok", 2000, 8).validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = SloSpec::hot_launch_ms("p99", 9900, 250, 4).enforced();
+        let verdict = SloVerdict::evaluate(&spec, vec![point(0, 4, 251_000)]);
+        let v = serde::Serialize::to_value(&verdict);
+        let back: SloVerdict = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, verdict);
+    }
+}

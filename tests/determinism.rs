@@ -165,7 +165,7 @@ fn harness_fingerprint(threads: usize) -> String {
         "proactive_reclaim".into(),
     ])
     .unwrap();
-    let reports = run_experiments(&selected, 0xF1EE7, true, threads, false);
+    let reports = run_experiments(&selected, 0xF1EE7, true, threads, false, None);
     let mut fp = String::new();
     for report in reports {
         let output = report.result.expect("experiment runs");

@@ -46,7 +46,7 @@ struct Trace {
 fn record(id: &'static str) -> Trace {
     let exp = REGISTRY.iter().find(|e| e.id() == id).expect("golden id must be in REGISTRY");
     let seed = derive_seed(MASTER_SEED, id);
-    let ctx = ExperimentCtx { seed, quick: true };
+    let ctx = ExperimentCtx { seed, quick: true, drilldown: None };
     let pipeline = shared_pipeline();
     let _guard = install(pipeline.clone());
     exp.run(&ctx).expect("golden experiment must run");
